@@ -1,0 +1,107 @@
+//! Criterion benchmarks mirroring the paper's four figures: for each
+//! evaluation circuit, the cost of building the figure's reduced models and
+//! of evaluating them (the quantities behind the §5.2 "computational cost
+//! is three times larger" remark).
+//!
+//! Run: `cargo bench -p pmor-bench --bench figures`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmor::eval::FullModel;
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::prima::{Prima, PrimaOptions};
+use pmor_circuits::generators::{rc_random, rcnet_a, rcnet_b, rlc_bus, RcRandomConfig, RlcBusConfig};
+use pmor_num::Complex64;
+
+fn bench_fig3(c: &mut Criterion) {
+    let sys = rc_random(&RcRandomConfig::default()).assemble();
+    let mut group = c.benchmark_group("fig3_rc767");
+    group.sample_size(10);
+    group.bench_function("reduce_nominal_prima_k8", |b| {
+        let r = Prima::new(PrimaOptions {
+            num_block_moments: 8,
+            use_rcm: true,
+        });
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.bench_function("reduce_lowrank_40state", |b| {
+        let r = LowRankPmor::new(LowRankOptions {
+            s_order: 8,
+            param_order: 4,
+            rank: 1,
+            ..Default::default()
+        });
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.bench_function("reduce_multipoint_8samples", |b| {
+        let samples: Vec<Vec<f64>> = MultiPointOptions::grid(&[(-0.7, 0.7); 2], 3, 5)
+            .samples
+            .into_iter()
+            .filter(|s| !(s[0] == 0.0 && s[1] == 0.0))
+            .collect();
+        let r = MultiPointPmor::new(MultiPointOptions::with_samples(samples, 5));
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    group.bench_function("eval_rom_one_point", |b| {
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        b.iter(|| rom.transfer(&[0.7, 0.7], s).unwrap())
+    });
+    group.bench_function("eval_full_one_point", |b| {
+        let full = FullModel::new(&sys);
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        b.iter(|| full.transfer(&[0.7, 0.7], s).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let sys = rlc_bus(&RlcBusConfig::default()).assemble();
+    let mut group = c.benchmark_group("fig4_bus1086");
+    group.sample_size(10);
+    group.bench_function("reduce_lowrank", |b| {
+        let r = LowRankPmor::new(LowRankOptions {
+            s_order: 13,
+            param_order: 3,
+            rank: 1,
+            ..Default::default()
+        });
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.bench_function("reduce_multipoint_3samples", |b| {
+        let r = MultiPointPmor::new(MultiPointOptions::with_samples(
+            vec![vec![-0.3, 0.0], vec![0.0, 0.0], vec![0.3, 0.0]],
+            13,
+        ));
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig6_clock_trees");
+    group.sample_size(10);
+    for (name, sys) in [("rcnet_a78", rcnet_a().assemble()), ("rcnet_b333", rcnet_b().assemble())] {
+        group.bench_function(format!("{name}_reduce_lowrank"), |b| {
+            let r = LowRankPmor::new(LowRankOptions {
+                s_order: 6,
+                param_order: 2,
+                rank: 2,
+                ..Default::default()
+            });
+            b.iter(|| r.reduce(&sys).unwrap())
+        });
+        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        group.bench_function(format!("{name}_rom_poles"), |b| {
+            b.iter(|| rom.dominant_poles(&[0.1, -0.1, 0.2], 5).unwrap())
+        });
+        group.bench_function(format!("{name}_full_poles"), |b| {
+            let full = FullModel::new(&sys);
+            b.iter(|| full.dominant_poles(&[0.1, -0.1, 0.2], 5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4, bench_fig5_fig6);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion benchmarks of the reduction algorithms themselves: PRIMA,
+//! single-point multi-parameter matching, multi-point expansion and the
+//! low-rank Algorithm 1, plus the underlying sparse kernels.
+//!
+//! Run: `cargo bench -p pmor-bench --bench reduction`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::moments::{SinglePointOptions, SinglePointPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::prima::{Prima, PrimaOptions};
+use pmor_circuits::generators::{rc_random, RcRandomConfig};
+use pmor_sparse::{ordering, SparseLu};
+
+fn workload(n: usize) -> pmor_circuits::ParametricSystem {
+    rc_random(&RcRandomConfig {
+        num_nodes: n,
+        num_params: 2,
+        extra_resistor_fraction: 0.0,
+        coupling_cap_fraction: 0.0,
+        ..Default::default()
+    })
+    .assemble()
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_lu_factor");
+    for n in [500usize, 2000, 8000] {
+        let sys = workload(n);
+        let perm = ordering::rcm(&sys.g0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SparseLu::factor(&sys.g0, Some(&perm)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reducers(c: &mut Criterion) {
+    let sys = workload(2000);
+    let mut group = c.benchmark_group("reduce_n2000");
+    group.sample_size(10);
+
+    group.bench_function("prima_k8", |b| {
+        let r = Prima::new(PrimaOptions {
+            num_block_moments: 8,
+            use_rcm: true,
+        });
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.bench_function("single_point_order3", |b| {
+        let r = SinglePointPmor::new(SinglePointOptions {
+            order: 3,
+            use_rcm: true,
+        });
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.bench_function("multi_point_3x3_k5", |b| {
+        let r = MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 2], 3, 5));
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.bench_function("lowrank_k8_rank1", |b| {
+        let r = LowRankPmor::new(LowRankOptions {
+            s_order: 8,
+            param_order: 3,
+            rank: 1,
+            ..Default::default()
+        });
+        b.iter(|| r.reduce(&sys).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_lowrank_scaling(c: &mut Criterion) {
+    // The §4.2 claim under the measurement harness: close-to-linear in n.
+    let mut group = c.benchmark_group("lowrank_vs_n");
+    group.sample_size(10);
+    for n in [1000usize, 4000, 16000] {
+        let sys = workload(n);
+        let r = LowRankPmor::new(LowRankOptions {
+            s_order: 6,
+            param_order: 2,
+            rank: 1,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| r.reduce(&sys).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_lu, bench_reducers, bench_lowrank_scaling);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Figure 3 — RC network transfer-function comparison (paper §5.1).
+//!
+//! Regenerates the five curves of Fig 3 on the 767-unknown random RC
+//! network with two variational sources:
+//!
+//! 1. nominal full system,
+//! 2. perturbed full system (the paper injects "up to 70%" variation),
+//! 3. reduced perturbed model using the **nominal PRIMA projection**
+//!    (matching 8 moments of s) — expected to miss the variation,
+//! 4. reduced perturbed model from the **low-rank** Algorithm 1 (size ≈ the
+//!    paper's 37-state model, ~4th-order multi-parameter moments),
+//! 5. reduced perturbed model from **multi-point expansion** (8 samples,
+//!    ~40 states).
+//!
+//! Run: `cargo run --release -p pmor-bench --bin fig3_rc_network`
+
+use pmor::eval::FullModel;
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::prima::{Prima, PrimaOptions};
+use pmor_bench::{ascii_chart, logspace, print_csv, timed};
+use pmor_circuits::generators::{rc_random, RcRandomConfig};
+
+fn main() {
+    let sys = rc_random(&RcRandomConfig::default()).assemble();
+    println!(
+        "# Fig 3 reproduction: RC network, {} unknowns, {} variational sources",
+        sys.dim(),
+        sys.num_params()
+    );
+
+    // The paper evaluates a perturbed network with up to 70–80% variation
+    // (text vs caption); we use the caption's 80%.
+    let p_pert = vec![0.8, 0.8];
+    let p_nom = vec![0.0, 0.0];
+    let freqs = logspace(1e7, 1e10, 61);
+
+    // --- Reducers ---------------------------------------------------------
+    let (nominal_rom, t_nom) = timed(|| {
+        Prima::new(PrimaOptions {
+            num_block_moments: 8,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .expect("PRIMA reduction")
+    });
+    let (lowrank, t_low) = timed(|| {
+        LowRankPmor::new(LowRankOptions {
+            s_order: 8,
+            param_order: 4,
+            rank: 1,
+            include_transpose_subspaces: true,
+            ..Default::default()
+        })
+        .reduce_with_stats(&sys)
+        .expect("low-rank reduction")
+    });
+    let (lowrank_rom, lowrank_stats) = lowrank;
+    let samples = MultiPointOptions::grid(&[(-0.7, 0.7), (-0.7, 0.7)], 3, 5);
+    // The paper takes 8 samples; trim the 9-point grid to its corners +
+    // edge midpoints (drop the center, which the s-expansion covers).
+    let trimmed: Vec<Vec<f64>> = samples
+        .samples
+        .into_iter()
+        .filter(|s| !(s[0] == 0.0 && s[1] == 0.0))
+        .collect();
+    let (multipoint, t_mp) = timed(|| {
+        MultiPointPmor::new(MultiPointOptions::with_samples(trimmed, 5))
+            .reduce_with_stats(&sys)
+            .expect("multi-point reduction")
+    });
+    let (multipoint_rom, mp_stats) = multipoint;
+
+    println!("# model sizes: nominal-projection={} low-rank={} (v0={}, param={}) multi-point={} ({} factorizations)",
+        nominal_rom.size(), lowrank_rom.size(), lowrank_stats.v0_size,
+        lowrank_stats.param_size, mp_stats.size, mp_stats.factorizations);
+    println!("# reduction times [s]: nominal={t_nom:.3} low-rank={t_low:.3} multi-point={t_mp:.3}");
+
+    // --- Evaluation -------------------------------------------------------
+    let full = FullModel::new(&sys);
+    let mag = |ms: Vec<pmor_num::Matrix<pmor_num::Complex64>>| -> Vec<f64> {
+        ms.iter().map(|h| h[(0, 0)].abs()).collect()
+    };
+    let h_nom_full = mag(full.frequency_response(&p_nom, &freqs).expect("full nominal"));
+    let h_pert_full = mag(full.frequency_response(&p_pert, &freqs).expect("full perturbed"));
+    let h_nomproj = mag(nominal_rom
+        .frequency_response(&p_pert, &freqs)
+        .expect("nominal-projection ROM"));
+    let h_lowrank = mag(lowrank_rom
+        .frequency_response(&p_pert, &freqs)
+        .expect("low-rank ROM"));
+    let h_multipoint = mag(multipoint_rom
+        .frequency_response(&p_pert, &freqs)
+        .expect("multi-point ROM"));
+
+    // Normalize like the paper's 0..1 amplitude axis (voltage-transfer
+    // reading of the current-driven port).
+    let h0 = h_nom_full[0];
+    let norm = |v: Vec<f64>| -> Vec<f64> { v.into_iter().map(|x| x / h0).collect() };
+    let series = [
+        ("nominal_full", norm(h_nom_full)),
+        ("perturbed_full", norm(h_pert_full)),
+        ("reduced_nominal_projection", norm(h_nomproj)),
+        ("reduced_lowrank", norm(h_lowrank)),
+        ("reduced_multipoint", norm(h_multipoint)),
+    ];
+
+    print_csv("freq_hz", &freqs, &series);
+    ascii_chart(
+        &format!(
+            "Fig 3: |H(f)| (normalized), perturbed system at p = ({}, {})",
+            p_pert[0], p_pert[1]
+        ),
+        &series,
+        20,
+        61,
+    );
+
+    // --- Shape checks (who wins) ------------------------------------------
+    // Like reading the paper's plot: worst absolute gap on the normalized
+    // 0..1 amplitude axis.
+    let gap = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    };
+    let separation = gap(&series[0].1, &series[1].1);
+    let e_nom = gap(&series[2].1, &series[1].1);
+    let e_low = gap(&series[3].1, &series[1].1);
+    let e_mp = gap(&series[4].1, &series[1].1);
+    println!("# nominal-vs-perturbed separation (max |Δ| on plot axis): {separation:.4}");
+    println!("# max |Δ| vs perturbed full model on plot axis:");
+    println!("#   nominal projection: {e_nom:.4}");
+    println!("#   low-rank:           {e_low:.4}");
+    println!("#   multi-point:        {e_mp:.4}");
+    println!(
+        "# paper shape check: low-rank and multi-point indistinguishable from full ({}), nominal projection is the clear loser ({})",
+        (e_low < 0.02 && e_mp < 0.02),
+        e_nom > 2.0 * e_low.max(e_mp)
+    );
+}

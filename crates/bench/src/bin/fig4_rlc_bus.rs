@@ -1,0 +1,162 @@
+//! Figure 4 — coupled 4-port RLC bus admittance comparison (paper §5.2).
+//!
+//! Regenerates the five `|Y11(f)|` curves of Fig 4 on the two-bit bus
+//! (2 × 180 RLC segments, 1086 MNA unknowns, two variational sources):
+//!
+//! 1. nominal full system,
+//! 2. perturbed full system (maximum 30 % parametric variation),
+//! 3. reduced perturbed model with the nominal PRIMA projection (paper:
+//!    size 52 = 13 blocks × 4 ports),
+//! 4. reduced perturbed model from low-rank Algorithm 1 (paper: size 144,
+//!    moments of all parameters incl. cross terms to 12th order, 52 of the
+//!    matched moments being s-moments),
+//! 5. reduced perturbed model from 3-sample multi-point expansion (paper:
+//!    size 156, 52 s-moments per sample).
+//!
+//! Run: `cargo run --release -p pmor-bench --bin fig4_rlc_bus`
+
+use pmor::eval::FullModel;
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::prima::{Prima, PrimaOptions};
+use pmor_bench::{ascii_chart, linspace, print_csv, timed};
+use pmor_circuits::generators::{rlc_bus, RlcBusConfig};
+
+fn main() {
+    let sys = rlc_bus(&RlcBusConfig::default()).assemble();
+    println!(
+        "# Fig 4 reproduction: coupled RLC bus, {} MNA unknowns, {} ports, {} variational sources",
+        sys.dim(),
+        sys.num_inputs(),
+        sys.num_params()
+    );
+
+    // Maximum 30% variation, off the multi-point sample diagonal so every
+    // method has to genuinely interpolate in the parameter space.
+    let p_pert = vec![0.3, -0.3];
+    let p_nom = vec![0.0, 0.0];
+    // The paper plots 0.5e10 .. 4.5e10 Hz on a linear axis.
+    let freqs = linspace(0.5e10, 4.5e10, 81);
+
+    // --- Reducers ----------------------------------------------------------
+    // Nominal projection: 13 blocks × 4 ports = paper's 52 states.
+    let (nominal_rom, t_nom) = timed(|| {
+        Prima::new(PrimaOptions {
+            num_block_moments: 13,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .expect("PRIMA reduction")
+    });
+    // Low-rank: 13 s-blocks (52 s-moments) + parameter subspaces; the
+    // paper's model is 144 states.
+    let ((lowrank_rom, lowrank_stats), t_low) = timed(|| {
+        LowRankPmor::new(LowRankOptions {
+            s_order: 13,
+            param_order: 3,
+            rank: 1,
+            include_transpose_subspaces: true,
+            ..Default::default()
+        })
+        .reduce_with_stats(&sys)
+        .expect("low-rank reduction")
+    });
+    // Multi-point: the paper takes 3 samples in the 2-D variation space
+    // (necessarily a partial design); we use the natural axis-aligned
+    // choice along the dominant (width) parameter, 13 s-blocks each
+    // (paper: size 156 = 3 × 52).
+    let samples = vec![vec![-0.3, 0.0], vec![0.0, 0.0], vec![0.3, 0.0]];
+    let ((multipoint_rom, mp_stats), t_mp) = timed(|| {
+        MultiPointPmor::new(MultiPointOptions::with_samples(samples, 13))
+            .reduce_with_stats(&sys)
+            .expect("multi-point reduction")
+    });
+
+    println!(
+        "# model sizes: nominal-projection={} low-rank={} (v0={}, param={}) multi-point={} ({} factorizations)",
+        nominal_rom.size(),
+        lowrank_rom.size(),
+        lowrank_stats.v0_size,
+        lowrank_stats.param_size,
+        mp_stats.size,
+        mp_stats.factorizations
+    );
+    println!("# reduction times [s]: nominal={t_nom:.3} low-rank={t_low:.3} multi-point={t_mp:.3} (multi-point/low-rank = {:.2}x)", t_mp / t_low);
+
+    // --- Evaluation ---------------------------------------------------------
+    let full = FullModel::new(&sys);
+    let y11 = |ms: Vec<pmor_num::Matrix<pmor_num::Complex64>>| -> Vec<f64> {
+        ms.iter().map(|h| h[(0, 0)].abs()).collect()
+    };
+    let series = [
+        (
+            "nominal_full",
+            y11(full.frequency_response(&p_nom, &freqs).expect("full nominal")),
+        ),
+        (
+            "perturbed_full",
+            y11(full.frequency_response(&p_pert, &freqs).expect("full perturbed")),
+        ),
+        (
+            "reduced_nominal_projection",
+            y11(nominal_rom
+                .frequency_response(&p_pert, &freqs)
+                .expect("nominal ROM")),
+        ),
+        (
+            "reduced_lowrank",
+            y11(lowrank_rom
+                .frequency_response(&p_pert, &freqs)
+                .expect("low-rank ROM")),
+        ),
+        (
+            "reduced_multipoint",
+            y11(multipoint_rom
+                .frequency_response(&p_pert, &freqs)
+                .expect("multi-point ROM")),
+        ),
+    ];
+
+    print_csv("freq_hz", &freqs, &series);
+    ascii_chart(
+        "Fig 4: |Y11(f)| [S], perturbed bus at p = (0.3, -0.3)",
+        &series,
+        20,
+        81,
+    );
+
+    // --- Shape checks -------------------------------------------------------
+    let rms = |a: &[f64], b: &[f64]| -> f64 {
+        (a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / a.len() as f64)
+            .sqrt()
+    };
+    let separation = rms(&series[0].1, &series[1].1);
+    let e_nom = rms(&series[2].1, &series[1].1);
+    let e_low = rms(&series[3].1, &series[1].1);
+    let e_mp = rms(&series[4].1, &series[1].1);
+    println!("# nominal-vs-perturbed separation (rms on |Y11|): {separation:.5}");
+    println!("# rms error vs perturbed full model:");
+    println!("#   nominal projection: {e_nom:.5}");
+    println!("#   low-rank:           {e_low:.5}");
+    println!("#   multi-point:        {e_mp:.5}");
+    println!(
+        "# paper shape check: nominal-only model inadequate ({}), low-rank captures the variation ({}), multi-point model larger ({}: {} vs {} states) at ~3x the cost ({:.2}x)",
+        e_nom > 3.0 * e_low,
+        e_low < 0.25 * separation,
+        mp_stats.size > lowrank_rom.size(),
+        mp_stats.size,
+        lowrank_rom.size(),
+        t_mp / t_low
+    );
+    if e_mp <= e_low {
+        println!(
+            "# note: the paper additionally found the multi-point model *less* accurate; on this \
+             bus the parametric dependence is effectively one-dimensional and any 3-sample design \
+             covers it (see EXPERIMENTS.md)"
+        );
+    }
+}

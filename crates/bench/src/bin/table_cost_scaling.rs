@@ -1,0 +1,100 @@
+//! Cost-scaling table (paper §4.2).
+//!
+//! Verifies the paper's cost claims for Algorithm 1 by measurement:
+//!
+//! * runtime is **linear in the moment order k**,
+//! * runtime is **linear in the number of parameters np**,
+//! * runtime is **almost linear in circuit size n** (the one-time sparse
+//!   factorization of `G0` dominates),
+//! * the multi-point alternative costs ≈ one factorization **per sample**
+//!   (`c^np`), against Algorithm 1's single factorization.
+//!
+//! Run: `cargo run --release -p pmor-bench --bin table_cost_scaling`
+
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor_bench::timed;
+use pmor_circuits::generators::{rc_random, RcRandomConfig};
+
+fn workload(n: usize, np: usize) -> pmor_circuits::ParametricSystem {
+    // Tree-structured interconnect (no long-range cross couplings): the
+    // regime of the paper's "almost linear in the number of circuit
+    // nodes" claim. Random long-range couplings would make sparse-LU fill
+    // super-linear for *any* direct method.
+    rc_random(&RcRandomConfig {
+        num_nodes: n,
+        num_params: np,
+        extra_resistor_fraction: 0.0,
+        coupling_cap_fraction: 0.0,
+        ..Default::default()
+    })
+    .assemble()
+}
+
+fn lowrank_time(sys: &pmor_circuits::ParametricSystem, k: usize, reps: usize) -> f64 {
+    let reducer = LowRankPmor::new(LowRankOptions {
+        s_order: k,
+        param_order: 2,
+        rank: 1,
+        ..Default::default()
+    });
+    let (_, dt) = timed(|| {
+        for _ in 0..reps {
+            reducer.reduce(sys).expect("low-rank");
+        }
+    });
+    dt / reps as f64
+}
+
+fn main() {
+    let reps = 3;
+
+    println!("# Cost scaling of Algorithm 1 (paper §4.2); times in ms");
+
+    println!("\n## vs moment order k (n=2000, np=2)");
+    let sys = workload(2000, 2);
+    let base = lowrank_time(&sys, 2, reps);
+    println!("{:<6} {:>10} {:>16}", "k", "time", "time/time(k=2)");
+    for k in [2usize, 4, 8, 16] {
+        let t = lowrank_time(&sys, k, reps);
+        println!("{k:<6} {:>10.2} {:>16.2}", t * 1e3, t / base);
+    }
+
+    println!("\n## vs parameter count np (n=2000, k=6)");
+    let base_sys = workload(2000, 1);
+    let base = lowrank_time(&base_sys, 6, reps);
+    println!("{:<6} {:>10} {:>17}", "np", "time", "time/time(np=1)");
+    for np in [1usize, 2, 4, 8] {
+        let sys = workload(2000, np);
+        let t = lowrank_time(&sys, 6, reps);
+        println!("{np:<6} {:>10.2} {:>17.2}", t * 1e3, t / base);
+    }
+
+    println!("\n## vs circuit size n (np=2, k=6)");
+    let base = lowrank_time(&workload(1000, 2), 6, reps);
+    println!("{:<8} {:>10} {:>18}", "n", "time", "time/time(n=1000)");
+    for n in [1000usize, 2000, 4000, 8000, 16000] {
+        let sys = workload(n, 2);
+        let t = lowrank_time(&sys, 6, reps);
+        println!("{n:<8} {:>10.2} {:>18.2}", t * 1e3, t / base);
+    }
+
+    println!("\n## low-rank (1 factorization) vs multi-point grid (c^np factorizations); n=4000, k=6");
+    let sys = workload(4000, 2);
+    let t_low = lowrank_time(&sys, 6, reps);
+    println!("{:<22} {:>10} {:>8} {:>14}", "method", "time", "rel", "factorizations");
+    println!("{:<22} {:>10.2} {:>8.2} {:>14}", "low-rank", t_low * 1e3, 1.0, 1);
+    for c in [2usize, 3] {
+        let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 2], c, 6);
+        let reducer = MultiPointPmor::new(opts);
+        let ((_, stats), t) = timed(|| reducer.reduce_with_stats(&sys).expect("multi-point"));
+        println!(
+            "{:<22} {:>10.2} {:>8.2} {:>14}",
+            format!("multi-point {c}x{c}"),
+            t * 1e3,
+            t / t_low,
+            stats.factorizations
+        );
+    }
+    println!("# shape check: low-rank time ~linear in k, np, n; multi-point cost scales with the sample count");
+}

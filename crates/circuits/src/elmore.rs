@@ -1,0 +1,257 @@
+//! Elmore delay of RC trees.
+//!
+//! The classical first-moment delay metric for tree-structured RC
+//! interconnect: for sink `i`,
+//!
+//! ```text
+//! T_elmore(i) = Σ_e R_e · C_downstream(e)
+//! ```
+//!
+//! summed over the resistors `e` on the root→sink path, where
+//! `C_downstream(e)` is all capacitance fed through `e`. It equals the
+//! first moment of the impulse response and upper-bounds the 50 % step
+//! delay; its ubiquity in timing engines makes it the natural cross-check
+//! for this workspace's transient and reduced-order analyses.
+
+use crate::netlist::{ElementKind, Netlist};
+
+/// Error from the Elmore analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElmoreError {
+    /// The resistor topology is not a tree rooted where requested (a
+    /// resistive loop, a disconnected node, or a grounded resistor off the
+    /// root was found).
+    NotATree(String),
+}
+
+impl std::fmt::Display for ElmoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElmoreError::NotATree(msg) => write!(f, "elmore: not an RC tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ElmoreError {}
+
+/// Computes the Elmore delay from `root` to every node, at the parameter
+/// point `p` (element values follow the first-order sensitivity model).
+///
+/// Resistors grounded at the root (driver resistances) contribute the total
+/// tree capacitance; all other grounded resistors are rejected (they would
+/// leak DC and break the tree formula). Capacitor-only couplings are folded
+/// to ground conservatively (their full value counts as downstream load).
+///
+/// # Errors
+///
+/// Returns [`ElmoreError::NotATree`] when the resistive topology is not a
+/// tree rooted at `root`.
+pub fn elmore_delays(net: &Netlist, root: usize, p: &[f64]) -> Result<Vec<f64>, ElmoreError> {
+    let n = net.num_nodes();
+    // Adjacency of tree resistors, plus per-node capacitance and the
+    // driver resistance at the root.
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut cap = vec![0.0f64; n];
+    let mut driver_cond = 0.0f64;
+    for e in net.elements() {
+        // Resistors stamp their *conductance* as the element value.
+        let value = e.value_at(p);
+        match e.kind {
+            ElementKind::Resistor => match (e.a, e.b) {
+                (Some(a), Some(b)) => {
+                    adj[a].push((b, value));
+                    adj[b].push((a, value));
+                }
+                (Some(x), None) | (None, Some(x)) => {
+                    if x == root {
+                        driver_cond += value; // parallel conductances add
+                    } else {
+                        return Err(ElmoreError::NotATree(format!(
+                            "grounded resistor at non-root node {x}"
+                        )));
+                    }
+                }
+                (None, None) => unreachable!("netlist forbids double-ground"),
+            },
+            ElementKind::Capacitor => {
+                // Ground caps load their node; floating caps load both ends
+                // (conservative Elmore treatment).
+                if let Some(a) = e.a {
+                    cap[a] += value;
+                }
+                if let Some(b) = e.b {
+                    cap[b] += value;
+                }
+            }
+            ElementKind::Inductor => {
+                // Inductors are DC shorts; they do not enter the RC Elmore
+                // metric, but a general RLC net is out of scope here.
+                return Err(ElmoreError::NotATree("inductor present".into()));
+            }
+        }
+    }
+    let driver_res = if driver_cond > 0.0 {
+        1.0 / driver_cond
+    } else {
+        0.0
+    };
+
+    // DFS from the root: establish parents and detect loops/disconnects.
+    let mut parent: Vec<Option<(usize, f64)>> = vec![None; n];
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack = vec![root];
+    visited[root] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &(v, g) in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = Some((u, 1.0 / g));
+                stack.push(v);
+            } else if parent[u].map(|(pu, _)| pu) != Some(v) {
+                return Err(ElmoreError::NotATree(format!(
+                    "resistive loop through nodes {u} and {v}"
+                )));
+            }
+        }
+    }
+    if let Some(missing) = (0..n).find(|&i| !visited[i]) {
+        return Err(ElmoreError::NotATree(format!(
+            "node {missing} unreachable from root {root}"
+        )));
+    }
+
+    // Downstream capacitance by reverse DFS order.
+    let mut down = cap.clone();
+    for &u in order.iter().rev() {
+        if let Some((pu, _)) = parent[u] {
+            down[pu] += down[u];
+        }
+    }
+
+    // Delay accumulates along root→node paths; the driver resistance sees
+    // the whole tree.
+    let mut delay = vec![0.0f64; n];
+    delay[root] = driver_res * down[root];
+    for &u in &order {
+        if let Some((pu, r)) = parent[u] {
+            delay[u] = delay[pu] + r * down[u];
+        }
+    }
+    Ok(delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic two-segment line: driver Rd, then R1 to n1 (C1), R2 to n2
+    /// (C2).
+    fn two_segment() -> (Netlist, usize, usize, usize) {
+        let mut net = Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        let n2 = net.add_node();
+        net.add_resistor(Some(n0), None, 10.0);
+        net.add_resistor(Some(n0), Some(n1), 100.0);
+        net.add_resistor(Some(n1), Some(n2), 200.0);
+        net.add_capacitor(Some(n1), None, 1e-12);
+        net.add_capacitor(Some(n2), None, 2e-12);
+        net.add_port(n0);
+        (net, n0, n1, n2)
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        let (net, n0, n1, n2) = two_segment();
+        let d = elmore_delays(&net, n0, &[]).unwrap();
+        // T(n0) = Rd·(C1+C2) = 10·3p = 30 ps
+        // T(n1) = T(n0) + R1·(C1+C2) = 30p + 100·3p = 330 ps
+        // T(n2) = T(n1) + R2·C2 = 330p + 200·2p = 730 ps
+        assert!((d[n0] - 30e-12).abs() < 1e-18);
+        assert!((d[n1] - 330e-12).abs() < 1e-18);
+        assert!((d[n2] - 730e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parameter_scaling_moves_delay_first_order() {
+        let mut net = Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        net.add_resistor(Some(n0), None, 10.0);
+        let r = net.add_resistor(Some(n0), Some(n1), 100.0);
+        net.set_sensitivity(r, 0, 1.0); // conductance ∝ (1+p)
+        net.add_capacitor(Some(n1), None, 1e-12);
+        // +30% width ⇒ conductance ×1.3 ⇒ segment R ÷1.3.
+        let d0 = elmore_delays(&net, n0, &[0.0]).unwrap()[n1];
+        let d1 = elmore_delays(&net, n0, &[0.3]).unwrap()[n1];
+        let expect = 10e-12 + 100.0 / 1.3 * 1e-12;
+        assert!((d1 - expect).abs() < 1e-18, "{d1} vs {expect}");
+        assert!(d1 < d0);
+    }
+
+    #[test]
+    fn clock_tree_delays_are_positive_and_monotone_from_root() {
+        let net = crate::generators::clock_tree(&crate::generators::ClockTreeConfig {
+            num_nodes: 30,
+            ..Default::default()
+        });
+        let p = [0.0, 0.0, 0.0];
+        let delays = elmore_delays(&net, 0, &p).unwrap();
+        let worst = delays.iter().copied().fold(0.0f64, f64::max);
+        assert!(worst > 0.0);
+        // Every node's delay includes the root's driver term, so no node is
+        // faster than the root (Elmore is monotone along tree paths; the
+        // quantitative Elmore ≥ 50%-delay bound is exercised against the
+        // transient engine in the cross-crate integration tests).
+        assert!(delays.iter().all(|&d| d >= delays[0] - 1e-18));
+    }
+
+    #[test]
+    fn rejects_loops_and_disconnects() {
+        let mut net = Netlist::new(0);
+        let a = net.add_node();
+        let b = net.add_node();
+        let c = net.add_node();
+        net.add_resistor(Some(a), None, 1.0);
+        net.add_resistor(Some(a), Some(b), 1.0);
+        net.add_resistor(Some(b), Some(c), 1.0);
+        net.add_resistor(Some(c), Some(a), 1.0); // loop
+        net.add_capacitor(Some(c), None, 1e-15);
+        assert!(matches!(
+            elmore_delays(&net, a, &[]),
+            Err(ElmoreError::NotATree(_))
+        ));
+
+        let mut net = Netlist::new(0);
+        let a = net.add_node();
+        let _isolated = net.add_node();
+        net.add_resistor(Some(a), None, 1.0);
+        net.add_capacitor(Some(a), None, 1e-15);
+        assert!(matches!(
+            elmore_delays(&net, a, &[]),
+            Err(ElmoreError::NotATree(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_grounded_resistor_off_root_and_inductors() {
+        let mut net = Netlist::new(0);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_resistor(Some(a), None, 1.0);
+        net.add_resistor(Some(a), Some(b), 1.0);
+        net.add_resistor(Some(b), None, 5.0); // leak off-root
+        net.add_capacitor(Some(b), None, 1e-15);
+        assert!(elmore_delays(&net, a, &[]).is_err());
+
+        let mut net = Netlist::new(0);
+        let a = net.add_node();
+        let b = net.add_node();
+        net.add_resistor(Some(a), None, 1.0);
+        net.add_inductor(Some(a), Some(b), 1e-9);
+        net.add_capacitor(Some(b), None, 1e-15);
+        assert!(elmore_delays(&net, a, &[]).is_err());
+    }
+}

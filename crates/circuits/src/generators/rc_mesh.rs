@@ -1,0 +1,190 @@
+//! RC mesh (power-grid style) generator.
+//!
+//! A regular 2-D grid of resistive segments with grounded capacitance at
+//! every node — the standard on-chip power-distribution model, and a useful
+//! stress case beyond the paper's tree/ladder workloads: the sparse
+//! factorization sees 2-D fill, and the variational sources are regional
+//! (per-quadrant width variation), exercising parameter counts up to 4.
+
+use crate::netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`rc_mesh`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcMeshConfig {
+    /// Grid width (nodes per row).
+    pub cols: usize,
+    /// Grid height (nodes per column).
+    pub rows: usize,
+    /// Segment resistance, Ω (jittered ±20 %).
+    pub seg_res: f64,
+    /// Node capacitance to ground, F (jittered ±20 %).
+    pub node_cap: f64,
+    /// Number of regional width parameters: 1, 2 or 4 quadrant regions.
+    pub num_regions: usize,
+    /// Number of supply pads (grounding resistors + ports), placed at the
+    /// corners.
+    pub num_pads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RcMeshConfig {
+    fn default() -> Self {
+        RcMeshConfig {
+            cols: 16,
+            rows: 16,
+            seg_res: 2.0,
+            node_cap: 10e-15,
+            num_regions: 4,
+            num_pads: 2,
+            seed: 0x9E5B,
+        }
+    }
+}
+
+/// Generates the RC mesh. Node `(r, c)` has index `r·cols + c`; pads are
+/// current/voltage ports at the grid corners.
+///
+/// # Panics
+///
+/// Panics when the grid is degenerate, `num_regions ∉ {1, 2, 4}`, or
+/// `num_pads` exceeds 4.
+pub fn rc_mesh(cfg: &RcMeshConfig) -> Netlist {
+    assert!(cfg.cols >= 2 && cfg.rows >= 2, "rc_mesh: degenerate grid");
+    assert!(
+        matches!(cfg.num_regions, 1 | 2 | 4),
+        "rc_mesh: num_regions must be 1, 2 or 4"
+    );
+    assert!(
+        (1..=4).contains(&cfg.num_pads),
+        "rc_mesh: num_pads must be 1..=4"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = Netlist::new(cfg.rows * cfg.cols);
+    let idx = |r: usize, c: usize| r * cfg.cols + c;
+
+    // Region of a segment midpoint: quadrant split.
+    let region = |r: f64, c: f64| -> usize {
+        match cfg.num_regions {
+            1 => 0,
+            2 => usize::from(c >= cfg.cols as f64 / 2.0),
+            _ => {
+                let right = usize::from(c >= cfg.cols as f64 / 2.0);
+                let bottom = usize::from(r >= cfg.rows as f64 / 2.0);
+                2 * bottom + right
+            }
+        }
+    };
+
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            // Horizontal segment.
+            if c + 1 < cfg.cols {
+                let ohms = cfg.seg_res * rng.gen_range(0.8..1.2);
+                let id = net.add_resistor(Some(idx(r, c)), Some(idx(r, c + 1)), ohms);
+                net.set_sensitivity(id, region(r as f64, c as f64 + 0.5), 1.0);
+            }
+            // Vertical segment.
+            if r + 1 < cfg.rows {
+                let ohms = cfg.seg_res * rng.gen_range(0.8..1.2);
+                let id = net.add_resistor(Some(idx(r, c)), Some(idx(r + 1, c)), ohms);
+                net.set_sensitivity(id, region(r as f64 + 0.5, c as f64), 1.0);
+            }
+            // Decap / load capacitance.
+            let farads = cfg.node_cap * rng.gen_range(0.8..1.2);
+            let cid = net.add_capacitor(Some(idx(r, c)), None, farads);
+            net.set_sensitivity(cid, region(r as f64, c as f64), 0.5);
+        }
+    }
+
+    // Supply pads at the corners: low-resistance path to ground + port.
+    let corners = [
+        idx(0, 0),
+        idx(0, cfg.cols - 1),
+        idx(cfg.rows - 1, 0),
+        idx(cfg.rows - 1, cfg.cols - 1),
+    ];
+    for &pad in corners.iter().take(cfg.num_pads) {
+        net.add_resistor(Some(pad), None, 0.05);
+        net.add_port(pad);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor_sparse::SparseLu;
+
+    #[test]
+    fn default_mesh_assembles() {
+        let net = rc_mesh(&RcMeshConfig::default());
+        assert_eq!(net.num_nodes(), 256);
+        let sys = net.assemble();
+        assert_eq!(sys.num_params(), 4);
+        assert_eq!(sys.num_inputs(), 2);
+        assert!(sys.has_symmetric_ports());
+        assert!(SparseLu::factor(&sys.g0, None).is_ok());
+    }
+
+    #[test]
+    fn regions_partition_the_parameters() {
+        for regions in [1usize, 2, 4] {
+            let sys = rc_mesh(&RcMeshConfig {
+                num_regions: regions,
+                ..Default::default()
+            })
+            .assemble();
+            assert_eq!(sys.num_params(), regions);
+            for i in 0..regions {
+                assert!(sys.gi[i].nnz() > 0, "region {i} empty");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_is_symmetric_and_psd() {
+        let sys = rc_mesh(&RcMeshConfig {
+            cols: 6,
+            rows: 5,
+            ..Default::default()
+        })
+        .assemble();
+        assert_eq!(sys.g0.symmetry_defect(), 0.0);
+        assert!(pmor_num::eig::is_positive_semidefinite(&sys.g0.to_dense(), 1e-9).unwrap());
+        assert!(pmor_num::eig::is_positive_semidefinite(&sys.c0.to_dense(), 1e-9).unwrap());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rc_mesh(&RcMeshConfig::default()).assemble();
+        let b = rc_mesh(&RcMeshConfig::default()).assemble();
+        assert_eq!(a.g0, b.g0);
+    }
+
+    #[test]
+    fn pad_resistance_dominates_dc() {
+        // DC input resistance at a pad ≈ pad resistance (0.05 Ω) since the
+        // grid only connects to ground through the pads.
+        let sys = rc_mesh(&RcMeshConfig {
+            num_pads: 1,
+            ..Default::default()
+        })
+        .assemble();
+        let lu = SparseLu::factor(&sys.g0, None).unwrap();
+        let x = lu.solve(&sys.b.col(0)).unwrap();
+        let r_in = sys.l.tr_mul_vec(&x)[0];
+        assert!((r_in - 0.05).abs() < 1e-6, "r_in = {r_in}");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_regions")]
+    fn bad_region_count_rejected() {
+        rc_mesh(&RcMeshConfig {
+            num_regions: 3,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,180 @@
+//! Wire geometry → electrical parasitics, with analytic width sensitivities.
+//!
+//! Stands in for the paper's commercial parasitic extractor (§5.3: "the
+//! sensitivity matrices w.r.t metal line width variations are obtained by
+//! performing multiple parasitic extractions"). Here the extraction model is
+//! analytic, so first-order sensitivities come in closed form:
+//!
+//! * sheet resistance: `R = ρ_sq · (len / w)` ⇒ conductance `g ∝ w`, i.e.
+//!   relative conductance sensitivity to relative width is exactly `+1`;
+//! * capacitance: `Cg = (c_area · w + c_fringe) · len` ⇒ relative
+//!   sensitivity `c_area·w / (c_area·w + c_fringe) ∈ (0, 1)`;
+//! * coupling capacitance to a neighbor at pitch `pitch`:
+//!   `Cc = c_couple · len / (pitch − w)` ⇒ widening the line shrinks the gap
+//!   and *increases* coupling with relative sensitivity `w / (pitch − w)`.
+
+/// Technology description of one routing layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerGeometry {
+    /// Sheet resistance in Ω/□ at nominal thickness.
+    pub rho_sq: f64,
+    /// Area capacitance to ground per unit area, F/m².
+    pub c_area: f64,
+    /// Fringe capacitance to ground per unit length, F/m.
+    pub c_fringe: f64,
+    /// Coupling constant: `Cc = c_couple · len / gap`, F (per m·m/gap).
+    pub c_couple: f64,
+    /// Nominal drawn width, m.
+    pub width: f64,
+    /// Routing pitch (line-to-line center distance), m.
+    pub pitch: f64,
+}
+
+/// An extracted electrical value together with its relative sensitivity to
+/// relative width variation: `value(p) ≈ value · (1 + coeff · p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractedValue {
+    /// Nominal value (Ω, F, …).
+    pub value: f64,
+    /// Relative first-order sensitivity coefficient to `Δw/w`.
+    pub width_coeff: f64,
+}
+
+impl LayerGeometry {
+    /// A plausible upper-layer (thick, wide) clock-routing layer.
+    pub fn thick_metal() -> Self {
+        LayerGeometry {
+            rho_sq: 0.025,
+            c_area: 40e-6,
+            c_fringe: 40e-12,
+            c_couple: 50e-12,
+            width: 0.8e-6,
+            pitch: 2.4e-6,
+        }
+    }
+
+    /// A plausible intermediate routing layer.
+    pub fn mid_metal() -> Self {
+        LayerGeometry {
+            rho_sq: 0.045,
+            c_area: 35e-6,
+            c_fringe: 35e-12,
+            c_couple: 60e-12,
+            width: 0.4e-6,
+            pitch: 1.2e-6,
+        }
+    }
+
+    /// A plausible thin lower routing layer.
+    pub fn thin_metal() -> Self {
+        LayerGeometry {
+            rho_sq: 0.08,
+            c_area: 30e-6,
+            c_fringe: 30e-12,
+            c_couple: 80e-12,
+            width: 0.2e-6,
+            pitch: 0.6e-6,
+        }
+    }
+
+    /// Series resistance of a segment of length `len` (m).
+    ///
+    /// The returned `width_coeff` applies to the *conductance* stamp
+    /// (`g ∝ w` ⇒ coefficient `+1`).
+    pub fn resistance(&self, len: f64) -> ExtractedValue {
+        ExtractedValue {
+            value: self.rho_sq * len / self.width,
+            width_coeff: 1.0,
+        }
+    }
+
+    /// Ground capacitance of a segment of length `len` (m).
+    pub fn ground_cap(&self, len: f64) -> ExtractedValue {
+        let area = self.c_area * self.width * len;
+        let fringe = self.c_fringe * len;
+        ExtractedValue {
+            value: area + fringe,
+            width_coeff: area / (area + fringe),
+        }
+    }
+
+    /// Coupling capacitance to the adjacent track over length `len` (m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's nominal gap `pitch − width` is not positive.
+    pub fn coupling_cap(&self, len: f64) -> ExtractedValue {
+        let gap = self.pitch - self.width;
+        assert!(gap > 0.0, "coupling_cap: non-positive gap");
+        ExtractedValue {
+            value: self.c_couple * len / gap,
+            width_coeff: self.width / gap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_scales_inverse_width() {
+        let layer = LayerGeometry::mid_metal();
+        let r = layer.resistance(100e-6);
+        assert!(r.value > 0.0);
+        assert_eq!(r.width_coeff, 1.0);
+        // Doubling length doubles resistance.
+        let r2 = layer.resistance(200e-6);
+        assert!((r2.value - 2.0 * r.value).abs() < 1e-12 * r.value);
+    }
+
+    #[test]
+    fn ground_cap_coefficient_in_unit_interval() {
+        for layer in [
+            LayerGeometry::thick_metal(),
+            LayerGeometry::mid_metal(),
+            LayerGeometry::thin_metal(),
+        ] {
+            let c = layer.ground_cap(50e-6);
+            assert!(c.value > 0.0);
+            assert!(c.width_coeff > 0.0 && c.width_coeff < 1.0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn coupling_grows_with_width() {
+        let layer = LayerGeometry::thin_metal();
+        let c = layer.coupling_cap(10e-6);
+        assert!(c.value > 0.0);
+        assert!(c.width_coeff > 0.0);
+    }
+
+    #[test]
+    fn first_order_model_matches_finite_difference() {
+        // The analytic width_coeff must agree with a finite-difference
+        // derivative of the exact extraction.
+        let layer = LayerGeometry::mid_metal();
+        let len = 75e-6;
+        let dp = 1e-6; // relative width step
+        let mut pert = layer;
+        pert.width = layer.width * (1.0 + dp);
+
+        // Conductance.
+        let g0 = 1.0 / layer.resistance(len).value;
+        let g1 = 1.0 / pert.resistance(len).value;
+        let fd = (g1 - g0) / (g0 * dp);
+        assert!((fd - layer.resistance(len).width_coeff).abs() < 1e-4);
+
+        // Ground cap.
+        let c0 = layer.ground_cap(len);
+        let c1 = pert.ground_cap(len);
+        let fd = (c1.value - c0.value) / (c0.value * dp);
+        assert!((fd - c0.width_coeff).abs() < 1e-4, "{fd} vs {}", c0.width_coeff);
+
+        // Coupling cap.
+        let k0 = layer.coupling_cap(len);
+        let k1 = pert.coupling_cap(len);
+        let fd = (k1.value - k0.value) / (k0.value * dp);
+        assert!((fd - k0.width_coeff).abs() < 1e-3, "{fd} vs {}", k0.width_coeff);
+    }
+}

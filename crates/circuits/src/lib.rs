@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Interconnect circuit substrate for the `pmor` workspace.
+//!
+//! This crate turns physical interconnect descriptions into the parametric
+//! descriptor systems of the paper's Eq. (1)/(5):
+//!
+//! ```text
+//! C(p) dx/dt = -G(p) x + B u,   y = Lᵀ x
+//! G(p) = G0 + Σᵢ pᵢ Gᵢ,         C(p) = C0 + Σᵢ pᵢ Cᵢ
+//! ```
+//!
+//! * [`Netlist`] — R/L/C elements with per-parameter sensitivity
+//!   coefficients, current-source inputs and voltage outputs,
+//! * [`mna`] — modified nodal analysis stamping producing a
+//!   [`ParametricSystem`],
+//! * [`geometry`] — width → R/C models with analytic sensitivities (the
+//!   stand-in for the paper's parasitic extractor),
+//! * [`generators`] — the paper's workloads: a random RC network (§5.1), a
+//!   coupled multi-bit RLC bus (§5.2) and multi-layer clock trees standing
+//!   in for the industrial nets RCNetA/RCNetB (§5.3), plus a power-grid
+//!   mesh extension,
+//! * [`spice`] — SPICE-deck import/export (sensitivities and ports travel
+//!   in structured comments),
+//! * [`elmore`] — Elmore delay of parametric RC trees, the classical
+//!   first-moment timing metric used as a cross-check for the reduction
+//!   and transient machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use pmor_circuits::Netlist;
+//!
+//! let mut net = Netlist::new(0);
+//! let n1 = net.add_node();
+//! let n2 = net.add_node();
+//! let r = net.add_resistor(Some(n1), Some(n2), 100.0);
+//! net.add_capacitor(Some(n2), None, 1e-12);
+//! net.add_resistor(Some(n1), None, 50.0); // driver to ground
+//! net.set_sensitivity(r, 0, 1.0);          // conductance tracks parameter 0
+//! net.add_input(n1);
+//! net.add_output(n2);
+//! let sys = net.assemble();
+//! assert_eq!(sys.dim(), 2);
+//! assert_eq!(sys.num_params(), 1);
+//! ```
+
+pub mod elmore;
+pub mod generators;
+pub mod geometry;
+pub mod mna;
+pub mod netlist;
+pub mod spice;
+pub mod system;
+
+pub use netlist::{Element, ElementId, Netlist, Terminal};
+pub use system::ParametricSystem;

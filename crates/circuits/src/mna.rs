@@ -1,0 +1,212 @@
+//! Modified nodal analysis (MNA) stamping.
+//!
+//! Produces the PRIMA-form descriptor system used throughout the paper:
+//!
+//! ```text
+//! x = [ node voltages ; inductor currents ]
+//!
+//! G = [ Gn  E ]        C = [ Cn  0 ]
+//!     [ -Eᵀ 0 ]            [ 0   Λ ]
+//! ```
+//!
+//! where `Gn` is the conductance stamp, `Cn` the capacitance stamp, `E` the
+//! inductor incidence and `Λ = diag(L)`. In this form `G + Gᵀ ⪰ 0` and
+//! `C = Cᵀ ⪰ 0`, which together with symmetric ports (`B = L`) is exactly
+//! the structure that makes congruence-projected reduced models passive
+//! (paper §4.1).
+
+use crate::netlist::{ElementKind, Netlist};
+use crate::system::ParametricSystem;
+use pmor_num::Matrix;
+use pmor_sparse::CooBuilder;
+
+/// Assembles the parametric MNA system of a netlist.
+///
+/// Unknown ordering: node voltages `0..num_nodes`, then one branch current
+/// per inductor (element insertion order), then one branch current per
+/// voltage-source port.
+///
+/// Column layout: `B` has one column per current input followed by one per
+/// voltage port; `L` has one column per voltage output followed by one per
+/// voltage port (the port current). A netlist using only voltage ports (or
+/// only symmetric current ports) therefore assembles with `B = L`.
+pub fn assemble(net: &Netlist) -> ParametricSystem {
+    let nn = net.num_nodes();
+    let n = net.mna_dim();
+    let np = net.num_params();
+
+    let mut g0 = CooBuilder::new(n, n);
+    let mut c0 = CooBuilder::new(n, n);
+    let mut gi: Vec<CooBuilder<f64>> = (0..np).map(|_| CooBuilder::new(n, n)).collect();
+    let mut ci: Vec<CooBuilder<f64>> = (0..np).map(|_| CooBuilder::new(n, n)).collect();
+
+    let mut next_branch = nn;
+    for e in net.elements() {
+        match e.kind {
+            ElementKind::Resistor => {
+                g0.stamp_pair(e.a, e.b, e.value);
+                for &(p, coeff) in &e.sens {
+                    gi[p].stamp_pair(e.a, e.b, coeff * e.value);
+                }
+            }
+            ElementKind::Capacitor => {
+                c0.stamp_pair(e.a, e.b, e.value);
+                for &(p, coeff) in &e.sens {
+                    ci[p].stamp_pair(e.a, e.b, coeff * e.value);
+                }
+            }
+            ElementKind::Inductor => {
+                let br = next_branch;
+                next_branch += 1;
+                // KCL rows: branch current leaves `a`, enters `b`.
+                if let Some(a) = e.a {
+                    g0.add(a, br, 1.0);
+                    g0.add(br, a, -1.0);
+                }
+                if let Some(b) = e.b {
+                    g0.add(b, br, -1.0);
+                    g0.add(br, b, 1.0);
+                }
+                // Branch equation: Λ di/dt = v_a - v_b.
+                c0.add(br, br, e.value);
+                for &(p, coeff) in &e.sens {
+                    ci[p].add(br, br, coeff * e.value);
+                }
+            }
+        }
+    }
+
+    // Voltage-source port branches: KCL at the node sees -i_src; the branch
+    // equation pins the node voltage to the input. The skew-symmetric
+    // incidence keeps G + Gᵀ PSD.
+    let nv = net.vports().len();
+    let vbranch0 = nn + net.num_inductors();
+    for (j, &node) in net.vports().iter().enumerate() {
+        let br = vbranch0 + j;
+        g0.add(node, br, -1.0);
+        g0.add(br, node, 1.0);
+    }
+
+    let m = net.inputs().len() + nv;
+    let q = net.outputs().len() + nv;
+    let mut b = Matrix::zeros(n, m);
+    for (j, &node) in net.inputs().iter().enumerate() {
+        b[(node, j)] = 1.0;
+    }
+    for j in 0..nv {
+        b[(vbranch0 + j, net.inputs().len() + j)] = 1.0;
+    }
+    let mut l = Matrix::zeros(n, q);
+    for (j, &node) in net.outputs().iter().enumerate() {
+        l[(node, j)] = 1.0;
+    }
+    for j in 0..nv {
+        l[(vbranch0 + j, net.outputs().len() + j)] = 1.0;
+    }
+
+    ParametricSystem {
+        g0: g0.build_csr(),
+        c0: c0.build_csr(),
+        gi: gi.iter().map(CooBuilder::build_csr).collect(),
+        ci: ci.iter().map(CooBuilder::build_csr).collect(),
+        b,
+        l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+    use pmor_sparse::SparseLu;
+
+    /// Simple RC low-pass: driver resistance to ground at n0, series R to
+    /// n1, C at n1.
+    fn rc_lowpass() -> Netlist {
+        let mut net = Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        net.add_resistor(Some(n0), None, 50.0);
+        let r = net.add_resistor(Some(n0), Some(n1), 100.0);
+        let c = net.add_capacitor(Some(n1), None, 1e-12);
+        net.set_sensitivity(r, 0, 1.0);
+        net.set_sensitivity(c, 1, 0.8);
+        net.add_input(n0);
+        net.add_output(n1);
+        net
+    }
+
+    #[test]
+    fn rc_stamps_are_correct() {
+        let sys = rc_lowpass().assemble();
+        // G0 = [[1/50 + 1/100, -1/100], [-1/100, 1/100]]
+        assert!((sys.g0.get(0, 0) - 0.03).abs() < 1e-15);
+        assert!((sys.g0.get(0, 1) + 0.01).abs() < 1e-15);
+        assert!((sys.g0.get(1, 1) - 0.01).abs() < 1e-15);
+        assert!((sys.c0.get(1, 1) - 1e-12).abs() < 1e-27);
+        // Sensitivities.
+        assert!((sys.gi[0].get(0, 0) - 0.01).abs() < 1e-15);
+        assert!((sys.gi[0].get(1, 0) + 0.01).abs() < 1e-15);
+        assert!((sys.ci[1].get(1, 1) - 0.8e-12).abs() < 1e-27);
+        assert_eq!(sys.gi[1].nnz(), 0);
+        assert_eq!(sys.ci[0].nnz(), 0);
+    }
+
+    #[test]
+    fn g_is_nonsingular_with_driver() {
+        let sys = rc_lowpass().assemble();
+        assert!(SparseLu::factor(&sys.g0, None).is_ok());
+    }
+
+    #[test]
+    fn rc_g_and_c_are_symmetric() {
+        let sys = rc_lowpass().assemble();
+        assert_eq!(sys.g0.symmetry_defect(), 0.0);
+        assert_eq!(sys.c0.symmetry_defect(), 0.0);
+    }
+
+    #[test]
+    fn inductor_gets_branch_unknown() {
+        let mut net = Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        net.add_resistor(Some(n0), None, 10.0);
+        let ind = net.add_inductor(Some(n0), Some(n1), 1e-9);
+        net.add_capacitor(Some(n1), None, 1e-12);
+        net.set_sensitivity(ind, 0, -0.2);
+        net.add_port(n0);
+        let sys = net.assemble();
+        assert_eq!(sys.dim(), 3);
+        // Incidence block.
+        assert_eq!(sys.g0.get(0, 2), 1.0);
+        assert_eq!(sys.g0.get(2, 0), -1.0);
+        assert_eq!(sys.g0.get(1, 2), -1.0);
+        assert_eq!(sys.g0.get(2, 1), 1.0);
+        // Inductance in C and its sensitivity.
+        assert!((sys.c0.get(2, 2) - 1e-9).abs() < 1e-24);
+        assert!((sys.ci[0].get(2, 2) + 0.2e-9).abs() < 1e-24);
+        // G + Gᵀ is PSD (here: the incidence block cancels).
+        let gsym = sys.g0.add_scaled(1.0, &sys.g0.transposed());
+        assert!(pmor_num::eig::is_positive_semidefinite(&gsym.to_dense(), 1e-12).unwrap());
+    }
+
+    #[test]
+    fn b_and_l_maps() {
+        let sys = rc_lowpass().assemble();
+        assert_eq!(sys.b[(0, 0)], 1.0);
+        assert_eq!(sys.b[(1, 0)], 0.0);
+        assert_eq!(sys.l[(1, 0)], 1.0);
+        assert!(!sys.has_symmetric_ports());
+    }
+
+    #[test]
+    fn dc_solution_is_voltage_divider() {
+        // At DC a unit current into n0 sees 50Ω to ground; v(n1) = v(n0)
+        // (no DC current through the branch to the capacitor).
+        let sys = rc_lowpass().assemble();
+        let lu = SparseLu::factor(&sys.g0, None).unwrap();
+        let x = lu.solve(&sys.b.col(0)).unwrap();
+        assert!((x[0] - 50.0).abs() < 1e-9);
+        assert!((x[1] - 50.0).abs() < 1e-9);
+    }
+}

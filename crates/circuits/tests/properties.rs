@@ -1,0 +1,162 @@
+//! Property-based tests of MNA assembly invariants: for any randomly
+//! generated RC(L) netlist, the stamped system must satisfy the structural
+//! properties the reduction algorithms rely on.
+
+use pmor_circuits::{Netlist, ParametricSystem};
+use pmor_num::eig::is_positive_semidefinite;
+use proptest::prelude::*;
+
+/// A random grounded RC netlist description.
+#[derive(Debug, Clone)]
+struct RcDescription {
+    nodes: usize,
+    resistors: Vec<(usize, usize, f64, Vec<(usize, f64)>)>,
+    caps: Vec<(usize, f64, Vec<(usize, f64)>)>,
+    inductors: Vec<(usize, usize, f64)>,
+}
+
+fn rc_description() -> impl Strategy<Value = RcDescription> {
+    (3usize..12).prop_flat_map(|nodes| {
+        let resistor = (0..nodes, 0..nodes, 1.0..1000.0f64, sens_list());
+        let cap = (0..nodes, 1e-15..1e-12f64, sens_list());
+        let ind = (0..nodes, 0..nodes, 1e-10..1e-8f64);
+        (
+            Just(nodes),
+            proptest::collection::vec(resistor, 1..2 * nodes),
+            proptest::collection::vec(cap, 1..nodes),
+            proptest::collection::vec(ind, 0..3),
+        )
+            .prop_map(|(nodes, resistors, caps, inductors)| RcDescription {
+                nodes,
+                resistors,
+                caps,
+                inductors,
+            })
+    })
+}
+
+fn sens_list() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..3, -0.9..0.9f64), 0..3)
+}
+
+fn build(desc: &RcDescription) -> ParametricSystem {
+    let mut net = Netlist::new(desc.nodes);
+    // Ground every node resistively through node 0 so G is nonsingular.
+    net.add_resistor(Some(0), None, 10.0);
+    // Spanning chain guarantees connectivity.
+    for i in 1..desc.nodes {
+        net.add_resistor(Some(i - 1), Some(i), 100.0);
+    }
+    for (a, b, ohms, sens) in &desc.resistors {
+        if a != b {
+            let id = net.add_resistor(Some(*a), Some(*b), *ohms);
+            for (p, c) in sens {
+                net.set_sensitivity(id, *p, *c);
+            }
+        }
+    }
+    for (a, farads, sens) in &desc.caps {
+        let id = net.add_capacitor(Some(*a), None, *farads);
+        for (p, c) in sens {
+            net.set_sensitivity(id, *p, *c);
+        }
+    }
+    // Parallel inductors make G structurally singular (their DC current
+    // split is indeterminate — a genuine modeling constraint, not a solver
+    // bug), so keep at most one inductor per node pair.
+    let mut seen_pairs = std::collections::HashSet::new();
+    for (a, b, henries) in &desc.inductors {
+        let key = (*a.min(b), *a.max(b));
+        if a != b && seen_pairs.insert(key) {
+            net.add_inductor(Some(*a), Some(*b), *henries);
+        }
+    }
+    net.add_port(0);
+    net.assemble()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn assembled_g_plus_gt_is_psd(desc in rc_description()) {
+        let sys = build(&desc);
+        let gsym = sys.g0.add_scaled(1.0, &sys.g0.transposed()).to_dense();
+        prop_assert!(is_positive_semidefinite(&gsym, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn assembled_c_is_symmetric_psd(desc in rc_description()) {
+        let sys = build(&desc);
+        prop_assert!(sys.c0.symmetry_defect() < 1e-15);
+        prop_assert!(is_positive_semidefinite(&sys.c0.to_dense(), 1e-8).unwrap());
+    }
+
+    #[test]
+    fn g0_is_nonsingular(desc in rc_description()) {
+        let sys = build(&desc);
+        prop_assert!(pmor_sparse::SparseLu::factor(&sys.g0, None).is_ok());
+    }
+
+    #[test]
+    fn affine_assembly_matches_finite_difference(desc in rc_description()) {
+        // G(p) must be exactly affine: G(p) - G(0) = Σ pᵢGᵢ.
+        let sys = build(&desc);
+        let np = sys.num_params();
+        if np == 0 {
+            return Ok(());
+        }
+        let p: Vec<f64> = (0..np).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+        let gp = sys.g_at(&p);
+        let mut expect = sys.g0.clone();
+        for i in 0..np {
+            expect = expect.add_scaled(p[i], &sys.gi[i]);
+        }
+        let diff = gp.add_scaled(-1.0, &expect);
+        prop_assert!(diff.max_abs() < 1e-12 * gp.max_abs().max(1e-300));
+    }
+
+    #[test]
+    fn sensitivities_inherit_stamp_symmetry(desc in rc_description()) {
+        let sys = build(&desc);
+        for gi in &sys.gi {
+            prop_assert!(gi.symmetry_defect() < 1e-15);
+        }
+        for ci in &sys.ci {
+            prop_assert!(ci.symmetry_defect() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn immittance_port_gives_symmetric_maps(desc in rc_description()) {
+        let sys = build(&desc);
+        prop_assert!(sys.has_symmetric_ports());
+        prop_assert_eq!(sys.num_inputs(), 1);
+    }
+
+    #[test]
+    fn mna_dimension_is_nodes_plus_branches(desc in rc_description()) {
+        let sys = build(&desc);
+        // Count inductors the way `build` instantiates them: distinct
+        // non-degenerate node pairs.
+        let mut pairs = std::collections::HashSet::new();
+        for (a, b, _) in &desc.inductors {
+            if a != b {
+                pairs.insert((*a.min(b), *a.max(b)));
+            }
+        }
+        prop_assert_eq!(sys.dim(), desc.nodes + pairs.len());
+    }
+
+    #[test]
+    fn dc_driving_point_resistance_is_positive_and_bounded(desc in rc_description()) {
+        // At DC the driving-point resistance lies in (0, 10]: 10 Ω driver in
+        // series-parallel with a nonnegative passive network to ground.
+        let sys = build(&desc);
+        let lu = pmor_sparse::SparseLu::factor(&sys.g0, None).unwrap();
+        let x = lu.solve(&sys.b.col(0)).unwrap();
+        let r_in = sys.l.tr_mul_vec(&x)[0];
+        prop_assert!(r_in > 0.0, "non-positive input resistance {r_in}");
+        prop_assert!(r_in <= 10.0 + 1e-9, "input resistance {r_in} exceeds driver");
+    }
+}

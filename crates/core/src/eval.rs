@@ -1,0 +1,166 @@
+//! Full-model reference evaluation.
+//!
+//! The experiments compare reduced models against the *full* parametric
+//! system: frequency responses via sparse complex LU solves of
+//! `(G(p) + sC(p)) x = B`, and exact dominant poles via the dense pencil
+//! eigensolver (affordable for the paper's pole-accuracy nets, 78 and 333
+//! nodes).
+
+use crate::rom::pencil_poles;
+use crate::Result;
+use pmor_circuits::ParametricSystem;
+use pmor_num::{Complex64, Matrix};
+use pmor_sparse::{ordering, SparseLu};
+
+/// Reference evaluator wrapping a full parametric system.
+#[derive(Debug, Clone)]
+pub struct FullModel<'a> {
+    sys: &'a ParametricSystem,
+}
+
+impl<'a> FullModel<'a> {
+    /// Wraps a system for evaluation.
+    pub fn new(sys: &'a ParametricSystem) -> Self {
+        FullModel { sys }
+    }
+
+    /// Evaluates `H(s, p) = Lᵀ (G(p) + s C(p))⁻¹ B` with one sparse complex
+    /// factorization.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G(p) + sC(p)` is singular.
+    pub fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
+        let g = self.sys.g_at(p).to_complex();
+        let c = self.sys.c_at(p).to_complex();
+        let a = g.add_scaled(s, &c);
+        let perm = ordering::rcm(&a);
+        let lu = SparseLu::factor(&a, Some(&perm))?;
+        let bc = self.sys.b.to_complex();
+        let x = lu.solve_dense(&bc)?;
+        Ok(self.sys.l.to_complex().tr_mul_mat(&x))
+    }
+
+    /// Frequency sweep: one transfer matrix per frequency (`s = j·2πf`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FullModel::transfer`] errors.
+    pub fn frequency_response(
+        &self,
+        p: &[f64],
+        freqs_hz: &[f64],
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        freqs_hz
+            .iter()
+            .map(|&f| self.transfer(p, Complex64::jw(2.0 * std::f64::consts::PI * f)))
+            .collect()
+    }
+
+    /// All finite poles of the full pencil `(G(p), C(p))` by dense
+    /// eigendecomposition — exact but `O(n³)`; intended for the paper's
+    /// pole-accuracy experiments (n ≤ a few hundred).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G(p)` is singular or the eigensolver stalls.
+    pub fn poles(&self, p: &[f64]) -> Result<Vec<Complex64>> {
+        let g = self.sys.g_at(p).to_dense();
+        let c = self.sys.c_at(p).to_dense();
+        pencil_poles(&g, &c)
+    }
+
+    /// The `count` most dominant (smallest-magnitude) finite poles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FullModel::poles`] errors.
+    pub fn dominant_poles(&self, p: &[f64], count: usize) -> Result<Vec<Complex64>> {
+        let mut poles = self.poles(p)?;
+        poles.truncate(count);
+        Ok(poles)
+    }
+}
+
+/// Relative error between matched dominant pole lists, pairing each
+/// reference pole with the closest candidate: `|λ_ref - λ| / |λ_ref|`.
+/// Returns one error per reference pole.
+pub fn pole_errors(reference: &[Complex64], candidate: &[Complex64]) -> Vec<f64> {
+    reference
+        .iter()
+        .map(|&r| {
+            candidate
+                .iter()
+                .map(|&c| (r - c).abs() / r.abs().max(1e-300))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    #[test]
+    fn dc_transfer_is_driving_point_resistance() {
+        let sys = tree(25);
+        let full = FullModel::new(&sys);
+        let h = full.transfer(&[0.0, 0.0, 0.0], Complex64::ZERO).unwrap();
+        // Driving-point resistance at the root = driver 40 Ω to ground (all
+        // other paths end in capacitors).
+        assert!((h[(0, 0)].re - 40.0).abs() < 1e-6, "{:?}", h[(0, 0)]);
+    }
+
+    #[test]
+    fn poles_are_stable_and_real_for_rc_tree() {
+        let sys = tree(25);
+        let full = FullModel::new(&sys);
+        let poles = full.poles(&[0.0, 0.0, 0.0]).unwrap();
+        assert!(!poles.is_empty());
+        for z in &poles {
+            assert!(z.re < 0.0, "unstable pole {z}");
+            assert!(z.im.abs() < 1e-3 * z.re.abs(), "complex pole in RC net {z}");
+        }
+        // Sorted by dominance.
+        for w in poles.windows(2) {
+            assert!(w[0].abs() <= w[1].abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn perturbation_moves_poles() {
+        let sys = tree(25);
+        let full = FullModel::new(&sys);
+        let p0 = full.dominant_poles(&[0.0; 3], 3).unwrap();
+        let p1 = full.dominant_poles(&[0.3, 0.3, 0.3], 3).unwrap();
+        let errs = pole_errors(&p0, &p1);
+        assert!(errs.iter().any(|&e| e > 1e-3), "poles insensitive: {errs:?}");
+    }
+
+    #[test]
+    fn pole_errors_zero_for_identical_lists() {
+        let poles = vec![Complex64::new(-1.0, 2.0), Complex64::new(-3.0, 0.0)];
+        let errs = pole_errors(&poles, &poles);
+        assert!(errs.iter().all(|&e| e < 1e-15));
+    }
+
+    #[test]
+    fn frequency_response_is_lowpass() {
+        let sys = tree(25);
+        let full = FullModel::new(&sys);
+        let resp = full
+            .frequency_response(&[0.0; 3], &[1e6, 1e11])
+            .unwrap();
+        // Driving-point impedance magnitude falls as caps short out.
+        assert!(resp[0][(0, 0)].abs() > resp[1][(0, 0)].abs());
+    }
+}

@@ -1,0 +1,382 @@
+//! Projection-fitting baseline (Liu, Pileggi, Strojwas — ref \[6\] of the
+//! paper).
+//!
+//! The earliest variational moment-matching approach: sample the parameter
+//! space, run PRIMA at each sample, and **fit the projection matrix
+//! entries** with a low-order polynomial in the parameters (paper Eq. (4)):
+//!
+//! ```text
+//! V(p) ≈ V0 + Σᵢ pᵢ·Vᵢ
+//! ```
+//!
+//! The reduced matrices `V(p)ᵀ·M(p)·V(p)` become polynomials in `p` whose
+//! coefficient matrices are precomputed, so evaluation stays cheap. As the
+//! paper notes at the end of §3.3, the projection matrix can be *sensitive*
+//! to the parameters (Krylov bases rotate arbitrarily between samples),
+//! which makes direct fitting less robust than implicit interpolation via a
+//! combined projection — this module exists to reproduce that comparison.
+
+use crate::prima::krylov_blocks;
+use crate::{PmorError, Result};
+use pmor_circuits::ParametricSystem;
+use pmor_num::lu::LuFactors;
+use pmor_num::orth::OrthoBasis;
+use pmor_num::{Complex64, Matrix};
+use pmor_sparse::{ordering, CsrMatrix, SparseLu};
+
+/// Options for the projection-fitting reducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitOptions {
+    /// Sample points (each of length `num_params`); must number at least
+    /// `num_params + 1` for the linear fit to be determined.
+    pub samples: Vec<Vec<f64>>,
+    /// Number of `s`-moment blocks per sample.
+    pub num_block_moments: usize,
+    /// Use an RCM ordering for the factorizations.
+    pub use_rcm: bool,
+}
+
+/// A reduced model with polynomially fitted projection: all reduced
+/// matrices are quadratic polynomials in `p` (linear `V(p)` congruence on
+/// affine `G(p)/C(p)` gives cubic terms; the cubic remainder is truncated,
+/// consistent with \[6\]).
+#[derive(Debug, Clone)]
+pub struct FittedRom {
+    size: usize,
+    num_params: usize,
+    /// `G̃` polynomial coefficients keyed by monomial (see [`Monomial`]).
+    g_terms: Vec<(Monomial, Matrix<f64>)>,
+    /// `C̃` polynomial coefficients.
+    c_terms: Vec<(Monomial, Matrix<f64>)>,
+    /// `B̃` polynomial coefficients (linear in `p`).
+    b_terms: Vec<(Monomial, Matrix<f64>)>,
+    /// `L̃` polynomial coefficients (linear in `p`).
+    l_terms: Vec<(Monomial, Matrix<f64>)>,
+}
+
+/// A monomial in the parameters of total degree ≤ 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monomial {
+    /// Constant term.
+    One,
+    /// `p[i]`.
+    P(usize),
+    /// `p[i]·p[j]` with `i ≤ j`.
+    PP(usize, usize),
+}
+
+impl Monomial {
+    fn eval(self, p: &[f64]) -> f64 {
+        match self {
+            Monomial::One => 1.0,
+            Monomial::P(i) => p[i],
+            Monomial::PP(i, j) => p[i] * p[j],
+        }
+    }
+}
+
+impl FittedRom {
+    /// Reduced model size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    fn assemble(&self, terms: &[(Monomial, Matrix<f64>)], p: &[f64], r: usize, c: usize) -> Matrix<f64> {
+        let mut out = Matrix::zeros(r, c);
+        for (mono, m) in terms {
+            let w = mono.eval(p);
+            if w != 0.0 {
+                out.add_assign_scaled(w, m);
+            }
+        }
+        out
+    }
+
+    /// Assembles `G̃(p)`.
+    pub fn g_at(&self, p: &[f64]) -> Matrix<f64> {
+        self.assemble(&self.g_terms, p, self.size, self.size)
+    }
+
+    /// Assembles `C̃(p)`.
+    pub fn c_at(&self, p: &[f64]) -> Matrix<f64> {
+        self.assemble(&self.c_terms, p, self.size, self.size)
+    }
+
+    /// Evaluates the transfer matrix `H(s, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the assembled pencil is singular at `s`.
+    pub fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
+        let nb = self.b_terms[0].1.ncols();
+        let nl = self.l_terms[0].1.ncols();
+        let b = self.assemble(&self.b_terms, p, self.size, nb);
+        let l = self.assemble(&self.l_terms, p, self.size, nl);
+        let mut a = self.g_at(p).to_complex();
+        a.add_assign_scaled(s, &self.c_at(p).to_complex());
+        let lu = LuFactors::factor(&a)?;
+        let x = lu.solve_mat(&b.to_complex())?;
+        Ok(l.to_complex().tr_mul_mat(&x))
+    }
+
+    /// Dominant poles of the fitted pencil at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G̃(p)` is singular or the eigensolver stalls.
+    pub fn dominant_poles(&self, p: &[f64], count: usize) -> Result<Vec<Complex64>> {
+        let mut poles = crate::rom::pencil_poles(&self.g_at(p), &self.c_at(p))?;
+        poles.truncate(count);
+        Ok(poles)
+    }
+}
+
+/// The projection-fitting reducer.
+#[derive(Debug, Clone)]
+pub struct FittedProjectionPmor {
+    options: FitOptions,
+}
+
+impl FittedProjectionPmor {
+    /// Creates a reducer with the given options.
+    pub fn new(options: FitOptions) -> Self {
+        FittedProjectionPmor { options }
+    }
+
+    /// Fits `V(p) = V0 + Σ pᵢVᵢ` over the samples and expands the reduced
+    /// matrices to quadratic polynomials in `p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when there are fewer than `num_params + 1` samples, when a
+    /// sampled `G(Pⱼ)` is singular, or when deflation makes the per-sample
+    /// bases incompatible in size (the fitting approach breaks down — the
+    /// non-robustness the paper describes).
+    pub fn reduce(&self, sys: &ParametricSystem) -> Result<FittedRom> {
+        let np = sys.num_params();
+        let ns = self.options.samples.len();
+        if ns < np + 1 {
+            return Err(PmorError::Invalid(format!(
+                "projection fitting needs at least {} samples, got {ns}",
+                np + 1
+            )));
+        }
+        // Per-sample PRIMA bases.
+        let mut bases: Vec<Matrix<f64>> = Vec::with_capacity(ns);
+        for sample in &self.options.samples {
+            if sample.len() != np {
+                return Err(PmorError::Invalid(
+                    "projection fitting: sample parameter count mismatch".into(),
+                ));
+            }
+            let g = sys.g_at(sample);
+            let c = sys.c_at(sample);
+            let lu = factor(&g, self.options.use_rcm)?;
+            let mut basis = OrthoBasis::new(sys.dim());
+            krylov_blocks(&lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
+            bases.push(basis.to_matrix());
+        }
+        let q = bases[0].ncols();
+        if bases.iter().any(|b| b.ncols() != q) {
+            return Err(PmorError::Invalid(
+                "projection fitting: sample bases have inconsistent sizes (deflation)".into(),
+            ));
+        }
+
+        // Least-squares fit per entry: minimize Σⱼ ‖V0 + Σᵢ pᵢⱼVᵢ − Vⱼ‖².
+        // Design matrix X (ns × (np+1)), normal equations (tiny).
+        let x = Matrix::from_fn(ns, np + 1, |r, c| {
+            if c == 0 {
+                1.0
+            } else {
+                self.options.samples[r][c - 1]
+            }
+        });
+        let xtx = x.tr_mul_mat(&x);
+        let xtx_lu = LuFactors::factor(&xtx).map_err(|_| {
+            PmorError::Invalid("projection fitting: degenerate sample placement".into())
+        })?;
+        // Solve for each basis entry: coefficients for all entries at once
+        // via (XᵀX)⁻¹ Xᵀ [vec of sampled values].
+        let n = sys.dim();
+        let mut coeff: Vec<Matrix<f64>> = (0..=np).map(|_| Matrix::zeros(n, q)).collect();
+        let mut rhs = vec![0.0; ns];
+        for r in 0..n {
+            for c in 0..q {
+                for (j, basis) in bases.iter().enumerate() {
+                    rhs[j] = basis[(r, c)];
+                }
+                let xtr = x.tr_mul_vec(&rhs);
+                let sol = xtx_lu.solve(&xtr)?;
+                for (k, &v) in sol.iter().enumerate() {
+                    coeff[k][(r, c)] = v;
+                }
+            }
+        }
+
+        // Expand V(p)ᵀ M(p) V(p) to quadratic terms.
+        let v0 = &coeff[0];
+        let vi = &coeff[1..];
+        let expand = |m0: &CsrMatrix<f64>, mi: &[CsrMatrix<f64>]| {
+            let mut terms: Vec<(Monomial, Matrix<f64>)> = Vec::new();
+            // Constant.
+            terms.push((Monomial::One, m0.congruence(v0, v0)));
+            // Linear: VᵢᵀM0V0 + V0ᵀM0Vᵢ + V0ᵀMᵢV0.
+            for i in 0..np {
+                let mut t = m0.congruence(&vi[i], v0);
+                t.add_assign_scaled(1.0, &m0.congruence(v0, &vi[i]));
+                if mi[i].nnz() > 0 {
+                    t.add_assign_scaled(1.0, &mi[i].congruence(v0, v0));
+                }
+                terms.push((Monomial::P(i), t));
+            }
+            // Quadratic: VᵢᵀM0Vⱼ + VⱼᵀM0Vᵢ + VᵢᵀMⱼV0 + V0ᵀMⱼVᵢ (i ≤ j; for
+            // i == j the symmetric pair appears once).
+            for i in 0..np {
+                for j in i..np {
+                    let mut t = m0.congruence(&vi[i], &vi[j]);
+                    if i != j {
+                        t.add_assign_scaled(1.0, &m0.congruence(&vi[j], &vi[i]));
+                    }
+                    if mi[j].nnz() > 0 {
+                        t.add_assign_scaled(1.0, &mi[j].congruence(&vi[i], v0));
+                        t.add_assign_scaled(1.0, &mi[j].congruence(v0, &vi[i]));
+                    }
+                    if i != j && mi[i].nnz() > 0 {
+                        t.add_assign_scaled(1.0, &mi[i].congruence(&vi[j], v0));
+                        t.add_assign_scaled(1.0, &mi[i].congruence(v0, &vi[j]));
+                    }
+                    terms.push((Monomial::PP(i, j), t));
+                }
+            }
+            terms
+        };
+        let g_terms = expand(&sys.g0, &sys.gi);
+        let c_terms = expand(&sys.c0, &sys.ci);
+
+        // B̃(p) = V(p)ᵀB, L̃(p) = V(p)ᵀL: linear.
+        let mut b_terms = vec![(Monomial::One, v0.tr_mul_mat(&sys.b))];
+        let mut l_terms = vec![(Monomial::One, v0.tr_mul_mat(&sys.l))];
+        for i in 0..np {
+            b_terms.push((Monomial::P(i), vi[i].tr_mul_mat(&sys.b)));
+            l_terms.push((Monomial::P(i), vi[i].tr_mul_mat(&sys.l)));
+        }
+
+        Ok(FittedRom {
+            size: q,
+            num_params: np,
+            g_terms,
+            c_terms,
+            b_terms,
+            l_terms,
+        })
+    }
+}
+
+fn factor(g: &CsrMatrix<f64>, use_rcm: bool) -> Result<SparseLu<f64>> {
+    Ok(if use_rcm {
+        let perm = ordering::rcm(g);
+        SparseLu::factor(g, Some(&perm))?
+    } else {
+        SparseLu::factor(g, None)?
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::FullModel;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    fn star_samples(np: usize, delta: f64) -> Vec<Vec<f64>> {
+        let mut s = vec![vec![0.0; np]];
+        for i in 0..np {
+            let mut plus = vec![0.0; np];
+            plus[i] = delta;
+            s.push(plus);
+            let mut minus = vec![0.0; np];
+            minus[i] = -delta;
+            s.push(minus);
+        }
+        s
+    }
+
+    #[test]
+    fn needs_enough_samples() {
+        let sys = tree(20);
+        let opts = FitOptions {
+            samples: vec![vec![0.0; 3]],
+            num_block_moments: 2,
+            use_rcm: true,
+        };
+        assert!(FittedProjectionPmor::new(opts).reduce(&sys).is_err());
+    }
+
+    #[test]
+    fn exact_at_nominal_center() {
+        let sys = tree(25);
+        let rom = FittedProjectionPmor::new(FitOptions {
+            samples: star_samples(3, 0.2),
+            num_block_moments: 4,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .unwrap();
+        let full = FullModel::new(&sys);
+        let p = [0.0; 3];
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e8);
+        let hf = full.transfer(&p, s).unwrap()[(0, 0)];
+        let hr = rom.transfer(&p, s).unwrap()[(0, 0)];
+        let err = (hf - hr).abs() / hf.abs();
+        // V(0) = V0 = fitted center ≈ the nominal PRIMA basis.
+        assert!(err < 1e-4, "err = {err}");
+    }
+
+    #[test]
+    fn tracks_small_perturbations() {
+        let sys = tree(25);
+        let rom = FittedProjectionPmor::new(FitOptions {
+            samples: star_samples(3, 0.3),
+            num_block_moments: 4,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .unwrap();
+        let full = FullModel::new(&sys);
+        let p = [0.15, -0.1, 0.2];
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e8);
+        let hf = full.transfer(&p, s).unwrap()[(0, 0)];
+        let hr = rom.transfer(&p, s).unwrap()[(0, 0)];
+        let err = (hf - hr).abs() / hf.abs();
+        assert!(err < 0.05, "err = {err}");
+    }
+
+    #[test]
+    fn poles_stay_in_left_half_plane_near_center() {
+        let sys = tree(25);
+        let rom = FittedProjectionPmor::new(FitOptions {
+            samples: star_samples(3, 0.2),
+            num_block_moments: 3,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .unwrap();
+        let poles = rom.dominant_poles(&[0.05, 0.0, -0.05], 3).unwrap();
+        for z in poles {
+            assert!(z.re < 0.0, "unstable fitted pole {z}");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Multi-parameter moments and the single-point moment-matching reducer
+//! (paper §3.1, after Daniel et al. \[10\]).
+//!
+//! Expanding the parametric transfer function (paper Eq. (6)) around
+//! `s = 0`, `p = 0` gives the power series of Eq. (7) whose coefficients are
+//! the multi-parameter moments `M_{k_s, k_1, …, k_np}`. They satisfy the
+//! recurrence
+//!
+//! ```text
+//! M(0, 0)    = R0 = G0⁻¹·B
+//! M(ks, α)   = -[ E_C0·M(ks-1, α)
+//!               + Σᵢ E_Gi·M(ks, α-eᵢ)
+//!               + Σᵢ E_Ci·M(ks-1, α-eᵢ) ]        Eᴹ ≡ G0⁻¹·M
+//! ```
+//!
+//! The single-point reducer spans *all* moments with total order
+//! `ks + |α| ≤ k` — which is why its model size blows up combinatorially,
+//! the inefficiency the paper's §3.2 diagnoses and Algorithm 1 removes.
+//!
+//! Numerical note: moment magnitudes scale like `τᵏ` with the circuit time
+//! constant `τ`; the recurrence is run on a frequency-scaled system
+//! (`C ← ω₀C`) which multiplies each block by the harmless scalar
+//! `ω₀^{ks}`, keeping every block well inside `f64` range without altering
+//! any block's span.
+
+use crate::prima::factor_g0;
+use crate::rom::ParametricRom;
+use crate::Result;
+use pmor_circuits::ParametricSystem;
+use pmor_num::orth::OrthoBasis;
+use pmor_num::Matrix;
+use std::collections::BTreeMap;
+
+/// A moment multi-index: the exponent of `s` and of each parameter.
+pub type MomentIndex = (usize, Vec<usize>);
+
+/// Enumerates all multi-indices `α` over `np` parameters with `|α| = total`.
+pub fn compositions(np: usize, total: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0usize; np];
+    fn rec(out: &mut Vec<Vec<usize>>, cur: &mut Vec<usize>, slot: usize, left: usize) {
+        if slot + 1 == cur.len() {
+            cur[slot] = left;
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..=left {
+            cur[slot] = v;
+            rec(out, cur, slot + 1, left - v);
+        }
+    }
+    if np == 0 {
+        if total == 0 {
+            out.push(Vec::new());
+        }
+        return out;
+    }
+    rec(&mut out, &mut cur, 0, total);
+    out
+}
+
+/// Heuristic frequency scale `ω₀` making `ω₀·C` comparable to `G` — the
+/// scaling convention shared by [`multi_parameter_transfer_moments`] and
+/// [`rom_multi_parameter_transfer_moments`].
+pub fn frequency_scale(sys: &ParametricSystem) -> f64 {
+    let g = sys.g0.max_abs().max(1e-300);
+    let c = sys.c0.max_abs().max(1e-300);
+    g / c
+}
+
+/// Computes all multi-parameter state moments of total order ≤ `k` for the
+/// **frequency-scaled** system (`s' = s/ω₀`); block `(ks, α)` of the
+/// physical system equals the returned block times `ω₀^{-ks}` — a per-block
+/// scalar, so spans and *relative* comparisons are unaffected.
+///
+/// Intended for verification and small systems: the number of blocks grows
+/// combinatorially in `k` and `num_params`.
+///
+/// # Errors
+///
+/// Fails when `G0` is singular.
+pub fn multi_parameter_moments(
+    sys: &ParametricSystem,
+    k: usize,
+) -> Result<BTreeMap<MomentIndex, Matrix<f64>>> {
+    let lu = factor_g0(&sys.g0, true)?;
+    let np = sys.num_params();
+    let w0 = frequency_scale(sys);
+
+    let solve_block = |rhs: &Matrix<f64>| -> Result<Matrix<f64>> {
+        let mut out = Matrix::zeros(rhs.nrows(), rhs.ncols());
+        for j in 0..rhs.ncols() {
+            out.set_col(j, &lu.solve(&rhs.col(j))?);
+        }
+        Ok(out)
+    };
+
+    let mut moments: BTreeMap<MomentIndex, Matrix<f64>> = BTreeMap::new();
+    let r0 = solve_block(&sys.b)?;
+    moments.insert((0, vec![0; np]), r0);
+
+    for t in 1..=k {
+        for ks in 0..=t {
+            for alpha in compositions(np, t - ks) {
+                let mut acc = Matrix::zeros(sys.dim(), sys.num_inputs());
+                let mut any = false;
+                // E_C0 · M(ks-1, α), frequency-scaled.
+                if ks >= 1 {
+                    if let Some(prev) = moments.get(&(ks - 1, alpha.clone())) {
+                        let c_prev = sys.c0.scaled(w0).mul_dense(prev);
+                        acc.add_assign_scaled(1.0, &solve_block(&c_prev)?);
+                        any = true;
+                    }
+                }
+                for i in 0..np {
+                    if alpha[i] >= 1 {
+                        let mut am = alpha.clone();
+                        am[i] -= 1;
+                        // E_Gi · M(ks, α-eᵢ).
+                        if sys.gi[i].nnz() > 0 {
+                            if let Some(prev) = moments.get(&(ks, am.clone())) {
+                                let gp = sys.gi[i].mul_dense(prev);
+                                acc.add_assign_scaled(1.0, &solve_block(&gp)?);
+                                any = true;
+                            }
+                        }
+                        // E_Ci · M(ks-1, α-eᵢ), frequency-scaled.
+                        if ks >= 1 && sys.ci[i].nnz() > 0 {
+                            if let Some(prev) = moments.get(&(ks - 1, am)) {
+                                let cp = sys.ci[i].scaled(w0).mul_dense(prev);
+                                acc.add_assign_scaled(1.0, &solve_block(&cp)?);
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                if any {
+                    moments.insert((ks, alpha), acc.scaled(-1.0));
+                }
+            }
+        }
+    }
+    Ok(moments)
+}
+
+/// Transfer-function moments `Lᵀ·M(ks, α)` of the frequency-scaled system.
+///
+/// # Errors
+///
+/// Fails when `G0` is singular.
+pub fn multi_parameter_transfer_moments(
+    sys: &ParametricSystem,
+    k: usize,
+) -> Result<BTreeMap<MomentIndex, Matrix<f64>>> {
+    let state = multi_parameter_moments(sys, k)?;
+    Ok(state
+        .into_iter()
+        .map(|(idx, m)| (idx, sys.l.tr_mul_mat(&m)))
+        .collect())
+}
+
+/// Nominal (parameter-free) transfer moments `Lᵀ(-G0⁻¹C0)ʲG0⁻¹B` of the
+/// *unscaled* system for `j = 0..k`.
+///
+/// # Errors
+///
+/// Fails when `G0` is singular.
+pub fn nominal_transfer_moments(sys: &ParametricSystem, k: usize) -> Result<Vec<Matrix<f64>>> {
+    let lu = factor_g0(&sys.g0, true)?;
+    let mut x = Matrix::zeros(sys.dim(), sys.num_inputs());
+    for j in 0..sys.b.ncols() {
+        x.set_col(j, &lu.solve(&sys.b.col(j))?);
+    }
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        out.push(sys.l.tr_mul_mat(&x));
+        let cx = sys.c0.mul_dense(&x);
+        let mut nx = Matrix::zeros(x.nrows(), x.ncols());
+        for j in 0..x.ncols() {
+            nx.set_col(j, &lu.solve(&cx.col(j))?);
+        }
+        x = nx.scaled(-1.0);
+    }
+    Ok(out)
+}
+
+/// Multi-parameter transfer moments of a dense reduced model (same
+/// frequency scaling convention as [`multi_parameter_transfer_moments`],
+/// with `ω₀` supplied by the caller so both sides scale identically).
+///
+/// # Errors
+///
+/// Fails when `G̃0` is singular.
+pub fn rom_multi_parameter_transfer_moments(
+    rom: &ParametricRom,
+    k: usize,
+    w0: f64,
+) -> Result<BTreeMap<MomentIndex, Matrix<f64>>> {
+    let lu = pmor_num::lu::LuFactors::factor(&rom.g0)?;
+    let np = rom.num_params();
+
+    let mut moments: BTreeMap<MomentIndex, Matrix<f64>> = BTreeMap::new();
+    moments.insert((0, vec![0; np]), lu.solve_mat(&rom.b)?);
+
+    for t in 1..=k {
+        for ks in 0..=t {
+            for alpha in compositions(np, t - ks) {
+                let mut acc = Matrix::zeros(rom.size(), rom.num_inputs());
+                let mut any = false;
+                if ks >= 1 {
+                    if let Some(prev) = moments.get(&(ks - 1, alpha.clone())) {
+                        acc.add_assign_scaled(1.0, &lu.solve_mat(&rom.c0.scaled(w0).mul_mat(prev))?);
+                        any = true;
+                    }
+                }
+                for i in 0..np {
+                    if alpha[i] >= 1 {
+                        let mut am = alpha.clone();
+                        am[i] -= 1;
+                        if let Some(prev) = moments.get(&(ks, am.clone())) {
+                            acc.add_assign_scaled(1.0, &lu.solve_mat(&rom.gi[i].mul_mat(prev))?);
+                            any = true;
+                        }
+                        if ks >= 1 {
+                            if let Some(prev) = moments.get(&(ks - 1, am)) {
+                                acc.add_assign_scaled(
+                                    1.0,
+                                    &lu.solve_mat(&rom.ci[i].scaled(w0).mul_mat(prev))?,
+                                );
+                                any = true;
+                            }
+                        }
+                    }
+                }
+                if any {
+                    moments.insert((ks, alpha), acc.scaled(-1.0));
+                }
+            }
+        }
+    }
+    Ok(moments
+        .into_iter()
+        .map(|(idx, m)| (idx, rom.l.tr_mul_mat(&m)))
+        .collect())
+}
+
+/// Options for the single-point multi-parameter reducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinglePointOptions {
+    /// Total moment order `k`: the reduced model matches every moment with
+    /// `ks + |α| ≤ k`.
+    pub order: usize,
+    /// Use an RCM ordering for the `G0` factorization.
+    pub use_rcm: bool,
+}
+
+impl Default for SinglePointOptions {
+    fn default() -> Self {
+        SinglePointOptions {
+            order: 3,
+            use_rcm: true,
+        }
+    }
+}
+
+/// The single-point multi-parameter moment-matching reducer (paper §3.1).
+///
+/// The projection spans all multi-parameter moments of total order ≤ `k`;
+/// model size therefore grows like the number of monomials
+/// `(k + np choose np)` times the port count — the combinatorial blow-up
+/// that motivates the paper's Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct SinglePointPmor {
+    options: SinglePointOptions,
+}
+
+impl SinglePointPmor {
+    /// Creates a reducer with the given options.
+    pub fn new(options: SinglePointOptions) -> Self {
+        SinglePointPmor { options }
+    }
+
+    /// Computes the moment-spanning projection basis.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G0` is singular.
+    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
+        let moments = multi_parameter_moments(sys, self.options.order)?;
+        let mut basis = OrthoBasis::new(sys.dim());
+        for block in moments.values() {
+            basis.insert_block(block);
+        }
+        Ok(basis.to_matrix())
+    }
+
+    /// Reduces the system, matching all multi-parameter moments to the
+    /// configured order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G0` is singular.
+    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
+        let v = self.projection(sys)?;
+        Ok(ParametricRom::by_congruence(sys, &v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    #[test]
+    fn compositions_count() {
+        // Number of compositions of `t` into `np` parts = C(t+np-1, np-1).
+        assert_eq!(compositions(2, 3).len(), 4);
+        assert_eq!(compositions(3, 2).len(), 6);
+        assert_eq!(compositions(0, 0).len(), 1);
+        assert_eq!(compositions(1, 4), vec![vec![4]]);
+    }
+
+    #[test]
+    fn zeroth_moment_is_dc_solution() {
+        let sys = tree(20);
+        let m = multi_parameter_transfer_moments(&sys, 0).unwrap();
+        let m0 = &m[&(0, vec![0, 0, 0])];
+        // DC driving-point resistance = 40 Ω driver.
+        assert!((m0[(0, 0)] - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn first_parameter_moment_matches_finite_difference() {
+        // dH(0)/dpᵢ at 0 equals the (0, eᵢ) moment (frequency scaling does
+        // not touch pure-parameter moments). Uses a circuit whose grounded
+        // driver resistance is itself parameter-sensitive so the DC
+        // derivative is structurally nonzero.
+        let mut net = pmor_circuits::Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        let rd = net.add_resistor(Some(n0), None, 50.0);
+        net.set_sensitivity(rd, 0, 1.0);
+        let rs = net.add_resistor(Some(n0), Some(n1), 100.0);
+        net.set_sensitivity(rs, 1, 0.7);
+        let rl = net.add_resistor(Some(n1), None, 200.0);
+        net.set_sensitivity(rl, 1, 0.3);
+        net.add_capacitor(Some(n1), None, 1e-12);
+        net.add_port(n0);
+        let sys = net.assemble();
+
+        let m = multi_parameter_transfer_moments(&sys, 1).unwrap();
+        let full = crate::eval::FullModel::new(&sys);
+        let h0 = full.transfer(&[0.0; 2], pmor_num::Complex64::ZERO).unwrap()[(0, 0)].re;
+        let dp = 1e-7;
+        for i in 0..2 {
+            let mut p = vec![0.0; 2];
+            p[i] = dp;
+            let h1 = full.transfer(&p, pmor_num::Complex64::ZERO).unwrap()[(0, 0)].re;
+            let fd = (h1 - h0) / dp;
+            let mut idx = vec![0usize; 2];
+            idx[i] = 1;
+            let analytic = m[&(0, idx)][(0, 0)];
+            assert!(analytic.abs() > 1.0, "derivative unexpectedly zero");
+            assert!(
+                (fd - analytic).abs() < 1e-4 * analytic.abs(),
+                "param {i}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_rom_matches_moments() {
+        // Theorem of §3.1: the reduced model matches all multi-parameter
+        // moments up to order k.
+        let sys = tree(16);
+        let k = 2;
+        let rom = SinglePointPmor::new(SinglePointOptions {
+            order: k,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .unwrap();
+        let w0 = frequency_scale(&sys);
+        let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
+        let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
+        // Moments that are structurally zero (e.g. pure-G parameter moments
+        // of immittance nets at DC) carry no information; compare against a
+        // floor derived from the largest moment.
+        let global = full_m.values().map(Matrix::max_abs).fold(0.0, f64::max);
+        for (idx, mf) in &full_m {
+            let mr = &rom_m[idx];
+            let scale = mf.max_abs().max(1e-6 * global);
+            let diff = mf.sub_mat(mr).max_abs() / scale;
+            assert!(diff < 1e-5, "moment {idx:?} mismatch: {diff}");
+        }
+    }
+
+    #[test]
+    fn single_point_size_grows_combinatorially() {
+        let sys = tree(60);
+        let size = |k: usize| {
+            SinglePointPmor::new(SinglePointOptions {
+                order: k,
+                use_rcm: true,
+            })
+            .reduce(&sys)
+            .unwrap()
+            .size()
+        };
+        let s1 = size(1);
+        let s2 = size(2);
+        let s3 = size(3);
+        assert!(s1 < s2 && s2 < s3, "{s1} {s2} {s3}");
+        // Four variables (s, p1, p2, p3): monomials of total order ≤ 3
+        // number C(3+4, 4) = 35; deflation may remove a few.
+        assert!(s3 <= 35);
+        assert!(s3 >= 15, "unexpectedly heavy deflation: {s3}");
+    }
+
+    #[test]
+    fn single_point_rom_approximates_perturbed_response() {
+        let sys = tree(30);
+        let rom = SinglePointPmor::new(SinglePointOptions::default())
+            .reduce(&sys)
+            .unwrap();
+        let full = crate::eval::FullModel::new(&sys);
+        let p = [0.2, -0.15, 0.1];
+        let s = pmor_num::Complex64::jw(2.0 * std::f64::consts::PI * 5e8);
+        let hf = full.transfer(&p, s).unwrap()[(0, 0)];
+        let hr = rom.transfer(&p, s).unwrap()[(0, 0)];
+        let err = (hf - hr).abs() / hf.abs();
+        assert!(err < 1e-3, "err = {err}");
+    }
+}

@@ -1,0 +1,278 @@
+//! Multi-point expansion in the variational parameter space (paper §3.3).
+//!
+//! Samples are taken in the parameter space; at each sample `Pⱼ` the
+//! perturbed system `(G(Pⱼ), C(Pⱼ))` is factored and a standard PRIMA
+//! Krylov basis matching `k` moments of `s` is computed. The union of the
+//! per-sample bases is orthonormalized into the final projection: the
+//! reduced model interpolates *implicitly via projection* between samples.
+//!
+//! The cost is one sparse factorization **per sample** — `c^np` of them for
+//! a `c`-point grid over `np` parameters — which is exactly the cost the
+//! paper's Algorithm 1 removes. Model size is `O(nₛ·k·m)`.
+
+use crate::prima::krylov_blocks;
+use crate::rom::ParametricRom;
+use crate::{PmorError, Result};
+use pmor_circuits::ParametricSystem;
+use pmor_num::orth::OrthoBasis;
+use pmor_num::Matrix;
+use pmor_sparse::{ordering, SparseLu};
+
+/// Options for the multi-point reducer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPointOptions {
+    /// Expansion points in parameter space (each of length `num_params`).
+    pub samples: Vec<Vec<f64>>,
+    /// Number of `s`-moment blocks matched at each sample.
+    pub num_block_moments: usize,
+    /// Use an RCM ordering for each factorization.
+    pub use_rcm: bool,
+}
+
+impl MultiPointOptions {
+    /// Full factorial grid: `per_axis` equispaced samples (inclusive) along
+    /// each parameter range — `per_axis^np` samples in total, mirroring the
+    /// paper's "three samples per axis" discussion in §4.1.
+    pub fn grid(ranges: &[(f64, f64)], per_axis: usize, num_block_moments: usize) -> Self {
+        assert!(per_axis >= 1, "grid: need at least one sample per axis");
+        let mut samples = vec![Vec::new()];
+        for &(lo, hi) in ranges {
+            let mut next = Vec::with_capacity(samples.len() * per_axis);
+            for base in &samples {
+                for j in 0..per_axis {
+                    let t = if per_axis == 1 {
+                        0.5
+                    } else {
+                        j as f64 / (per_axis - 1) as f64
+                    };
+                    let mut s = base.clone();
+                    s.push(lo + t * (hi - lo));
+                    next.push(s);
+                }
+            }
+            samples = next;
+        }
+        MultiPointOptions {
+            samples,
+            num_block_moments,
+            use_rcm: true,
+        }
+    }
+
+    /// Explicit sample list.
+    pub fn with_samples(samples: Vec<Vec<f64>>, num_block_moments: usize) -> Self {
+        MultiPointOptions {
+            samples,
+            num_block_moments,
+            use_rcm: true,
+        }
+    }
+}
+
+/// Cost/size diagnostics of a multi-point reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiPointStats {
+    /// Sparse factorizations performed (the dominant cost; one per sample).
+    pub factorizations: usize,
+    /// Final reduced model size.
+    pub size: usize,
+}
+
+/// The multi-point expansion reducer.
+///
+/// # Example
+///
+/// ```
+/// use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+/// use pmor::multipoint::{MultiPointPmor, MultiPointOptions};
+///
+/// # fn main() -> Result<(), pmor::PmorError> {
+/// let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() }).assemble();
+/// let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 3);
+/// let rom = MultiPointPmor::new(opts).reduce(&sys)?;
+/// assert!(rom.size() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiPointPmor {
+    options: MultiPointOptions,
+}
+
+impl MultiPointPmor {
+    /// Creates a reducer with the given options.
+    pub fn new(options: MultiPointOptions) -> Self {
+        MultiPointPmor { options }
+    }
+
+    /// Computes the combined projection basis over all samples.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any sampled `G(Pⱼ)` is singular, or when a sample has the
+    /// wrong parameter count.
+    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
+        let (v, _stats) = self.projection_with_stats(sys)?;
+        Ok(v)
+    }
+
+    /// Computes the projection and the cost diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiPointPmor::projection`].
+    pub fn projection_with_stats(
+        &self,
+        sys: &ParametricSystem,
+    ) -> Result<(Matrix<f64>, MultiPointStats)> {
+        if self.options.samples.is_empty() {
+            return Err(PmorError::Invalid("multi-point: no samples given".into()));
+        }
+        let mut basis = OrthoBasis::new(sys.dim());
+        let mut factorizations = 0;
+        for sample in &self.options.samples {
+            if sample.len() != sys.num_params() {
+                return Err(PmorError::Invalid(format!(
+                    "multi-point: sample has {} parameters, system has {}",
+                    sample.len(),
+                    sys.num_params()
+                )));
+            }
+            let g = sys.g_at(sample);
+            let c = sys.c_at(sample);
+            let lu = if self.options.use_rcm {
+                let perm = ordering::rcm(&g);
+                SparseLu::factor(&g, Some(&perm))?
+            } else {
+                SparseLu::factor(&g, None)?
+            };
+            factorizations += 1;
+            krylov_blocks(&lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
+        }
+        let v = basis.to_matrix();
+        let stats = MultiPointStats {
+            factorizations,
+            size: v.ncols(),
+        };
+        Ok((v, stats))
+    }
+
+    /// Reduces the system using the combined multi-point projection.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiPointPmor::projection`].
+    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
+        let v = self.projection(sys)?;
+        Ok(ParametricRom::by_congruence(sys, &v))
+    }
+
+    /// Reduces and returns cost diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// See [`MultiPointPmor::projection`].
+    pub fn reduce_with_stats(
+        &self,
+        sys: &ParametricSystem,
+    ) -> Result<(ParametricRom, MultiPointStats)> {
+        let (v, stats) = self.projection_with_stats(sys)?;
+        Ok((ParametricRom::by_congruence(sys, &v), stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::FullModel;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+    use pmor_num::Complex64;
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    #[test]
+    fn grid_enumerates_full_factorial() {
+        let opts = MultiPointOptions::grid(&[(-0.3, 0.3), (0.0, 1.0)], 3, 4);
+        assert_eq!(opts.samples.len(), 9);
+        assert!(opts.samples.contains(&vec![-0.3, 0.0]));
+        assert!(opts.samples.contains(&vec![0.3, 1.0]));
+        assert!(opts.samples.contains(&vec![0.0, 0.5]));
+    }
+
+    #[test]
+    fn single_sample_grid_uses_midpoint() {
+        let opts = MultiPointOptions::grid(&[(-1.0, 1.0)], 1, 2);
+        assert_eq!(opts.samples, vec![vec![0.0]]);
+    }
+
+    #[test]
+    fn stats_count_factorizations() {
+        let sys = tree(25);
+        let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 2);
+        let (_, stats) = MultiPointPmor::new(opts)
+            .projection_with_stats(&sys)
+            .unwrap();
+        assert_eq!(stats.factorizations, 8);
+        assert!(stats.size > 0);
+    }
+
+    #[test]
+    fn exact_at_sample_points() {
+        // At each expansion point the reduced model reproduces the full
+        // model's low-frequency response (PRIMA moment matching there).
+        let sys = tree(30);
+        let samples = vec![vec![-0.25, 0.0, 0.2], vec![0.3, 0.3, -0.3]];
+        let rom = MultiPointPmor::new(MultiPointOptions::with_samples(samples.clone(), 5))
+            .reduce(&sys)
+            .unwrap();
+        let full = FullModel::new(&sys);
+        for p in &samples {
+            // Moment matching at s = 0 is asymptotically exact at low
+            // frequency and degrades gracefully with frequency.
+            for (f_hz, tol) in [(1e7, 1e-6), (1e8, 1e-5), (1e9, 1e-2)] {
+                let s = Complex64::jw(2.0 * std::f64::consts::PI * f_hz);
+                let hf = full.transfer(p, s).unwrap()[(0, 0)];
+                let hr = rom.transfer(p, s).unwrap()[(0, 0)];
+                let err = (hf - hr).abs() / hf.abs();
+                assert!(err < tol, "p={p:?} f={f_hz}: err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let sys = tree(30);
+        let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 4);
+        let rom = MultiPointPmor::new(opts).reduce(&sys).unwrap();
+        let full = FullModel::new(&sys);
+        let p = [0.1, -0.05, 0.15]; // strictly inside the grid
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        let hf = full.transfer(&p, s).unwrap()[(0, 0)];
+        let hr = rom.transfer(&p, s).unwrap()[(0, 0)];
+        let err = (hf - hr).abs() / hf.abs();
+        assert!(err < 1e-3, "interpolation err = {err}");
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        let sys = tree(10);
+        let opts = MultiPointOptions::with_samples(Vec::new(), 2);
+        assert!(MultiPointPmor::new(opts).reduce(&sys).is_err());
+    }
+
+    #[test]
+    fn wrong_parameter_count_rejected() {
+        let sys = tree(10);
+        let opts = MultiPointOptions::with_samples(vec![vec![0.0]], 2);
+        assert!(matches!(
+            MultiPointPmor::new(opts).reduce(&sys),
+            Err(PmorError::Invalid(_))
+        ));
+    }
+}

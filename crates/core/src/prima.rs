@@ -1,0 +1,298 @@
+//! PRIMA: passive reduced-order interconnect macromodeling (Odabasioglu,
+//! Celik, Pileggi — ref \[4\] of the paper).
+//!
+//! PRIMA computes an orthonormal basis `V` of the block Krylov subspace
+//!
+//! ```text
+//! Kr(A0, R0, k) = colspan{R0, A0·R0, …, A0^(k-1)·R0},
+//! A0 = -G0⁻¹C0,    R0 = G0⁻¹B
+//! ```
+//!
+//! and reduces every system matrix by congruence (`G̃ = VᵀGV`, …), which
+//! matches the first `k` block moments of the transfer function at `s = 0`
+//! and preserves passivity. In this workspace PRIMA serves three roles: the
+//! nominal-projection baseline of the paper's figures, the per-sample
+//! reduction inside the multi-point method, and the `V0` subspace of
+//! Algorithm 1 step 2.1.
+
+use crate::rom::ParametricRom;
+use crate::Result;
+use pmor_circuits::ParametricSystem;
+use pmor_num::orth::OrthoBasis;
+use pmor_num::Matrix;
+use pmor_sparse::{ordering, SparseLu};
+
+/// Options for a PRIMA reduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimaOptions {
+    /// Number of block moments matched (`k` Krylov blocks).
+    pub num_block_moments: usize,
+    /// Use a reverse Cuthill–McKee ordering for the `G0` factorization.
+    pub use_rcm: bool,
+}
+
+impl Default for PrimaOptions {
+    fn default() -> Self {
+        PrimaOptions {
+            num_block_moments: 8,
+            use_rcm: true,
+        }
+    }
+}
+
+/// The PRIMA reducer.
+///
+/// # Example
+///
+/// ```
+/// use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+/// use pmor::prima::{Prima, PrimaOptions};
+///
+/// # fn main() -> Result<(), pmor::PmorError> {
+/// let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() }).assemble();
+/// let rom = Prima::new(PrimaOptions { num_block_moments: 4, ..Default::default() })
+///     .reduce(&sys)?;
+/// assert!(rom.size() <= 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prima {
+    options: PrimaOptions,
+}
+
+impl Prima {
+    /// Creates a reducer with the given options.
+    pub fn new(options: PrimaOptions) -> Self {
+        Prima { options }
+    }
+
+    /// Computes the PRIMA projection basis for the system *at its nominal
+    /// point* (parameters are ignored; sensitivities are reduced alongside,
+    /// which is exactly the "nominal projection" baseline of the paper's
+    /// figures).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G0` is singular.
+    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
+        let lu = factor_g0(&sys.g0, self.options.use_rcm)?;
+        let mut basis = OrthoBasis::new(sys.dim());
+        krylov_blocks(
+            &lu,
+            &sys.c0,
+            &sys.b,
+            self.options.num_block_moments,
+            &mut basis,
+        )?;
+        Ok(basis.to_matrix())
+    }
+
+    /// Reduces the parametric system using the nominal PRIMA projection.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G0` is singular.
+    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
+        let v = self.projection(sys)?;
+        Ok(ParametricRom::by_congruence(sys, &v))
+    }
+}
+
+/// Factors `G0`, optionally under an RCM ordering.
+pub(crate) fn factor_g0(
+    g0: &pmor_sparse::CsrMatrix<f64>,
+    use_rcm: bool,
+) -> Result<SparseLu<f64>> {
+    let lu = if use_rcm {
+        let perm = ordering::rcm(g0);
+        SparseLu::factor(g0, Some(&perm))?
+    } else {
+        SparseLu::factor(g0, None)?
+    };
+    Ok(lu)
+}
+
+/// Builds the block Krylov subspace `{S, A·S, …, A^(blocks-1)·S}` for an
+/// arbitrary operator action `apply`, starting from the dense block
+/// `start`, **in its own orthonormal basis**, then merges the result into
+/// `basis`. Returns the number of *new* directions contributed to `basis`.
+///
+/// Building each subspace independently matters: when several subspaces are
+/// combined (multi-point samples, Algorithm 1's per-parameter spaces), a
+/// starting block that happens to overlap the directions already in `basis`
+/// must still seed its own Krylov recurrence — deflating it against the
+/// shared basis up front would silently truncate the subspace.
+pub(crate) fn krylov_from<F>(
+    apply: F,
+    start: &Matrix<f64>,
+    blocks: usize,
+    basis: &mut OrthoBasis<f64>,
+) -> Result<usize>
+where
+    F: Fn(&[f64]) -> Result<Vec<f64>>,
+{
+    let mut local = OrthoBasis::new(start.nrows());
+    let mut current: Vec<Vec<f64>> = Vec::with_capacity(start.ncols());
+    for j in 0..start.ncols() {
+        let col = start.col(j);
+        if local.insert(&col) {
+            current.push(local.vector(local.len() - 1).to_vec());
+        }
+    }
+    for _block in 1..blocks {
+        if current.is_empty() {
+            break; // Krylov space exhausted (deflation).
+        }
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(current.len());
+        for v in &current {
+            let w = apply(v)?;
+            if local.insert(&w) {
+                next.push(local.vector(local.len() - 1).to_vec());
+            }
+        }
+        current = next;
+    }
+    // Merge into the shared basis.
+    let mut added_total = 0;
+    for v in local.into_columns() {
+        if basis.insert(&v) {
+            added_total += 1;
+        }
+    }
+    Ok(added_total)
+}
+
+/// Builds the PRIMA block Krylov subspace `{R0, A0 R0, …, A0^(blocks-1) R0}`
+/// (own basis, then merged into `basis`), where `A0 = -G0⁻¹C0` and
+/// `R0 = G0⁻¹B`. Returns the number of new directions contributed.
+pub(crate) fn krylov_blocks(
+    g0_lu: &SparseLu<f64>,
+    c0: &pmor_sparse::CsrMatrix<f64>,
+    b: &Matrix<f64>,
+    blocks: usize,
+    basis: &mut OrthoBasis<f64>,
+) -> Result<usize> {
+    // R0 = G0⁻¹ B.
+    let mut r0 = Matrix::zeros(b.nrows(), b.ncols());
+    for j in 0..b.ncols() {
+        r0.set_col(j, &g0_lu.solve(&b.col(j))?);
+    }
+    krylov_from(
+        |v| {
+            // A0 v = -G0⁻¹ (C0 v).
+            let cv = c0.mul_vec(v);
+            let mut w = g0_lu.solve(&cv)?;
+            for x in w.iter_mut() {
+                *x = -*x;
+            }
+            Ok(w)
+        },
+        &r0,
+        blocks,
+        basis,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+    use pmor_circuits::Netlist;
+    use pmor_num::Complex64;
+
+    fn small_tree() -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: 30,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    #[test]
+    fn projection_is_orthonormal() {
+        let sys = small_tree();
+        let v = Prima::new(PrimaOptions::default()).projection(&sys).unwrap();
+        let vtv = v.tr_mul_mat(&v);
+        assert!(vtv.approx_eq(&Matrix::identity(v.ncols()), 1e-10));
+    }
+
+    #[test]
+    fn rom_size_bounded_by_km() {
+        let sys = small_tree();
+        let k = 5;
+        let rom = Prima::new(PrimaOptions {
+            num_block_moments: k,
+            use_rcm: true,
+        })
+        .reduce(&sys)
+        .unwrap();
+        assert!(rom.size() <= k * sys.num_inputs());
+        assert!(rom.size() >= 1);
+    }
+
+    #[test]
+    fn transfer_function_matches_full_model_at_low_frequency() {
+        let sys = small_tree();
+        let rom = Prima::new(PrimaOptions::default()).reduce(&sys).unwrap();
+        let p = vec![0.0; sys.num_params()];
+        let full = crate::eval::FullModel::new(&sys);
+        for f_hz in [1e6, 1e8, 1e9] {
+            let s = Complex64::jw(2.0 * std::f64::consts::PI * f_hz);
+            let h_full = full.transfer(&p, s).unwrap();
+            let h_rom = rom.transfer(&p, s).unwrap();
+            let err = (h_full[(0, 0)] - h_rom[(0, 0)]).abs() / h_full[(0, 0)].abs();
+            assert!(err < 1e-6, "f={f_hz}: err={err}");
+        }
+    }
+
+    #[test]
+    fn moments_match_to_order_k() {
+        // PRIMA with k blocks matches the first k transfer-function moments
+        // at s=0 (here verified for a single-input system).
+        let sys = small_tree();
+        let k = 4;
+        let rom = Prima::new(PrimaOptions {
+            num_block_moments: k,
+            use_rcm: false,
+        })
+        .reduce(&sys)
+        .unwrap();
+        let full_moments = crate::moments::nominal_transfer_moments(&sys, k).unwrap();
+        let rom_moments = rom.nominal_transfer_moments(k).unwrap();
+        for (j, (mf, mr)) in full_moments.iter().zip(rom_moments.iter()).enumerate() {
+            let scale = mf.max_abs().max(1e-300);
+            let diff = mf.sub_mat(mr).max_abs() / scale;
+            assert!(diff < 1e-8, "moment {j} mismatch: {diff}");
+        }
+    }
+
+    #[test]
+    fn passivity_stamps_preserved() {
+        let sys = small_tree();
+        assert!(sys.has_symmetric_ports());
+        let rom = Prima::new(PrimaOptions::default()).reduce(&sys).unwrap();
+        assert!(rom.is_passive_stamp(&vec![0.0; sys.num_params()]).unwrap());
+    }
+
+    #[test]
+    fn deflation_terminates_early_on_tiny_systems() {
+        // A 2-node RC circuit has a 2-dimensional state space; requesting 10
+        // moments must deflate, not fail.
+        let mut net = Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        net.add_resistor(Some(n0), None, 50.0);
+        net.add_resistor(Some(n0), Some(n1), 100.0);
+        net.add_capacitor(Some(n1), None, 1e-12);
+        net.add_port(n0);
+        let sys = net.assemble();
+        let rom = Prima::new(PrimaOptions {
+            num_block_moments: 10,
+            use_rcm: false,
+        })
+        .reduce(&sys)
+        .unwrap();
+        assert!(rom.size() <= 2);
+    }
+}

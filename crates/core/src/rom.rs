@@ -1,0 +1,426 @@
+//! Parametric reduced-order models.
+//!
+//! A [`ParametricRom`] carries the congruence-reduced system matrices
+//! `{G̃0, C̃0, G̃ᵢ, C̃ᵢ, B̃, L̃}` (Algorithm 1 step 4 / Eq. (2)) and offers the
+//! evaluations the paper's experiments need: transfer functions `H(s, p)`,
+//! frequency sweeps, dominant poles and passivity checks.
+
+use crate::{PmorError, Result};
+use pmor_circuits::ParametricSystem;
+use pmor_num::lu::LuFactors;
+use pmor_num::{eig, Complex64, Matrix};
+
+/// A reduced-order parametric descriptor model
+/// `C̃(p) dx̃/dt = -G̃(p) x̃ + B̃ u`, `y = L̃ᵀ x̃`.
+#[derive(Debug, Clone)]
+pub struct ParametricRom {
+    /// Reduced nominal conductance `G̃0`.
+    pub g0: Matrix<f64>,
+    /// Reduced nominal storage `C̃0`.
+    pub c0: Matrix<f64>,
+    /// Reduced conductance sensitivities `G̃ᵢ`.
+    pub gi: Vec<Matrix<f64>>,
+    /// Reduced storage sensitivities `C̃ᵢ`.
+    pub ci: Vec<Matrix<f64>>,
+    /// Reduced input map `B̃`.
+    pub b: Matrix<f64>,
+    /// Reduced output map `L̃`.
+    pub l: Matrix<f64>,
+    /// The projection matrix used for the reduction (kept for diagnostics
+    /// and for expanding reduced states back to node voltages).
+    pub projection: Matrix<f64>,
+}
+
+impl ParametricRom {
+    /// Reduces a full parametric system by congruence with the projection
+    /// `v`: every matrix, including all sensitivities, maps through
+    /// `M̃ = VᵀMV` (paper Eq. (2) and Algorithm 1 step 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.nrows() != sys.dim()`.
+    pub fn by_congruence(sys: &ParametricSystem, v: &Matrix<f64>) -> ParametricRom {
+        assert_eq!(v.nrows(), sys.dim(), "projection row dimension mismatch");
+        ParametricRom {
+            g0: sys.g0.congruence(v, v),
+            c0: sys.c0.congruence(v, v),
+            gi: sys.gi.iter().map(|m| m.congruence(v, v)).collect(),
+            ci: sys.ci.iter().map(|m| m.congruence(v, v)).collect(),
+            b: v.tr_mul_mat(&sys.b),
+            l: v.tr_mul_mat(&sys.l),
+            projection: v.clone(),
+        }
+    }
+
+    /// Reduced state dimension (the paper's "model size"/"number of
+    /// states").
+    pub fn size(&self) -> usize {
+        self.g0.nrows()
+    }
+
+    /// Number of variational parameters.
+    pub fn num_params(&self) -> usize {
+        self.gi.len()
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.l.ncols()
+    }
+
+    /// Assembles `G̃(p) = G̃0 + Σ pᵢ G̃ᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != num_params()`.
+    pub fn g_at(&self, p: &[f64]) -> Matrix<f64> {
+        assert_eq!(p.len(), self.num_params(), "g_at: parameter count");
+        let mut g = self.g0.clone();
+        for (pi, gi) in p.iter().zip(self.gi.iter()) {
+            if *pi != 0.0 {
+                g.add_assign_scaled(*pi, gi);
+            }
+        }
+        g
+    }
+
+    /// Assembles `C̃(p) = C̃0 + Σ pᵢ C̃ᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != num_params()`.
+    pub fn c_at(&self, p: &[f64]) -> Matrix<f64> {
+        assert_eq!(p.len(), self.num_params(), "c_at: parameter count");
+        let mut c = self.c0.clone();
+        for (pi, ci) in p.iter().zip(self.ci.iter()) {
+            if *pi != 0.0 {
+                c.add_assign_scaled(*pi, ci);
+            }
+        }
+        c
+    }
+
+    /// Evaluates the transfer matrix `H(s, p) = L̃ᵀ (G̃(p) + s C̃(p))⁻¹ B̃`
+    /// (`num_outputs × num_inputs`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G̃(p) + s C̃(p)` is singular (i.e. `s` is a pole).
+    pub fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
+        let g = self.g_at(p).to_complex();
+        let c = self.c_at(p).to_complex();
+        let mut a = g;
+        a.add_assign_scaled(s, &c);
+        let lu = LuFactors::factor(&a)?;
+        let x = lu.solve_mat(&self.b.to_complex())?;
+        Ok(self.l.to_complex().tr_mul_mat(&x))
+    }
+
+    /// Evaluates `|H|` over a frequency sweep, returning one transfer matrix
+    /// per frequency (`s = j·2πf`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParametricRom::transfer`] errors.
+    pub fn frequency_response(
+        &self,
+        p: &[f64],
+        freqs_hz: &[f64],
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        freqs_hz
+            .iter()
+            .map(|&f| self.transfer(p, Complex64::jw(2.0 * std::f64::consts::PI * f)))
+            .collect()
+    }
+
+    /// All finite poles of the reduced pencil `(G̃(p), C̃(p))`: the values
+    /// `λ` with `det(G̃ + λC̃) = 0`, computed via `λ = -1/μ` for eigenvalues
+    /// `μ` of `G̃⁻¹C̃` (infinite poles, `μ ≈ 0`, are dropped). Sorted by
+    /// increasing magnitude, i.e. most dominant first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G̃(p)` is singular or the eigensolver stalls.
+    pub fn poles(&self, p: &[f64]) -> Result<Vec<Complex64>> {
+        let g = self.g_at(p);
+        let c = self.c_at(p);
+        pencil_poles(&g, &c)
+    }
+
+    /// The `count` most dominant (smallest-magnitude) finite poles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParametricRom::poles`] errors.
+    pub fn dominant_poles(&self, p: &[f64], count: usize) -> Result<Vec<Complex64>> {
+        let mut poles = self.poles(p)?;
+        poles.truncate(count);
+        Ok(poles)
+    }
+
+    /// Verifies the algebraic passivity stamp at the parameter point `p`:
+    /// `G̃(p) + G̃(p)ᵀ ⪰ 0`, `C̃(p) = C̃(p)ᵀ ⪰ 0` and `B̃ = L̃` — the
+    /// conditions under which the reduced model is provably passive
+    /// (paper §4.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the symmetric eigensolver stalls.
+    pub fn is_passive_stamp(&self, p: &[f64]) -> Result<bool> {
+        if !self.b.approx_eq(&self.l, 1e-12 * self.b.max_abs().max(1e-300)) {
+            return Ok(false);
+        }
+        let g = self.g_at(p);
+        let gsym = g.add_mat(&g.transposed());
+        if !eig::is_positive_semidefinite(&gsym, 1e-9)? {
+            return Ok(false);
+        }
+        let c = self.c_at(p);
+        if c.symmetry_defect() > 1e-9 * c.max_abs().max(1e-300) {
+            return Ok(false);
+        }
+        Ok(eig::is_positive_semidefinite(&c, 1e-9)?)
+    }
+
+    /// Analytic first-order sensitivity of the transfer matrix to every
+    /// parameter at `(s, p)`:
+    ///
+    /// ```text
+    /// ∂H/∂pᵢ = -L̃ᵀ K⁻¹ (G̃ᵢ + s·C̃ᵢ) K⁻¹ B̃,     K = G̃(p) + s·C̃(p)
+    /// ```
+    ///
+    /// One factorization of `K` serves all parameters — the cheap way to
+    /// drive gradient-based corner search or variational bounds from the
+    /// reduced model.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `K` is singular (i.e. `s` is a pole at `p`).
+    pub fn transfer_sensitivities(
+        &self,
+        p: &[f64],
+        s: Complex64,
+    ) -> Result<Vec<Matrix<Complex64>>> {
+        let mut k = self.g_at(p).to_complex();
+        k.add_assign_scaled(s, &self.c_at(p).to_complex());
+        let lu = LuFactors::factor(&k)?;
+        let x = lu.solve_mat(&self.b.to_complex())?; // K⁻¹B
+        let lc = self.l.to_complex();
+        let mut out = Vec::with_capacity(self.num_params());
+        for i in 0..self.num_params() {
+            let mut mi = self.gi[i].to_complex();
+            mi.add_assign_scaled(s, &self.ci[i].to_complex());
+            let mx = mi.mul_mat(&x);
+            let kx = lu.solve_mat(&mx)?;
+            out.push(lc.tr_mul_mat(&kx).scaled(-Complex64::ONE));
+        }
+        Ok(out)
+    }
+
+    /// The first `k` block transfer-function moments at the nominal point:
+    /// `mⱼ = L̃ᵀ (-G̃⁻¹C̃)ʲ G̃⁻¹ B̃` for `j = 0..k`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G̃0` is singular.
+    pub fn nominal_transfer_moments(&self, k: usize) -> Result<Vec<Matrix<f64>>> {
+        let lu = LuFactors::factor(&self.g0)?;
+        let mut x = lu.solve_mat(&self.b)?;
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            out.push(self.l.tr_mul_mat(&x));
+            let cx = self.c0.mul_mat(&x);
+            x = lu.solve_mat(&cx)?.scaled(-1.0);
+        }
+        Ok(out)
+    }
+}
+
+/// Finite poles of a dense pencil `(G, C)` via `μ`-eigenvalues of `G⁻¹C`
+/// (shared by reduced models and small full models).
+///
+/// # Errors
+///
+/// Fails when `G` is singular or the eigensolver stalls.
+pub fn pencil_poles(g: &Matrix<f64>, c: &Matrix<f64>) -> Result<Vec<Complex64>> {
+    if g.nrows() != c.nrows() || g.ncols() != c.ncols() {
+        return Err(PmorError::Invalid(
+            "pencil_poles: G and C dimensions differ".into(),
+        ));
+    }
+    let lu = LuFactors::factor(g)?;
+    let t = lu.solve_mat(c)?;
+    let mus = eig::eigenvalues(&t)?;
+    // μ spectra of descriptor pencils contain near-zero values for the
+    // infinite poles; drop them relative to the largest μ.
+    let mu_max = mus.iter().map(|m| m.abs()).fold(0.0, f64::max);
+    if mu_max == 0.0 {
+        return Ok(Vec::new());
+    }
+    let mut poles: Vec<Complex64> = mus
+        .into_iter()
+        .filter(|m| m.abs() > 1e-12 * mu_max)
+        .map(|m| -m.recip())
+        .collect();
+    poles.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+    Ok(poles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor_sparse::CooBuilder;
+
+    /// RC low-pass as a "full" system small enough to double as its own ROM.
+    fn rc2() -> ParametricSystem {
+        // G = [[1/50+1/100, -1/100], [-1/100, 1/100]], C = diag(0, 1e-12)
+        let mut g = CooBuilder::new(2, 2);
+        g.stamp_pair(Some(0), None, 0.02);
+        g.stamp_pair(Some(0), Some(1), 0.01);
+        let mut c = CooBuilder::new(2, 2);
+        c.stamp_pair(Some(1), None, 1e-12);
+        let mut gi = CooBuilder::new(2, 2);
+        gi.stamp_pair(Some(0), Some(1), 0.01); // conductance tracks p0
+        let ci = CooBuilder::new(2, 2);
+        let mut b = Matrix::zeros(2, 1);
+        b[(0, 0)] = 1.0;
+        ParametricSystem {
+            g0: g.build_csr(),
+            c0: c.build_csr(),
+            gi: vec![gi.build_csr()],
+            ci: vec![ci.build_csr()],
+            b: b.clone(),
+            l: b,
+        }
+    }
+
+    fn identity_rom(sys: &ParametricSystem) -> ParametricRom {
+        ParametricRom::by_congruence(sys, &Matrix::identity(sys.dim()))
+    }
+
+    #[test]
+    fn identity_projection_reproduces_full_model() {
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        assert_eq!(rom.size(), 2);
+        // DC: H(0) = impedance at node 0 = 50 Ω.
+        let h = rom.transfer(&[0.0], Complex64::ZERO).unwrap();
+        assert!((h[(0, 0)].re - 50.0).abs() < 1e-9);
+        assert!(h[(0, 0)].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pole_of_rc_lowpass() {
+        // The single finite pole is at -1/(R_th C) with R_th = 100 Ω seen by
+        // the cap (series R from node1 to node0 then 50 || — actually node 1
+        // sees 100 + 50 = 150 Ω through to ground).
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let poles = rom.poles(&[0.0]).unwrap();
+        assert_eq!(poles.len(), 1);
+        let expect = -1.0 / (150.0 * 1e-12);
+        assert!(
+            (poles[0].re - expect).abs() < 1e-3 * expect.abs(),
+            "{poles:?} vs {expect}"
+        );
+        assert!(poles[0].im.abs() < 1.0);
+    }
+
+    #[test]
+    fn parameter_shifts_pole() {
+        // Raising p0 increases the series conductance (lower R), moving the
+        // pole to higher frequency (more negative).
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let p0 = rom.poles(&[0.0]).unwrap()[0].re;
+        let p1 = rom.poles(&[0.5]).unwrap()[0].re;
+        assert!(p1 < p0, "pole did not speed up: {p0} -> {p1}");
+    }
+
+    #[test]
+    fn transfer_at_pole_blows_up() {
+        // At the pole the pencil is singular up to roundoff: either the
+        // factorization fails outright or the response is enormous.
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let pole = rom.poles(&[0.0]).unwrap()[0];
+        match rom.transfer(&[0.0], pole) {
+            Err(_) => {}
+            Ok(h) => assert!(h[(0, 0)].abs() > 1e6, "finite response at pole: {h:?}"),
+        }
+        // Slightly off the pole the response is finite and modest.
+        let near = Complex64::new(pole.re * 0.5, 0.0);
+        let h = rom.transfer(&[0.0], near).unwrap();
+        assert!(h[(0, 0)].abs() < 1e4);
+    }
+
+    #[test]
+    fn passivity_stamp_detects_asymmetric_ports() {
+        let mut sys = rc2();
+        let rom = identity_rom(&sys);
+        assert!(rom.is_passive_stamp(&[0.0]).unwrap());
+        // Break B = L.
+        sys.l = Matrix::zeros(2, 1);
+        sys.l[(1, 0)] = 1.0;
+        let rom = identity_rom(&sys);
+        assert!(!rom.is_passive_stamp(&[0.0]).unwrap());
+    }
+
+    #[test]
+    fn moments_of_identity_rom_match_hand_computation() {
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let m = rom.nominal_transfer_moments(2).unwrap();
+        // m0 = Lᵀ G⁻¹ B = 50.
+        assert!((m[0][(0, 0)] - 50.0).abs() < 1e-9);
+        // m1 = -Lᵀ G⁻¹ C G⁻¹ B; x = G⁻¹B = [50, 50], Cx = [0, 5e-11],
+        // G⁻¹(Cx) = v with v0 = 50*5e-11... compute: solve G v = [0,5e-11]:
+        // v1 - v0 = 5e-11/0.01 ... v0 = 2.5e-9, v1 = 7.5e-9 → m1 = -2.5e-9.
+        assert!((m[1][(0, 0)] + 2.5e-9).abs() < 1e-18, "{}", m[1][(0, 0)]);
+    }
+
+    #[test]
+    fn transfer_sensitivities_match_finite_difference() {
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 2e9);
+        let p0 = [0.1];
+        let sens = rom.transfer_sensitivities(&p0, s).unwrap();
+        let dp = 1e-7;
+        let h0 = rom.transfer(&p0, s).unwrap()[(0, 0)];
+        let h1 = rom.transfer(&[p0[0] + dp], s).unwrap()[(0, 0)];
+        let fd = (h1 - h0) * (1.0 / dp);
+        let analytic = sens[0][(0, 0)];
+        assert!(
+            (fd - analytic).abs() < 1e-4 * analytic.abs().max(1e-12),
+            "fd {fd} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn sensitivity_is_zero_for_untouched_parameter() {
+        // Add a second parameter with no stamps.
+        let mut sys = rc2();
+        sys.gi.push(pmor_sparse::CsrMatrix::zeros(2, 2));
+        sys.ci.push(pmor_sparse::CsrMatrix::zeros(2, 2));
+        let rom = identity_rom(&sys);
+        let sens = rom
+            .transfer_sensitivities(&[0.0, 0.0], Complex64::jw(1e9))
+            .unwrap();
+        assert_eq!(sens.len(), 2);
+        assert!(sens[1].max_abs() < 1e-300);
+        assert!(sens[0].max_abs() > 0.0);
+    }
+
+    #[test]
+    fn pencil_poles_rejects_mismatched_dims() {
+        let g = Matrix::<f64>::identity(2);
+        let c = Matrix::<f64>::identity(3);
+        assert!(pencil_poles(&g, &c).is_err());
+    }
+}

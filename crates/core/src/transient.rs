@@ -1,0 +1,504 @@
+//! Time-domain (transient) simulation of full and reduced models.
+//!
+//! Interconnect macromodels ultimately feed timing analysis; this module
+//! closes the loop by integrating the descriptor equation
+//!
+//! ```text
+//! C(p) dx/dt = -G(p) x + B u(t)
+//! ```
+//!
+//! with A-stable one-step methods (backward Euler, trapezoidal). Both work
+//! directly on the DAE form (singular `C` is fine: the implicit-step matrix
+//! `C/h + θG` is nonsingular whenever the pencil is regular), for the full
+//! sparse system and for dense [`ParametricRom`]s — so reduced models can
+//! be validated in the domain where they are actually consumed.
+
+use crate::rom::ParametricRom;
+use crate::{PmorError, Result};
+use pmor_circuits::ParametricSystem;
+use pmor_num::lu::LuFactors;
+use pmor_num::vecops;
+use pmor_sparse::{ordering, SparseLu};
+
+/// Input stimulus applied to one input port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stimulus {
+    /// Zero input.
+    Zero,
+    /// `amplitude · 1(t ≥ t0)`.
+    Step {
+        /// Switching time, s.
+        t0: f64,
+        /// Final value.
+        amplitude: f64,
+    },
+    /// Linear rise from 0 at `t0` to `amplitude` at `t0 + rise`, then flat.
+    Ramp {
+        /// Start of the ramp, s.
+        t0: f64,
+        /// Rise time, s.
+        rise: f64,
+        /// Final value.
+        amplitude: f64,
+    },
+    /// `amplitude · sin(2πf·t)`.
+    Sine {
+        /// Frequency, Hz.
+        freq_hz: f64,
+        /// Peak value.
+        amplitude: f64,
+    },
+}
+
+impl Stimulus {
+    /// Evaluates the stimulus at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Stimulus::Zero => 0.0,
+            Stimulus::Step { t0, amplitude } => {
+                if t >= t0 {
+                    amplitude
+                } else {
+                    0.0
+                }
+            }
+            Stimulus::Ramp {
+                t0,
+                rise,
+                amplitude,
+            } => {
+                if t <= t0 {
+                    0.0
+                } else if t >= t0 + rise {
+                    amplitude
+                } else {
+                    amplitude * (t - t0) / rise
+                }
+            }
+            Stimulus::Sine { freq_hz, amplitude } => {
+                amplitude * (2.0 * std::f64::consts::PI * freq_hz * t).sin()
+            }
+        }
+    }
+}
+
+/// One-step integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrationMethod {
+    /// First-order, L-stable; damps everything (good default for DAEs).
+    BackwardEuler,
+    /// Second-order, A-stable; preserves ringing accurately.
+    Trapezoidal,
+}
+
+/// Transient analysis options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Simulation end time, s.
+    pub t_stop: f64,
+    /// Fixed step size, s.
+    pub dt: f64,
+    /// Integration scheme.
+    pub method: IntegrationMethod,
+}
+
+impl TransientOptions {
+    /// Backward-Euler options with `steps` uniform steps.
+    pub fn backward_euler(t_stop: f64, steps: usize) -> Self {
+        TransientOptions {
+            t_stop,
+            dt: t_stop / steps as f64,
+            method: IntegrationMethod::BackwardEuler,
+        }
+    }
+
+    /// Trapezoidal options with `steps` uniform steps.
+    pub fn trapezoidal(t_stop: f64, steps: usize) -> Self {
+        TransientOptions {
+            t_stop,
+            dt: t_stop / steps as f64,
+            method: IntegrationMethod::Trapezoidal,
+        }
+    }
+
+    fn validate(&self, num_inputs: usize, stimuli: &[Stimulus]) -> Result<()> {
+        if !(self.dt > 0.0) || !(self.t_stop > 0.0) || self.dt > self.t_stop {
+            return Err(PmorError::Invalid(format!(
+                "transient: bad time grid dt={} t_stop={}",
+                self.dt, self.t_stop
+            )));
+        }
+        if stimuli.len() != num_inputs {
+            return Err(PmorError::Invalid(format!(
+                "transient: {} stimuli for {} inputs",
+                stimuli.len(),
+                num_inputs
+            )));
+        }
+        Ok(())
+    }
+
+    fn theta(&self) -> f64 {
+        match self.method {
+            IntegrationMethod::BackwardEuler => 1.0,
+            IntegrationMethod::Trapezoidal => 0.5,
+        }
+    }
+}
+
+/// Result of a transient run: time points and output waveforms.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// Time points (including `t = 0`).
+    pub time: Vec<f64>,
+    /// Output samples: `outputs[j][k]` is output `j` at `time[k]`.
+    pub outputs: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// First time output `j` crosses `level` (linear interpolation), or
+    /// `None` if it never does.
+    pub fn crossing_time(&self, j: usize, level: f64) -> Option<f64> {
+        let y = &self.outputs[j];
+        for k in 1..y.len() {
+            let (a, b) = (y[k - 1], y[k]);
+            if (a < level && b >= level) || (a > level && b <= level) {
+                let frac = (level - a) / (b - a);
+                return Some(self.time[k - 1] + frac * (self.time[k] - self.time[k - 1]));
+            }
+        }
+        None
+    }
+
+    /// 50 %-of-final-value delay of output `j` — the standard interconnect
+    /// delay metric.
+    pub fn delay_50(&self, j: usize) -> Option<f64> {
+        let y_final = *self.outputs[j].last()?;
+        self.crossing_time(j, 0.5 * y_final)
+    }
+
+    /// Maximum overshoot of output `j` beyond its final value, as a
+    /// fraction of the final value.
+    pub fn overshoot(&self, j: usize) -> f64 {
+        let y = &self.outputs[j];
+        let y_final = *y.last().unwrap_or(&0.0);
+        if y_final == 0.0 {
+            return 0.0;
+        }
+        y.iter()
+            .map(|&v| (v - y_final) / y_final.abs())
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// θ-method step shared by the sparse and dense paths:
+///
+/// ```text
+/// (C/h + θG) x_{k+1} = (C/h - (1-θ)G) x_k + B·(θ u_{k+1} + (1-θ) u_k)
+/// ```
+fn input_vec(stimuli: &[Stimulus], t: f64) -> Vec<f64> {
+    stimuli.iter().map(|s| s.at(t)).collect()
+}
+
+/// Simulates the **full sparse** parametric system at parameter point `p`.
+///
+/// One sparse factorization of `C/h + θG(p)` is reused for all steps.
+///
+/// # Errors
+///
+/// Fails when the step matrix is singular (irregular pencil) or the options
+/// are inconsistent.
+pub fn simulate_full(
+    sys: &ParametricSystem,
+    p: &[f64],
+    stimuli: &[Stimulus],
+    opts: &TransientOptions,
+) -> Result<TransientResult> {
+    opts.validate(sys.num_inputs(), stimuli)?;
+    let theta = opts.theta();
+    let h = opts.dt;
+    let g = sys.g_at(p);
+    let c = sys.c_at(p);
+    // A = C/h + θG,   M = C/h − (1−θ)G.
+    let a = c.scaled(1.0 / h).add_scaled(theta, &g);
+    let m = c.scaled(1.0 / h).add_scaled(-(1.0 - theta), &g);
+    let perm = ordering::rcm(&a);
+    let lu = SparseLu::factor(&a, Some(&perm))?;
+
+    let n = sys.dim();
+    let steps = (opts.t_stop / h).round() as usize;
+    let mut x = vec![0.0; n];
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut outputs = vec![Vec::with_capacity(steps + 1); sys.num_outputs()];
+
+    let record = |x: &[f64], outputs: &mut Vec<Vec<f64>>| {
+        let y = sys.l.tr_mul_vec(x);
+        for (j, v) in y.into_iter().enumerate() {
+            outputs[j].push(v);
+        }
+    };
+    time.push(0.0);
+    record(&x, &mut outputs);
+
+    for k in 0..steps {
+        let t0 = k as f64 * h;
+        let t1 = t0 + h;
+        let u0 = input_vec(stimuli, t0);
+        let u1 = input_vec(stimuli, t1);
+        // rhs = M x + B (θ u1 + (1-θ) u0)
+        let mut rhs = m.mul_vec(&x);
+        let mut u = vec![0.0; u0.len()];
+        for i in 0..u.len() {
+            u[i] = theta * u1[i] + (1.0 - theta) * u0[i];
+        }
+        let bu = sys.b.mul_vec(&u);
+        vecops::axpy(1.0, &bu, &mut rhs);
+        x = lu.solve(&rhs)?;
+        time.push(t1);
+        record(&x, &mut outputs);
+    }
+    Ok(TransientResult { time, outputs })
+}
+
+/// Simulates a dense [`ParametricRom`] at parameter point `p`.
+///
+/// # Errors
+///
+/// Fails when the step matrix is singular or the options are inconsistent.
+pub fn simulate_rom(
+    rom: &ParametricRom,
+    p: &[f64],
+    stimuli: &[Stimulus],
+    opts: &TransientOptions,
+) -> Result<TransientResult> {
+    opts.validate(rom.num_inputs(), stimuli)?;
+    let theta = opts.theta();
+    let h = opts.dt;
+    let g = rom.g_at(p);
+    let c = rom.c_at(p);
+    let mut a = c.scaled(1.0 / h);
+    a.add_assign_scaled(theta, &g);
+    let mut m = c.scaled(1.0 / h);
+    m.add_assign_scaled(-(1.0 - theta), &g);
+    let lu = LuFactors::factor(&a)?;
+
+    let steps = (opts.t_stop / h).round() as usize;
+    let mut x = vec![0.0; rom.size()];
+    let mut time = Vec::with_capacity(steps + 1);
+    let mut outputs = vec![Vec::with_capacity(steps + 1); rom.num_outputs()];
+
+    let record = |x: &[f64], outputs: &mut Vec<Vec<f64>>| {
+        let y = rom.l.tr_mul_vec(x);
+        for (j, v) in y.into_iter().enumerate() {
+            outputs[j].push(v);
+        }
+    };
+    time.push(0.0);
+    record(&x, &mut outputs);
+
+    for k in 0..steps {
+        let t0 = k as f64 * h;
+        let t1 = t0 + h;
+        let u0 = input_vec(stimuli, t0);
+        let u1 = input_vec(stimuli, t1);
+        let mut rhs = m.mul_vec(&x);
+        let mut u = vec![0.0; u0.len()];
+        for i in 0..u.len() {
+            u[i] = theta * u1[i] + (1.0 - theta) * u0[i];
+        }
+        let bu = rom.b.mul_vec(&u);
+        vecops::axpy(1.0, &bu, &mut rhs);
+        x = lu.solve(&rhs)?;
+        time.push(t1);
+        record(&x, &mut outputs);
+    }
+    Ok(TransientResult { time, outputs })
+}
+
+/// Convenience wrapper keeping the dense step matrix factored across calls
+/// when sweeping many parameter points is not needed.
+pub fn step_response_rom(
+    rom: &ParametricRom,
+    p: &[f64],
+    t_stop: f64,
+    steps: usize,
+) -> Result<TransientResult> {
+    let stimuli = vec![
+        Stimulus::Step {
+            t0: 0.0,
+            amplitude: 1.0,
+        };
+        rom.num_inputs()
+    ];
+    simulate_rom(rom, p, &stimuli, &TransientOptions::trapezoidal(t_stop, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowrank::{LowRankOptions, LowRankPmor};
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+    use pmor_circuits::Netlist;
+
+    fn rc_lowpass() -> ParametricSystem {
+        // Driver 50Ω to ground at n0, series 100Ω to n1, 1pF at n1:
+        // current-source step into n0.
+        let mut net = Netlist::new(0);
+        let n0 = net.add_node();
+        let n1 = net.add_node();
+        net.add_resistor(Some(n0), None, 50.0);
+        net.add_resistor(Some(n0), Some(n1), 100.0);
+        net.add_capacitor(Some(n1), None, 1e-12);
+        net.add_input(n0);
+        net.add_output(n1);
+        net.assemble()
+    }
+
+    #[test]
+    fn step_response_matches_analytic_rc() {
+        // v1(t) = 50·(1 − exp(−t/τ)), τ = 150Ω · 1pF (unit current step).
+        let sys = rc_lowpass();
+        let tau = 150.0 * 1e-12;
+        let opts = TransientOptions::trapezoidal(8.0 * tau, 800);
+        let stim = [Stimulus::Step {
+            t0: 0.0,
+            amplitude: 1.0,
+        }];
+        let res = simulate_full(&sys, &[], &stim, &opts).unwrap();
+        for (k, &t) in res.time.iter().enumerate() {
+            let expect = 50.0 * (1.0 - (-t / tau).exp());
+            let got = res.outputs[0][k];
+            assert!(
+                (got - expect).abs() < 0.05 * 50.0 / 100.0 + 1e-4 * 50.0,
+                "t={t:.3e}: {got} vs {expect}"
+            );
+        }
+        // Final value and 50% delay.
+        assert!((res.outputs[0].last().unwrap() - 50.0).abs() < 0.05);
+        let d = res.delay_50(0).unwrap();
+        let expect_delay = tau * 2.0f64.ln();
+        assert!((d - expect_delay).abs() < 0.05 * expect_delay, "{d} vs {expect_delay}");
+    }
+
+    #[test]
+    fn backward_euler_converges_to_same_final_value() {
+        let sys = rc_lowpass();
+        let stim = [Stimulus::Step {
+            t0: 0.0,
+            amplitude: 1.0,
+        }];
+        let tau = 150.0 * 1e-12;
+        let be = simulate_full(
+            &sys,
+            &[],
+            &stim,
+            &TransientOptions::backward_euler(10.0 * tau, 400),
+        )
+        .unwrap();
+        assert!((be.outputs[0].last().unwrap() - 50.0).abs() < 0.1);
+        // BE never overshoots a first-order response.
+        assert!(be.overshoot(0) < 1e-9);
+    }
+
+    #[test]
+    fn rom_transient_matches_full_transient() {
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 40,
+            ..Default::default()
+        })
+        .assemble();
+        let rom = LowRankPmor::new(LowRankOptions {
+            s_order: 6,
+            param_order: 2,
+            rank: 2,
+            ..Default::default()
+        })
+        .reduce(&sys)
+        .unwrap();
+        let p = [0.2, -0.2, 0.1];
+        let stim = [Stimulus::Ramp {
+            t0: 0.0,
+            rise: 30e-12,
+            amplitude: 1.0,
+        }];
+        let opts = TransientOptions::trapezoidal(2e-9, 400);
+        let full = simulate_full(&sys, &p, &stim, &opts).unwrap();
+        let red = simulate_rom(&rom, &p, &stim, &opts).unwrap();
+        let scale = full.outputs[0]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()));
+        for k in 0..full.time.len() {
+            let d = (full.outputs[0][k] - red.outputs[0][k]).abs();
+            assert!(d < 1e-3 * scale, "step {k}: {d} vs scale {scale}");
+        }
+        // Delay metric agrees to sub-picosecond.
+        let df = full.delay_50(0).unwrap();
+        let dr = red.delay_50(0).unwrap();
+        assert!((df - dr).abs() < 1e-12, "{df} vs {dr}");
+    }
+
+    #[test]
+    fn sine_steady_state_amplitude_matches_transfer_function() {
+        let sys = rc_lowpass();
+        let f_hz = 1.0e9;
+        let stim = [Stimulus::Sine {
+            freq_hz: f_hz,
+            amplitude: 1.0,
+        }];
+        // Long run to pass the transient; fine steps for phase accuracy.
+        let opts = TransientOptions::trapezoidal(20.0 / f_hz, 4000);
+        let res = simulate_full(&sys, &[], &stim, &opts).unwrap();
+        // Steady-state peak over the last 2 periods.
+        let n = res.time.len();
+        let peak = res.outputs[0][(n * 9 / 10)..]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b.abs()));
+        let h = crate::eval::FullModel::new(&sys)
+            .transfer(&[], pmor_num::Complex64::jw(2.0 * std::f64::consts::PI * f_hz))
+            .unwrap()[(0, 0)]
+            .abs();
+        assert!((peak - h).abs() < 0.02 * h, "peak {peak} vs |H| {h}");
+    }
+
+    #[test]
+    fn stimulus_shapes() {
+        let s = Stimulus::Step { t0: 1.0, amplitude: 2.0 };
+        assert_eq!(s.at(0.5), 0.0);
+        assert_eq!(s.at(1.0), 2.0);
+        let r = Stimulus::Ramp { t0: 1.0, rise: 2.0, amplitude: 4.0 };
+        assert_eq!(r.at(0.5), 0.0);
+        assert_eq!(r.at(2.0), 2.0);
+        assert_eq!(r.at(5.0), 4.0);
+        assert_eq!(Stimulus::Zero.at(123.0), 0.0);
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let sys = rc_lowpass();
+        let stim = [Stimulus::Zero];
+        assert!(simulate_full(
+            &sys,
+            &[],
+            &stim,
+            &TransientOptions {
+                t_stop: 1.0,
+                dt: 0.0,
+                method: IntegrationMethod::BackwardEuler
+            }
+        )
+        .is_err());
+        // Wrong stimulus count.
+        assert!(simulate_full(&sys, &[], &[], &TransientOptions::trapezoidal(1e-9, 10)).is_err());
+    }
+
+    #[test]
+    fn crossing_time_interpolates() {
+        let res = TransientResult {
+            time: vec![0.0, 1.0, 2.0],
+            outputs: vec![vec![0.0, 1.0, 1.0]],
+        };
+        let t = res.crossing_time(0, 0.5).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!(res.crossing_time(0, 2.0).is_none());
+    }
+}

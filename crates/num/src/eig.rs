@@ -1,0 +1,440 @@
+//! Eigenvalue computation.
+//!
+//! Two solvers are provided:
+//!
+//! * [`eigenvalues`] — all eigenvalues of a real non-symmetric matrix, via
+//!   Householder–Hessenberg reduction followed by a complex shifted-QR
+//!   iteration with Wilkinson shifts. This is the pole extractor for reduced
+//!   and full interconnect models (`det(G + sC) = 0`).
+//! * [`symmetric_eigenvalues`] — all eigenvalues of a real symmetric matrix,
+//!   via cyclic Jacobi rotations. This is the positive-semidefiniteness
+//!   checker used by the passivity tests.
+
+use crate::matrix::Matrix;
+use crate::{Complex64, NumError, Result};
+
+/// Reduces a square real matrix to upper Hessenberg form by Householder
+/// similarity transforms (eigenvalues are preserved).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn hessenberg(a: &Matrix<f64>) -> Matrix<f64> {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "hessenberg: square matrix required");
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector from column k, rows k+1..n.
+        let mut v: Vec<f64> = (k + 1..n).map(|i| h[(i, k)]).collect();
+        let alpha = crate::vecops::norm2(&v);
+        if alpha == 0.0 {
+            continue;
+        }
+        let sign = if v[0] >= 0.0 { 1.0 } else { -1.0 };
+        v[0] += sign * alpha;
+        let vnorm = crate::vecops::norm2(&v);
+        if vnorm == 0.0 {
+            continue;
+        }
+        for x in v.iter_mut() {
+            *x /= vnorm;
+        }
+        // H <- P H P with P = I - 2 v vᵀ acting on rows/cols k+1..n.
+        // Left: rows k+1..n, all columns.
+        for c in 0..n {
+            let mut proj = 0.0;
+            for (i, &vi) in v.iter().enumerate() {
+                proj += vi * h[(k + 1 + i, c)];
+            }
+            let two_proj = 2.0 * proj;
+            for (i, &vi) in v.iter().enumerate() {
+                h[(k + 1 + i, c)] -= two_proj * vi;
+            }
+        }
+        // Right: columns k+1..n, all rows.
+        for r in 0..n {
+            let mut proj = 0.0;
+            for (i, &vi) in v.iter().enumerate() {
+                proj += h[(r, k + 1 + i)] * vi;
+            }
+            let two_proj = 2.0 * proj;
+            for (i, &vi) in v.iter().enumerate() {
+                h[(r, k + 1 + i)] -= two_proj * vi;
+            }
+        }
+        // Clean the annihilated entries exactly.
+        for i in (k + 2)..n {
+            h[(i, k)] = 0.0;
+        }
+    }
+    h
+}
+
+/// A complex Givens rotation `G` such that `G·[a; b] = [r; 0]`.
+#[derive(Clone, Copy)]
+struct Givens {
+    g00: Complex64,
+    g01: Complex64,
+    g10: Complex64,
+    g11: Complex64,
+}
+
+impl Givens {
+    fn annihilate(a: Complex64, b: Complex64) -> Givens {
+        let r = (a.norm_sqr() + b.norm_sqr()).sqrt();
+        if r == 0.0 {
+            return Givens {
+                g00: Complex64::ONE,
+                g01: Complex64::ZERO,
+                g10: Complex64::ZERO,
+                g11: Complex64::ONE,
+            };
+        }
+        let inv = 1.0 / r;
+        Givens {
+            g00: a.conj() * inv,
+            g01: b.conj() * inv,
+            g10: -b * inv,
+            g11: a * inv,
+        }
+    }
+}
+
+/// Maximum shifted-QR iterations per eigenvalue.
+const MAX_ITERS_PER_EIG: usize = 60;
+
+/// Computes all eigenvalues of a real square matrix.
+///
+/// Complex-conjugate pairs are returned as such (up to roundoff). The result
+/// is sorted by increasing magnitude.
+///
+/// # Errors
+///
+/// Returns [`NumError::NoConvergence`] if the QR iteration stagnates and
+/// [`NumError::DimensionMismatch`] for non-square input.
+pub fn eigenvalues(a: &Matrix<f64>) -> Result<Vec<Complex64>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(NumError::DimensionMismatch {
+            context: "eigenvalues (square matrix required)",
+            expected: n,
+            actual: a.ncols(),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let h = hessenberg(a);
+    let mut hc = h.to_complex();
+    let mut evals = complex_hessenberg_eigenvalues(&mut hc)?;
+    evals.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
+    Ok(evals)
+}
+
+/// Shifted QR on a complex upper-Hessenberg matrix (consumed as workspace).
+fn complex_hessenberg_eigenvalues(h: &mut Matrix<Complex64>) -> Result<Vec<Complex64>> {
+    let dim = h.nrows();
+    let eps = f64::EPSILON;
+    let mut evals = Vec::with_capacity(dim);
+    let mut hi = dim; // Active window is rows/cols [lo, hi).
+
+    let mut iters_since_deflation = 0usize;
+    while hi > 0 {
+        // Find the active block: scan subdiagonals upward from hi-1.
+        let mut lo = hi - 1;
+        while lo > 0 {
+            let s = h[(lo - 1, lo - 1)].abs() + h[(lo, lo)].abs();
+            let s = if s == 0.0 { 1.0 } else { s };
+            if h[(lo, lo - 1)].abs() <= eps * s {
+                h[(lo, lo - 1)] = Complex64::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+
+        if lo == hi - 1 {
+            // 1x1 block converged.
+            evals.push(h[(hi - 1, hi - 1)]);
+            hi -= 1;
+            iters_since_deflation = 0;
+            continue;
+        }
+
+        if iters_since_deflation >= MAX_ITERS_PER_EIG {
+            return Err(NumError::NoConvergence {
+                context: "shifted QR eigenvalue iteration",
+                iterations: MAX_ITERS_PER_EIG,
+            });
+        }
+
+        // Wilkinson shift from the trailing 2x2 of the active block, with an
+        // occasional exceptional shift to break symmetric cycling.
+        let shift = if iters_since_deflation > 0 && iters_since_deflation % 12 == 0 {
+            h[(hi - 1, hi - 1)] + Complex64::from_real(1.5 * h[(hi - 1, hi - 2)].abs())
+        } else {
+            wilkinson_shift(
+                h[(hi - 2, hi - 2)],
+                h[(hi - 2, hi - 1)],
+                h[(hi - 1, hi - 2)],
+                h[(hi - 1, hi - 1)],
+            )
+        };
+
+        // Explicit shifted QR step on the active window:
+        //   H - σI = QR ;  H <- RQ + σI.
+        for i in lo..hi {
+            let d = h[(i, i)];
+            h[(i, i)] = d - shift;
+        }
+        let mut rotations: Vec<Givens> = Vec::with_capacity(hi - lo - 1);
+        for k in lo..(hi - 1) {
+            let g = Givens::annihilate(h[(k, k)], h[(k + 1, k)]);
+            // Left-apply to rows k, k+1 over columns k..hi.
+            for c in k..hi {
+                let a0 = h[(k, c)];
+                let b0 = h[(k + 1, c)];
+                h[(k, c)] = g.g00 * a0 + g.g01 * b0;
+                h[(k + 1, c)] = g.g10 * a0 + g.g11 * b0;
+            }
+            h[(k + 1, k)] = Complex64::ZERO;
+            rotations.push(g);
+        }
+        for (idx, g) in rotations.iter().enumerate() {
+            let k = lo + idx;
+            // Right-apply Gᴴ to columns k, k+1 over rows lo..min(k+2, hi).
+            let rmax = (k + 2).min(hi);
+            for r in lo..rmax {
+                let a0 = h[(r, k)];
+                let b0 = h[(r, k + 1)];
+                h[(r, k)] = a0 * g.g00.conj() + b0 * g.g01.conj();
+                h[(r, k + 1)] = a0 * g.g10.conj() + b0 * g.g11.conj();
+            }
+        }
+        for i in lo..hi {
+            let d = h[(i, i)];
+            h[(i, i)] = d + shift;
+        }
+        iters_since_deflation += 1;
+    }
+    Ok(evals)
+}
+
+/// Eigenvalue of `[[a, b], [c, d]]` closest to `d` (the Wilkinson shift).
+fn wilkinson_shift(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Complex64 {
+    let tr = a + d;
+    let det = a * d - b * c;
+    let half_tr = tr * 0.5;
+    let disc = (half_tr * half_tr - det).sqrt();
+    let l1 = half_tr + disc;
+    let l2 = half_tr - disc;
+    if (l1 - d).abs() <= (l2 - d).abs() {
+        l1
+    } else {
+        l2
+    }
+}
+
+/// Maximum Jacobi sweeps for the symmetric eigensolver.
+const MAX_JACOBI_SWEEPS: usize = 50;
+
+/// Computes all eigenvalues of a real **symmetric** matrix by cyclic Jacobi.
+///
+/// Only the lower triangle is read. The result is sorted ascending.
+///
+/// # Errors
+///
+/// Returns [`NumError::NoConvergence`] if the sweeps fail to drive the
+/// off-diagonal to zero and [`NumError::DimensionMismatch`] for non-square
+/// input.
+pub fn symmetric_eigenvalues(a: &Matrix<f64>) -> Result<Vec<f64>> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(NumError::DimensionMismatch {
+            context: "symmetric_eigenvalues (square matrix required)",
+            expected: n,
+            actual: a.ncols(),
+        });
+    }
+    // Symmetrize defensively: callers hold matrices that are symmetric up to
+    // roundoff (congruence products).
+    let mut m = Matrix::from_fn(n, n, |r, c| 0.5 * (a[(r, c)] + a[(c, r)]));
+    let eps = f64::EPSILON;
+
+    let scale = m.max_abs().max(1e-300);
+    for _sweep in 0..MAX_JACOBI_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                // Relative to the local diagonal, with a global floor so an
+                // entry cannot hide next to a zero diagonal pair.
+                let local = m[(p, p)].abs() + m[(q, q)].abs();
+                if apq.abs() <= eps * (local + scale) {
+                    continue;
+                }
+                rotated = true;
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Apply rotation to rows/columns p and q.
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = c * akp - s * akq;
+                    m[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = c * apk - s * aqk;
+                    m[(q, k)] = s * apk + c * aqk;
+                }
+                // The rotation annihilates (p,q) analytically; make it
+                // exact so roundoff cannot stall convergence.
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+            }
+        }
+        if !rotated {
+            let mut evals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+            evals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            return Ok(evals);
+        }
+    }
+    Err(NumError::NoConvergence {
+        context: "cyclic Jacobi symmetric eigensolver",
+        iterations: MAX_JACOBI_SWEEPS,
+    })
+}
+
+/// Returns `true` when the symmetric matrix is positive semidefinite up to
+/// the tolerance `tol · max|A|` on the smallest eigenvalue.
+///
+/// # Errors
+///
+/// Propagates [`symmetric_eigenvalues`] errors.
+pub fn is_positive_semidefinite(a: &Matrix<f64>, tol: f64) -> Result<bool> {
+    if a.nrows() == 0 {
+        return Ok(true);
+    }
+    let evals = symmetric_eigenvalues(a)?;
+    let scale = a.max_abs().max(1e-300);
+    Ok(evals[0] >= -tol * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains_eig(evals: &[Complex64], want: Complex64, tol: f64) -> bool {
+        evals.iter().any(|e| (*e - want).abs() < tol)
+    }
+
+    #[test]
+    fn hessenberg_preserves_structure_and_trace() {
+        let a = Matrix::from_fn(6, 6, |r, c| ((r * 6 + c) as f64).sin());
+        let h = hessenberg(&a);
+        for i in 0..6usize {
+            for j in 0..i.saturating_sub(1) {
+                assert_eq!(h[(i, j)], 0.0, "({i},{j}) not annihilated");
+            }
+        }
+        let tr_a: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        let tr_h: f64 = (0..6).map(|i| h[(i, i)]).sum();
+        assert!((tr_a - tr_h).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_eigenvalues() {
+        let a = Matrix::from_diag(&[1.0, -2.0, 3.0]);
+        let e = eigenvalues(&a).unwrap();
+        assert!(contains_eig(&e, Complex64::from_real(1.0), 1e-10));
+        assert!(contains_eig(&e, Complex64::from_real(-2.0), 1e-10));
+        assert!(contains_eig(&e, Complex64::from_real(3.0), 1e-10));
+    }
+
+    #[test]
+    fn rotation_matrix_has_complex_pair() {
+        // [[0,-1],[1,0]] has eigenvalues ±i.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]);
+        let e = eigenvalues(&a).unwrap();
+        assert!(contains_eig(&e, Complex64::I, 1e-10));
+        assert!(contains_eig(&e, -Complex64::I, 1e-10));
+    }
+
+    #[test]
+    fn known_3x3() {
+        // Companion matrix of (λ-1)(λ-2)(λ-3) = λ³ - 6λ² + 11λ - 6.
+        let a = Matrix::from_rows(&[&[0.0, 0.0, 6.0], &[1.0, 0.0, -11.0], &[0.0, 1.0, 6.0]]);
+        let e = eigenvalues(&a).unwrap();
+        for want in [1.0, 2.0, 3.0] {
+            assert!(contains_eig(&e, Complex64::from_real(want), 1e-8), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn random_matrix_characteristic_invariants() {
+        // Eigenvalues must reproduce trace (sum) and determinant (product).
+        let n = 12;
+        let a = Matrix::from_fn(n, n, |r, c| {
+            ((r * 31 + c * 17 + 3) as f64).sin() + if r == c { 2.0 } else { 0.0 }
+        });
+        let e = eigenvalues(&a).unwrap();
+        let sum: Complex64 = e.iter().copied().sum();
+        let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        assert!((sum.re - tr).abs() < 1e-8, "trace mismatch: {} vs {}", sum.re, tr);
+        assert!(sum.im.abs() < 1e-8);
+        let prod = e.iter().fold(Complex64::ONE, |acc, &z| acc * z);
+        let det = crate::lu::LuFactors::factor(&a).unwrap().det();
+        assert!((prod.re - det).abs() < 1e-6 * det.abs().max(1.0));
+    }
+
+    #[test]
+    fn stable_rc_style_matrix_has_negative_real_eigs() {
+        // -tridiag(1,-2,1) scaled: all eigenvalues real negative.
+        let n = 10;
+        let a = Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                -2.0
+            } else if r.abs_diff(c) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let e = eigenvalues(&a).unwrap();
+        for z in &e {
+            assert!(z.re < 0.0, "unstable eigenvalue {z}");
+            assert!(z.im.abs() < 1e-9, "unexpected imaginary part {z}");
+        }
+    }
+
+    #[test]
+    fn symmetric_jacobi_known_values() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigenvalues(&a).unwrap();
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psd_detection() {
+        let psd = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 2.0]]);
+        assert!(is_positive_semidefinite(&psd, 1e-12).unwrap());
+        let indef = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert!(!is_positive_semidefinite(&indef, 1e-12).unwrap());
+        // Singular PSD (rank deficient) counts as PSD.
+        let spsd = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(is_positive_semidefinite(&spsd, 1e-12).unwrap());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let a = Matrix::<f64>::zeros(0, 0);
+        assert!(eigenvalues(&a).unwrap().is_empty());
+        assert!(is_positive_semidefinite(&a, 1e-12).unwrap());
+    }
+}

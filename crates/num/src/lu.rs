@@ -1,0 +1,256 @@
+//! Dense LU factorization with partial pivoting, generic over [`Scalar`].
+//!
+//! Used for reduced-order system solves (`(G̃ + sC̃)x̃ = B̃` at every frequency
+//! point) and as the reduction step inside the generalized eigensolver.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{NumError, Result};
+
+/// The factors `P·A = L·U` of a square matrix, stored packed.
+#[derive(Debug, Clone)]
+pub struct LuFactors<T: Scalar> {
+    /// Packed `L` (unit lower, below diagonal) and `U` (upper incl. diagonal).
+    lu: Matrix<T>,
+    /// Row permutation: `perm[k]` is the original row now in position `k`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, `+1` or `-1` (used by [`LuFactors::det`]).
+    perm_sign: f64,
+}
+
+impl<T: Scalar> LuFactors<T> {
+    /// Factors a square matrix with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] when a pivot column is exactly zero and
+    /// [`NumError::DimensionMismatch`] for non-square input.
+    pub fn factor(a: &Matrix<T>) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(NumError::DimensionMismatch {
+                context: "LuFactors::factor (square matrix required)",
+                expected: n,
+                actual: a.ncols(),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: choose the largest magnitude in column k.
+            let mut piv = k;
+            let mut piv_mag = lu[(k, k)].modulus();
+            for r in (k + 1)..n {
+                let m = lu[(r, k)].modulus();
+                if m > piv_mag {
+                    piv = r;
+                    piv_mag = m;
+                }
+            }
+            if piv_mag == 0.0 {
+                return Err(NumError::Singular(k));
+            }
+            if piv != k {
+                lu.swap_rows(piv, k);
+                perm.swap(piv, k);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            let pivot_inv = pivot.recip();
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] * pivot_inv;
+                lu[(r, k)] = factor;
+                if factor == T::ZERO {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let u = lu[(k, c)];
+                    lu[(r, c)] -= factor * u;
+                }
+            }
+        }
+        Ok(LuFactors {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumError::DimensionMismatch {
+                context: "LuFactors::solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower factor.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with upper factor.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc * self.lu[(i, i)].recip();
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b.nrows() != dim()`.
+    pub fn solve_mat(&self, b: &Matrix<T>) -> Result<Matrix<T>> {
+        let n = self.dim();
+        if b.nrows() != n {
+            return Err(NumError::DimensionMismatch {
+                context: "LuFactors::solve_mat",
+                expected: n,
+                actual: b.nrows(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.ncols());
+        for j in 0..b.ncols() {
+            let x = self.solve(&b.col(j))?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> T {
+        let mut d = T::from_f64(self.perm_sign);
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Explicit inverse; prefer [`LuFactors::solve`] when possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (which cannot occur for a successfully
+    /// factored matrix of matching dimension).
+    pub fn inverse(&self) -> Result<Matrix<T>> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+
+    /// Smallest pivot magnitude — a cheap singularity indicator.
+    pub fn min_pivot(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.lu[(i, i)].modulus())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&[5.0, -2.0, 9.0]).unwrap();
+        let expect = [1.0, 1.0, 2.0];
+        for (xi, ei) in x.iter().zip(expect.iter()) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn residual_is_small_on_random_matrix() {
+        // Deterministic pseudo-random fill.
+        let n = 30;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let a = Matrix::from_fn(n, n, |r, c| next() + if r == c { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = crate::vecops::sub(&a.mul_vec(&x), &b);
+        assert!(crate::vecops::norm2(&r) < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(LuFactors::factor(&a), Err(NumError::Singular(_))));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::factor(&a),
+            Err(NumError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn det_matches_cofactor_expansion() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        assert!((lu.det() - (-2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let inv = LuFactors::factor(&a).unwrap().inverse().unwrap();
+        assert!(a.mul_mat(&inv).approx_eq(&Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn complex_system_solves() {
+        let i = Complex64::I;
+        let a = Matrix::from_rows(&[
+            &[Complex64::ONE + i, Complex64::new(2.0, 0.0)],
+            &[Complex64::new(0.0, -1.0), Complex64::new(3.0, 1.0)],
+        ]);
+        let b = vec![Complex64::new(1.0, 0.0), Complex64::new(0.0, 1.0)];
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = crate::vecops::sub(&a.mul_vec(&x), &b);
+        assert!(crate::vecops::norm2(&r) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-15 && (x[1] - 2.0).abs() < 1e-15);
+        assert!((lu.det() + 1.0).abs() < 1e-15);
+    }
+}

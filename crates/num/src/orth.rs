@@ -1,0 +1,245 @@
+//! Incremental orthonormalization with deflation.
+//!
+//! Every Krylov routine in the workspace (PRIMA, multi-parameter moment
+//! matching, multi-point expansion, Algorithm 1) funnels its candidate
+//! vectors through [`OrthoBasis`]: a growing orthonormal basis maintained by
+//! modified Gram–Schmidt with a second re-orthogonalization pass ("twice is
+//! enough", Kahan/Parlett) and automatic deflation of directions already
+//! contained in the span.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vecops;
+
+/// Default relative deflation tolerance: a candidate whose norm after
+/// projection falls below `tol × original norm` is considered linearly
+/// dependent and dropped.
+pub const DEFAULT_DEFLATION_TOL: f64 = 1e-10;
+
+/// A growing orthonormal basis.
+///
+/// # Example
+///
+/// ```
+/// use pmor_num::orth::OrthoBasis;
+///
+/// let mut basis = OrthoBasis::new(3);
+/// assert!(basis.insert(&[1.0, 0.0, 0.0]));
+/// assert!(basis.insert(&[1.0, 1.0, 0.0]));
+/// // A dependent vector is deflated:
+/// assert!(!basis.insert(&[2.0, 2.0, 0.0]));
+/// assert_eq!(basis.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrthoBasis<T = f64> {
+    dim: usize,
+    cols: Vec<Vec<T>>,
+    tol: f64,
+}
+
+impl<T: Scalar> OrthoBasis<T> {
+    /// Creates an empty basis for vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        OrthoBasis {
+            dim,
+            cols: Vec::new(),
+            tol: DEFAULT_DEFLATION_TOL,
+        }
+    }
+
+    /// Creates an empty basis with a custom deflation tolerance.
+    pub fn with_tolerance(dim: usize, tol: f64) -> Self {
+        OrthoBasis {
+            dim,
+            cols: Vec::new(),
+            tol,
+        }
+    }
+
+    /// Vector length this basis lives in.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Current number of basis vectors.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Returns `true` when the basis has no vectors yet.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Borrows the `k`-th basis vector.
+    pub fn vector(&self, k: usize) -> &[T] {
+        &self.cols[k]
+    }
+
+    /// Orthogonalizes `v` in place against the current basis (two MGS
+    /// passes) and returns its remaining norm.
+    pub fn orthogonalize(&self, v: &mut [T]) -> f64 {
+        assert_eq!(v.len(), self.dim, "orthogonalize: dimension mismatch");
+        for _pass in 0..2 {
+            for q in &self.cols {
+                let h = vecops::dot(q, v);
+                if h != T::ZERO {
+                    vecops::axpy(-h, q, v);
+                }
+            }
+        }
+        vecops::norm2(v)
+    }
+
+    /// Attempts to insert `v`; returns `true` when a new direction was added
+    /// and `false` when `v` was deflated as linearly dependent.
+    pub fn insert(&mut self, v: &[T]) -> bool {
+        let orig = vecops::norm2(v);
+        if orig == 0.0 || !orig.is_finite() {
+            return false;
+        }
+        let mut w = v.to_vec();
+        let rem = self.orthogonalize(&mut w);
+        if rem <= self.tol * orig {
+            return false;
+        }
+        vecops::scale(T::from_f64(1.0 / rem), &mut w);
+        self.cols.push(w);
+        true
+    }
+
+    /// Inserts every column of `block`, returning how many survived
+    /// deflation.
+    pub fn insert_block(&mut self, block: &Matrix<T>) -> usize {
+        assert_eq!(block.nrows(), self.dim, "insert_block: dimension mismatch");
+        let mut added = 0;
+        for j in 0..block.ncols() {
+            if self.insert(&block.col(j)) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Inserts every vector in `vectors`, returning how many survived.
+    pub fn insert_all<'a, I>(&mut self, vectors: I) -> usize
+    where
+        I: IntoIterator<Item = &'a [T]>,
+        T: 'a,
+    {
+        let mut added = 0;
+        for v in vectors {
+            if self.insert(v) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Assembles the basis into a dense `dim × len` matrix.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        Matrix::from_cols(&self.cols)
+    }
+
+    /// Consumes the basis, returning its columns.
+    pub fn into_columns(self) -> Vec<Vec<T>> {
+        self.cols
+    }
+
+    /// Largest off-diagonal entry of `QᵀQ` — a measure of the loss of
+    /// orthogonality (should be ~1e-14 for healthy bases).
+    pub fn orthogonality_defect(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.cols.len() {
+            for j in 0..i {
+                worst = worst.max(vecops::dot(&self.cols[i], &self.cols[j]).modulus());
+            }
+        }
+        worst
+    }
+}
+
+/// Orthonormalizes the columns of `a`, dropping dependent directions, and
+/// returns the resulting basis matrix (possibly with fewer columns).
+pub fn orthonormalize_columns<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    let mut basis = OrthoBasis::new(a.nrows());
+    basis.insert_block(a);
+    basis.to_matrix()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_orthonormal_basis() {
+        let mut b = OrthoBasis::new(4);
+        for j in 0..4 {
+            let v: Vec<f64> = (0..4).map(|i| ((i * j + i + 1) as f64).sin() + 1.0).collect();
+            b.insert(&v);
+        }
+        assert!(b.orthogonality_defect() < 1e-12);
+        for k in 0..b.len() {
+            assert!((vecops::norm2(b.vector(k)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deflates_dependent_vectors() {
+        let mut b = OrthoBasis::new(3);
+        assert!(b.insert(&[1.0, 2.0, 3.0]));
+        assert!(!b.insert(&[2.0, 4.0, 6.0]));
+        assert!(!b.insert(&[-0.5, -1.0, -1.5]));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn zero_vector_rejected() {
+        let mut b = OrthoBasis::new(2);
+        assert!(!b.insert(&[0.0, 0.0]));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn reorthogonalization_fixes_near_dependence() {
+        // Nearly dependent vectors stress a single-pass MGS; the second pass
+        // must keep the defect at machine precision.
+        let mut b = OrthoBasis::new(3);
+        b.insert(&[1.0, 0.0, 0.0]);
+        b.insert(&[1.0, 1e-9, 0.0]);
+        b.insert(&[1.0, 1e-9, 1e-9]);
+        assert!(b.orthogonality_defect() < 1e-12, "{}", b.orthogonality_defect());
+    }
+
+    #[test]
+    fn insert_block_counts_additions() {
+        let block = Matrix::from_cols(&[
+            vec![1.0, 0.0, 0.0],
+            vec![2.0, 0.0, 0.0], // dependent
+            vec![0.0, 1.0, 0.0],
+        ]);
+        let mut b = OrthoBasis::new(3);
+        assert_eq!(b.insert_block(&block), 2);
+    }
+
+    #[test]
+    fn to_matrix_has_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 4, |r, c| ((r + c * c) as f64).cos());
+        let q = orthonormalize_columns(&a);
+        let qtq = q.tr_mul_mat(&q);
+        assert!(qtq.approx_eq(&Matrix::identity(q.ncols()), 1e-12));
+    }
+
+    #[test]
+    fn span_is_preserved() {
+        // Each original column must be reproducible from the basis.
+        let a = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c + 1) as f64).sqrt());
+        let q = orthonormalize_columns(&a);
+        for j in 0..a.ncols() {
+            let col = a.col(j);
+            let coeffs = q.tr_mul_vec(&col);
+            let recon = q.mul_vec(&coeffs);
+            assert!(vecops::rel_err(&recon, &col) < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Householder QR factorization.
+//!
+//! Provides the thin (economy) factorization `A = Q·R` with `Q` having
+//! orthonormal columns. Used by the randomized low-rank SVD (range finding)
+//! and as a robust fallback for basis orthonormalization.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::{NumError, Result};
+
+/// The thin QR factorization of an `m × n` matrix with `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct QrFactors<T: Scalar> {
+    /// `m × n` matrix with orthonormal columns.
+    pub q: Matrix<T>,
+    /// `n × n` upper-triangular factor.
+    pub r: Matrix<T>,
+}
+
+/// Computes the thin QR factorization by Householder reflections.
+///
+/// # Errors
+///
+/// Returns [`NumError::DimensionMismatch`] when `m < n` (wide matrices are
+/// not supported; factor the transpose instead).
+pub fn qr_thin<T: Scalar>(a: &Matrix<T>) -> Result<QrFactors<T>> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m < n {
+        return Err(NumError::DimensionMismatch {
+            context: "qr_thin (requires nrows >= ncols)",
+            expected: n,
+            actual: m,
+        });
+    }
+    // Working copy that becomes R in its upper triangle; Householder vectors
+    // are stored separately for the Q back-accumulation.
+    let mut r = a.clone();
+    let mut reflectors: Vec<Vec<T>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut v: Vec<T> = (k..m).map(|i| r[(i, k)]).collect();
+        let alpha = crate::vecops::norm2(&v);
+        if alpha == 0.0 {
+            reflectors.push(vec![T::ZERO; m - k]);
+            continue;
+        }
+        // Choose the sign that avoids cancellation: v0 <- v0 + sign(v0)·α
+        // where sign is taken on the complex unit circle.
+        let v0 = v[0];
+        let phase = if v0.modulus() == 0.0 {
+            T::ONE
+        } else {
+            v0 * T::from_f64(1.0 / v0.modulus())
+        };
+        let beta = phase * T::from_f64(alpha);
+        v[0] += beta;
+        let vnorm = crate::vecops::norm2(&v);
+        if vnorm > 0.0 {
+            crate::vecops::scale(T::from_f64(1.0 / vnorm), &mut v);
+        }
+        // Apply the reflector H = I - 2 v v* to the trailing columns of R.
+        for c in k..n {
+            let mut proj = T::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                proj += vi.conj() * r[(k + i, c)];
+            }
+            let two_proj = proj * T::from_f64(2.0);
+            for (i, vi) in v.iter().enumerate() {
+                let upd = *vi * two_proj;
+                r[(k + i, c)] -= upd;
+            }
+        }
+        reflectors.push(v);
+    }
+
+    // Back-accumulate Q = H_0 H_1 ... H_{n-1} applied to the first n columns
+    // of the identity.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q[(j, j)] = T::ONE;
+    }
+    for k in (0..n).rev() {
+        let v = &reflectors[k];
+        if v.iter().all(|x| *x == T::ZERO) {
+            continue;
+        }
+        for c in 0..n {
+            let mut proj = T::ZERO;
+            for (i, vi) in v.iter().enumerate() {
+                proj += vi.conj() * q[(k + i, c)];
+            }
+            let two_proj = proj * T::from_f64(2.0);
+            for (i, vi) in v.iter().enumerate() {
+                let upd = *vi * two_proj;
+                q[(k + i, c)] -= upd;
+            }
+        }
+    }
+
+    // Zero out the strictly-lower part of R and truncate to n×n.
+    let mut r_out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_out[(i, j)] = r[(i, j)];
+        }
+    }
+    Ok(QrFactors { q, r: r_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex64;
+
+    fn check_qr(a: &Matrix<f64>, tol: f64) {
+        let QrFactors { q, r } = qr_thin(a).unwrap();
+        // Reconstruction.
+        assert!(q.mul_mat(&r).approx_eq(a, tol), "QR != A");
+        // Orthonormality.
+        let qtq = q.tr_mul_mat(&q);
+        assert!(
+            qtq.approx_eq(&Matrix::identity(a.ncols()), tol),
+            "QᵀQ != I: {qtq:?}"
+        );
+        // Upper-triangularity.
+        for i in 0..r.nrows() {
+            for j in 0..i {
+                assert!(r[(i, j)].abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn square_qr() {
+        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        check_qr(&a, 1e-10);
+    }
+
+    #[test]
+    fn tall_qr() {
+        let a = Matrix::from_fn(10, 3, |r, c| ((r * 7 + c * 3) as f64).sin() + 0.1);
+        check_qr(&a, 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_column_does_not_panic() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 0.0], &[2.0, 4.0, 0.0], &[3.0, 6.0, 0.0]]);
+        let QrFactors { q, r } = qr_thin(&a).unwrap();
+        assert!(q.mul_mat(&r).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert!(qr_thin(&a).is_err());
+    }
+
+    #[test]
+    fn complex_qr_is_unitary() {
+        let a = Matrix::from_fn(6, 3, |r, c| {
+            Complex64::new(((r + 2 * c) as f64).sin(), ((r * c) as f64).cos())
+        });
+        let QrFactors { q, r } = qr_thin(&a).unwrap();
+        assert!(q.mul_mat(&r).approx_eq(&a, 1e-10));
+        let qhq = q.adjoint().mul_mat(&q);
+        assert!(qhq.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+}

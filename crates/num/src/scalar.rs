@@ -1,0 +1,171 @@
+//! The [`Scalar`] abstraction over real and complex field elements.
+//!
+//! Dense and sparse factorizations in this workspace are written once,
+//! generically over `Scalar`, and instantiated at `f64` (real descriptor
+//! systems, Krylov recurrences) and [`Complex64`] (frequency sweeps of
+//! `(G + sC)x = b` with `s = jω`).
+
+use crate::Complex64;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A field element usable by the generic factorization kernels.
+///
+/// The trait is sealed in spirit: it is implemented for `f64` and
+/// [`Complex64`] and downstream crates are not expected to add
+/// implementations, though nothing prevents it.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Embeds a real number into the field.
+    fn from_f64(x: f64) -> Self;
+
+    /// Magnitude used for pivoting and convergence tests.
+    fn modulus(self) -> f64;
+
+    /// Complex conjugate (identity for reals).
+    fn conj(self) -> Self;
+
+    /// Real part.
+    fn real(self) -> f64;
+
+    /// Imaginary part (zero for reals).
+    fn imag(self) -> f64;
+
+    /// Multiplicative inverse.
+    fn recip(self) -> Self;
+
+    /// Returns `true` when the value contains no NaN/Inf component.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+
+    #[inline]
+    fn from_f64(x: f64) -> f64 {
+        x
+    }
+
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn conj(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn real(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn imag(self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn recip(self) -> f64 {
+        1.0 / self
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for Complex64 {
+    const ZERO: Complex64 = Complex64::ZERO;
+    const ONE: Complex64 = Complex64::ONE;
+
+    #[inline]
+    fn from_f64(x: f64) -> Complex64 {
+        Complex64::from_real(x)
+    }
+
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+
+    #[inline]
+    fn conj(self) -> Complex64 {
+        Complex64::conj(self)
+    }
+
+    #[inline]
+    fn real(self) -> f64 {
+        self.re
+    }
+
+    #[inline]
+    fn imag(self) -> f64 {
+        self.im
+    }
+
+    #[inline]
+    fn recip(self) -> Complex64 {
+        Complex64::recip(self)
+    }
+
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_laws<T: Scalar>(a: T, b: T) {
+        assert_eq!(a + T::ZERO, a);
+        assert_eq!(a * T::ONE, a);
+        let ab = a * b;
+        let ba = b * a;
+        assert!((ab - ba).modulus() < 1e-12);
+        if b.modulus() > 0.0 {
+            assert!(((a / b) * b - a).modulus() < 1e-10 * a.modulus().max(1.0));
+        }
+    }
+
+    #[test]
+    fn f64_field_laws() {
+        field_laws(3.5f64, -1.25f64);
+        assert_eq!(2.0f64.conj(), 2.0);
+        assert_eq!((-2.0f64).modulus(), 2.0);
+    }
+
+    #[test]
+    fn complex_field_laws() {
+        field_laws(Complex64::new(1.0, 2.0), Complex64::new(-3.0, 0.5));
+        assert_eq!(Complex64::new(1.0, 2.0).imag(), 2.0);
+        assert_eq!(<Complex64 as Scalar>::from_f64(4.0), Complex64::new(4.0, 0.0));
+    }
+}

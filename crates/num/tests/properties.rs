@@ -1,0 +1,187 @@
+//! Property-based tests of the dense linear-algebra kernels.
+
+use pmor_num::lu::LuFactors;
+use pmor_num::orth::{orthonormalize_columns, OrthoBasis};
+use pmor_num::qr::qr_thin;
+use pmor_num::svd::svd;
+use pmor_num::{eig, vecops, Complex64, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled dense matrix of the given shape.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols).prop_map(move |data| {
+        Matrix::from_fn(rows, cols, |r, c| data[r * cols + c])
+    })
+}
+
+/// Strategy: a diagonally dominant (hence nonsingular) square matrix.
+fn dd_matrix(n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    matrix(n, n).prop_map(move |m| {
+        let mut out = m;
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| out[(i, j)].abs()).sum();
+            out[(i, i)] = row_sum + 1.0;
+        }
+        out
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solution_satisfies_system(a in dd_matrix(8), b in vector(8)) {
+        let lu = LuFactors::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = vecops::sub(&a.mul_vec(&x), &b);
+        prop_assert!(vecops::norm2(&r) < 1e-8 * vecops::norm2(&b).max(1.0));
+    }
+
+    #[test]
+    fn lu_det_is_multiplicative(a in dd_matrix(5), b in dd_matrix(5)) {
+        let da = LuFactors::factor(&a).unwrap().det();
+        let db = LuFactors::factor(&b).unwrap().det();
+        let dab = LuFactors::factor(&a.mul_mat(&b)).unwrap().det();
+        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_is_orthonormal(a in matrix(10, 4)) {
+        let f = qr_thin(&a).unwrap();
+        prop_assert!(f.q.mul_mat(&f.r).approx_eq(&a, 1e-8 * a.max_abs().max(1.0)));
+        let qtq = f.q.tr_mul_mat(&f.q);
+        // Columns corresponding to nonzero R diagonal must be orthonormal.
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((qtq[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_with_ordered_singular_values(a in matrix(7, 5)) {
+        let s = svd(&a).unwrap();
+        prop_assert!(s.reconstruct().approx_eq(&a, 1e-7 * a.max_abs().max(1.0)));
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Frobenius norm identity: ‖A‖²_F = Σ σ².
+        let fro2: f64 = s.sigma.iter().map(|x| x * x).sum();
+        prop_assert!((fro2.sqrt() - a.norm_fro()).abs() < 1e-7 * a.norm_fro().max(1.0));
+    }
+
+    #[test]
+    fn svd_truncation_is_optimal_in_frobenius(a in matrix(6, 6)) {
+        // Eckart–Young sanity: rank-k truncation error is Σ_{j>k} σ²_j.
+        let s = svd(&a).unwrap();
+        for k in [1usize, 3] {
+            let err = a.sub_mat(&s.truncated(k).reconstruct()).norm_fro();
+            let expect: f64 = s.sigma[k..].iter().map(|x| x * x).sum::<f64>().sqrt();
+            prop_assert!((err - expect).abs() < 1e-7 * expect.max(1.0));
+        }
+    }
+
+    #[test]
+    fn eigenvalues_preserve_trace_and_det(a in dd_matrix(6)) {
+        let evals = eig::eigenvalues(&a).unwrap();
+        let sum: Complex64 = evals.iter().copied().sum();
+        let tr: f64 = (0..6).map(|i| a[(i, i)]).sum();
+        prop_assert!((sum.re - tr).abs() < 1e-6 * tr.abs().max(1.0));
+        prop_assert!(sum.im.abs() < 1e-6 * tr.abs().max(1.0));
+        let prod = evals.iter().fold(Complex64::ONE, |acc, &z| acc * z);
+        let det = LuFactors::factor(&a).unwrap().det();
+        prop_assert!((prod.re - det).abs() < 1e-5 * det.abs().max(1.0));
+    }
+
+    #[test]
+    fn eigenvalues_come_in_conjugate_pairs(a in matrix(6, 6)) {
+        let evals = match eig::eigenvalues(&a) {
+            Ok(e) => e,
+            Err(_) => return Ok(()), // extremely rare non-convergence: skip
+        };
+        for z in &evals {
+            if z.im.abs() > 1e-9 {
+                let has_conj = evals
+                    .iter()
+                    .any(|w| (w.re - z.re).abs() < 1e-5 * z.abs().max(1.0)
+                        && (w.im + z.im).abs() < 1e-5 * z.abs().max(1.0));
+                prop_assert!(has_conj, "unpaired complex eigenvalue {z} in {evals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_eigenvalues_diagonalize_quadratic_form(a in matrix(5, 5)) {
+        // For M = (A+Aᵀ)/2, λ_min ≤ xᵀMx/xᵀx ≤ λ_max for any x.
+        let m = Matrix::from_fn(5, 5, |r, c| 0.5 * (a[(r, c)] + a[(c, r)]));
+        let evals = eig::symmetric_eigenvalues(&m).unwrap();
+        let x = vec![1.0, -0.5, 2.0, 0.25, -1.5];
+        let rayleigh = vecops::dot(&x, &m.mul_vec(&x)) / vecops::dot(&x, &x);
+        prop_assert!(rayleigh >= evals[0] - 1e-8 * m.max_abs().max(1.0));
+        prop_assert!(rayleigh <= evals[4] + 1e-8 * m.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn orthonormalization_preserves_span(a in matrix(8, 3)) {
+        let q = orthonormalize_columns(&a);
+        // Every original column reconstructs from the basis.
+        for j in 0..3 {
+            let col = a.col(j);
+            let n = vecops::norm2(&col);
+            if n < 1e-9 {
+                continue;
+            }
+            let coeffs = q.tr_mul_vec(&col);
+            let recon = q.mul_vec(&coeffs);
+            prop_assert!(vecops::rel_err(&recon, &col) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn ortho_basis_never_exceeds_dimension(cols in proptest::collection::vec(vector(4), 1..12)) {
+        let mut basis = OrthoBasis::new(4);
+        for c in &cols {
+            basis.insert(c);
+        }
+        prop_assert!(basis.len() <= 4);
+        prop_assert!(basis.orthogonality_defect() < 1e-10);
+    }
+
+    #[test]
+    fn complex_arithmetic_field_axioms(
+        ar in -10.0..10.0f64, ai in -10.0..10.0f64,
+        br in -10.0..10.0f64, bi in -10.0..10.0f64,
+        cr in -10.0..10.0f64, ci in -10.0..10.0f64,
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let c = Complex64::new(cr, ci);
+        // Distributivity.
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0));
+        // Conjugation is an automorphism.
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-9 * (a * b).abs().max(1.0));
+        // |ab| = |a||b|.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9 * (a.abs() * b.abs()).max(1.0));
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+        let lhs = a.mul_mat(&b).mul_mat(&c);
+        let rhs = a.mul_mat(&b.mul_mat(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-7 * lhs.max_abs().max(1.0)));
+    }
+
+    #[test]
+    fn transpose_reverses_products(a in matrix(4, 3), b in matrix(3, 4)) {
+        let lhs = a.mul_mat(&b).transposed();
+        let rhs = b.transposed().mul_mat(&a.transposed());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9 * lhs.max_abs().max(1.0)));
+    }
+}

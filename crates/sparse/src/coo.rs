@@ -1,0 +1,151 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! MNA stamping naturally produces duplicate `(row, col)` contributions —
+//! every element stamps into the same node entries — so the builder
+//! accumulates duplicates when converting to CSR.
+
+use crate::csr::CsrMatrix;
+use pmor_num::Scalar;
+
+/// An accumulating triplet builder for sparse matrices.
+///
+/// # Example
+///
+/// ```
+/// use pmor_sparse::CooBuilder;
+///
+/// let mut b = CooBuilder::new(2, 2);
+/// b.add(0, 0, 1.0);
+/// b.add(0, 0, 2.0); // duplicates accumulate
+/// let m = b.build_csr();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CooBuilder<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> CooBuilder<T> {
+    /// Creates an empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows of the matrix under construction.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns of the matrix under construction.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw (possibly duplicate) triplets added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no triplets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`, accumulating with previous additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: T) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "CooBuilder::add: index ({row},{col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        if value != T::ZERO {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Stamps a symmetric 2×2 conductance/capacitance block between nodes
+    /// `a` and `b` — the canonical two-terminal element stamp. Either node
+    /// may be `None`, meaning the ground reference (no equation).
+    pub fn stamp_pair(&mut self, a: Option<usize>, b: Option<usize>, value: T) {
+        if let Some(i) = a {
+            self.add(i, i, value);
+        }
+        if let Some(j) = b {
+            self.add(j, j, value);
+        }
+        if let (Some(i), Some(j)) = (a, b) {
+            self.add(i, j, -value);
+            self.add(j, i, -value);
+        }
+    }
+
+    /// Finalizes into CSR, summing duplicate entries and dropping exact
+    /// zeros produced by cancellation.
+    pub fn build_csr(&self) -> CsrMatrix<T> {
+        CsrMatrix::from_triplets(self.nrows, self.ncols, &self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_duplicates() {
+        let mut b = CooBuilder::new(3, 3);
+        b.add(1, 2, 1.5);
+        b.add(1, 2, 2.5);
+        b.add(0, 0, 1.0);
+        let m = b.build_csr();
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn stamp_pair_grounded_and_internal() {
+        let mut b = CooBuilder::new(2, 2);
+        b.stamp_pair(Some(0), Some(1), 2.0);
+        b.stamp_pair(Some(1), None, 3.0);
+        let m = b.build_csr();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.get(1, 0), -2.0);
+    }
+
+    #[test]
+    fn cancellation_drops_entries() {
+        let mut b = CooBuilder::new(1, 1);
+        b.add(0, 0, 1.0);
+        b.add(0, 0, -1.0);
+        let m = b.build_csr();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut b = CooBuilder::new(1, 1);
+        b.add(1, 0, 1.0);
+    }
+
+    #[test]
+    fn zero_values_skipped() {
+        let mut b = CooBuilder::new(1, 1);
+        b.add(0, 0, 0.0);
+        assert!(b.is_empty());
+    }
+}

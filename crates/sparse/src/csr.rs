@@ -1,0 +1,378 @@
+//! Compressed sparse row matrices.
+
+use pmor_num::{Matrix, Scalar};
+
+/// A sparse matrix in CSR format.
+///
+/// Rows are stored contiguously; within each row the column indices are
+/// strictly increasing. Construction is via [`CsrMatrix::from_triplets`]
+/// (usually through [`crate::CooBuilder`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T = f64> {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from triplets, accumulating duplicates and
+    /// dropping entries that cancel to exact zero.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, T)]) -> Self {
+        let mut sorted: Vec<(usize, usize, T)> = triplets.to_vec();
+        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_ptr = vec![0usize; nrows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<T> = Vec::with_capacity(sorted.len());
+
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != T::ZERO {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r + 1] += 1;
+            }
+        }
+        for r in 0..nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Creates an all-zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![T::ONE; n],
+        }
+    }
+
+    /// Converts a dense matrix, keeping entries with magnitude above `tol`.
+    pub fn from_dense(a: &Matrix<T>, tol: f64) -> Self {
+        let mut triplets = Vec::new();
+        for r in 0..a.nrows() {
+            for c in 0..a.ncols() {
+                if a[(r, c)].modulus() > tol {
+                    triplets.push((r, c, a[(r, c)]));
+                }
+            }
+        }
+        CsrMatrix::from_triplets(a.nrows(), a.ncols(), &triplets)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)` (zero when not stored).
+    pub fn get(&self, row: usize, col: usize) -> T {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&col) {
+            Ok(k) => vals[k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Borrow the column indices and values of `row`.
+    #[inline]
+    pub fn row(&self, row: usize) -> (&[usize], &[T]) {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterates over all stored `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.nrows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols, "CsrMatrix::mul_vec: dim mismatch");
+        let mut y = vec![T::ZERO; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = T::ZERO;
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Transposed product `y = Aᵀ·x` without forming the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn tr_mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.nrows, "CsrMatrix::tr_mul_vec: dim mismatch");
+        let mut y = vec![T::ZERO; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == T::ZERO {
+                continue;
+            }
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                y[c] += v * xr;
+            }
+        }
+        y
+    }
+
+    /// Sparse–dense product `A · X` for dense `X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.nrows() != ncols`.
+    pub fn mul_dense(&self, x: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(x.nrows(), self.ncols, "CsrMatrix::mul_dense: dim mismatch");
+        let mut y = Matrix::zeros(self.nrows, x.ncols());
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals.iter()) {
+                let xrow = x.row(c);
+                let yrow = y.row_mut(r);
+                for (yj, &xj) in yrow.iter_mut().zip(xrow.iter()) {
+                    *yj += v * xj;
+                }
+            }
+        }
+        y
+    }
+
+    /// Congruence/projection product `Vᵀ · A · W` for dense `V`, `W` —
+    /// the reduction step `G̃ = Vᵀ G V` of PRIMA and Algorithm 1 step 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn congruence(&self, v: &Matrix<T>, w: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(v.nrows(), self.nrows, "congruence: V row mismatch");
+        let aw = self.mul_dense(w);
+        v.tr_mul_mat(&aw)
+    }
+
+    /// Linear combination `self + k · other` (patterns may differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_scaled(&self, k: T, other: &CsrMatrix<T>) -> CsrMatrix<T> {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (other.nrows, other.ncols),
+            "add_scaled: dimension mismatch"
+        );
+        let mut triplets: Vec<(usize, usize, T)> = self.iter().collect();
+        triplets.extend(other.iter().map(|(r, c, v)| (r, c, k * v)));
+        CsrMatrix::from_triplets(self.nrows, self.ncols, &triplets)
+    }
+
+    /// Scales all values by `k`.
+    pub fn scaled(&self, k: T) -> CsrMatrix<T> {
+        let mut out = self.clone();
+        for v in out.values.iter_mut() {
+            *v *= k;
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transposed(&self) -> CsrMatrix<T> {
+        let triplets: Vec<(usize, usize, T)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        CsrMatrix::from_triplets(self.ncols, self.nrows, &triplets)
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            m[(r, c)] = v;
+        }
+        m
+    }
+
+    /// Maps values entry-wise (pattern preserved; zeros produced by `f` stay
+    /// stored).
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> CsrMatrix<U> {
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Largest asymmetry `max |A - Aᵀ|`; zero for structurally and
+    /// numerically symmetric matrices.
+    pub fn symmetry_defect(&self) -> f64 {
+        let t = self.transposed();
+        let diff = self.add_scaled(-T::ONE, &t);
+        diff.values.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+
+    /// Largest entry magnitude.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+}
+
+impl CsrMatrix<f64> {
+    /// Embeds into the complex field — used to assemble `G + sC` for
+    /// frequency sweeps.
+    pub fn to_complex(&self) -> CsrMatrix<pmor_num::Complex64> {
+        self.map(pmor_num::Complex64::from_real)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [[1, 0, 2],
+        //  [0, 3, 0],
+        //  [4, 0, 5]]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.mul_vec(&x), m.to_dense().mul_vec(&x));
+    }
+
+    #[test]
+    fn tr_mul_vec_matches_transpose() {
+        let m = sample();
+        let x = vec![1.0, -1.0, 0.5];
+        assert_eq!(m.tr_mul_vec(&x), m.transposed().mul_vec(&x));
+    }
+
+    #[test]
+    fn add_scaled_merges_patterns() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        let b = CsrMatrix::from_triplets(2, 2, &[(1, 1, 2.0), (0, 0, 3.0)]);
+        let c = a.add_scaled(2.0, &b);
+        assert_eq!(c.get(0, 0), 7.0);
+        assert_eq!(c.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn congruence_matches_dense_triple_product() {
+        let m = sample();
+        let v = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let got = m.congruence(&v, &v);
+        let expect = v.tr_mul_mat(&m.to_dense().mul_mat(&v));
+        assert!(got.approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn symmetry_defect_zero_for_symmetric() {
+        let mut b = crate::CooBuilder::new(2, 2);
+        b.stamp_pair(Some(0), Some(1), 3.0);
+        let m = b.build_csr();
+        assert_eq!(m.symmetry_defect(), 0.0);
+        assert!(sample().symmetry_defect() > 0.0);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CsrMatrix::<f64>::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(i.mul_vec(&x), x);
+        let z = CsrMatrix::<f64>::zeros(2, 3);
+        assert_eq!(z.mul_vec(&x), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn mul_dense_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64 - 1.0);
+        let got = m.mul_dense(&x);
+        let expect = m.to_dense().mul_mat(&x);
+        assert!(got.approx_eq(&expect, 1e-14));
+    }
+}

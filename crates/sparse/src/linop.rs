@@ -1,0 +1,116 @@
+//! Abstract linear operators.
+//!
+//! Algorithm 1 of the paper needs low-rank SVDs of *generalized sensitivity
+//! matrices* `G0⁻¹Gᵢ` that are dense and never formed explicitly; only their
+//! action on vectors is available (a sparse mat-vec followed by a triangular
+//! solve with the one-time `G0` factors). [`LinearOperator`] is the interface
+//! the randomized SVD consumes.
+
+use crate::csr::CsrMatrix;
+use pmor_num::Matrix;
+
+/// A real linear operator defined by its action on vectors.
+///
+/// Implementations must provide both the forward action `A·x` and the
+/// transpose action `Aᵀ·x`; randomized low-rank approximation requires both.
+pub trait LinearOperator {
+    /// Output dimension (number of rows).
+    fn nrows(&self) -> usize;
+
+    /// Input dimension (number of columns).
+    fn ncols(&self) -> usize;
+
+    /// Computes `A·x`.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Computes `Aᵀ·x`.
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Applies the operator to every column of a dense matrix.
+    fn apply_dense(&self, x: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(x.nrows(), self.ncols(), "apply_dense: dimension mismatch");
+        let mut out = Matrix::zeros(self.nrows(), x.ncols());
+        for j in 0..x.ncols() {
+            out.set_col(j, &self.apply(&x.col(j)));
+        }
+        out
+    }
+
+    /// Applies the transpose to every column of a dense matrix.
+    fn apply_transpose_dense(&self, x: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(
+            x.nrows(),
+            self.nrows(),
+            "apply_transpose_dense: dimension mismatch"
+        );
+        let mut out = Matrix::zeros(self.ncols(), x.ncols());
+        for j in 0..x.ncols() {
+            out.set_col(j, &self.apply_transpose(&x.col(j)));
+        }
+        out
+    }
+}
+
+impl LinearOperator for CsrMatrix<f64> {
+    fn nrows(&self) -> usize {
+        CsrMatrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        CsrMatrix::ncols(self)
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.mul_vec(x)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        self.tr_mul_vec(x)
+    }
+}
+
+impl LinearOperator for Matrix<f64> {
+    fn nrows(&self) -> usize {
+        Matrix::nrows(self)
+    }
+
+    fn ncols(&self) -> usize {
+        Matrix::ncols(self)
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.mul_vec(x)
+    }
+
+    fn apply_transpose(&self, x: &[f64]) -> Vec<f64> {
+        self.tr_mul_vec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_operator_agrees_with_dense() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        let d = m.to_dense();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(LinearOperator::apply(&m, &x), LinearOperator::apply(&d, &x));
+        let y = vec![1.0, -1.0];
+        assert_eq!(
+            LinearOperator::apply_transpose(&m, &y),
+            LinearOperator::apply_transpose(&d, &y)
+        );
+    }
+
+    #[test]
+    fn dense_block_application() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0)]);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let y = m.apply_dense(&x);
+        assert_eq!(y, Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]));
+        let z = m.apply_transpose_dense(&x);
+        assert_eq!(z, y);
+    }
+}

@@ -1,0 +1,540 @@
+//! Left-looking sparse LU factorization (Gilbert–Peierls).
+//!
+//! This is the workspace's "one-time factorization of `G0`" (paper §4.2):
+//! every Krylov vector of PRIMA/Algorithm 1, every subspace iteration of the
+//! low-rank SVD and every full-model frequency point reuses a factorization
+//! produced here. Partial pivoting keeps the factorization robust on
+//! unsymmetric MNA matrices (inductor branches make `G` unsymmetric in
+//! general); an optional fill-reducing column ordering (see
+//! [`crate::ordering`]) keeps fill-in low on tree- and ladder-structured
+//! interconnect.
+//!
+//! Both `solve` (`A x = b`) and `solve_transpose` (`Aᵀ x = b`) are provided;
+//! the latter implements the paper's observation that with `G0 = L·U` one
+//! gets `G0ᵀ = Uᵀ·Lᵀ` for free, enabling the `A0ᵀ` Krylov subspaces of
+//! Algorithm 1 step 2.2 without a second factorization.
+
+use crate::csr::CsrMatrix;
+use crate::{Result, SparseError};
+use pmor_num::Scalar;
+
+/// Threshold for partial pivoting: a diagonal-position candidate is accepted
+/// if its magnitude is at least `PIVOT_THRESHOLD` times the largest candidate
+/// in the column. Favors sparsity-preserving diagonal pivots on
+/// diagonally-dominant MNA matrices while remaining backward stable.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// Sparse LU factors `A[:, q] = Pᵀ · L · U` of a square matrix.
+///
+/// `P` is the row permutation chosen by partial pivoting; `q` is the
+/// caller-supplied column ordering (identity when `None` is passed to
+/// [`SparseLu::factor`]).
+#[derive(Debug, Clone)]
+pub struct SparseLu<T = f64> {
+    n: usize,
+    /// Column k of L: `(original_row, value)`, strictly below the pivot;
+    /// the pivot (value 1) is implicit.
+    l_cols: Vec<Vec<(usize, T)>>,
+    /// Column k of U: `(pivot_position, value)` with `pivot_position < k`;
+    /// the diagonal is stored in `u_diag`.
+    u_cols: Vec<Vec<(usize, T)>>,
+    u_diag: Vec<T>,
+    /// `pinv[original_row] = pivot_position`.
+    pinv: Vec<usize>,
+    /// `row_of_pos[pivot_position] = original_row`.
+    row_of_pos: Vec<usize>,
+    /// Column ordering: `q[k]` is the original column factored at step k.
+    q: Vec<usize>,
+    /// `qinv[original_col] = position`.
+    qinv: Vec<usize>,
+}
+
+const UNASSIGNED: usize = usize::MAX;
+
+impl<T: Scalar> SparseLu<T> {
+    /// Factors a square sparse matrix with threshold partial pivoting.
+    ///
+    /// `col_order`, when given, is a fill-reducing permutation (e.g. from
+    /// [`crate::ordering::rcm`]): column `col_order[k]` is eliminated at
+    /// step `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Singular`] when a column has no usable pivot,
+    /// and [`SparseError::DimensionMismatch`] for non-square matrices or a
+    /// malformed ordering.
+    pub fn factor(a: &CsrMatrix<T>, col_order: Option<&[usize]>) -> Result<Self> {
+        let n = a.nrows();
+        if a.ncols() != n {
+            return Err(SparseError::DimensionMismatch {
+                context: "SparseLu::factor (square matrix required)",
+                expected: n,
+                actual: a.ncols(),
+            });
+        }
+        let q: Vec<usize> = match col_order {
+            Some(ord) => {
+                if ord.len() != n {
+                    return Err(SparseError::DimensionMismatch {
+                        context: "SparseLu::factor (ordering length)",
+                        expected: n,
+                        actual: ord.len(),
+                    });
+                }
+                ord.to_vec()
+            }
+            None => (0..n).collect(),
+        };
+        let mut qinv = vec![UNASSIGNED; n];
+        for (k, &j) in q.iter().enumerate() {
+            if j >= n || qinv[j] != UNASSIGNED {
+                return Err(SparseError::DimensionMismatch {
+                    context: "SparseLu::factor (ordering must be a permutation)",
+                    expected: n,
+                    actual: j,
+                });
+            }
+            qinv[j] = k;
+        }
+
+        // Column-major copy of A for fast column access.
+        let acsc = a.transposed(); // rows of acsc are columns of a
+
+        let mut l_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
+        let mut u_diag: Vec<T> = Vec::with_capacity(n);
+        let mut pinv = vec![UNASSIGNED; n];
+        let mut row_of_pos = vec![UNASSIGNED; n];
+
+        // Dense work arrays over original row indices.
+        let mut x = vec![T::ZERO; n];
+        let mut visited = vec![usize::MAX; n]; // stamp = current column k
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+
+        for k in 0..n {
+            let col = q[k];
+            let (b_rows, b_vals) = acsc.row(col);
+
+            // --- Symbolic: depth-first search for the reach of the RHS
+            // pattern through the already-built columns of L.
+            topo.clear();
+            for &i0 in b_rows {
+                if visited[i0] == k {
+                    continue;
+                }
+                // Iterative DFS from i0.
+                dfs_stack.clear();
+                dfs_stack.push((i0, 0));
+                visited[i0] = k;
+                while let Some(&mut (i, ref mut child)) = dfs_stack.last_mut() {
+                    let kp = pinv[i];
+                    let children: &[(usize, T)] = if kp == UNASSIGNED {
+                        &[]
+                    } else {
+                        &l_cols[kp]
+                    };
+                    if *child < children.len() {
+                        let (r, _) = children[*child];
+                        *child += 1;
+                        if visited[r] != k {
+                            visited[r] = k;
+                            dfs_stack.push((r, 0));
+                        }
+                    } else {
+                        topo.push(i);
+                        dfs_stack.pop();
+                    }
+                }
+            }
+            // `topo` is a post-order; dependencies of a node appear *after*
+            // it, so process in reverse.
+
+            // --- Numeric: sparse triangular solve L·x = A[:, col].
+            for &i in &topo {
+                x[i] = T::ZERO;
+            }
+            for (&i, &v) in b_rows.iter().zip(b_vals.iter()) {
+                x[i] = v;
+            }
+            for idx in (0..topo.len()).rev() {
+                let i = topo[idx];
+                let kp = pinv[i];
+                if kp == UNASSIGNED {
+                    continue;
+                }
+                let xi = x[i];
+                if xi == T::ZERO {
+                    continue;
+                }
+                for &(r, lv) in &l_cols[kp] {
+                    x[r] -= lv * xi;
+                }
+            }
+
+            // --- Pivot selection among not-yet-pivotal rows.
+            let mut best_row = UNASSIGNED;
+            let mut best_mag = 0.0f64;
+            let mut diag_row = UNASSIGNED;
+            for &i in &topo {
+                if pinv[i] == UNASSIGNED {
+                    let m = x[i].modulus();
+                    if m > best_mag {
+                        best_mag = m;
+                        best_row = i;
+                    }
+                    if i == col {
+                        diag_row = i;
+                    }
+                }
+            }
+            if best_row == UNASSIGNED || best_mag == 0.0 {
+                return Err(SparseError::Singular(col));
+            }
+            // Prefer the diagonal when it passes the threshold test.
+            let piv_row = if diag_row != UNASSIGNED
+                && x[diag_row].modulus() >= PIVOT_THRESHOLD * best_mag
+            {
+                diag_row
+            } else {
+                best_row
+            };
+            let pivot = x[piv_row];
+
+            // --- Gather into L and U columns.
+            let mut lcol: Vec<(usize, T)> = Vec::new();
+            let mut ucol: Vec<(usize, T)> = Vec::new();
+            let pivot_inv = pivot.recip();
+            for &i in &topo {
+                let v = x[i];
+                if v == T::ZERO || i == piv_row {
+                    continue;
+                }
+                let kp = pinv[i];
+                if kp == UNASSIGNED {
+                    lcol.push((i, v * pivot_inv));
+                } else {
+                    ucol.push((kp, v));
+                }
+            }
+            // Deterministic order aids reproducibility and cache behaviour.
+            ucol.sort_unstable_by_key(|&(kp, _)| kp);
+            lcol.sort_unstable_by_key(|&(i, _)| i);
+
+            pinv[piv_row] = k;
+            row_of_pos[k] = piv_row;
+            l_cols.push(lcol);
+            u_cols.push(ucol);
+            u_diag.push(pivot);
+        }
+
+        Ok(SparseLu {
+            n,
+            l_cols,
+            u_cols,
+            u_diag,
+            pinv,
+            row_of_pos,
+            q,
+            qinv,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Column ordering used by the factorization: `column_order()[k]` is the
+    /// original column eliminated at step `k`.
+    pub fn column_order(&self) -> &[usize] {
+        &self.q
+    }
+
+    /// Inverse column ordering: position of each original column.
+    pub fn column_position(&self) -> &[usize] {
+        &self.qinv
+    }
+
+    /// Row permutation chosen by pivoting: `row_of_position()[k]` is the
+    /// original row serving as pivot `k`.
+    pub fn row_of_position(&self) -> &[usize] {
+        &self.row_of_pos
+    }
+
+    /// Total stored nonzeros in `L + U` (fill-in indicator).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.n
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(SparseError::DimensionMismatch {
+                context: "SparseLu::solve",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // Forward: L y = P b, with y indexed by pivot position; the work
+        // array w lives on original row indices.
+        let mut w = b.to_vec();
+        let mut y = vec![T::ZERO; n];
+        for k in 0..n {
+            let yk = w[self.row_of_pos[k]];
+            y[k] = yk;
+            if yk == T::ZERO {
+                continue;
+            }
+            for &(r, lv) in &self.l_cols[k] {
+                w[r] -= lv * yk;
+            }
+        }
+        // Backward: U z = y, z[k] is the solution for column q[k].
+        for k in (0..n).rev() {
+            let zk = y[k] * self.u_diag[k].recip();
+            y[k] = zk;
+            if zk == T::ZERO {
+                continue;
+            }
+            for &(kp, uv) in &self.u_cols[k] {
+                y[kp] -= uv * zk;
+            }
+        }
+        // Undo the column permutation.
+        let mut xout = vec![T::ZERO; n];
+        for k in 0..n {
+            xout[self.q[k]] = y[k];
+        }
+        Ok(xout)
+    }
+
+    /// Solves `Aᵀ x = b` reusing the same factors (`Aᵀ = Q·Uᵀ·Lᵀ·P`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_transpose(&self, b: &[T]) -> Result<Vec<T>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(SparseError::DimensionMismatch {
+                context: "SparseLu::solve_transpose",
+                expected: n,
+                actual: b.len(),
+            });
+        }
+        // b' = Qᵀ b (position space).
+        let mut y: Vec<T> = (0..n).map(|k| b[self.q[k]]).collect();
+        // Forward: Uᵀ y' = b' (Uᵀ is lower triangular). Column k of U holds
+        // entries U[kp, k]; in Uᵀ these become row k. Process ascending.
+        for k in 0..n {
+            let mut acc = y[k];
+            for &(kp, uv) in &self.u_cols[k] {
+                acc -= uv * y[kp];
+            }
+            y[k] = acc * self.u_diag[k].recip();
+        }
+        // Backward: Lᵀ z = y. Column k of L holds L[i, k] for rows i with
+        // pinv[i] > k; in Lᵀ these multiply z at position pinv[i].
+        for k in (0..n).rev() {
+            let mut acc = y[k];
+            for &(i, lv) in &self.l_cols[k] {
+                acc -= lv * y[self.pinv[i]];
+            }
+            y[k] = acc;
+        }
+        // x = Pᵀ z: x[row_of_pos[k]] = z[k].
+        let mut xout = vec![T::ZERO; n];
+        for k in 0..n {
+            xout[self.row_of_pos[k]] = y[k];
+        }
+        Ok(xout)
+    }
+
+    /// Solves for several right-hand sides given as dense columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if `b.nrows() != dim()`.
+    pub fn solve_dense(&self, b: &pmor_num::Matrix<T>) -> Result<pmor_num::Matrix<T>> {
+        if b.nrows() != self.n {
+            return Err(SparseError::DimensionMismatch {
+                context: "SparseLu::solve_dense",
+                expected: self.n,
+                actual: b.nrows(),
+            });
+        }
+        let mut out = pmor_num::Matrix::zeros(self.n, b.ncols());
+        for j in 0..b.ncols() {
+            out.set_col(j, &self.solve(&b.col(j))?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooBuilder;
+    use pmor_num::{vecops, Complex64};
+
+    fn random_spd_like(n: usize, seed: u64) -> CsrMatrix<f64> {
+        // Diagonally dominant tridiagonal-ish pattern with a few long-range
+        // couplings: representative of MNA conductance matrices.
+        let mut b = CooBuilder::new(n, n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0 + 0.1
+        };
+        for i in 0..n {
+            b.add(i, i, 4.0 + next());
+            if i + 1 < n {
+                let g = next();
+                b.add(i, i + 1, -g);
+                b.add(i + 1, i, -g);
+            }
+            if i + 7 < n {
+                let g = 0.3 * next();
+                b.add(i, i + 7, -g);
+                b.add(i + 7, i, -g);
+            }
+        }
+        b.build_csr()
+    }
+
+    #[test]
+    fn solves_small_dense_system() {
+        let a = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 0, 4.0),
+                (1, 1, -6.0),
+                (2, 0, -2.0),
+                (2, 1, 7.0),
+                (2, 2, 2.0),
+            ],
+        );
+        let lu = SparseLu::factor(&a, None).unwrap();
+        let x = lu.solve(&[5.0, -2.0, 9.0]).unwrap();
+        for (xi, ei) in x.iter().zip([1.0, 1.0, 2.0]) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn residuals_small_on_random_systems() {
+        for seed in [3, 17, 99] {
+            let n = 120;
+            let a = random_spd_like(n, seed);
+            let lu = SparseLu::factor(&a, None).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 7) as f64).sin()).collect();
+            let x = lu.solve(&b).unwrap();
+            let r = vecops::sub(&a.mul_vec(&x), &b);
+            assert!(vecops::norm2(&r) < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn transpose_solve_matches_explicit_transpose() {
+        let n = 80;
+        let a = random_spd_like(n, 5);
+        // Make it unsymmetric to exercise the permutations.
+        let mut tri: Vec<(usize, usize, f64)> = a.iter().collect();
+        tri.push((0, n - 1, 0.7));
+        tri.push((n / 2, 1, -0.4));
+        let a = CsrMatrix::from_triplets(n, n, &tri);
+
+        let lu = SparseLu::factor(&a, None).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) as f64).cos()).collect();
+        let xt = lu.solve_transpose(&b).unwrap();
+        let at = a.transposed();
+        let r = vecops::sub(&at.mul_vec(&xt), &b);
+        assert!(vecops::norm2(&r) < 1e-9);
+
+        // Cross-check against factoring the transpose directly.
+        let lu_t = SparseLu::factor(&at, None).unwrap();
+        let xt2 = lu_t.solve(&b).unwrap();
+        assert!(vecops::rel_err(&xt, &xt2) < 1e-9);
+    }
+
+    #[test]
+    fn column_ordering_gives_same_solution() {
+        let n = 60;
+        let a = random_spd_like(n, 11);
+        let order: Vec<usize> = (0..n).rev().collect();
+        let lu_plain = SparseLu::factor(&a, None).unwrap();
+        let lu_ord = SparseLu::factor(&a, Some(&order)).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        let x1 = lu_plain.solve(&b).unwrap();
+        let x2 = lu_ord.solve(&b).unwrap();
+        assert!(vecops::rel_err(&x1, &x2) < 1e-9);
+        let xt1 = lu_plain.solve_transpose(&b).unwrap();
+        let xt2 = lu_ord.solve_transpose(&b).unwrap();
+        assert!(vecops::rel_err(&xt1, &xt2) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0)]);
+        assert!(matches!(
+            SparseLu::factor(&a, None),
+            Err(SparseError::Singular(_))
+        ));
+    }
+
+    #[test]
+    fn permutation_requiring_matrix() {
+        // Zero diagonal forces off-diagonal pivoting.
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 2.0)]);
+        let lu = SparseLu::factor(&a, None).unwrap();
+        let x = lu.solve(&[3.0, 4.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_factorization() {
+        // (G + jωC) with G, C diagonally dominant.
+        let n = 40;
+        let g = random_spd_like(n, 7);
+        let a = g.map(|v| Complex64::new(v, 0.3 * v));
+        let lu = SparseLu::factor(&a, None).unwrap();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let x = lu.solve(&b).unwrap();
+        let r = vecops::sub(&a.mul_vec(&x), &b);
+        assert!(vecops::norm2(&r) < 1e-9);
+    }
+
+    #[test]
+    fn bad_ordering_rejected() {
+        let a = CsrMatrix::<f64>::identity(3);
+        assert!(SparseLu::factor(&a, Some(&[0, 0, 1])).is_err());
+        assert!(SparseLu::factor(&a, Some(&[0, 1])).is_err());
+    }
+
+    #[test]
+    fn identity_factors_trivially() {
+        let a = CsrMatrix::<f64>::identity(5);
+        let lu = SparseLu::factor(&a, None).unwrap();
+        assert_eq!(lu.factor_nnz(), 5);
+        let b = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(lu.solve(&b).unwrap(), b);
+        assert_eq!(lu.solve_transpose(&b).unwrap(), b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the sparse kernels against dense references.
+
+use pmor_num::lu::LuFactors;
+use pmor_num::{vecops, Matrix};
+use pmor_sparse::{ordering, CsrMatrix, SparseLu};
+use proptest::prelude::*;
+
+/// Strategy: sparse triplets over an n×n grid with ~density fraction.
+fn sparse_triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec(
+        (0..n, 0..n, -5.0..5.0f64).prop_map(|(r, c, v)| (r, c, v)),
+        0..max_entries,
+    )
+}
+
+/// Strategy: a nonsingular sparse matrix (diagonally dominated).
+fn sparse_nonsingular(n: usize) -> impl Strategy<Value = CsrMatrix<f64>> {
+    sparse_triplets(n, 4 * n).prop_map(move |mut t| {
+        // Dominant diagonal guarantees nonsingularity and pivot stability.
+        for i in 0..n {
+            t.push((i, i, 25.0 + i as f64));
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matvec_matches_dense(t in sparse_triplets(9, 40), x in vector(9)) {
+        let a = CsrMatrix::from_triplets(9, 9, &t);
+        let d = a.to_dense();
+        let ys = a.mul_vec(&x);
+        let yd = d.mul_vec(&x);
+        prop_assert!(vecops::rel_err(&ys, &yd) < 1e-12);
+        let yts = a.tr_mul_vec(&x);
+        let ytd = d.tr_mul_vec(&x);
+        prop_assert!(vecops::rel_err(&yts, &ytd) < 1e-12);
+    }
+
+    #[test]
+    fn csr_add_scaled_matches_dense(t1 in sparse_triplets(7, 25), t2 in sparse_triplets(7, 25), k in -3.0..3.0f64) {
+        let a = CsrMatrix::from_triplets(7, 7, &t1);
+        let b = CsrMatrix::from_triplets(7, 7, &t2);
+        let s = a.add_scaled(k, &b).to_dense();
+        let d = a.to_dense().add_mat(&b.to_dense().scaled(k));
+        prop_assert!(s.approx_eq(&d, 1e-12));
+    }
+
+    #[test]
+    fn csr_transpose_involution(t in sparse_triplets(8, 30)) {
+        let a = CsrMatrix::from_triplets(8, 8, &t);
+        prop_assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn csr_congruence_matches_dense(t in sparse_triplets(6, 20)) {
+        let a = CsrMatrix::from_triplets(6, 6, &t);
+        let v = Matrix::from_fn(6, 3, |r, c| ((r * 3 + c) as f64).sin());
+        let got = a.congruence(&v, &v);
+        let want = v.tr_mul_mat(&a.to_dense().mul_mat(&v));
+        prop_assert!(got.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_lu(a in sparse_nonsingular(10), b in vector(10)) {
+        let slu = SparseLu::factor(&a, None).unwrap();
+        let xs = slu.solve(&b).unwrap();
+        let dlu = LuFactors::factor(&a.to_dense()).unwrap();
+        let xd = dlu.solve(&b).unwrap();
+        prop_assert!(vecops::rel_err(&xs, &xd) < 1e-8);
+    }
+
+    #[test]
+    fn sparse_lu_transpose_solve_consistent(a in sparse_nonsingular(10), b in vector(10)) {
+        let slu = SparseLu::factor(&a, None).unwrap();
+        let xt = slu.solve_transpose(&b).unwrap();
+        let r = vecops::sub(&a.transposed().mul_vec(&xt), &b);
+        prop_assert!(vecops::norm2(&r) < 1e-8 * vecops::norm2(&b).max(1.0));
+    }
+
+    #[test]
+    fn sparse_lu_respects_any_column_order(a in sparse_nonsingular(8), b in vector(8), seed in 0..1000u64) {
+        // Any permutation must give the same solution.
+        let n = 8usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        // Cheap deterministic shuffle.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for i in (1..n).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        let x1 = SparseLu::factor(&a, None).unwrap().solve(&b).unwrap();
+        let x2 = SparseLu::factor(&a, Some(&order)).unwrap().solve(&b).unwrap();
+        prop_assert!(vecops::rel_err(&x1, &x2) < 1e-8);
+    }
+
+    #[test]
+    fn rcm_is_always_a_permutation(t in sparse_triplets(12, 50)) {
+        let a = CsrMatrix::from_triplets(12, 12, &t);
+        let p = ordering::rcm(&a);
+        let mut seen = vec![false; 12];
+        for &i in &p {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn factor_nnz_at_least_dimension(a in sparse_nonsingular(9)) {
+        let lu = SparseLu::factor(&a, None).unwrap();
+        prop_assert!(lu.factor_nnz() >= 9);
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrip_dense_block(a in sparse_nonsingular(6)) {
+        let b = Matrix::from_fn(6, 2, |r, c| (r + 2 * c) as f64 - 3.0);
+        let lu = SparseLu::factor(&a, None).unwrap();
+        let x = lu.solve_dense(&b).unwrap();
+        for j in 0..2 {
+            let r = vecops::sub(&a.mul_vec(&x.col(j)), &b.col(j));
+            prop_assert!(vecops::norm2(&r) < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Parameter distributions for process-variation sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A univariate distribution over one relative variational parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParameterDistribution {
+    /// Normal with the given sigma, truncated at ±3σ — the paper's "up to
+    /// 30% (3σ variations) … according to the normal distribution" protocol
+    /// corresponds to `Normal3Sigma { sigma: 0.1 }`.
+    Normal3Sigma {
+        /// Standard deviation of the relative variation.
+        sigma: f64,
+    },
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Always the same value (for pinning a parameter in ablations).
+    Fixed(f64),
+}
+
+impl ParameterDistribution {
+    /// The paper's §5.3 protocol: ±30 % at 3σ.
+    pub fn paper_metal_width() -> Self {
+        ParameterDistribution::Normal3Sigma { sigma: 0.1 }
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            ParameterDistribution::Normal3Sigma { sigma } => loop {
+                let z = gaussian(rng);
+                if z.abs() <= 3.0 {
+                    return sigma * z;
+                }
+            },
+            ParameterDistribution::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            ParameterDistribution::Fixed(v) => v,
+        }
+    }
+
+    /// The largest magnitude this distribution can produce.
+    pub fn max_abs(&self) -> f64 {
+        match *self {
+            ParameterDistribution::Normal3Sigma { sigma } => 3.0 * sigma,
+            ParameterDistribution::Uniform { lo, hi } => lo.abs().max(hi.abs()),
+            ParameterDistribution::Fixed(v) => v.abs(),
+        }
+    }
+}
+
+/// Standard normal deviate by Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn truncated_normal_respects_bounds_and_moments() {
+        let d = ParameterDistribution::Normal3Sigma { sigma: 0.1 };
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|s| s.abs() <= 0.3 + 1e-12));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        // Truncation at 3σ barely changes the variance.
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let d = ParameterDistribution::Uniform { lo: -0.2, hi: 0.5 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((-0.2..=0.5).contains(&s));
+        }
+        assert_eq!(d.max_abs(), 0.5);
+    }
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let d = ParameterDistribution::Fixed(0.25);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(d.sample(&mut rng), 0.25);
+        assert_eq!(d.max_abs(), 0.25);
+    }
+
+    #[test]
+    fn paper_protocol_is_30_percent_at_3_sigma() {
+        let d = ParameterDistribution::paper_metal_width();
+        assert!((d.max_abs() - 0.3).abs() < 1e-12);
+    }
+}

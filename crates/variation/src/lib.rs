@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Process-variation analysis on top of the `pmor` reduction stack.
+//!
+//! The paper's §5.3 experiments draw metal-width variations from scaled
+//! normal distributions ("we independently vary the three metal line widths
+//! up to 30% (3σ variations) of the nominal values according to the normal
+//! distribution"), evaluate full and reduced models at every sampled
+//! instance, and report the distribution of relative pole errors. This
+//! crate packages that protocol:
+//!
+//! * [`dist`] — parameter distributions (normal with 3σ truncation,
+//!   uniform),
+//! * [`montecarlo`] — the sampling engine and pole-error collection,
+//! * [`sweep`] — deterministic grid sweeps (the right-hand plots of the
+//!   paper's Figs 5–6),
+//! * [`stats`] — summary statistics and histogram binning,
+//! * [`yield_analysis`] — pass/fail performance specs and Monte-Carlo
+//!   parametric yield estimation at reduced-model cost.
+
+pub mod dist;
+pub mod montecarlo;
+pub mod stats;
+pub mod sweep;
+pub mod yield_analysis;
+
+pub use dist::ParameterDistribution;
+pub use montecarlo::{MonteCarlo, PoleErrorReport};
+pub use stats::{histogram, Summary};

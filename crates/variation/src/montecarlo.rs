@@ -1,0 +1,218 @@
+//! Monte-Carlo accuracy analysis of parametric reduced models.
+//!
+//! Reproduces the paper's §5.3 protocol: draw parameter instances from the
+//! configured distributions, evaluate the `n` most dominant poles of the
+//! perturbed **full** model and of the **reduced** parametric model at each
+//! instance, and collect the relative errors ("the error distribution in
+//! these poles across all the instances is plotted in Fig. 5").
+
+use crate::dist::ParameterDistribution;
+use crate::stats::{histogram, Bin, Summary};
+use pmor::eval::{pole_errors, FullModel};
+use pmor::{ParametricRom, Result};
+use pmor_circuits::ParametricSystem;
+use pmor_num::Complex64;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarlo {
+    /// One distribution per variational parameter.
+    pub distributions: Vec<ParameterDistribution>,
+    /// Number of sampled circuit instances.
+    pub instances: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MonteCarlo {
+    /// The paper's metal-width protocol over `np` parameters: ±30 % at 3σ.
+    pub fn paper_protocol(np: usize, instances: usize) -> Self {
+        MonteCarlo {
+            distributions: vec![ParameterDistribution::paper_metal_width(); np],
+            instances,
+            seed: 0x3C0,
+        }
+    }
+
+    /// Draws the deterministic sample-point list.
+    pub fn sample_points(&self) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.instances)
+            .map(|_| {
+                self.distributions
+                    .iter()
+                    .map(|d| d.sample(&mut rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Compares the `num_poles` most dominant poles of the full and reduced
+    /// models at every instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a sampled instance is singular or an eigensolve stalls.
+    pub fn pole_errors(
+        &self,
+        sys: &ParametricSystem,
+        rom: &ParametricRom,
+        num_poles: usize,
+    ) -> Result<PoleErrorReport> {
+        let full = FullModel::new(sys);
+        let mut errors_percent = Vec::with_capacity(self.instances * num_poles);
+        let mut per_instance_max = Vec::with_capacity(self.instances);
+        for p in self.sample_points() {
+            let reference = full.dominant_poles(&p, num_poles)?;
+            // Give the matcher a deeper candidate list than the reference so
+            // near-degenerate reference poles both find their partner.
+            let candidate = rom.dominant_poles(&p, 2 * num_poles + 4)?;
+            let errs = pole_errors(&reference, &candidate);
+            let mut inst_max = 0.0f64;
+            for e in errs {
+                errors_percent.push(100.0 * e);
+                inst_max = inst_max.max(100.0 * e);
+            }
+            per_instance_max.push(inst_max);
+        }
+        Ok(PoleErrorReport {
+            errors_percent,
+            per_instance_max,
+            num_poles,
+        })
+    }
+
+    /// Worst-case transfer-function error over instances at a fixed set of
+    /// frequencies: `max_f |H_full − H_rom| / |H_full|` per instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an instance is singular at one of the frequencies.
+    pub fn transfer_errors(
+        &self,
+        sys: &ParametricSystem,
+        rom: &ParametricRom,
+        freqs_hz: &[f64],
+    ) -> Result<Vec<f64>> {
+        let full = FullModel::new(sys);
+        let mut out = Vec::with_capacity(self.instances);
+        for p in self.sample_points() {
+            let mut worst = 0.0f64;
+            for &f in freqs_hz {
+                let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+                let hf = full.transfer(&p, s)?;
+                let hr = rom.transfer(&p, s)?;
+                let denom = hf.max_abs().max(1e-300);
+                let num = hf.sub_mat(&hr).max_abs();
+                worst = worst.max(num / denom);
+            }
+            out.push(worst);
+        }
+        Ok(out)
+    }
+}
+
+/// Collected pole-error data (all values in **percent**).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoleErrorReport {
+    /// One relative error per (instance × tracked pole).
+    pub errors_percent: Vec<f64>,
+    /// Worst pole error per instance.
+    pub per_instance_max: Vec<f64>,
+    /// Number of dominant poles tracked.
+    pub num_poles: usize,
+}
+
+impl PoleErrorReport {
+    /// Summary statistics of the pooled errors.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.errors_percent)
+    }
+
+    /// Histogram of the pooled errors (the paper's Fig 5/6 left plots).
+    pub fn histogram(&self, nbins: usize) -> Vec<Bin> {
+        histogram(&self.errors_percent, nbins)
+    }
+
+    /// Largest relative error over every pole and instance, in percent —
+    /// the "maximum error out of 1000 poles" headline of §5.3.
+    pub fn max_percent(&self) -> f64 {
+        self.errors_percent.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor::lowrank::{LowRankOptions, LowRankPmor};
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    #[test]
+    fn sample_points_deterministic_and_bounded() {
+        let mc = MonteCarlo::paper_protocol(3, 50);
+        let a = mc.sample_points();
+        let b = mc.sample_points();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for p in &a {
+            assert_eq!(p.len(), 3);
+            assert!(p.iter().all(|x| x.abs() <= 0.3));
+        }
+    }
+
+    #[test]
+    fn lowrank_rom_pole_errors_are_small() {
+        let sys = tree(40);
+        let rom = LowRankPmor::new(LowRankOptions {
+            s_order: 8,
+            param_order: 3,
+            rank: 2,
+            ..Default::default()
+        })
+        .reduce(&sys)
+        .unwrap();
+        let mc = MonteCarlo::paper_protocol(3, 10);
+        let report = mc.pole_errors(&sys, &rom, 5).unwrap();
+        assert_eq!(report.errors_percent.len(), 50);
+        assert_eq!(report.per_instance_max.len(), 10);
+        // The paper reports sub-percent dominant-pole errors.
+        assert!(
+            report.max_percent() < 1.0,
+            "max pole error {}%",
+            report.max_percent()
+        );
+    }
+
+    #[test]
+    fn report_histogram_covers_all_errors() {
+        let sys = tree(30);
+        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let mc = MonteCarlo::paper_protocol(3, 8);
+        let report = mc.pole_errors(&sys, &rom, 3).unwrap();
+        let bins = report.histogram(10);
+        let total: usize = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, report.errors_percent.len());
+    }
+
+    #[test]
+    fn transfer_errors_bounded() {
+        let sys = tree(30);
+        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let mc = MonteCarlo::paper_protocol(3, 5);
+        let errs = mc
+            .transfer_errors(&sys, &rom, &[1e7, 1e8, 1e9])
+            .unwrap();
+        assert_eq!(errs.len(), 5);
+        assert!(errs.iter().all(|&e| e < 0.01), "{errs:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Summary statistics and histogram binning for experiment reports.
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; zero for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (midpoint interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics. Returns all-zero for empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        let count = samples.len();
+        if count == 0 {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            0.5 * (sorted[count / 2 - 1] + sorted[count / 2])
+        };
+        Summary {
+            count,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// The `q`-th quantile (0 ≤ q ≤ 1, nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(samples: &[f64], q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// A histogram bin: `[lo, hi)` with an occurrence count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of samples in the bin.
+    pub count: usize,
+}
+
+/// Bins samples into `nbins` equal-width bins over `[min, max]` — the
+/// "error distribution" plots of the paper's Figs 5–6.
+pub fn histogram(samples: &[f64], nbins: usize) -> Vec<Bin> {
+    if samples.is_empty() || nbins == 0 {
+        return Vec::new();
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = if max > min {
+        (max - min) / nbins as f64
+    } else {
+        1.0
+    };
+    let mut bins: Vec<Bin> = (0..nbins)
+        .map(|i| Bin {
+            lo: min + i as f64 * width,
+            hi: min + (i + 1) as f64 * width,
+            count: 0,
+        })
+        .collect();
+    for &s in samples {
+        let idx = (((s - min) / width) as usize).min(nbins - 1);
+        bins[idx].count += 1;
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        assert!((s.median - 2.5).abs() < 1e-15);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample std of 1..4 = sqrt(5/3).
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert_eq!(Summary::of(&[]).count, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let data: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(Summary::quantile(&data, 0.0), 0.0);
+        assert_eq!(Summary::quantile(&data, 0.5), 50.0);
+        assert_eq!(Summary::quantile(&data, 1.0), 100.0);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_n() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).sin()).collect();
+        let bins = histogram(&data, 12);
+        assert_eq!(bins.len(), 12);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 100);
+        for w in bins.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn histogram_degenerate_all_equal() {
+        let bins = histogram(&[2.0, 2.0, 2.0], 4);
+        assert_eq!(bins.iter().map(|b| b.count).sum::<usize>(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic parameter-grid sweeps.
+//!
+//! The right-hand plots of the paper's Figs 5–6 show "the error in the most
+//! dominant pole as a function of M5 and M6 metal line widths (within -30%
+//! to 30% of their nominal values)" — a 2-D grid sweep with the remaining
+//! parameters pinned.
+
+use pmor::eval::{pole_errors, FullModel};
+use pmor::{ParametricRom, Result};
+use pmor_circuits::ParametricSystem;
+
+/// Evenly spaced values over `[lo, hi]`, inclusive.
+pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    if count == 0 {
+        return Vec::new();
+    }
+    if count == 1 {
+        return vec![0.5 * (lo + hi)];
+    }
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
+}
+
+/// A 2-D sweep over two selected parameters with the rest held at `base`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep2d {
+    /// Index of the first swept parameter (rows of the result).
+    pub param_a: usize,
+    /// Index of the second swept parameter (columns of the result).
+    pub param_b: usize,
+    /// Values taken by parameter `a`.
+    pub values_a: Vec<f64>,
+    /// Values taken by parameter `b`.
+    pub values_b: Vec<f64>,
+    /// Baseline values for all parameters (swept entries are overwritten).
+    pub base: Vec<f64>,
+}
+
+impl Sweep2d {
+    /// The paper's Fig 5/6 sweep: M5 × M6 over ±30 %, `count` points per
+    /// axis, M7 nominal.
+    pub fn paper_m5_m6(count: usize) -> Self {
+        Sweep2d {
+            param_a: 0, // M5
+            param_b: 1, // M6
+            values_a: linspace(-0.3, 0.3, count),
+            values_b: linspace(-0.3, 0.3, count),
+            base: vec![0.0; 3],
+        }
+    }
+
+    /// All grid points in row-major order with their `(ia, ib)` indices.
+    pub fn points(&self) -> Vec<(usize, usize, Vec<f64>)> {
+        let mut out = Vec::with_capacity(self.values_a.len() * self.values_b.len());
+        for (ia, &va) in self.values_a.iter().enumerate() {
+            for (ib, &vb) in self.values_b.iter().enumerate() {
+                let mut p = self.base.clone();
+                p[self.param_a] = va;
+                p[self.param_b] = vb;
+                out.push((ia, ib, p));
+            }
+        }
+        out
+    }
+
+    /// Relative error (in percent) of the most dominant pole of `rom`
+    /// against the full model over the grid: `result[ia][ib]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an instance is singular or an eigensolve stalls.
+    pub fn dominant_pole_error_grid(
+        &self,
+        sys: &ParametricSystem,
+        rom: &ParametricRom,
+    ) -> Result<Vec<Vec<f64>>> {
+        let full = FullModel::new(sys);
+        let mut grid = vec![vec![0.0; self.values_b.len()]; self.values_a.len()];
+        for (ia, ib, p) in self.points() {
+            let reference = full.dominant_poles(&p, 1)?;
+            let candidate = rom.dominant_poles(&p, 6)?;
+            let errs = pole_errors(&reference, &candidate);
+            grid[ia][ib] = 100.0 * errs[0];
+        }
+        Ok(grid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor::lowrank::LowRankPmor;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(-0.3, 0.3, 5);
+        assert_eq!(v.len(), 5);
+        assert!((v[0] + 0.3).abs() < 1e-15);
+        assert!((v[4] - 0.3).abs() < 1e-15);
+        assert!(v[2].abs() < 1e-15);
+        assert_eq!(linspace(0.0, 1.0, 1), vec![0.5]);
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+    }
+
+    #[test]
+    fn points_cover_grid_and_pin_base() {
+        let sweep = Sweep2d {
+            param_a: 0,
+            param_b: 2,
+            values_a: vec![-0.1, 0.1],
+            values_b: vec![0.0, 0.2],
+            base: vec![9.0, 7.0, 9.0],
+        };
+        let pts = sweep.points();
+        assert_eq!(pts.len(), 4);
+        for (_, _, p) in &pts {
+            assert_eq!(p[1], 7.0); // untouched parameter keeps base value
+        }
+        assert!(pts.iter().any(|(_, _, p)| p[0] == -0.1 && p[2] == 0.2));
+    }
+
+    #[test]
+    fn pole_error_grid_small_for_lowrank_rom() {
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 30,
+            ..Default::default()
+        })
+        .assemble();
+        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let sweep = Sweep2d::paper_m5_m6(3);
+        let grid = sweep.dominant_pole_error_grid(&sys, &rom).unwrap();
+        assert_eq!(grid.len(), 3);
+        for row in &grid {
+            assert_eq!(row.len(), 3);
+            for &err in row {
+                assert!(err < 1.0, "dominant pole error {err}% too large");
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Parametric yield estimation.
+//!
+//! The business end of variability modeling: given a performance
+//! specification (e.g. "the net's dominant time constant must stay below
+//! τ_max" or "the 50 % delay must stay below d_max"), estimate the fraction
+//! of manufactured instances that pass — at reduced-model cost, which is
+//! what makes Monte-Carlo yield sweeps affordable in the first place.
+
+use crate::montecarlo::MonteCarlo;
+use pmor::transient::{simulate_rom, Stimulus, TransientOptions};
+use pmor::{ParametricRom, Result};
+
+/// A pass/fail performance specification evaluated on a reduced model at
+/// one parameter point.
+pub enum Spec<'a> {
+    /// Dominant pole magnitude must be at least `min_rad_s` (bandwidth
+    /// floor): `|λ₁| ≥ min_rad_s`.
+    MinDominantPole {
+        /// Required minimum pole magnitude, rad/s.
+        min_rad_s: f64,
+    },
+    /// 50 % step-response delay of output `output` must not exceed
+    /// `max_seconds` under the given stimulus set.
+    MaxDelay {
+        /// Output index measured.
+        output: usize,
+        /// Delay budget, s.
+        max_seconds: f64,
+        /// Stimulus per input.
+        stimuli: &'a [Stimulus],
+        /// Integration options.
+        options: &'a TransientOptions,
+    },
+    /// Custom predicate.
+    Custom(&'a dyn Fn(&ParametricRom, &[f64]) -> Result<bool>),
+}
+
+impl Spec<'_> {
+    /// Evaluates the spec at one parameter point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (singular instance, eigensolver
+    /// stall).
+    pub fn passes(&self, rom: &ParametricRom, p: &[f64]) -> Result<bool> {
+        match self {
+            Spec::MinDominantPole { min_rad_s } => {
+                let poles = rom.dominant_poles(p, 1)?;
+                Ok(poles.first().map_or(false, |z| z.abs() >= *min_rad_s))
+            }
+            Spec::MaxDelay {
+                output,
+                max_seconds,
+                stimuli,
+                options,
+            } => {
+                let res = simulate_rom(rom, p, stimuli, options)?;
+                Ok(res
+                    .delay_50(*output)
+                    .map_or(false, |d| d <= *max_seconds))
+            }
+            Spec::Custom(f) => f(rom, p),
+        }
+    }
+}
+
+/// Result of a yield run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldEstimate {
+    /// Passing fraction in `[0, 1]`.
+    pub yield_fraction: f64,
+    /// Number of instances evaluated.
+    pub instances: usize,
+    /// Standard error of the estimate (binomial).
+    pub std_error: f64,
+}
+
+/// Estimates yield of `spec` over the Monte-Carlo distribution using the
+/// reduced model.
+///
+/// # Errors
+///
+/// Propagates per-instance evaluation failures.
+pub fn estimate_yield(
+    rom: &ParametricRom,
+    mc: &MonteCarlo,
+    spec: &Spec<'_>,
+) -> Result<YieldEstimate> {
+    let points = mc.sample_points();
+    let mut pass = 0usize;
+    for p in &points {
+        if spec.passes(rom, p)? {
+            pass += 1;
+        }
+    }
+    let n = points.len();
+    let y = pass as f64 / n.max(1) as f64;
+    let std_error = (y * (1.0 - y) / n.max(1) as f64).sqrt();
+    Ok(YieldEstimate {
+        yield_fraction: y,
+        instances: n,
+        std_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::ParameterDistribution;
+    use pmor::lowrank::{LowRankOptions, LowRankPmor};
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    fn rom() -> ParametricRom {
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 40,
+            ..Default::default()
+        })
+        .assemble();
+        LowRankPmor::new(LowRankOptions {
+            s_order: 5,
+            param_order: 2,
+            rank: 2,
+            ..Default::default()
+        })
+        .reduce(&sys)
+        .unwrap()
+    }
+
+    fn mc(instances: usize) -> MonteCarlo {
+        MonteCarlo::paper_protocol(3, instances)
+    }
+
+    #[test]
+    fn trivially_loose_spec_yields_one() {
+        let rom = rom();
+        let est = estimate_yield(
+            &rom,
+            &mc(30),
+            &Spec::MinDominantPole { min_rad_s: 1.0 },
+        )
+        .unwrap();
+        assert_eq!(est.yield_fraction, 1.0);
+        assert_eq!(est.instances, 30);
+        assert_eq!(est.std_error, 0.0);
+    }
+
+    #[test]
+    fn impossible_spec_yields_zero() {
+        let rom = rom();
+        let est = estimate_yield(
+            &rom,
+            &mc(30),
+            &Spec::MinDominantPole { min_rad_s: 1e30 },
+        )
+        .unwrap();
+        assert_eq!(est.yield_fraction, 0.0);
+    }
+
+    #[test]
+    fn marginal_spec_yields_strictly_between() {
+        // Put the threshold at the nominal dominant-pole magnitude: roughly
+        // half the instances should pass.
+        let rom = rom();
+        let nominal = rom.dominant_poles(&[0.0; 3], 1).unwrap()[0].abs();
+        let est = estimate_yield(
+            &rom,
+            &mc(120),
+            &Spec::MinDominantPole { min_rad_s: nominal },
+        )
+        .unwrap();
+        assert!(
+            est.yield_fraction > 0.15 && est.yield_fraction < 0.85,
+            "yield {} not marginal",
+            est.yield_fraction
+        );
+        assert!(est.std_error > 0.0);
+    }
+
+    #[test]
+    fn delay_spec_evaluates_transient() {
+        let rom = rom();
+        let stimuli = vec![Stimulus::Step {
+            t0: 0.0,
+            amplitude: 1.0,
+        }];
+        let options = TransientOptions::trapezoidal(3e-9, 200);
+        // Generous delay budget ⇒ everything passes.
+        let est = estimate_yield(
+            &rom,
+            &mc(10),
+            &Spec::MaxDelay {
+                output: 0,
+                max_seconds: 1e-3,
+                stimuli: &stimuli,
+                options: &options,
+            },
+        )
+        .unwrap();
+        assert_eq!(est.yield_fraction, 1.0);
+    }
+
+    #[test]
+    fn custom_spec_and_distributions() {
+        let rom = rom();
+        let mc = MonteCarlo {
+            distributions: vec![
+                ParameterDistribution::Uniform { lo: -0.1, hi: 0.1 },
+                ParameterDistribution::Fixed(0.0),
+                ParameterDistribution::Fixed(0.0),
+            ],
+            instances: 25,
+            seed: 9,
+        };
+        // Custom spec: parameter 0 must be nonnegative — independent of the
+        // model, with known analytic yield ≈ 0.5.
+        let spec = Spec::Custom(&|_rom, p| Ok(p[0] >= 0.0));
+        let est = estimate_yield(&rom, &mc, &spec).unwrap();
+        assert!(est.yield_fraction > 0.2 && est.yield_fraction < 0.8);
+    }
+}

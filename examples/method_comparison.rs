@@ -1,0 +1,160 @@
+//! Side-by-side comparison of every parametric reduction method in the
+//! library on one workload: nominal PRIMA projection, single-point
+//! multi-parameter moment matching, multi-point expansion, projection
+//! fitting (Liu et al. [6]) and the paper's low-rank Algorithm 1.
+//!
+//! Prints size, build cost (factorizations + wall time) and worst-case
+//! accuracy over a parameter/frequency grid — the trade-off space the
+//! paper's sections 3 and 4 walk through.
+//!
+//! Run: `cargo run --release -p pmor-bench --example method_comparison`
+
+use pmor::eval::FullModel;
+use pmor::fit::{FitOptions, FittedProjectionPmor};
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::moments::{SinglePointOptions, SinglePointPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::prima::{Prima, PrimaOptions};
+use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+use pmor_num::Complex64;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = clock_tree(&ClockTreeConfig {
+        num_nodes: 200,
+        ..Default::default()
+    })
+    .assemble();
+    println!(
+        "workload: clock tree, {} nodes, {} parameters\n",
+        sys.dim(),
+        sys.num_params()
+    );
+
+    // Evaluation grid: corners + interior points, low/mid/high band.
+    let points: Vec<[f64; 3]> = vec![
+        [0.0, 0.0, 0.0],
+        [0.3, 0.3, 0.3],
+        [-0.3, -0.3, -0.3],
+        [0.3, -0.3, 0.15],
+        [-0.15, 0.25, -0.3],
+    ];
+    let freqs = [1e8, 1e9, 4e9];
+    let full = FullModel::new(&sys);
+    let mut reference = Vec::new();
+    for p in &points {
+        for &f in &freqs {
+            let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+            reference.push(full.transfer(p, s)?[(0, 0)]);
+        }
+    }
+
+    let assess = |rom_transfer: &dyn Fn(&[f64], Complex64) -> pmor::Result<Complex64>|
+     -> pmor::Result<f64> {
+        let mut worst: f64 = 0.0;
+        let mut idx = 0;
+        for p in &points {
+            for &f in &freqs {
+                let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+                let h = rom_transfer(p, s)?;
+                worst = worst.max((h - reference[idx]).abs() / reference[idx].abs());
+                idx += 1;
+            }
+        }
+        Ok(worst)
+    };
+
+    println!(
+        "{:<28} {:>6} {:>8} {:>8} {:>12}",
+        "method", "size", "factor.", "time", "worst err"
+    );
+
+    // Nominal PRIMA projection.
+    let t0 = Instant::now();
+    let rom = Prima::new(PrimaOptions {
+        num_block_moments: 6,
+        use_rcm: true,
+    })
+    .reduce(&sys)?;
+    let dt = t0.elapsed().as_secs_f64();
+    let err = assess(&|p, s| Ok(rom.transfer(p, s)?[(0, 0)]))?;
+    println!("{:<28} {:>6} {:>8} {:>8.3} {:>12.2e}", "nominal PRIMA", rom.size(), 1, dt, err);
+
+    // Single-point multi-parameter matching.
+    let t0 = Instant::now();
+    let rom = SinglePointPmor::new(SinglePointOptions {
+        order: 3,
+        use_rcm: true,
+    })
+    .reduce(&sys)?;
+    let dt = t0.elapsed().as_secs_f64();
+    let err = assess(&|p, s| Ok(rom.transfer(p, s)?[(0, 0)]))?;
+    println!("{:<28} {:>6} {:>8} {:>8.3} {:>12.2e}", "single-point (order 3)", rom.size(), 1, dt, err);
+
+    // Multi-point expansion, 2 samples per axis.
+    let t0 = Instant::now();
+    let (rom, stats) = MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 4))
+        .reduce_with_stats(&sys)?;
+    let dt = t0.elapsed().as_secs_f64();
+    let err = assess(&|p, s| Ok(rom.transfer(p, s)?[(0, 0)]))?;
+    println!(
+        "{:<28} {:>6} {:>8} {:>8.3} {:>12.2e}",
+        "multi-point (2^3 grid)",
+        rom.size(),
+        stats.factorizations,
+        dt,
+        err
+    );
+
+    // Projection fitting (Liu et al. [6]): center + axis samples.
+    let mut samples = vec![vec![0.0; 3]];
+    for i in 0..3 {
+        for v in [-0.3, 0.3] {
+            let mut p = vec![0.0; 3];
+            p[i] = v;
+            samples.push(p);
+        }
+    }
+    let nsamples = samples.len();
+    let t0 = Instant::now();
+    let fitted = FittedProjectionPmor::new(FitOptions {
+        samples,
+        num_block_moments: 4,
+        use_rcm: true,
+    })
+    .reduce(&sys)?;
+    let dt = t0.elapsed().as_secs_f64();
+    let err = assess(&|p, s| Ok(fitted.transfer(p, s)?[(0, 0)]))?;
+    println!(
+        "{:<28} {:>6} {:>8} {:>8.3} {:>12.2e}",
+        "projection fit (Liu [6])",
+        fitted.size(),
+        nsamples,
+        dt,
+        err
+    );
+
+    // Low-rank Algorithm 1 (the paper's method).
+    let t0 = Instant::now();
+    let (rom, stats) = LowRankPmor::new(LowRankOptions {
+        s_order: 6,
+        param_order: 2,
+        rank: 2,
+        ..Default::default()
+    })
+    .reduce_with_stats(&sys)?;
+    let dt = t0.elapsed().as_secs_f64();
+    let err = assess(&|p, s| Ok(rom.transfer(p, s)?[(0, 0)]))?;
+    println!(
+        "{:<28} {:>6} {:>8} {:>8.3} {:>12.2e}",
+        "low-rank Algorithm 1",
+        rom.size(),
+        stats.factorizations,
+        dt,
+        err
+    );
+
+    println!("\nreading guide: Algorithm 1 reaches sampling-level accuracy with a single");
+    println!("factorization and no combinatorial growth in the parameter count.");
+    Ok(())
+}

@@ -1,0 +1,156 @@
+//! Integration tests of the moment-matching guarantees (paper §3.1 and
+//! Theorem 1) across crates: explicit multi-parameter moments of sparse
+//! full models versus dense reduced models.
+
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::moments::{
+    frequency_scale, multi_parameter_transfer_moments, rom_multi_parameter_transfer_moments,
+    SinglePointOptions, SinglePointPmor,
+};
+use pmor::rom::ParametricRom;
+use pmor_circuits::generators::{clock_tree, rc_random, ClockTreeConfig, RcRandomConfig};
+use pmor_circuits::ParametricSystem;
+use pmor_num::Matrix;
+
+fn assert_moments_match(
+    full: &std::collections::BTreeMap<(usize, Vec<usize>), Matrix<f64>>,
+    rom: &std::collections::BTreeMap<(usize, Vec<usize>), Matrix<f64>>,
+    tol: f64,
+    what: &str,
+) {
+    let global = full.values().map(Matrix::max_abs).fold(0.0, f64::max);
+    for (idx, mf) in full {
+        let mr = &rom[idx];
+        let scale = mf.max_abs().max(1e-6 * global);
+        let diff = mf.sub_mat(mr).max_abs() / scale;
+        assert!(diff < tol, "{what}: moment {idx:?} mismatch {diff}");
+    }
+}
+
+#[test]
+fn single_point_matches_all_moments_to_order_3() {
+    let sys = clock_tree(&ClockTreeConfig {
+        num_nodes: 24,
+        ..Default::default()
+    })
+    .assemble();
+    let k = 3;
+    let rom = SinglePointPmor::new(SinglePointOptions {
+        order: k,
+        use_rcm: true,
+    })
+    .reduce(&sys)
+    .unwrap();
+    let w0 = frequency_scale(&sys);
+    let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
+    let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
+    assert_moments_match(&full_m, &rom_m, 1e-5, "single-point order 3");
+}
+
+#[test]
+fn single_point_matches_on_random_rc_with_two_sources() {
+    let sys = rc_random(&RcRandomConfig {
+        num_nodes: 40,
+        ..Default::default()
+    })
+    .assemble();
+    let k = 2;
+    let rom = SinglePointPmor::new(SinglePointOptions {
+        order: k,
+        use_rcm: true,
+    })
+    .reduce(&sys)
+    .unwrap();
+    let w0 = frequency_scale(&sys);
+    let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
+    let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
+    assert_moments_match(&full_m, &rom_m, 1e-5, "single-point rc_random");
+}
+
+#[test]
+fn theorem1_lowrank_rom_matches_nearby_system_moments() {
+    // Theorem 1: with rank-k_svd approximations of the generalized
+    // sensitivities, the reduced model matches the moments of the *nearby*
+    // low-rank-approximated parametric system.
+    let sys = clock_tree(&ClockTreeConfig {
+        num_nodes: 20,
+        ..Default::default()
+    })
+    .assemble();
+    let reducer = LowRankPmor::new(LowRankOptions {
+        s_order: 3,
+        param_order: 2,
+        rank: 1,
+        ..Default::default()
+    });
+    let nearby = reducer.nearby_system(&sys).unwrap();
+    let v = reducer.projection(&sys).unwrap();
+    let rom = ParametricRom::by_congruence(&nearby, &v);
+    let k = 1;
+    let w0 = frequency_scale(&nearby);
+    let full_m = multi_parameter_transfer_moments(&nearby, k).unwrap();
+    let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
+    assert_moments_match(&full_m, &rom_m, 1e-5, "theorem 1 nearby system");
+}
+
+#[test]
+fn full_rank_lowrank_matches_true_system_moments() {
+    // With k_svd = n the approximation is exact and Theorem 1 degenerates
+    // to exact moment matching of the original system.
+    let sys = clock_tree(&ClockTreeConfig {
+        num_nodes: 14,
+        ..Default::default()
+    })
+    .assemble();
+    let n = sys.dim();
+    let rom = LowRankPmor::new(LowRankOptions {
+        s_order: 2,
+        param_order: 2,
+        rank: n,
+        svd: pmor::opsvd::OperatorSvdOptions {
+            rank: n,
+            oversample: 4,
+            power_iterations: 4,
+            seed: 11,
+        },
+        ..Default::default()
+    })
+    .reduce(&sys)
+    .unwrap();
+    let k = 1;
+    let w0 = frequency_scale(&sys);
+    let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
+    let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
+    assert_moments_match(&full_m, &rom_m, 1e-5, "full-rank Algorithm 1");
+}
+
+#[test]
+fn nearby_system_distance_shrinks_with_rank() {
+    // The Frobenius distance between the true sensitivities and the
+    // low-rank reconstruction must be monotone non-increasing in k_svd.
+    let sys: ParametricSystem = clock_tree(&ClockTreeConfig {
+        num_nodes: 30,
+        ..Default::default()
+    })
+    .assemble();
+    let distance = |rank: usize| -> f64 {
+        let reducer = LowRankPmor::new(LowRankOptions {
+            rank,
+            ..Default::default()
+        });
+        let nearby = reducer.nearby_system(&sys).unwrap();
+        let mut d = 0.0;
+        for i in 0..sys.num_params() {
+            let diff = sys.gi[i].add_scaled(-1.0, &nearby.gi[i]);
+            d += diff.to_dense().norm_fro();
+            let diff = sys.ci[i].add_scaled(-1.0, &nearby.ci[i]);
+            d += diff.to_dense().norm_fro();
+        }
+        d
+    };
+    let d1 = distance(1);
+    let d3 = distance(3);
+    let d8 = distance(8);
+    assert!(d3 <= d1 * 1.001, "rank 3 ({d3}) worse than rank 1 ({d1})");
+    assert!(d8 <= d3 * 1.001, "rank 8 ({d8}) worse than rank 3 ({d3})");
+}

@@ -1,0 +1,147 @@
+//! Integration tests of passivity preservation (paper §4.1): congruence
+//! reduction of a passive parametric net yields passive reduced models at
+//! every parameter point, for every reduction method.
+
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::moments::{SinglePointOptions, SinglePointPmor};
+use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::prima::{Prima, PrimaOptions};
+use pmor_circuits::generators::{clock_tree, rlc_bus, ClockTreeConfig, RlcBusConfig};
+use pmor_circuits::ParametricSystem;
+use pmor_num::eig::is_positive_semidefinite;
+
+fn corners(np: usize, delta: f64) -> Vec<Vec<f64>> {
+    // All corners of the variation box plus the center.
+    let mut out = vec![vec![0.0; np]];
+    for mask in 0..(1usize << np) {
+        out.push(
+            (0..np)
+                .map(|i| if mask & (1 << i) != 0 { delta } else { -delta })
+                .collect(),
+        );
+    }
+    out
+}
+
+fn full_system_is_passive_stamp(sys: &ParametricSystem, p: &[f64]) -> bool {
+    let g = sys.g_at(p);
+    let gsym = g.add_scaled(1.0, &g.transposed());
+    let c = sys.c_at(p);
+    sys.has_symmetric_ports()
+        && is_positive_semidefinite(&gsym.to_dense(), 1e-9).unwrap()
+        && c.symmetry_defect() < 1e-12 * c.max_abs().max(1e-300)
+        && is_positive_semidefinite(&c.to_dense(), 1e-9).unwrap()
+}
+
+#[test]
+fn rc_clock_tree_stays_passive_under_every_reducer() {
+    let sys = clock_tree(&ClockTreeConfig {
+        num_nodes: 60,
+        ..Default::default()
+    })
+    .assemble();
+    // Precondition: the full parametric model is passive over the box.
+    for p in corners(3, 0.3) {
+        assert!(full_system_is_passive_stamp(&sys, &p), "full model at {p:?}");
+    }
+
+    let roms = vec![
+        (
+            "prima",
+            Prima::new(PrimaOptions::default()).reduce(&sys).unwrap(),
+        ),
+        (
+            "single-point",
+            SinglePointPmor::new(SinglePointOptions {
+                order: 2,
+                use_rcm: true,
+            })
+            .reduce(&sys)
+            .unwrap(),
+        ),
+        (
+            "multi-point",
+            MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 3))
+                .reduce(&sys)
+                .unwrap(),
+        ),
+        (
+            "low-rank",
+            LowRankPmor::with_defaults().reduce(&sys).unwrap(),
+        ),
+        (
+            "low-rank simplified",
+            LowRankPmor::new(LowRankOptions {
+                include_transpose_subspaces: false,
+                ..Default::default()
+            })
+            .reduce(&sys)
+            .unwrap(),
+        ),
+    ];
+    for (name, rom) in &roms {
+        for p in corners(3, 0.3) {
+            assert!(
+                rom.is_passive_stamp(&p).unwrap(),
+                "{name} not passive at {p:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rlc_bus_reduction_preserves_passivity_stamp() {
+    let sys = rlc_bus(&RlcBusConfig {
+        segments: 25,
+        ..Default::default()
+    })
+    .assemble();
+    assert!(sys.has_symmetric_ports());
+    let rom = LowRankPmor::new(LowRankOptions {
+        s_order: 8,
+        param_order: 2,
+        rank: 1,
+        ..Default::default()
+    })
+    .reduce(&sys)
+    .unwrap();
+    for p in corners(2, 0.3) {
+        assert!(rom.is_passive_stamp(&p).unwrap(), "bus ROM at {p:?}");
+    }
+}
+
+#[test]
+fn reduced_bus_poles_never_cross_into_right_half_plane() {
+    // Stability (implied by passivity) at a dense set of parameter points.
+    let sys = rlc_bus(&RlcBusConfig {
+        segments: 20,
+        ..Default::default()
+    })
+    .assemble();
+    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    for w in [-0.3, -0.1, 0.1, 0.3] {
+        for t in [-0.3, 0.0, 0.3] {
+            for z in rom.poles(&[w, t]).unwrap() {
+                assert!(z.re <= 1e-6 * z.abs(), "pole {z} at ({w},{t})");
+            }
+        }
+    }
+}
+
+#[test]
+fn asymmetric_output_breaks_the_passivity_stamp() {
+    // Negative control: a voltage-transfer setup (input ≠ output node) must
+    // be detected as not passivity-stamped.
+    let mut net = pmor_circuits::Netlist::new(0);
+    let a = net.add_node();
+    let b = net.add_node();
+    net.add_resistor(Some(a), None, 50.0);
+    net.add_resistor(Some(a), Some(b), 100.0);
+    net.add_capacitor(Some(b), None, 1e-12);
+    net.add_input(a);
+    net.add_output(b);
+    let sys = net.assemble();
+    assert!(!sys.has_symmetric_ports());
+    let rom = Prima::new(PrimaOptions::default()).reduce(&sys).unwrap();
+    assert!(!rom.is_passive_stamp(&[]).unwrap());
+}

@@ -1,0 +1,142 @@
+//! Cross-crate timing consistency: the Elmore metric, the transient
+//! engine, and the reduced-order models must tell one coherent story about
+//! interconnect delay.
+
+use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::transient::{simulate_full, simulate_rom, Stimulus, TransientOptions};
+use pmor_circuits::elmore::elmore_delays;
+use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+use pmor_circuits::Netlist;
+
+/// A 10-segment RC line driven at one end, observed at the other.
+fn rc_line() -> (Netlist, usize, usize) {
+    let mut net = Netlist::new(0);
+    let input = net.add_node();
+    net.add_resistor(Some(input), None, 20.0);
+    let mut at = input;
+    for _ in 0..10 {
+        let next = net.add_node();
+        net.add_resistor(Some(at), Some(next), 50.0);
+        net.add_capacitor(Some(next), None, 20e-15);
+        at = next;
+    }
+    net.add_input(input);
+    net.add_output(at);
+    (net, input, at)
+}
+
+#[test]
+fn elmore_bounds_and_approximates_the_transient_delay() {
+    // For monotone RC step responses: 0.5·T_elmore ≲ t_50% ≤ T_elmore
+    // (ln 2·T_elmore for a single pole).
+    let (net, input, out) = rc_line();
+    let t_elmore = elmore_delays(&net, input, &[]).unwrap()[out];
+    let sys = net.assemble();
+    let stim = [Stimulus::Step {
+        t0: 0.0,
+        amplitude: 1.0,
+    }];
+    let res = simulate_full(
+        &sys,
+        &[],
+        &stim,
+        &TransientOptions::trapezoidal(20.0 * t_elmore, 4000),
+    )
+    .unwrap();
+    let t50 = res.delay_50(0).unwrap();
+    assert!(
+        t50 <= t_elmore,
+        "t50 {t50:.3e} exceeds Elmore bound {t_elmore:.3e}"
+    );
+    assert!(
+        t50 >= 0.3 * t_elmore,
+        "t50 {t50:.3e} implausibly below Elmore {t_elmore:.3e}"
+    );
+}
+
+#[test]
+fn rom_reproduces_full_delay_across_corners_on_a_clock_tree() {
+    let net = clock_tree(&ClockTreeConfig {
+        num_nodes: 60,
+        ..Default::default()
+    });
+    let sys = net.assemble();
+    let rom = LowRankPmor::new(LowRankOptions {
+        s_order: 6,
+        param_order: 2,
+        rank: 2,
+        ..Default::default()
+    })
+    .reduce(&sys)
+    .unwrap();
+    let stim = [Stimulus::Ramp {
+        t0: 0.0,
+        rise: 20e-12,
+        amplitude: 1.0,
+    }];
+    let opts = TransientOptions::trapezoidal(2e-9, 500);
+    for corner in [[0.0; 3], [0.3, 0.3, 0.3], [-0.3, 0.3, -0.3]] {
+        let full = simulate_full(&sys, &corner, &stim, &opts).unwrap();
+        let red = simulate_rom(&rom, &corner, &stim, &opts).unwrap();
+        let df = full.delay_50(0).unwrap();
+        let dr = red.delay_50(0).unwrap();
+        assert!(
+            (df - dr).abs() < 1e-13,
+            "corner {corner:?}: delay {df:.3e} vs ROM {dr:.3e}"
+        );
+    }
+}
+
+#[test]
+fn elmore_tracks_parametric_direction_of_transient_delay() {
+    // The observed output is the ROOT driving-point voltage, whose Elmore
+    // delay is driver_R × total tree capacitance. Widening the wires
+    // (p > 0) increases the capacitance, so both the root's Elmore delay
+    // and its simulated 50% delay must increase — while the *leaf* delays
+    // (wire-resistance dominated) decrease. Both directions are asserted.
+    let net = clock_tree(&ClockTreeConfig {
+        num_nodes: 40,
+        ..Default::default()
+    });
+    let sys = net.assemble();
+    let delays_at = |p: &[f64]| elmore_delays(&net, 0, p).unwrap();
+    let nom = delays_at(&[0.0; 3]);
+    let wide = delays_at(&[0.3, 0.3, 0.3]);
+
+    // Root slows down (more cap behind the same driver)…
+    assert!(
+        wide[0] > nom[0],
+        "root Elmore did not slow down: {} -> {}",
+        nom[0],
+        wide[0]
+    );
+    // …while the worst wire-dominated *increment* beyond the root shrinks.
+    let worst_inc =
+        |d: &[f64]| d.iter().map(|&x| x - d[0]).fold(0.0f64, f64::max);
+    assert!(
+        worst_inc(&wide) < worst_inc(&nom),
+        "leaf wire delay did not speed up: {} -> {}",
+        worst_inc(&nom),
+        worst_inc(&wide)
+    );
+
+    // The transient 50% delay at the root follows the root's Elmore
+    // direction.
+    let stim = [Stimulus::Step {
+        t0: 0.0,
+        amplitude: 1.0,
+    }];
+    let opts = TransientOptions::trapezoidal(1e-9, 400);
+    let d_nom = simulate_full(&sys, &[0.0; 3], &stim, &opts)
+        .unwrap()
+        .delay_50(0)
+        .unwrap();
+    let d_wide = simulate_full(&sys, &[0.3; 3], &stim, &opts)
+        .unwrap()
+        .delay_50(0)
+        .unwrap();
+    assert!(
+        d_wide > d_nom,
+        "transient disagrees with root Elmore: {d_nom} -> {d_wide}"
+    );
+}
