@@ -1,107 +1,138 @@
-//! Criterion benchmarks mirroring the paper's four figures: for each
-//! evaluation circuit, the cost of building the figure's reduced models and
-//! of evaluating them (the quantities behind the §5.2 "computational cost
-//! is three times larger" remark).
+//! Micro-benchmarks mirroring the paper's four figures: for each
+//! evaluation circuit, the cost of building the figure's reduced models
+//! and of evaluating them (the quantities behind the §5.2 "computational
+//! cost is three times larger" remark).
+//!
+//! Built on `pmor_bench::micro` (the offline build has no criterion);
+//! results also land in `BENCH_bench_figures.json`.
 //!
 //! Run: `cargo bench -p pmor-bench --bench figures`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pmor::eval::FullModel;
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
 use pmor::prima::{Prima, PrimaOptions};
-use pmor_circuits::generators::{rc_random, rcnet_a, rcnet_b, rlc_bus, RcRandomConfig, RlcBusConfig};
+use pmor::Reducer;
+use pmor_bench::micro::bench_case;
+use pmor_bench::{write_bench_json, BenchRecord};
+use pmor_circuits::generators::{
+    rc_random, rcnet_a, rcnet_b, rlc_bus, RcRandomConfig, RlcBusConfig,
+};
 use pmor_num::Complex64;
 
-fn bench_fig3(c: &mut Criterion) {
-    let sys = rc_random(&RcRandomConfig::default()).assemble();
-    let mut group = c.benchmark_group("fig3_rc767");
-    group.sample_size(10);
-    group.bench_function("reduce_nominal_prima_k8", |b| {
-        let r = Prima::new(PrimaOptions {
-            num_block_moments: 8,
-            use_rcm: true,
+fn main() {
+    let mut records = Vec::new();
+    let mut record = |name: &str, workload: &str, stats: pmor_bench::micro::MicroStats| {
+        records.push(
+            BenchRecord::new(name, workload, stats.mean_s)
+                .metric("min_s", stats.min_s)
+                .metric("max_s", stats.max_s)
+                .metric("iters", stats.iters as f64),
+        );
+    };
+
+    println!("## Fig 3 circuit: rc_random(767)");
+    {
+        let sys = rc_random(&RcRandomConfig::default()).assemble();
+        let s = bench_case("fig3/reduce_nominal_prima_k8", 5, || {
+            Prima::new(PrimaOptions {
+                num_block_moments: 8,
+            })
+            .reduce_once(&sys)
+            .unwrap()
         });
-        b.iter(|| r.reduce(&sys).unwrap())
-    });
-    group.bench_function("reduce_lowrank_40state", |b| {
-        let r = LowRankPmor::new(LowRankOptions {
-            s_order: 8,
-            param_order: 4,
-            rank: 1,
-            ..Default::default()
+        record("prima", "rc_random(767)", s);
+        let s = bench_case("fig3/reduce_lowrank_40state", 5, || {
+            LowRankPmor::new(LowRankOptions {
+                s_order: 8,
+                param_order: 4,
+                rank: 1,
+                ..Default::default()
+            })
+            .reduce_once(&sys)
+            .unwrap()
         });
-        b.iter(|| r.reduce(&sys).unwrap())
-    });
-    group.bench_function("reduce_multipoint_8samples", |b| {
+        record("lowrank", "rc_random(767)", s);
         let samples: Vec<Vec<f64>> = MultiPointOptions::grid(&[(-0.7, 0.7); 2], 3, 5)
             .samples
             .into_iter()
             .filter(|s| !(s[0] == 0.0 && s[1] == 0.0))
             .collect();
-        let r = MultiPointPmor::new(MultiPointOptions::with_samples(samples, 5));
-        b.iter(|| r.reduce(&sys).unwrap())
-    });
-    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
-    group.bench_function("eval_rom_one_point", |b| {
-        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
-        b.iter(|| rom.transfer(&[0.7, 0.7], s).unwrap())
-    });
-    group.bench_function("eval_full_one_point", |b| {
-        let full = FullModel::new(&sys);
-        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
-        b.iter(|| full.transfer(&[0.7, 0.7], s).unwrap())
-    });
-    group.finish();
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    let sys = rlc_bus(&RlcBusConfig::default()).assemble();
-    let mut group = c.benchmark_group("fig4_bus1086");
-    group.sample_size(10);
-    group.bench_function("reduce_lowrank", |b| {
-        let r = LowRankPmor::new(LowRankOptions {
-            s_order: 13,
-            param_order: 3,
-            rank: 1,
-            ..Default::default()
+        let s = bench_case("fig3/reduce_multipoint_8samples", 3, || {
+            MultiPointPmor::new(MultiPointOptions::with_samples(samples.clone(), 5))
+                .reduce_once(&sys)
+                .unwrap()
         });
-        b.iter(|| r.reduce(&sys).unwrap())
-    });
-    group.bench_function("reduce_multipoint_3samples", |b| {
-        let r = MultiPointPmor::new(MultiPointOptions::with_samples(
-            vec![vec![-0.3, 0.0], vec![0.0, 0.0], vec![0.3, 0.0]],
-            13,
-        ));
-        b.iter(|| r.reduce(&sys).unwrap())
-    });
-    group.finish();
-}
+        record("multipoint", "rc_random(767)", s);
 
-fn bench_fig5_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_fig6_clock_trees");
-    group.sample_size(10);
-    for (name, sys) in [("rcnet_a78", rcnet_a().assemble()), ("rcnet_b333", rcnet_b().assemble())] {
-        group.bench_function(format!("{name}_reduce_lowrank"), |b| {
-            let r = LowRankPmor::new(LowRankOptions {
+        let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
+        let sp = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        let s = bench_case("fig3/eval_rom_one_point", 20, || {
+            rom.transfer(&[0.7, 0.7], sp).unwrap()
+        });
+        record("eval_rom", "rc_random(767)", s);
+        let full = FullModel::new(&sys);
+        let s = bench_case("fig3/eval_full_one_point", 5, || {
+            full.transfer(&[0.7, 0.7], sp).unwrap()
+        });
+        record("eval_full", "rc_random(767)", s);
+    }
+
+    println!("\n## Fig 4 circuit: rlc_bus(1086)");
+    {
+        let sys = rlc_bus(&RlcBusConfig::default()).assemble();
+        let s = bench_case("fig4/reduce_lowrank", 3, || {
+            LowRankPmor::new(LowRankOptions {
+                s_order: 13,
+                param_order: 3,
+                rank: 1,
+                ..Default::default()
+            })
+            .reduce_once(&sys)
+            .unwrap()
+        });
+        record("lowrank", "rlc_bus(1086)", s);
+        let s = bench_case("fig4/reduce_multipoint_3samples", 3, || {
+            MultiPointPmor::new(MultiPointOptions::with_samples(
+                vec![vec![-0.3, 0.0], vec![0.0, 0.0], vec![0.3, 0.0]],
+                13,
+            ))
+            .reduce_once(&sys)
+            .unwrap()
+        });
+        record("multipoint", "rlc_bus(1086)", s);
+    }
+
+    println!("\n## Fig 5/6 circuits: clock trees");
+    for (name, sys) in [
+        ("rcnet_a(78)", rcnet_a().assemble()),
+        ("rcnet_b(333)", rcnet_b().assemble()),
+    ] {
+        let s = bench_case(&format!("{name}/reduce_lowrank"), 5, || {
+            LowRankPmor::new(LowRankOptions {
                 s_order: 6,
                 param_order: 2,
                 rank: 2,
                 ..Default::default()
-            });
-            b.iter(|| r.reduce(&sys).unwrap())
+            })
+            .reduce_once(&sys)
+            .unwrap()
         });
-        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
-        group.bench_function(format!("{name}_rom_poles"), |b| {
-            b.iter(|| rom.dominant_poles(&[0.1, -0.1, 0.2], 5).unwrap())
+        record("lowrank", name, s);
+        let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
+        let s = bench_case(&format!("{name}/rom_poles"), 10, || {
+            rom.dominant_poles(&[0.1, -0.1, 0.2], 5).unwrap()
         });
-        group.bench_function(format!("{name}_full_poles"), |b| {
-            let full = FullModel::new(&sys);
-            b.iter(|| full.dominant_poles(&[0.1, -0.1, 0.2], 5).unwrap())
+        record("rom_poles", name, s);
+        let full = FullModel::new(&sys);
+        let s = bench_case(&format!("{name}/full_poles"), 3, || {
+            full.dominant_poles(&[0.1, -0.1, 0.2], 5).unwrap()
         });
+        record("full_poles", name, s);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_fig3, bench_fig4, bench_fig5_fig6);
-criterion_main!(benches);
+    match write_bench_json("bench_figures", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_bench_figures.json not written: {e}"),
+    }
+}

@@ -1,19 +1,23 @@
-//! Criterion benchmarks of the reduction algorithms themselves: PRIMA,
+//! Micro-benchmarks of the reduction algorithms themselves: PRIMA,
 //! single-point multi-parameter matching, multi-point expansion and the
 //! low-rank Algorithm 1, plus the underlying sparse kernels.
 //!
+//! Built on `pmor_bench::micro` (the offline build has no criterion);
+//! results also land in `BENCH_bench_reduction.json`.
+//!
 //! Run: `cargo bench -p pmor-bench --bench reduction`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::moments::{SinglePointOptions, SinglePointPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
 use pmor::prima::{Prima, PrimaOptions};
-use pmor_circuits::generators::{rc_random, RcRandomConfig};
+use pmor::Reducer;
+use pmor_bench::micro::bench_case;
+use pmor_bench::{write_bench_json, BenchRecord};
 use pmor_sparse::{ordering, SparseLu};
 
 fn workload(n: usize) -> pmor_circuits::ParametricSystem {
-    rc_random(&RcRandomConfig {
+    pmor_circuits::generators::rc_random(&pmor_circuits::generators::RcRandomConfig {
         num_nodes: n,
         num_params: 2,
         extra_resistor_fraction: 0.0,
@@ -23,71 +27,79 @@ fn workload(n: usize) -> pmor_circuits::ParametricSystem {
     .assemble()
 }
 
-fn bench_sparse_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sparse_lu_factor");
+fn main() {
+    let mut records = Vec::new();
+    let mut record = |name: &str, workload: &str, stats: pmor_bench::micro::MicroStats| {
+        records.push(
+            BenchRecord::new(name, workload, stats.mean_s)
+                .metric("min_s", stats.min_s)
+                .metric("max_s", stats.max_s)
+                .metric("iters", stats.iters as f64),
+        );
+    };
+
+    println!("## sparse LU factorization");
     for n in [500usize, 2000, 8000] {
         let sys = workload(n);
         let perm = ordering::rcm(&sys.g0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| SparseLu::factor(&sys.g0, Some(&perm)).unwrap())
+        let s = bench_case(&format!("sparse_lu_factor/n{n}"), 5, || {
+            SparseLu::factor(&sys.g0, Some(&perm)).unwrap()
         });
+        record("sparse_lu_factor", &format!("rc_random({n})"), s);
     }
-    group.finish();
-}
 
-fn bench_reducers(c: &mut Criterion) {
+    println!("\n## reducers on n=2000");
     let sys = workload(2000);
-    let mut group = c.benchmark_group("reduce_n2000");
-    group.sample_size(10);
-
-    group.bench_function("prima_k8", |b| {
-        let r = Prima::new(PrimaOptions {
+    let s = bench_case("reduce/prima_k8", 5, || {
+        Prima::new(PrimaOptions {
             num_block_moments: 8,
-            use_rcm: true,
-        });
-        b.iter(|| r.reduce(&sys).unwrap())
+        })
+        .reduce_once(&sys)
+        .unwrap()
     });
-    group.bench_function("single_point_order3", |b| {
-        let r = SinglePointPmor::new(SinglePointOptions {
-            order: 3,
-            use_rcm: true,
-        });
-        b.iter(|| r.reduce(&sys).unwrap())
+    record("prima", "rc_random(2000)", s);
+    let s = bench_case("reduce/single_point_order3", 5, || {
+        SinglePointPmor::new(SinglePointOptions { order: 3 })
+            .reduce_once(&sys)
+            .unwrap()
     });
-    group.bench_function("multi_point_3x3_k5", |b| {
-        let r = MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 2], 3, 5));
-        b.iter(|| r.reduce(&sys).unwrap())
+    record("moments", "rc_random(2000)", s);
+    let s = bench_case("reduce/multi_point_3x3_k5", 3, || {
+        MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 2], 3, 5))
+            .reduce_once(&sys)
+            .unwrap()
     });
-    group.bench_function("lowrank_k8_rank1", |b| {
-        let r = LowRankPmor::new(LowRankOptions {
+    record("multipoint", "rc_random(2000)", s);
+    let s = bench_case("reduce/lowrank_k8_rank1", 5, || {
+        LowRankPmor::new(LowRankOptions {
             s_order: 8,
             param_order: 3,
             rank: 1,
             ..Default::default()
-        });
-        b.iter(|| r.reduce(&sys).unwrap())
+        })
+        .reduce_once(&sys)
+        .unwrap()
     });
-    group.finish();
-}
+    record("lowrank", "rc_random(2000)", s);
 
-fn bench_lowrank_scaling(c: &mut Criterion) {
-    // The §4.2 claim under the measurement harness: close-to-linear in n.
-    let mut group = c.benchmark_group("lowrank_vs_n");
-    group.sample_size(10);
+    println!("\n## low-rank scaling vs n (§4.2: close-to-linear)");
     for n in [1000usize, 4000, 16000] {
         let sys = workload(n);
-        let r = LowRankPmor::new(LowRankOptions {
-            s_order: 6,
-            param_order: 2,
-            rank: 1,
-            ..Default::default()
+        let s = bench_case(&format!("lowrank_vs_n/n{n}"), 3, || {
+            LowRankPmor::new(LowRankOptions {
+                s_order: 6,
+                param_order: 2,
+                rank: 1,
+                ..Default::default()
+            })
+            .reduce_once(&sys)
+            .unwrap()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| r.reduce(&sys).unwrap())
-        });
+        record("lowrank", &format!("rc_random({n})"), s);
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_sparse_lu, bench_reducers, bench_lowrank_scaling);
-criterion_main!(benches);
+    match write_bench_json("bench_reduction", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_bench_reduction.json not written: {e}"),
+    }
+}

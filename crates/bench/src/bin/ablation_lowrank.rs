@@ -15,7 +15,9 @@
 
 use pmor::eval::FullModel;
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
-use pmor_circuits::generators::{rcnet_b, rc_random, RcRandomConfig};
+use pmor::ReductionContext;
+use pmor_bench::{timed, write_bench_json, BenchRecord};
+use pmor_circuits::generators::{rc_random, rcnet_b, RcRandomConfig};
 use pmor_circuits::ParametricSystem;
 use pmor_num::Complex64;
 
@@ -51,10 +53,18 @@ fn grid_error(sys: &ParametricSystem, rom: &pmor::ParametricRom, delta: f64) -> 
     worst
 }
 
-fn run(label: &str, sys: &ParametricSystem, opts: LowRankOptions) {
-    let (rom, stats) = LowRankPmor::new(opts)
-        .reduce_with_stats(sys)
-        .expect("reduction");
+fn run(
+    label: &str,
+    workload: &str,
+    sys: &ParametricSystem,
+    opts: LowRankOptions,
+    records: &mut Vec<BenchRecord>,
+) {
+    let ((rom, stats), dt) = timed(|| {
+        LowRankPmor::new(opts)
+            .reduce_with_stats(sys, &mut ReductionContext::new())
+            .expect("reduction")
+    });
     let err = grid_error(sys, &rom, 0.3);
     println!(
         "{label:<42} size={:>4} (v0={:>3} param={:>3})  worst_err={err:.3e}",
@@ -62,11 +72,22 @@ fn run(label: &str, sys: &ParametricSystem, opts: LowRankOptions) {
         stats.v0_size,
         stats.param_size
     );
+    records.push(
+        BenchRecord::new(format!("lowrank[{label}]"), workload, dt)
+            .metric("size", rom.size() as f64)
+            .metric("v0_size", stats.v0_size as f64)
+            .metric("param_size", stats.param_size as f64)
+            .metric("worst_err", err),
+    );
 }
 
 fn main() {
+    let mut records = Vec::new();
     for (name, sys) in [
-        ("rcnet_b (333-node clock tree, 3 params)", rcnet_b().assemble()),
+        (
+            "rcnet_b (333-node clock tree, 3 params)",
+            rcnet_b().assemble(),
+        ),
         (
             "rc_random (300 unknowns, 2 sources)",
             rc_random(&RcRandomConfig {
@@ -88,34 +109,56 @@ fn main() {
         for rank in 1..=4 {
             run(
                 &format!("rank {rank}"),
+                name,
                 &sys,
                 LowRankOptions {
                     rank,
                     ..base.clone()
                 },
+                &mut records,
             );
         }
 
         println!("## ablation 2: generalized vs raw sensitivities (paper: raw is worse)");
-        run("generalized (G0^-1 Gi)", &sys, base.clone());
+        run(
+            "generalized (G0^-1 Gi)",
+            name,
+            &sys,
+            base.clone(),
+            &mut records,
+        );
         run(
             "raw (Gi directly)",
+            name,
             &sys,
             LowRankOptions {
                 approximate_raw_sensitivities: true,
                 ..base.clone()
             },
+            &mut records,
         );
 
         println!("## ablation 3: A0^T subspaces (paper: improves accuracy, 2x size)");
-        run("with A0^T subspaces (full Algorithm 1)", &sys, base.clone());
+        run(
+            "with A0^T subspaces (full Algorithm 1)",
+            name,
+            &sys,
+            base.clone(),
+            &mut records,
+        );
         run(
             "without (simplified, ~half size)",
+            name,
             &sys,
             LowRankOptions {
                 include_transpose_subspaces: false,
                 ..base.clone()
             },
+            &mut records,
         );
+    }
+    match write_bench_json("ablation_lowrank", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_ablation_lowrank.json not written: {e}"),
     }
 }

@@ -1,25 +1,62 @@
 //! Figure 3 — RC network transfer-function comparison (paper §5.1).
 //!
-//! Regenerates the five curves of Fig 3 on the 767-unknown random RC
-//! network with two variational sources:
+//! Regenerates the curves of Fig 3 on the 767-unknown random RC network
+//! with two variational sources: the nominal and perturbed full systems
+//! (the paper injects "up to 70%" variation; we use the caption's 80%)
+//! against reduced perturbed models from any set of registered reduction
+//! methods.
 //!
-//! 1. nominal full system,
-//! 2. perturbed full system (the paper injects "up to 70%" variation),
-//! 3. reduced perturbed model using the **nominal PRIMA projection**
-//!    (matching 8 moments of s) — expected to miss the variation,
-//! 4. reduced perturbed model from the **low-rank** Algorithm 1 (size ≈ the
-//!    paper's 37-state model, ~4th-order multi-parameter moments),
-//! 5. reduced perturbed model from **multi-point expansion** (8 samples,
-//!    ~40 states).
+//! Methods are selected by registry name on the command line (default:
+//! `prima lowrank multipoint`, the figure's original trio, with
+//! figure-tuned options); every method goes through the same
+//! `&dyn Reducer` pipeline and shares one `ReductionContext`, so the
+//! nominal `G0` is factored once for all of them.
 //!
-//! Run: `cargo run --release -p pmor-bench --bin fig3_rc_network`
+//! Run: `cargo run --release -p pmor-bench --bin fig3_rc_network [methods...]`
 
 use pmor::eval::FullModel;
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
 use pmor::prima::{Prima, PrimaOptions};
-use pmor_bench::{ascii_chart, logspace, print_csv, timed};
+use pmor::{reducer_by_name, Reducer, ReductionContext};
+use pmor_bench::{
+    ascii_chart, logspace, methods_from_args, print_csv, reduce_all, write_bench_json, BenchRecord,
+};
 use pmor_circuits::generators::{rc_random, RcRandomConfig};
+use pmor_circuits::ParametricSystem;
+
+/// Figure-tuned reducer options per registry name; anything else falls
+/// back to the registry defaults.
+fn figure_reducer(name: &str, sys: &ParametricSystem) -> Box<dyn Reducer> {
+    match name {
+        // Nominal projection matching 8 moments of s.
+        "prima" => Box::new(Prima::new(PrimaOptions {
+            num_block_moments: 8,
+        })),
+        // Low-rank Algorithm 1 at the paper's ~37-state operating point.
+        "lowrank" => Box::new(LowRankPmor::new(LowRankOptions {
+            s_order: 8,
+            param_order: 4,
+            rank: 1,
+            include_transpose_subspaces: true,
+            ..Default::default()
+        })),
+        // The paper takes 8 samples; trim the 3×3 grid to corners + edge
+        // midpoints (drop the center, which the s-expansion covers).
+        "multipoint" => {
+            let trimmed: Vec<Vec<f64>> = MultiPointOptions::grid(&[(-0.7, 0.7), (-0.7, 0.7)], 3, 5)
+                .samples
+                .into_iter()
+                .filter(|s| !(s[0] == 0.0 && s[1] == 0.0))
+                .collect();
+            Box::new(MultiPointPmor::new(MultiPointOptions::with_samples(
+                trimmed, 5,
+            )))
+        }
+        other => reducer_by_name(other, sys)
+            .unwrap_or_else(|| panic!("unknown reduction method {other:?}")),
+    }
+}
 
 fn main() {
     let sys = rc_random(&RcRandomConfig::default()).assemble();
@@ -28,95 +65,59 @@ fn main() {
         sys.dim(),
         sys.num_params()
     );
+    let (methods, default_set) = methods_from_args(&["prima", "lowrank", "multipoint"]);
 
-    // The paper evaluates a perturbed network with up to 70–80% variation
-    // (text vs caption); we use the caption's 80%.
     let p_pert = vec![0.8, 0.8];
     let p_nom = vec![0.0, 0.0];
     let freqs = logspace(1e7, 1e10, 61);
 
-    // --- Reducers ---------------------------------------------------------
-    let (nominal_rom, t_nom) = timed(|| {
-        Prima::new(PrimaOptions {
-            num_block_moments: 8,
-            use_rcm: true,
-        })
-        .reduce(&sys)
-        .expect("PRIMA reduction")
-    });
-    let (lowrank, t_low) = timed(|| {
-        LowRankPmor::new(LowRankOptions {
-            s_order: 8,
-            param_order: 4,
-            rank: 1,
-            include_transpose_subspaces: true,
-            ..Default::default()
-        })
-        .reduce_with_stats(&sys)
-        .expect("low-rank reduction")
-    });
-    let (lowrank_rom, lowrank_stats) = lowrank;
-    let samples = MultiPointOptions::grid(&[(-0.7, 0.7), (-0.7, 0.7)], 3, 5);
-    // The paper takes 8 samples; trim the 9-point grid to its corners +
-    // edge midpoints (drop the center, which the s-expansion covers).
-    let trimmed: Vec<Vec<f64>> = samples
-        .samples
-        .into_iter()
-        .filter(|s| !(s[0] == 0.0 && s[1] == 0.0))
-        .collect();
-    let (multipoint, t_mp) = timed(|| {
-        MultiPointPmor::new(MultiPointOptions::with_samples(trimmed, 5))
-            .reduce_with_stats(&sys)
-            .expect("multi-point reduction")
-    });
-    let (multipoint_rom, mp_stats) = multipoint;
+    // --- Reduce every selected method through the shared context ----------
+    let mut ctx = ReductionContext::new();
+    let roms = reduce_all(&methods, &sys, &mut ctx, figure_reducer);
 
-    println!("# model sizes: nominal-projection={} low-rank={} (v0={}, param={}) multi-point={} ({} factorizations)",
-        nominal_rom.size(), lowrank_rom.size(), lowrank_stats.v0_size,
-        lowrank_stats.param_size, mp_stats.size, mp_stats.factorizations);
-    println!("# reduction times [s]: nominal={t_nom:.3} low-rank={t_low:.3} multi-point={t_mp:.3}");
-
-    // --- Evaluation -------------------------------------------------------
+    // --- Evaluation --------------------------------------------------------
     let full = FullModel::new(&sys);
     let mag = |ms: Vec<pmor_num::Matrix<pmor_num::Complex64>>| -> Vec<f64> {
         ms.iter().map(|h| h[(0, 0)].abs()).collect()
     };
-    let h_nom_full = mag(full.frequency_response(&p_nom, &freqs).expect("full nominal"));
-    let h_pert_full = mag(full.frequency_response(&p_pert, &freqs).expect("full perturbed"));
-    let h_nomproj = mag(nominal_rom
+    let h_nom_full = mag(full
+        .frequency_response(&p_nom, &freqs)
+        .expect("full nominal"));
+    let h_pert_full = mag(full
         .frequency_response(&p_pert, &freqs)
-        .expect("nominal-projection ROM"));
-    let h_lowrank = mag(lowrank_rom
-        .frequency_response(&p_pert, &freqs)
-        .expect("low-rank ROM"));
-    let h_multipoint = mag(multipoint_rom
-        .frequency_response(&p_pert, &freqs)
-        .expect("multi-point ROM"));
+        .expect("full perturbed"));
 
     // Normalize like the paper's 0..1 amplitude axis (voltage-transfer
     // reading of the current-driven port).
     let h0 = h_nom_full[0];
     let norm = |v: Vec<f64>| -> Vec<f64> { v.into_iter().map(|x| x / h0).collect() };
-    let series = [
-        ("nominal_full", norm(h_nom_full)),
-        ("perturbed_full", norm(h_pert_full)),
-        ("reduced_nominal_projection", norm(h_nomproj)),
-        ("reduced_lowrank", norm(h_lowrank)),
-        ("reduced_multipoint", norm(h_multipoint)),
+    let mut series: Vec<(String, Vec<f64>)> = vec![
+        ("nominal_full".to_string(), norm(h_nom_full)),
+        ("perturbed_full".to_string(), norm(h_pert_full)),
     ];
-
-    print_csv("freq_hz", &freqs, &series);
+    for m in &roms {
+        let h = mag(m
+            .rom
+            .frequency_response(&p_pert, &freqs)
+            .unwrap_or_else(|e| panic!("{} ROM evaluation: {e}", m.name)));
+        series.push((format!("reduced_{}", m.name), norm(h)));
+    }
+    let series_refs: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.clone()))
+        .collect();
+    print_csv("freq_hz", &freqs, &series_refs);
     ascii_chart(
         &format!(
             "Fig 3: |H(f)| (normalized), perturbed system at p = ({}, {})",
             p_pert[0], p_pert[1]
         ),
-        &series,
+        &series_refs,
         20,
         61,
     );
 
-    // --- Shape checks (who wins) ------------------------------------------
+    // --- Shape checks + machine-readable records ---------------------------
     // Like reading the paper's plot: worst absolute gap on the normalized
     // 0..1 amplitude axis.
     let gap = |a: &[f64], b: &[f64]| -> f64 {
@@ -125,18 +126,37 @@ fn main() {
             .map(|(x, y)| (x - y).abs())
             .fold(0.0, f64::max)
     };
-    let separation = gap(&series[0].1, &series[1].1);
-    let e_nom = gap(&series[2].1, &series[1].1);
-    let e_low = gap(&series[3].1, &series[1].1);
-    let e_mp = gap(&series[4].1, &series[1].1);
+    let perturbed = &series[1].1;
+    let separation = gap(&series[0].1, perturbed);
     println!("# nominal-vs-perturbed separation (max |Δ| on plot axis): {separation:.4}");
     println!("# max |Δ| vs perturbed full model on plot axis:");
-    println!("#   nominal projection: {e_nom:.4}");
-    println!("#   low-rank:           {e_low:.4}");
-    println!("#   multi-point:        {e_mp:.4}");
-    println!(
-        "# paper shape check: low-rank and multi-point indistinguishable from full ({}), nominal projection is the clear loser ({})",
-        (e_low < 0.02 && e_mp < 0.02),
-        e_nom > 2.0 * e_low.max(e_mp)
-    );
+    let mut errs = Vec::new();
+    let workload = format!("rc_random({})", sys.dim());
+    let mut records = Vec::new();
+    for (i, m) in roms.iter().enumerate() {
+        let e = gap(&series[2 + i].1, perturbed);
+        println!("#   {:<12} {e:.4}", m.name);
+        errs.push((m.name.as_str(), e));
+        records.push(
+            BenchRecord::new(m.name.clone(), workload.clone(), m.seconds)
+                .metric("size", m.rom.size() as f64)
+                .metric("max_plot_gap_vs_full", e)
+                .metric("separation", separation),
+        );
+    }
+    match write_bench_json("fig3", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_fig3.json not written: {e}"),
+    }
+
+    if default_set {
+        let e_nom = errs[0].1;
+        let e_low = errs[1].1;
+        let e_mp = errs[2].1;
+        println!(
+            "# paper shape check: low-rank and multi-point indistinguishable from full ({}), nominal projection is the clear loser ({})",
+            (e_low < 0.02 && e_mp < 0.02),
+            e_nom > 2.0 * e_low.max(e_mp)
+        );
+    }
 }

@@ -1,9 +1,8 @@
-//! Figure 5 — pole accuracy of the low-rank parametric ROM on RCNetA
-//! (paper §5.3).
+//! Figure 5 — pole accuracy of a parametric ROM on RCNetA (paper §5.3).
 //!
 //! RCNetA stand-in: 78-node clock-tree RC net routed on M5/M6/M7 with the
-//! three metal-layer widths as variational parameters. The paper reduces to
-//! 29 states matching s-moments to 4th order and the remaining
+//! three metal-layer widths as variational parameters. The paper reduces
+//! to 29 states matching s-moments to 4th order and the remaining
 //! multi-parameter moments to 2nd order, then reports:
 //!
 //! * (left)  the distribution of relative errors in the 5 most dominant
@@ -11,53 +10,68 @@
 //! * (right) the relative error of the most dominant pole over an M5 × M6
 //!   sweep (±30 %), M7 nominal.
 //!
-//! Run: `cargo run --release -p pmor-bench --bin fig5_rcneta`
+//! The reduction method is selected by registry name as the first CLI
+//! argument (default `lowrank`, figure-tuned) and consumed exclusively as
+//! `&dyn Reducer` by the Monte-Carlo and sweep engines.
+//!
+//! Run: `cargo run --release -p pmor-bench --bin fig5_rcneta [method]`
 
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
-use pmor_bench::{print_grid, timed};
+use pmor::{reducer_by_name, Reducer, ReductionContext};
+use pmor_bench::{print_grid, timed, write_bench_json, BenchRecord};
 use pmor_circuits::generators::rcnet_a;
+use pmor_circuits::ParametricSystem;
 use pmor_variation::sweep::Sweep2d;
 use pmor_variation::MonteCarlo;
 
-fn main() {
-    let sys = rcnet_a().assemble();
-    println!(
-        "# Fig 5 reproduction: RCNetA clock tree, {} nodes, {} metal-width parameters",
-        sys.dim(),
-        sys.num_params()
-    );
-
-    // Paper: size-29 model, s-moments to 4th order, the rest to 2nd order,
-    // rank-1 SVD. Our synthetic net needs rank 2 (its leaf layer has a
-    // flatter sensitivity spectrum than the industrial net; see
-    // table_sv_decay and EXPERIMENTS.md), giving 40 states.
-    let ((rom, stats), t_red) = timed(|| {
-        LowRankPmor::new(LowRankOptions {
+/// The figure-tuned method table. The paper's RCNetA model is size 29 at
+/// rank 1; our synthetic net needs rank 2 (its leaf layer has a flatter
+/// sensitivity spectrum than the industrial net; see table_sv_decay),
+/// giving ~40 states.
+fn figure_reducer(name: &str, sys: &ParametricSystem) -> Box<dyn Reducer> {
+    match name {
+        "lowrank" => Box::new(LowRankPmor::new(LowRankOptions {
             s_order: 5,
             param_order: 2,
             rank: 2,
             include_transpose_subspaces: true,
             ..Default::default()
-        })
-        .reduce_with_stats(&sys)
-        .expect("low-rank reduction")
-    });
+        })),
+        other => reducer_by_name(other, sys)
+            .unwrap_or_else(|| panic!("unknown reduction method {other:?}")),
+    }
+}
+
+fn main() {
+    let sys = rcnet_a().assemble();
+    let method = std::env::args().nth(1).unwrap_or_else(|| "lowrank".into());
     println!(
-        "# reduced model: {} states (v0={}, param={}), paper: 29; reduction time {t_red:.3}s",
+        "# Fig 5 reproduction: RCNetA clock tree, {} nodes, {} metal-width parameters, method {method}",
+        sys.dim(),
+        sys.num_params()
+    );
+    let reducer = figure_reducer(&method, &sys);
+
+    // Reduce once up front (so the size/time are reported), then hand the
+    // ROM-producing reducer to the engines.
+    let mut ctx = ReductionContext::new();
+    let (rom, t_red) = timed(|| reducer.reduce(&sys, &mut ctx).expect("reduction"));
+    println!(
+        "# reduced model: {} states (paper: 29); reduction time {t_red:.3}s; {} real factorization(s)",
         rom.size(),
-        stats.v0_size,
-        stats.param_size
+        ctx.real_factorizations()
     );
 
     // --- Left plot: Monte-Carlo pole-error histogram ------------------------
     let instances = 200;
     let mc = MonteCarlo::paper_protocol(sys.num_params(), instances);
-    let (report, t_mc) = timed(|| mc.pole_errors(&sys, &rom, 5).expect("Monte Carlo"));
+    let (report, t_mc) = timed(|| mc.pole_errors_with_rom(&sys, &rom, 5).expect("Monte Carlo"));
     let s = report.summary();
     println!(
-        "# MC: {} instances x 5 dominant poles = {} errors in {t_mc:.1}s",
+        "# MC: {} instances x 5 dominant poles = {} errors in {t_mc:.1}s ({} worker threads)",
         instances,
-        report.errors_percent.len()
+        report.errors_percent.len(),
+        mc.worker_count()
     );
     println!(
         "# pole error [%]: mean={:.2e} median={:.2e} max={:.2e}",
@@ -71,7 +85,7 @@ fn main() {
     // --- Right plot: dominant-pole error over the M5 x M6 sweep -------------
     let sweep = Sweep2d::paper_m5_m6(5);
     let grid = sweep
-        .dominant_pole_error_grid(&sys, &rom)
+        .dominant_pole_error_grid_with_rom(&sys, &rom)
         .expect("sweep grid");
     print_grid(
         "Fig 5 (right): dominant-pole relative error [%] vs M5 (rows) x M6 (cols) width variation [fraction]",
@@ -80,11 +94,19 @@ fn main() {
         &sweep.values_b,
         &grid,
     );
-    let grid_max = grid
-        .iter()
-        .flatten()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let grid_max = grid.iter().flatten().copied().fold(0.0f64, f64::max);
+
+    let record = BenchRecord::new(&method, format!("rcnet_a({})", sys.dim()), t_red)
+        .metric("size", rom.size() as f64)
+        .metric("mc_instances", instances as f64)
+        .metric("mc_seconds", t_mc)
+        .metric("pole_err_mean_pct", s.mean)
+        .metric("pole_err_max_pct", s.max)
+        .metric("sweep_err_max_pct", grid_max);
+    match write_bench_json("fig5", &[record]) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_fig5.json not written: {e}"),
+    }
 
     println!(
         "# paper shape check: MC dominant-pole errors negligible (max {:.3}% < 0.2%): {}; sweep errors bounded (max {:.3}% < 0.2%): {}",

@@ -13,7 +13,8 @@
 
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
-use pmor_bench::timed;
+use pmor::{Reducer, ReductionContext};
+use pmor_bench::{timed, write_bench_json, BenchRecord};
 use pmor_circuits::generators::{rc_random, RcRandomConfig};
 
 fn workload(n: usize, np: usize) -> pmor_circuits::ParametricSystem {
@@ -40,7 +41,7 @@ fn lowrank_time(sys: &pmor_circuits::ParametricSystem, k: usize, reps: usize) ->
     });
     let (_, dt) = timed(|| {
         for _ in 0..reps {
-            reducer.reduce(sys).expect("low-rank");
+            reducer.reduce_once(sys).expect("low-rank");
         }
     });
     dt / reps as f64
@@ -48,6 +49,7 @@ fn lowrank_time(sys: &pmor_circuits::ParametricSystem, k: usize, reps: usize) ->
 
 fn main() {
     let reps = 3;
+    let mut records = Vec::new();
 
     println!("# Cost scaling of Algorithm 1 (paper §4.2); times in ms");
 
@@ -58,6 +60,11 @@ fn main() {
     for k in [2usize, 4, 8, 16] {
         let t = lowrank_time(&sys, k, reps);
         println!("{k:<6} {:>10.2} {:>16.2}", t * 1e3, t / base);
+        records.push(
+            BenchRecord::new("lowrank", "rc_random(2000,np=2)", t)
+                .metric("k", k as f64)
+                .metric("rel_to_k2", t / base),
+        );
     }
 
     println!("\n## vs parameter count np (n=2000, k=6)");
@@ -68,6 +75,11 @@ fn main() {
         let sys = workload(2000, np);
         let t = lowrank_time(&sys, 6, reps);
         println!("{np:<6} {:>10.2} {:>17.2}", t * 1e3, t / base);
+        records.push(
+            BenchRecord::new("lowrank", format!("rc_random(2000,np={np})"), t)
+                .metric("np", np as f64)
+                .metric("rel_to_np1", t / base),
+        );
     }
 
     println!("\n## vs circuit size n (np=2, k=6)");
@@ -77,17 +89,37 @@ fn main() {
         let sys = workload(n, 2);
         let t = lowrank_time(&sys, 6, reps);
         println!("{n:<8} {:>10.2} {:>18.2}", t * 1e3, t / base);
+        records.push(
+            BenchRecord::new("lowrank", format!("rc_random({n},np=2)"), t)
+                .metric("n", n as f64)
+                .metric("rel_to_n1000", t / base),
+        );
     }
 
-    println!("\n## low-rank (1 factorization) vs multi-point grid (c^np factorizations); n=4000, k=6");
+    println!(
+        "\n## low-rank (1 factorization) vs multi-point grid (c^np factorizations); n=4000, k=6"
+    );
     let sys = workload(4000, 2);
     let t_low = lowrank_time(&sys, 6, reps);
-    println!("{:<22} {:>10} {:>8} {:>14}", "method", "time", "rel", "factorizations");
-    println!("{:<22} {:>10.2} {:>8.2} {:>14}", "low-rank", t_low * 1e3, 1.0, 1);
+    println!(
+        "{:<22} {:>10} {:>8} {:>14}",
+        "method", "time", "rel", "factorizations"
+    );
+    println!(
+        "{:<22} {:>10.2} {:>8.2} {:>14}",
+        "low-rank",
+        t_low * 1e3,
+        1.0,
+        1
+    );
     for c in [2usize, 3] {
         let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 2], c, 6);
         let reducer = MultiPointPmor::new(opts);
-        let ((_, stats), t) = timed(|| reducer.reduce_with_stats(&sys).expect("multi-point"));
+        let ((_, stats), t) = timed(|| {
+            reducer
+                .reduce_with_stats(&sys, &mut ReductionContext::new())
+                .expect("multi-point")
+        });
         println!(
             "{:<22} {:>10.2} {:>8.2} {:>14}",
             format!("multi-point {c}x{c}"),
@@ -95,6 +127,16 @@ fn main() {
             t / t_low,
             stats.factorizations
         );
+        records.push(
+            BenchRecord::new("multipoint", "rc_random(4000,np=2)", t)
+                .metric("samples_per_axis", c as f64)
+                .metric("factorizations", stats.factorizations as f64)
+                .metric("rel_to_lowrank", t / t_low),
+        );
     }
     println!("# shape check: low-rank time ~linear in k, np, n; multi-point cost scales with the sample count");
+    match write_bench_json("table_cost_scaling", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_table_cost_scaling.json not written: {e}"),
+    }
 }

@@ -19,6 +19,8 @@
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::moments::{SinglePointOptions, SinglePointPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::{Reducer, ReductionContext};
+use pmor_bench::{timed, write_bench_json, BenchRecord};
 use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
 
 fn binom(n: usize, k: usize) -> usize {
@@ -46,6 +48,8 @@ fn main() {
         "# Model-size table: clock tree n={}, np={np}, m={m}",
         sys.dim()
     );
+    let workload = format!("clock_tree({})", sys.dim());
+    let mut records = Vec::new();
 
     println!("\n## Single-point multi-parameter matching (paper §3.1/3.2)");
     println!(
@@ -53,14 +57,19 @@ fn main() {
         "order k", "monomials C(k+np+1, np+1)", "measured"
     );
     for k in 1..=4 {
-        let rom = SinglePointPmor::new(SinglePointOptions {
-            order: k,
-            use_rcm: true,
-        })
-        .reduce(&sys)
-        .expect("single-point");
+        let (rom, dt) = timed(|| {
+            SinglePointPmor::new(SinglePointOptions { order: k })
+                .reduce_once(&sys)
+                .expect("single-point")
+        });
         let formula = binom(k + np + 1, np + 1) * m;
         println!("{k:<8} {formula:>24} {:>12}", rom.size());
+        records.push(
+            BenchRecord::new("moments", workload.clone(), dt)
+                .metric("order", k as f64)
+                .metric("size", rom.size() as f64)
+                .metric("size_formula", formula as f64),
+        );
     }
 
     println!("\n## Multi-point expansion (paper §3.3), k = 4 s-blocks per sample");
@@ -70,14 +79,22 @@ fn main() {
     );
     for c in 1..=3 {
         let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], c, 4);
-        let (rom, stats) = MultiPointPmor::new(opts)
-            .reduce_with_stats(&sys)
-            .expect("multi-point");
+        let ((rom, stats), dt) = timed(|| {
+            MultiPointPmor::new(opts.clone())
+                .reduce_with_stats(&sys, &mut ReductionContext::new())
+                .expect("multi-point")
+        });
         let formula = c.pow(np as u32) * 4 * m;
         println!(
             "{c:<16} {formula:>12} {:>12} {:>14}",
             rom.size(),
             stats.factorizations
+        );
+        records.push(
+            BenchRecord::new("multipoint", workload.clone(), dt)
+                .metric("samples_per_axis", c as f64)
+                .metric("size", rom.size() as f64)
+                .metric("factorizations", stats.factorizations as f64),
         );
     }
 
@@ -92,15 +109,17 @@ fn main() {
         (1, false, "rank 1, simplified"),
         (2, false, "rank 2, simplified"),
     ] {
-        let (rom, stats) = LowRankPmor::new(LowRankOptions {
-            s_order: 4,
-            param_order: 4,
-            rank,
-            include_transpose_subspaces: transpose,
-            ..Default::default()
-        })
-        .reduce_with_stats(&sys)
-        .expect("low-rank");
+        let ((rom, stats), dt) = timed(|| {
+            LowRankPmor::new(LowRankOptions {
+                s_order: 4,
+                param_order: 4,
+                rank,
+                include_transpose_subspaces: transpose,
+                ..Default::default()
+            })
+            .reduce_with_stats(&sys, &mut ReductionContext::new())
+            .expect("low-rank")
+        });
         let formula = if transpose {
             (4 * rank * np + 1) * 4 * m
         } else {
@@ -111,6 +130,12 @@ fn main() {
             rom.size(),
             stats.factorizations
         );
+        records.push(
+            BenchRecord::new(format!("lowrank[{label}]"), workload.clone(), dt)
+                .metric("size", rom.size() as f64)
+                .metric("size_formula", formula as f64)
+                .metric("factorizations", stats.factorizations as f64),
+        );
     }
 
     println!("\n## §3.3 worked example: match {{s^0..s^k}} x {{1, p_i}} for one parameter");
@@ -119,11 +144,11 @@ fn main() {
         "k", "single-pt (k^2+k+1)m", "2-sample multi (2(k+1)m)"
     );
     for k in [2usize, 4, 6, 8] {
-        println!(
-            "{k:<8} {:>22} {:>22}",
-            (k * k + k + 1) * m,
-            2 * (k + 1) * m
-        );
+        println!("{k:<8} {:>22} {:>22}", (k * k + k + 1) * m, 2 * (k + 1) * m);
     }
     println!("# shape check: single-point grows combinatorially; low-rank stays linear in k and np with 1 factorization");
+    match write_bench_json("table_model_size", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_table_model_size.json not written: {e}"),
+    }
 }

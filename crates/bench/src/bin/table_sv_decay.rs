@@ -7,32 +7,46 @@
 //! Run: `cargo run --release -p pmor-bench --bin table_sv_decay`
 
 use pmor::opsvd::{operator_svd, GeneralizedSensitivity, OperatorSvdOptions};
-use pmor_circuits::generators::{rc_random, rcnet_a, rcnet_b, rlc_bus, RcRandomConfig, RlcBusConfig};
+use pmor_bench::{timed, write_bench_json, BenchRecord};
+use pmor_circuits::generators::{
+    rc_random, rcnet_a, rcnet_b, rlc_bus, RcRandomConfig, RlcBusConfig,
+};
 use pmor_circuits::ParametricSystem;
 use pmor_sparse::{ordering, SparseLu};
 
-fn report(name: &str, sys: &ParametricSystem) {
+fn report(name: &str, sys: &ParametricSystem, records: &mut Vec<BenchRecord>) {
     let perm = ordering::rcm(&sys.g0);
     let lu = SparseLu::factor(&sys.g0, Some(&perm)).expect("factor G0");
     println!("\n## {name} (n = {}, np = {})", sys.dim(), sys.num_params());
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}", "matrix", "s1", "s2", "s3", "s4", "s5", "s2/s1");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "matrix", "s1", "s2", "s3", "s4", "s5", "s2/s1"
+    );
     for i in 0..sys.num_params() {
         for (mat, tag) in [(&sys.gi[i], "G"), (&sys.ci[i], "C")] {
             if mat.nnz() == 0 {
                 continue;
             }
             let op = GeneralizedSensitivity::new(&lu, mat);
-            let svd = operator_svd(
-                &op,
-                &OperatorSvdOptions {
-                    rank: 5,
-                    oversample: 6,
-                    power_iterations: 3,
-                    seed: 42 + i as u64,
-                },
-            )
-            .expect("operator svd");
+            let (svd, dt) = timed(|| {
+                operator_svd(
+                    &op,
+                    &OperatorSvdOptions {
+                        rank: 5,
+                        oversample: 6,
+                        power_iterations: 3,
+                        seed: 42 + i as u64,
+                    },
+                )
+                .expect("operator svd")
+            });
             let s = |j: usize| svd.sigma.get(j).copied().unwrap_or(0.0);
+            records.push(
+                BenchRecord::new(format!("opsvd[G0^-1*{tag}{i}]"), name, dt)
+                    .metric("sigma1", s(0))
+                    .metric("sigma2", s(1))
+                    .metric("decay_s2_over_s1", s(1) / s(0).max(1e-300)),
+            );
             println!(
                 "{:<10} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>12.4e} {:>10.4}",
                 format!("G0^-1*{tag}{i}"),
@@ -49,11 +63,21 @@ fn report(name: &str, sys: &ParametricSystem) {
 
 fn main() {
     println!("# Singular-value decay of generalized sensitivity matrices (paper §4.2)");
-    report("rc_random(767)", &rc_random(&RcRandomConfig::default()).assemble());
+    let mut records = Vec::new();
+    report(
+        "rc_random(767)",
+        &rc_random(&RcRandomConfig::default()).assemble(),
+        &mut records,
+    );
     report(
         "rlc_bus(1086)",
         &rlc_bus(&RlcBusConfig::default()).assemble(),
+        &mut records,
     );
-    report("rcnet_a(78)", &rcnet_a().assemble());
-    report("rcnet_b(333)", &rcnet_b().assemble());
+    report("rcnet_a(78)", &rcnet_a().assemble(), &mut records);
+    report("rcnet_b(333)", &rcnet_b().assemble(), &mut records);
+    match write_bench_json("table_sv_decay", &records) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_table_sv_decay.json not written: {e}"),
+    }
 }

@@ -1,0 +1,67 @@
+//! Shared method-selection orchestration for the figure binaries.
+//!
+//! Every multi-method figure binary does the same dance: read registry
+//! names off the CLI (or fall back to the figure's default trio), build
+//! each method through a figure-tuned table, reduce them all over **one**
+//! shared [`ReductionContext`], and print the per-method and
+//! factorization-count lines. This module holds that dance once so the
+//! binaries only supply their tuned reducer tables.
+
+use crate::timed;
+use pmor::{ParametricRom, Reducer, ReductionContext};
+use pmor_circuits::ParametricSystem;
+
+/// One reduced method: registry name, model, and reduction wall-seconds.
+pub struct ReducedMethod {
+    /// Registry name the method was selected by.
+    pub name: String,
+    /// The reduced model.
+    pub rom: ParametricRom,
+    /// Reduction wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Reads method names from the process CLI arguments; with no arguments,
+/// returns `defaults`. The second value is `true` when the default set
+/// was used (figure shape checks only apply then).
+pub fn methods_from_args(defaults: &[&str]) -> (Vec<String>, bool) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        (defaults.iter().map(|s| s.to_string()).collect(), true)
+    } else {
+        (args, false)
+    }
+}
+
+/// Builds each named method through `build` (a figure-tuned table,
+/// typically falling back to `pmor::reducer_by_name`) and reduces it over
+/// the shared context, printing the standard per-method and
+/// shared-factorization report lines.
+///
+/// # Panics
+///
+/// Panics when a reduction fails — figure binaries treat that as fatal.
+pub fn reduce_all(
+    methods: &[String],
+    sys: &ParametricSystem,
+    ctx: &mut ReductionContext,
+    build: impl Fn(&str, &ParametricSystem) -> Box<dyn Reducer>,
+) -> Vec<ReducedMethod> {
+    let mut out = Vec::with_capacity(methods.len());
+    for name in methods {
+        let reducer = build(name, sys);
+        let (rom, seconds) = timed(|| reducer.reduce(sys, ctx).expect("reduction"));
+        println!("# {name}: {} states in {seconds:.3}s", rom.size());
+        out.push(ReducedMethod {
+            name: name.clone(),
+            rom,
+            seconds,
+        });
+    }
+    println!(
+        "# sparse factorizations across all methods: {} real (nominal G0 shared), {} cache hits",
+        ctx.real_factorizations(),
+        ctx.cache_hits()
+    );
+    out
+}

@@ -3,9 +3,19 @@
 //! Shared harness utilities for the experiment binaries that regenerate the
 //! paper's figures and tables.
 //!
-//! Each binary prints (a) a CSV block that can be plotted externally and
+//! Each binary prints (a) a CSV block that can be plotted externally,
 //! (b) an ASCII rendering so the figure's *shape* is visible directly in
-//! the terminal. See `DESIGN.md` for the experiment index.
+//! the terminal, and (c) a machine-readable `BENCH_<tag>.json` record
+//! file (see [`report`]). Reduction methods are selected by registry name
+//! (`pmor::reducer_by_name`) from the command line. See `DESIGN.md` for
+//! the experiment index.
+
+pub mod harness;
+pub mod micro;
+pub mod report;
+
+pub use harness::{methods_from_args, reduce_all, ReducedMethod};
+pub use report::{write_bench_json, write_bench_json_in, BenchRecord};
 
 use std::time::Instant;
 

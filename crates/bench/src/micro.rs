@@ -1,0 +1,67 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The offline build environment has no criterion; `cargo bench` targets
+//! in this workspace are plain `harness = false` binaries built on this
+//! module: warm up, run a fixed number of timed iterations, report
+//! min/mean/max. Good enough to track hot-path regressions by eye and by
+//! the emitted [`crate::report`] records; not a statistical instrument.
+
+use std::time::Instant;
+
+/// Timing summary of one benchmark case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroStats {
+    /// Fastest observed iteration, seconds.
+    pub min_s: f64,
+    /// Mean iteration, seconds.
+    pub mean_s: f64,
+    /// Slowest observed iteration, seconds.
+    pub max_s: f64,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+/// Runs `f` once for warm-up and `iters` timed times, printing and
+/// returning the summary.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn bench_case<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> MicroStats {
+    assert!(iters > 0, "bench_case: need at least one iteration");
+    std::hint::black_box(f()); // warm-up (page in, fill caches)
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min_s = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_s = times.iter().copied().fold(0.0f64, f64::max);
+    let mean_s = times.iter().sum::<f64>() / times.len() as f64;
+    let stats = MicroStats {
+        min_s,
+        mean_s,
+        max_s,
+        iters,
+    };
+    println!(
+        "{name:<44} min {:>10.3} ms   mean {:>10.3} ms   max {:>10.3} ms   ({iters} iters)",
+        1e3 * min_s,
+        1e3 * mean_s,
+        1e3 * max_s
+    );
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_plausible_times() {
+        let s = bench_case("noop", 3, || 1 + 1);
+        assert_eq!(s.iters, 3);
+        assert!(s.min_s >= 0.0 && s.min_s <= s.mean_s && s.mean_s <= s.max_s);
+    }
+}

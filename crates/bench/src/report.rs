@@ -1,0 +1,159 @@
+//! Machine-readable experiment records.
+//!
+//! Every figure/table binary emits, next to its human-oriented CSV/ASCII
+//! stdout, a `BENCH_<tag>.json` file in the working directory so the
+//! performance and accuracy trajectory of the workspace can be tracked
+//! across changes without parsing log text. The format is deliberately
+//! flat: one record per (method × workload) with wall-clock seconds and a
+//! free-form metric map.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One measured (method × workload) data point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Reduction method (registry name, or a harness-specific label).
+    pub method: String,
+    /// Workload / circuit the method ran on.
+    pub workload: String,
+    /// Wall-clock seconds of the measured step.
+    pub wall_seconds: f64,
+    /// Named scalar metrics (model size, error norms, counters, …).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Creates a record with an empty metric map.
+    pub fn new(method: impl Into<String>, workload: impl Into<String>, wall_seconds: f64) -> Self {
+        BenchRecord {
+            method: method.into(),
+            workload: workload.into(),
+            wall_seconds,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds one named metric (builder-style).
+    #[must_use]
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+}
+
+/// Serializes `records` to `BENCH_<tag>.json` in the current directory
+/// and returns the path written.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_bench_json(tag: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    write_bench_json_in(std::path::Path::new("."), tag, records)
+}
+
+/// [`write_bench_json`] into an explicit directory.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_bench_json_in(
+    dir: &std::path::Path,
+    tag: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{tag}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"tag\": {},\n", json_string(tag)));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"method\": {}, ", json_string(&r.method)));
+        out.push_str(&format!("\"workload\": {}, ", json_string(&r.workload)));
+        out.push_str(&format!(
+            "\"wall_seconds\": {}, \"metrics\": {{",
+            json_number(r.wall_seconds)
+        ));
+        for (j, (name, value)) in r.metrics.iter().enumerate() {
+            out.push_str(&format!("{}: {}", json_string(name), json_number(*value)));
+            if j + 1 < r.metrics.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}}");
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number; non-finite values become `null` (JSON has no NaN/Inf).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest round-trip Display is valid JSON for finite f64.
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(3.0), "3.0");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn writes_wellformed_file() {
+        let dir = std::env::temp_dir().join("pmor_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let records = vec![
+            BenchRecord::new("lowrank", "rc_random(767)", 0.25)
+                .metric("size", 37.0)
+                .metric("worst_err", 1.5e-3),
+            BenchRecord::new("multipoint", "rc_random(767)", 1.0),
+        ];
+        let path = write_bench_json_in(&dir, "unit_test", &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"tag\": \"unit_test\""));
+        assert!(text.contains("\"method\": \"lowrank\""));
+        assert!(text.contains("\"worst_err\": 0.0015"));
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+    }
+}

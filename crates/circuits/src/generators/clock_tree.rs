@@ -238,8 +238,9 @@ mod tests {
         for p in [[0.3, -0.3, 0.3], [-0.3, -0.3, -0.3], [0.3, 0.3, 0.3]] {
             let g = sys.g_at(&p);
             assert!(SparseLu::factor(&g, None).is_ok());
-            assert!(pmor_num::eig::is_positive_semidefinite(&sys.c_at(&p).to_dense(), 1e-10)
-                .unwrap());
+            assert!(
+                pmor_num::eig::is_positive_semidefinite(&sys.c_at(&p).to_dense(), 1e-10).unwrap()
+            );
         }
     }
 

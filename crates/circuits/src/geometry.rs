@@ -169,12 +169,20 @@ mod tests {
         let c0 = layer.ground_cap(len);
         let c1 = pert.ground_cap(len);
         let fd = (c1.value - c0.value) / (c0.value * dp);
-        assert!((fd - c0.width_coeff).abs() < 1e-4, "{fd} vs {}", c0.width_coeff);
+        assert!(
+            (fd - c0.width_coeff).abs() < 1e-4,
+            "{fd} vs {}",
+            c0.width_coeff
+        );
 
         // Coupling cap.
         let k0 = layer.coupling_cap(len);
         let k1 = pert.coupling_cap(len);
         let fd = (k1.value - k0.value) / (k0.value * dp);
-        assert!((fd - k0.width_coeff).abs() < 1e-3, "{fd} vs {}", k0.width_coeff);
+        assert!(
+            (fd - k0.width_coeff).abs() < 1e-3,
+            "{fd} vs {}",
+            k0.width_coeff
+        );
     }
 }

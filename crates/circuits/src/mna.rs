@@ -116,7 +116,6 @@ pub fn assemble(net: &Netlist) -> ParametricSystem {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::Netlist;
     use pmor_sparse::SparseLu;
 

@@ -164,7 +164,10 @@ impl Netlist {
     /// Panics if `farads <= 0`, if both terminals are ground, or if a node
     /// index is out of range.
     pub fn add_capacitor(&mut self, a: Terminal, b: Terminal, farads: f64) -> ElementId {
-        assert!(farads > 0.0, "capacitor value must be positive, got {farads}");
+        assert!(
+            farads > 0.0,
+            "capacitor value must be positive, got {farads}"
+        );
         self.push_element(ElementKind::Capacitor, a, b, farads)
     }
 
@@ -175,11 +178,20 @@ impl Netlist {
     /// Panics if `henries <= 0`, if both terminals are ground, or if a node
     /// index is out of range.
     pub fn add_inductor(&mut self, a: Terminal, b: Terminal, henries: f64) -> ElementId {
-        assert!(henries > 0.0, "inductor value must be positive, got {henries}");
+        assert!(
+            henries > 0.0,
+            "inductor value must be positive, got {henries}"
+        );
         self.push_element(ElementKind::Inductor, a, b, henries)
     }
 
-    fn push_element(&mut self, kind: ElementKind, a: Terminal, b: Terminal, value: f64) -> ElementId {
+    fn push_element(
+        &mut self,
+        kind: ElementKind,
+        a: Terminal,
+        b: Terminal,
+        value: f64,
+    ) -> ElementId {
         assert!(
             a.is_some() || b.is_some(),
             "element must touch at least one non-ground node"

@@ -34,7 +34,11 @@ pub struct ParseSpiceError {
 
 impl fmt::Display for ParseSpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spice parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spice parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -61,11 +65,7 @@ pub fn to_spice(net: &Netlist, title: &str) -> String {
         };
         counters[idx] += 1;
         let name = format!("{prefix}{}", counters[idx]);
-        out.push_str(&format!(
-            "{name} {} {} {value:e}\n",
-            node(e.a),
-            node(e.b)
-        ));
+        out.push_str(&format!("{name} {} {} {value:e}\n", node(e.a), node(e.b)));
         names.push(name);
     }
     for (e, name) in net.elements().iter().zip(names.iter()) {
@@ -105,7 +105,11 @@ pub fn parse_spice(deck: &str) -> Result<Netlist, ParseSpiceError> {
             if tok == "0" || tok.eq_ignore_ascii_case("gnd") {
                 return None;
             }
-            Some(*node_ids.entry(tok.to_string()).or_insert_with(|| net.add_node()))
+            Some(
+                *node_ids
+                    .entry(tok.to_string())
+                    .or_insert_with(|| net.add_node()),
+            )
         };
 
     for (lineno, raw) in deck.lines().enumerate() {
@@ -299,7 +303,10 @@ mod tests {
     fn engineering_suffixes() {
         let close = |tok: &str, want: f64| {
             let got = parse_value(tok).unwrap_or_else(|| panic!("{tok} failed to parse"));
-            assert!((got - want).abs() <= 1e-12 * want.abs(), "{tok}: {got} vs {want}");
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs(),
+                "{tok}: {got} vs {want}"
+            );
         };
         close("50f", 50e-15);
         close("2.5p", 2.5e-12);

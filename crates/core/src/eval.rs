@@ -6,6 +6,7 @@
 //! eigensolver (affordable for the paper's pole-accuracy nets, 78 and 333
 //! nodes).
 
+use crate::reduce::ReductionContext;
 use crate::rom::pencil_poles;
 use crate::Result;
 use pmor_circuits::ParametricSystem;
@@ -36,6 +37,37 @@ impl<'a> FullModel<'a> {
         let a = g.add_scaled(s, &c);
         let perm = ordering::rcm(&a);
         let lu = SparseLu::factor(&a, Some(&perm))?;
+        let bc = self.sys.b.to_complex();
+        let x = lu.solve_dense(&bc)?;
+        Ok(self.sys.l.to_complex().tr_mul_mat(&x))
+    }
+
+    /// [`FullModel::transfer`] drawing (and memoizing) factorizations
+    /// through the shared [`ReductionContext`]: repeated evaluations at
+    /// the same `(p, s)` reuse the complex factors, and the DC point
+    /// `s = 0` reuses the **real** `G(p)` factors shared with the
+    /// reduction methods — at the nominal point, that is the paper's
+    /// one-time `G0` factorization.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G(p) + sC(p)` is singular.
+    pub fn transfer_in(
+        &self,
+        p: &[f64],
+        s: Complex64,
+        ctx: &mut ReductionContext,
+    ) -> Result<Matrix<Complex64>> {
+        if s == Complex64::ZERO {
+            // Real path: H(0, p) = Lᵀ G(p)⁻¹ B on the shared real factors.
+            let lu = ctx.factor_g_at(self.sys, p)?;
+            let mut x = Matrix::zeros(self.sys.dim(), self.sys.num_inputs());
+            for j in 0..self.sys.b.ncols() {
+                x.set_col(j, &lu.solve(&self.sys.b.col(j))?);
+            }
+            return Ok(self.sys.l.tr_mul_mat(&x).to_complex());
+        }
+        let lu = ctx.factor_shifted(self.sys, p, s)?;
         let bc = self.sys.b.to_complex();
         let x = lu.solve_dense(&bc)?;
         Ok(self.sys.l.to_complex().tr_mul_mat(&x))
@@ -143,7 +175,10 @@ mod tests {
         let p0 = full.dominant_poles(&[0.0; 3], 3).unwrap();
         let p1 = full.dominant_poles(&[0.3, 0.3, 0.3], 3).unwrap();
         let errs = pole_errors(&p0, &p1);
-        assert!(errs.iter().any(|&e| e > 1e-3), "poles insensitive: {errs:?}");
+        assert!(
+            errs.iter().any(|&e| e > 1e-3),
+            "poles insensitive: {errs:?}"
+        );
     }
 
     #[test]
@@ -157,9 +192,7 @@ mod tests {
     fn frequency_response_is_lowpass() {
         let sys = tree(25);
         let full = FullModel::new(&sys);
-        let resp = full
-            .frequency_response(&[0.0; 3], &[1e6, 1e11])
-            .unwrap();
+        let resp = full.frequency_response(&[0.0; 3], &[1e6, 1e11]).unwrap();
         // Driving-point impedance magnitude falls as caps short out.
         assert!(resp[0][(0, 0)].abs() > resp[1][(0, 0)].abs());
     }

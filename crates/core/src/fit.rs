@@ -17,12 +17,14 @@
 //! combined projection — this module exists to reproduce that comparison.
 
 use crate::prima::krylov_blocks;
+use crate::reduce::{Reducer, ReductionContext};
+use crate::rom::ParametricRom;
 use crate::{PmorError, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::lu::LuFactors;
 use pmor_num::orth::OrthoBasis;
 use pmor_num::{Complex64, Matrix};
-use pmor_sparse::{ordering, CsrMatrix, SparseLu};
+use pmor_sparse::CsrMatrix;
 
 /// Options for the projection-fitting reducer.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +34,6 @@ pub struct FitOptions {
     pub samples: Vec<Vec<f64>>,
     /// Number of `s`-moment blocks per sample.
     pub num_block_moments: usize,
-    /// Use an RCM ordering for the factorizations.
-    pub use_rcm: bool,
 }
 
 /// A reduced model with polynomially fitted projection: all reduced
@@ -86,7 +86,13 @@ impl FittedRom {
         self.num_params
     }
 
-    fn assemble(&self, terms: &[(Monomial, Matrix<f64>)], p: &[f64], r: usize, c: usize) -> Matrix<f64> {
+    fn assemble(
+        &self,
+        terms: &[(Monomial, Matrix<f64>)],
+        p: &[f64],
+        r: usize,
+        c: usize,
+    ) -> Matrix<f64> {
         let mut out = Matrix::zeros(r, c);
         for (mono, m) in terms {
             let w = mono.eval(p);
@@ -148,8 +154,9 @@ impl FittedProjectionPmor {
         FittedProjectionPmor { options }
     }
 
-    /// Fits `V(p) = V0 + Σ pᵢVᵢ` over the samples and expands the reduced
-    /// matrices to quadratic polynomials in `p`.
+    /// Fits the linear projection model `V(p) = V0 + Σ pᵢVᵢ` over the
+    /// samples, returning the `np + 1` coefficient matrices
+    /// `[V0, V1, …, Vnp]` (all of the common per-sample basis width).
     ///
     /// # Errors
     ///
@@ -157,7 +164,11 @@ impl FittedProjectionPmor {
     /// sampled `G(Pⱼ)` is singular, or when deflation makes the per-sample
     /// bases incompatible in size (the fitting approach breaks down — the
     /// non-robustness the paper describes).
-    pub fn reduce(&self, sys: &ParametricSystem) -> Result<FittedRom> {
+    pub fn fitted_basis(
+        &self,
+        sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
+    ) -> Result<Vec<Matrix<f64>>> {
         let np = sys.num_params();
         let ns = self.options.samples.len();
         if ns < np + 1 {
@@ -166,7 +177,7 @@ impl FittedProjectionPmor {
                 np + 1
             )));
         }
-        // Per-sample PRIMA bases.
+        // Per-sample PRIMA bases (factors shared through the context).
         let mut bases: Vec<Matrix<f64>> = Vec::with_capacity(ns);
         for sample in &self.options.samples {
             if sample.len() != np {
@@ -174,9 +185,8 @@ impl FittedProjectionPmor {
                     "projection fitting: sample parameter count mismatch".into(),
                 ));
             }
-            let g = sys.g_at(sample);
             let c = sys.c_at(sample);
-            let lu = factor(&g, self.options.use_rcm)?;
+            let lu = ctx.factor_g_at(sys, sample)?;
             let mut basis = OrthoBasis::new(sys.dim());
             krylov_blocks(&lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
             bases.push(basis.to_matrix());
@@ -218,6 +228,34 @@ impl FittedProjectionPmor {
                 }
             }
         }
+        Ok(coeff)
+    }
+
+    /// Fits `V(p) = V0 + Σ pᵢVᵢ` over the samples and expands the reduced
+    /// matrices to quadratic polynomials in `p` (a fresh private context).
+    ///
+    /// # Errors
+    ///
+    /// See [`FittedProjectionPmor::fitted_basis`].
+    pub fn reduce_fitted(&self, sys: &ParametricSystem) -> Result<FittedRom> {
+        self.reduce_fitted_in(sys, &mut ReductionContext::new())
+    }
+
+    /// Fits `V(p)` and expands the reduced matrices to quadratic
+    /// polynomials in `p`, drawing per-sample factors from the shared
+    /// context.
+    ///
+    /// # Errors
+    ///
+    /// See [`FittedProjectionPmor::fitted_basis`].
+    pub fn reduce_fitted_in(
+        &self,
+        sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
+    ) -> Result<FittedRom> {
+        let np = sys.num_params();
+        let coeff = self.fitted_basis(sys, ctx)?;
+        let q = coeff[0].ncols();
 
         // Expand V(p)ᵀ M(p) V(p) to quadratic terms.
         let v0 = &coeff[0];
@@ -278,13 +316,26 @@ impl FittedProjectionPmor {
     }
 }
 
-fn factor(g: &CsrMatrix<f64>, use_rcm: bool) -> Result<SparseLu<f64>> {
-    Ok(if use_rcm {
-        let perm = ordering::rcm(g);
-        SparseLu::factor(g, Some(&perm))?
-    } else {
-        SparseLu::factor(g, None)?
-    })
+impl Reducer for FittedProjectionPmor {
+    fn name(&self) -> &'static str {
+        "fit"
+    }
+
+    /// Unified-interface reduction: the span of the fitted coefficient
+    /// matrices `[V0, V1, …, Vnp]` is orthonormalized into one projection
+    /// and applied by **congruence** — unlike the raw quadratic
+    /// [`FittedRom`] (kept via [`FittedProjectionPmor::reduce_fitted`]),
+    /// this yields an affine [`ParametricRom`] that is exact at the fit
+    /// center and passivity-preserving, making the method comparable to
+    /// the other registered reducers on equal terms.
+    fn reduce(&self, sys: &ParametricSystem, ctx: &mut ReductionContext) -> Result<ParametricRom> {
+        let coeff = self.fitted_basis(sys, ctx)?;
+        let mut basis = OrthoBasis::new(sys.dim());
+        for v in &coeff {
+            basis.insert_block(v);
+        }
+        Ok(ParametricRom::by_congruence(sys, &basis.to_matrix()))
+    }
 }
 
 #[cfg(test)]
@@ -320,9 +371,8 @@ mod tests {
         let opts = FitOptions {
             samples: vec![vec![0.0; 3]],
             num_block_moments: 2,
-            use_rcm: true,
         };
-        assert!(FittedProjectionPmor::new(opts).reduce(&sys).is_err());
+        assert!(FittedProjectionPmor::new(opts).reduce_fitted(&sys).is_err());
     }
 
     #[test]
@@ -331,9 +381,8 @@ mod tests {
         let rom = FittedProjectionPmor::new(FitOptions {
             samples: star_samples(3, 0.2),
             num_block_moments: 4,
-            use_rcm: true,
         })
-        .reduce(&sys)
+        .reduce_fitted(&sys)
         .unwrap();
         let full = FullModel::new(&sys);
         let p = [0.0; 3];
@@ -351,9 +400,8 @@ mod tests {
         let rom = FittedProjectionPmor::new(FitOptions {
             samples: star_samples(3, 0.3),
             num_block_moments: 4,
-            use_rcm: true,
         })
-        .reduce(&sys)
+        .reduce_fitted(&sys)
         .unwrap();
         let full = FullModel::new(&sys);
         let p = [0.15, -0.1, 0.2];
@@ -370,9 +418,8 @@ mod tests {
         let rom = FittedProjectionPmor::new(FitOptions {
             samples: star_samples(3, 0.2),
             num_block_moments: 3,
-            use_rcm: true,
         })
-        .reduce(&sys)
+        .reduce_fitted(&sys)
         .unwrap();
         let poles = rom.dominant_poles(&[0.05, 0.0, -0.05], 3).unwrap();
         for z in poles {

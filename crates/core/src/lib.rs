@@ -25,18 +25,26 @@
 //! * [`rom`] — the parametric reduced-order model: evaluation of
 //!   `H(s, p)`, pole extraction and passivity checks,
 //! * [`eval`] — full-model reference evaluation (sparse complex solves,
-//!   exact poles).
+//!   exact poles),
+//! * [`reduce`] — the **unified method interface**: the [`Reducer`] trait
+//!   implemented by all five methods, the [`ReductionContext`] solver
+//!   cache realizing the paper's one-time-`G0`-factorization cost model
+//!   across a whole pipeline, and the [`ReducerKind`] registry for
+//!   selecting methods by name.
 //!
 //! # Quick start
 //!
 //! ```
 //! use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
 //! use pmor::lowrank::{LowRankPmor, LowRankOptions};
+//! use pmor::{Reducer, ReductionContext};
 //!
 //! # fn main() -> Result<(), pmor::PmorError> {
 //! let sys = clock_tree(&ClockTreeConfig { num_nodes: 40, ..Default::default() })
 //!     .assemble();
-//! let rom = LowRankPmor::new(LowRankOptions::default()).reduce(&sys)?;
+//! // One context per pipeline: every consumer shares the G0 factors.
+//! let mut ctx = ReductionContext::new();
+//! let rom = LowRankPmor::new(LowRankOptions::default()).reduce(&sys, &mut ctx)?;
 //! // Evaluate the reduced model at +20% M5 width, 1 GHz.
 //! let h = rom.transfer(&[0.2, 0.0, 0.0], pmor_num::Complex64::jw(2.0e9 * std::f64::consts::PI))?;
 //! assert!(h[(0, 0)].abs() > 0.0);
@@ -51,10 +59,12 @@ pub mod moments;
 pub mod multipoint;
 pub mod opsvd;
 pub mod prima;
+pub mod reduce;
 pub mod residues;
 pub mod rom;
 pub mod transient;
 
+pub use reduce::{reducer_by_name, Reducer, ReducerKind, ReductionContext};
 pub use rom::ParametricRom;
 
 use std::fmt;

@@ -30,7 +30,8 @@
 //! selected by [`LowRankOptions::include_transpose_subspaces`].
 
 use crate::opsvd::{operator_svd, GeneralizedSensitivity, OperatorSvdOptions};
-use crate::prima::{factor_g0, krylov_blocks, krylov_from};
+use crate::prima::{krylov_blocks, krylov_from};
+use crate::reduce::{Reducer, ReductionContext};
 use crate::rom::ParametricRom;
 use crate::Result;
 use pmor_circuits::ParametricSystem;
@@ -59,8 +60,6 @@ pub struct LowRankOptions {
     pub approximate_raw_sensitivities: bool,
     /// Randomized-SVD sketch options.
     pub svd: OperatorSvdOptions,
-    /// Use an RCM ordering for the `G0` factorization.
-    pub use_rcm: bool,
 }
 
 impl Default for LowRankOptions {
@@ -72,7 +71,6 @@ impl Default for LowRankOptions {
             include_transpose_subspaces: true,
             approximate_raw_sensitivities: false,
             svd: OperatorSvdOptions::default(),
-            use_rcm: true,
         }
     }
 }
@@ -80,7 +78,9 @@ impl Default for LowRankOptions {
 /// Size/cost diagnostics of a low-rank reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LowRankStats {
-    /// Sparse factorizations performed (always 1: the paper's headline).
+    /// Sparse factorizations performed: 1 from a cold context (the
+    /// paper's headline), 0 when the shared context already held the `G0`
+    /// factors.
     pub factorizations: usize,
     /// Directions contributed by the frequency subspace `V0`.
     pub v0_size: usize,
@@ -100,7 +100,9 @@ pub struct LowRankStats {
 ///
 /// # fn main() -> Result<(), pmor::PmorError> {
 /// let sys = clock_tree(&ClockTreeConfig { num_nodes: 40, ..Default::default() }).assemble();
-/// let rom = LowRankPmor::new(LowRankOptions::default()).reduce(&sys)?;
+/// use pmor::{Reducer, ReductionContext};
+/// let rom = LowRankPmor::new(LowRankOptions::default())
+///     .reduce(&sys, &mut ReductionContext::new())?;
 /// assert!(rom.size() < sys.dim());
 /// # Ok(())
 /// # }
@@ -126,12 +128,19 @@ impl LowRankPmor {
     /// # Errors
     ///
     /// Fails when `G0` is singular.
-    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
-        let (v, _stats) = self.projection_with_stats(sys)?;
+    pub fn projection(
+        &self,
+        sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
+    ) -> Result<Matrix<f64>> {
+        let (v, _stats) = self.projection_with_stats(sys, ctx)?;
         Ok(v)
     }
 
-    /// Computes the projection and the size diagnostics.
+    /// Computes the projection and the size diagnostics, drawing the
+    /// one-time `G0` factorization from the shared context (every solve
+    /// of Algorithm 1 — Krylov recurrences, randomized SVD sketches and
+    /// the transpose subspaces of step 2.2 — reuses those factors).
     ///
     /// # Errors
     ///
@@ -139,9 +148,12 @@ impl LowRankPmor {
     pub fn projection_with_stats(
         &self,
         sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
     ) -> Result<(Matrix<f64>, LowRankStats)> {
         let o = &self.options;
-        let lu = factor_g0(&sys.g0, o.use_rcm)?;
+        let before = ctx.real_factorizations();
+        let lu = ctx.factor_g0(sys)?;
+        let factorizations = ctx.real_factorizations() - before;
         let mut basis = OrthoBasis::new(sys.dim());
 
         // Step 2.1: the frequency subspace V0.
@@ -162,7 +174,7 @@ impl LowRankPmor {
 
         let v = basis.to_matrix();
         let stats = LowRankStats {
-            factorizations: 1,
+            factorizations,
             v0_size,
             param_size,
             size: v.ncols(),
@@ -263,17 +275,6 @@ impl LowRankPmor {
         Ok(added)
     }
 
-    /// Reduces the system with Algorithm 1 (congruence with the original
-    /// sensitivity matrices — step 4).
-    ///
-    /// # Errors
-    ///
-    /// Fails when `G0` is singular.
-    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
-        let v = self.projection(sys)?;
-        Ok(ParametricRom::by_congruence(sys, &v))
-    }
-
     /// Reduces and returns size diagnostics.
     ///
     /// # Errors
@@ -282,8 +283,9 @@ impl LowRankPmor {
     pub fn reduce_with_stats(
         &self,
         sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
     ) -> Result<(ParametricRom, LowRankStats)> {
-        let (v, stats) = self.projection_with_stats(sys)?;
+        let (v, stats) = self.projection_with_stats(sys, ctx)?;
         Ok((ParametricRom::by_congruence(sys, &v), stats))
     }
 
@@ -298,7 +300,7 @@ impl LowRankPmor {
     /// Fails when `G0` is singular.
     pub fn nearby_system(&self, sys: &ParametricSystem) -> Result<ParametricSystem> {
         let o = &self.options;
-        let lu = factor_g0(&sys.g0, o.use_rcm)?;
+        let lu = ReductionContext::new().factor_g0(sys)?;
         let mut svd_seed = o.svd.seed;
         let mut approximate = |mat: &CsrMatrix<f64>| -> Result<CsrMatrix<f64>> {
             if mat.nnz() == 0 {
@@ -336,6 +338,17 @@ impl LowRankPmor {
     }
 }
 
+impl Reducer for LowRankPmor {
+    fn name(&self) -> &'static str {
+        "lowrank"
+    }
+
+    fn reduce(&self, sys: &ParametricSystem, ctx: &mut ReductionContext) -> Result<ParametricRom> {
+        let v = self.projection(sys, ctx)?;
+        Ok(ParametricRom::by_congruence(sys, &v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,7 +368,7 @@ mod tests {
     fn single_factorization_and_size_accounting() {
         let sys = tree(40);
         let (rom, stats) = LowRankPmor::with_defaults()
-            .reduce_with_stats(&sys)
+            .reduce_with_stats(&sys, &mut ReductionContext::new())
             .unwrap();
         assert_eq!(stats.factorizations, 1);
         assert_eq!(stats.size, rom.size());
@@ -372,7 +385,7 @@ mod tests {
             rank: 2,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let full = FullModel::new(&sys);
         for p in [[0.3, 0.3, 0.3], [-0.3, 0.2, -0.1], [0.0, -0.3, 0.3]] {
@@ -402,13 +415,12 @@ mod tests {
             rank: 2,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let nominal = crate::prima::Prima::new(crate::prima::PrimaOptions {
             num_block_moments: 8,
-            use_rcm: true,
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let p = [0.6, 0.6];
         let mut err_low: f64 = 0.0;
@@ -442,7 +454,9 @@ mod tests {
         let nearby = reducer.nearby_system(&sys).unwrap();
         let rom_of_nearby = {
             // Reduce the nearby system with the same projection.
-            let v = reducer.projection(&sys).unwrap();
+            let v = reducer
+                .projection(&sys, &mut ReductionContext::new())
+                .unwrap();
             ParametricRom::by_congruence(&nearby, &v)
         };
         let k = 1; // verify the order-1 cross moments exactly
@@ -476,7 +490,7 @@ mod tests {
             },
             ..Default::default()
         });
-        let rom = reducer.reduce(&sys).unwrap();
+        let rom = reducer.reduce_once(&sys).unwrap();
         let k = 1;
         let w0 = crate::moments::frequency_scale(&sys);
         let full_m = crate::moments::multi_parameter_transfer_moments(&sys, k).unwrap();
@@ -497,13 +511,13 @@ mod tests {
             include_transpose_subspaces: true,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let simplified = LowRankPmor::new(LowRankOptions {
             include_transpose_subspaces: false,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         assert!(
             simplified.size() < full.size(),
@@ -517,7 +531,7 @@ mod tests {
     fn preserves_passivity_stamp() {
         let sys = tree(40);
         assert!(sys.has_symmetric_ports());
-        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
         for p in [[0.0; 3], [0.3, -0.3, 0.3]] {
             assert!(rom.is_passive_stamp(&p).unwrap(), "not passive at {p:?}");
         }
@@ -526,8 +540,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let sys = tree(30);
-        let r1 = LowRankPmor::with_defaults().reduce(&sys).unwrap();
-        let r2 = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let r1 = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
+        let r2 = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
         assert!(r1.g0.approx_eq(&r2.g0, 1e-300));
         assert_eq!(r1.size(), r2.size());
     }

@@ -23,7 +23,7 @@
 //! `ω₀^{ks}`, keeping every block well inside `f64` range without altering
 //! any block's span.
 
-use crate::prima::factor_g0;
+use crate::reduce::{Reducer, ReductionContext};
 use crate::rom::ParametricRom;
 use crate::Result;
 use pmor_circuits::ParametricSystem;
@@ -83,7 +83,21 @@ pub fn multi_parameter_moments(
     sys: &ParametricSystem,
     k: usize,
 ) -> Result<BTreeMap<MomentIndex, Matrix<f64>>> {
-    let lu = factor_g0(&sys.g0, true)?;
+    multi_parameter_moments_in(sys, k, &mut ReductionContext::new())
+}
+
+/// [`multi_parameter_moments`] drawing the `G0` factors from a shared
+/// [`ReductionContext`].
+///
+/// # Errors
+///
+/// Fails when `G0` is singular.
+pub fn multi_parameter_moments_in(
+    sys: &ParametricSystem,
+    k: usize,
+    ctx: &mut ReductionContext,
+) -> Result<BTreeMap<MomentIndex, Matrix<f64>>> {
+    let lu = ctx.factor_g0(sys)?;
     let np = sys.num_params();
     let w0 = frequency_scale(sys);
 
@@ -166,7 +180,21 @@ pub fn multi_parameter_transfer_moments(
 ///
 /// Fails when `G0` is singular.
 pub fn nominal_transfer_moments(sys: &ParametricSystem, k: usize) -> Result<Vec<Matrix<f64>>> {
-    let lu = factor_g0(&sys.g0, true)?;
+    nominal_transfer_moments_in(sys, k, &mut ReductionContext::new())
+}
+
+/// [`nominal_transfer_moments`] drawing the `G0` factors from a shared
+/// [`ReductionContext`].
+///
+/// # Errors
+///
+/// Fails when `G0` is singular.
+pub fn nominal_transfer_moments_in(
+    sys: &ParametricSystem,
+    k: usize,
+    ctx: &mut ReductionContext,
+) -> Result<Vec<Matrix<f64>>> {
+    let lu = ctx.factor_g0(sys)?;
     let mut x = Matrix::zeros(sys.dim(), sys.num_inputs());
     for j in 0..sys.b.ncols() {
         x.set_col(j, &lu.solve(&sys.b.col(j))?);
@@ -209,7 +237,10 @@ pub fn rom_multi_parameter_transfer_moments(
                 let mut any = false;
                 if ks >= 1 {
                     if let Some(prev) = moments.get(&(ks - 1, alpha.clone())) {
-                        acc.add_assign_scaled(1.0, &lu.solve_mat(&rom.c0.scaled(w0).mul_mat(prev))?);
+                        acc.add_assign_scaled(
+                            1.0,
+                            &lu.solve_mat(&rom.c0.scaled(w0).mul_mat(prev))?,
+                        );
                         any = true;
                     }
                 }
@@ -250,16 +281,11 @@ pub struct SinglePointOptions {
     /// Total moment order `k`: the reduced model matches every moment with
     /// `ks + |α| ≤ k`.
     pub order: usize,
-    /// Use an RCM ordering for the `G0` factorization.
-    pub use_rcm: bool,
 }
 
 impl Default for SinglePointOptions {
     fn default() -> Self {
-        SinglePointOptions {
-            order: 3,
-            use_rcm: true,
-        }
+        SinglePointOptions { order: 3 }
     }
 }
 
@@ -280,28 +306,33 @@ impl SinglePointPmor {
         SinglePointPmor { options }
     }
 
-    /// Computes the moment-spanning projection basis.
+    /// Computes the moment-spanning projection basis, drawing the `G0`
+    /// factors from the shared context.
     ///
     /// # Errors
     ///
     /// Fails when `G0` is singular.
-    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
-        let moments = multi_parameter_moments(sys, self.options.order)?;
+    pub fn projection(
+        &self,
+        sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
+    ) -> Result<Matrix<f64>> {
+        let moments = multi_parameter_moments_in(sys, self.options.order, ctx)?;
         let mut basis = OrthoBasis::new(sys.dim());
         for block in moments.values() {
             basis.insert_block(block);
         }
         Ok(basis.to_matrix())
     }
+}
 
-    /// Reduces the system, matching all multi-parameter moments to the
-    /// configured order.
-    ///
-    /// # Errors
-    ///
-    /// Fails when `G0` is singular.
-    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
-        let v = self.projection(sys)?;
+impl Reducer for SinglePointPmor {
+    fn name(&self) -> &'static str {
+        "moments"
+    }
+
+    fn reduce(&self, sys: &ParametricSystem, ctx: &mut ReductionContext) -> Result<ParametricRom> {
+        let v = self.projection(sys, ctx)?;
         Ok(ParametricRom::by_congruence(sys, &v))
     }
 }
@@ -382,12 +413,9 @@ mod tests {
         // moments up to order k.
         let sys = tree(16);
         let k = 2;
-        let rom = SinglePointPmor::new(SinglePointOptions {
-            order: k,
-            use_rcm: true,
-        })
-        .reduce(&sys)
-        .unwrap();
+        let rom = SinglePointPmor::new(SinglePointOptions { order: k })
+            .reduce_once(&sys)
+            .unwrap();
         let w0 = frequency_scale(&sys);
         let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
         let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
@@ -407,13 +435,10 @@ mod tests {
     fn single_point_size_grows_combinatorially() {
         let sys = tree(60);
         let size = |k: usize| {
-            SinglePointPmor::new(SinglePointOptions {
-                order: k,
-                use_rcm: true,
-            })
-            .reduce(&sys)
-            .unwrap()
-            .size()
+            SinglePointPmor::new(SinglePointOptions { order: k })
+                .reduce_once(&sys)
+                .unwrap()
+                .size()
         };
         let s1 = size(1);
         let s2 = size(2);
@@ -429,7 +454,7 @@ mod tests {
     fn single_point_rom_approximates_perturbed_response() {
         let sys = tree(30);
         let rom = SinglePointPmor::new(SinglePointOptions::default())
-            .reduce(&sys)
+            .reduce_once(&sys)
             .unwrap();
         let full = crate::eval::FullModel::new(&sys);
         let p = [0.2, -0.15, 0.1];

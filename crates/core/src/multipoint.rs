@@ -11,12 +11,12 @@
 //! paper's Algorithm 1 removes. Model size is `O(nₛ·k·m)`.
 
 use crate::prima::krylov_blocks;
+use crate::reduce::{Reducer, ReductionContext};
 use crate::rom::ParametricRom;
 use crate::{PmorError, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::orth::OrthoBasis;
 use pmor_num::Matrix;
-use pmor_sparse::{ordering, SparseLu};
 
 /// Options for the multi-point reducer.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +25,6 @@ pub struct MultiPointOptions {
     pub samples: Vec<Vec<f64>>,
     /// Number of `s`-moment blocks matched at each sample.
     pub num_block_moments: usize,
-    /// Use an RCM ordering for each factorization.
-    pub use_rcm: bool,
 }
 
 impl MultiPointOptions {
@@ -55,7 +53,6 @@ impl MultiPointOptions {
         MultiPointOptions {
             samples,
             num_block_moments,
-            use_rcm: true,
         }
     }
 
@@ -64,7 +61,6 @@ impl MultiPointOptions {
         MultiPointOptions {
             samples,
             num_block_moments,
-            use_rcm: true,
         }
     }
 }
@@ -72,7 +68,8 @@ impl MultiPointOptions {
 /// Cost/size diagnostics of a multi-point reduction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MultiPointStats {
-    /// Sparse factorizations performed (the dominant cost; one per sample).
+    /// Sparse factorizations performed (the dominant cost; one per sample
+    /// **not already held by the shared context**).
     pub factorizations: usize,
     /// Final reduced model size.
     pub size: usize,
@@ -89,7 +86,8 @@ pub struct MultiPointStats {
 /// # fn main() -> Result<(), pmor::PmorError> {
 /// let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() }).assemble();
 /// let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 3);
-/// let rom = MultiPointPmor::new(opts).reduce(&sys)?;
+/// use pmor::{Reducer, ReductionContext};
+/// let rom = MultiPointPmor::new(opts).reduce(&sys, &mut ReductionContext::new())?;
 /// assert!(rom.size() > 0);
 /// # Ok(())
 /// # }
@@ -111,12 +109,19 @@ impl MultiPointPmor {
     ///
     /// Fails when any sampled `G(Pⱼ)` is singular, or when a sample has the
     /// wrong parameter count.
-    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
-        let (v, _stats) = self.projection_with_stats(sys)?;
+    pub fn projection(
+        &self,
+        sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
+    ) -> Result<Matrix<f64>> {
+        let (v, _stats) = self.projection_with_stats(sys, ctx)?;
         Ok(v)
     }
 
-    /// Computes the projection and the cost diagnostics.
+    /// Computes the projection and the cost diagnostics. Per-sample
+    /// factors come from (and are left in) the shared context, so other
+    /// consumers of the same expansion points — the nominal sample in
+    /// particular — reuse them.
     ///
     /// # Errors
     ///
@@ -124,12 +129,13 @@ impl MultiPointPmor {
     pub fn projection_with_stats(
         &self,
         sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
     ) -> Result<(Matrix<f64>, MultiPointStats)> {
         if self.options.samples.is_empty() {
             return Err(PmorError::Invalid("multi-point: no samples given".into()));
         }
         let mut basis = OrthoBasis::new(sys.dim());
-        let mut factorizations = 0;
+        let before = ctx.real_factorizations();
         for sample in &self.options.samples {
             if sample.len() != sys.num_params() {
                 return Err(PmorError::Invalid(format!(
@@ -138,33 +144,16 @@ impl MultiPointPmor {
                     sys.num_params()
                 )));
             }
-            let g = sys.g_at(sample);
             let c = sys.c_at(sample);
-            let lu = if self.options.use_rcm {
-                let perm = ordering::rcm(&g);
-                SparseLu::factor(&g, Some(&perm))?
-            } else {
-                SparseLu::factor(&g, None)?
-            };
-            factorizations += 1;
+            let lu = ctx.factor_g_at(sys, sample)?;
             krylov_blocks(&lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
         }
         let v = basis.to_matrix();
         let stats = MultiPointStats {
-            factorizations,
+            factorizations: ctx.real_factorizations() - before,
             size: v.ncols(),
         };
         Ok((v, stats))
-    }
-
-    /// Reduces the system using the combined multi-point projection.
-    ///
-    /// # Errors
-    ///
-    /// See [`MultiPointPmor::projection`].
-    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
-        let v = self.projection(sys)?;
-        Ok(ParametricRom::by_congruence(sys, &v))
     }
 
     /// Reduces and returns cost diagnostics.
@@ -175,9 +164,21 @@ impl MultiPointPmor {
     pub fn reduce_with_stats(
         &self,
         sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
     ) -> Result<(ParametricRom, MultiPointStats)> {
-        let (v, stats) = self.projection_with_stats(sys)?;
+        let (v, stats) = self.projection_with_stats(sys, ctx)?;
         Ok((ParametricRom::by_congruence(sys, &v), stats))
+    }
+}
+
+impl Reducer for MultiPointPmor {
+    fn name(&self) -> &'static str {
+        "multipoint"
+    }
+
+    fn reduce(&self, sys: &ParametricSystem, ctx: &mut ReductionContext) -> Result<ParametricRom> {
+        let v = self.projection(sys, ctx)?;
+        Ok(ParametricRom::by_congruence(sys, &v))
     }
 }
 
@@ -216,7 +217,7 @@ mod tests {
         let sys = tree(25);
         let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 2);
         let (_, stats) = MultiPointPmor::new(opts)
-            .projection_with_stats(&sys)
+            .projection_with_stats(&sys, &mut ReductionContext::new())
             .unwrap();
         assert_eq!(stats.factorizations, 8);
         assert!(stats.size > 0);
@@ -229,7 +230,7 @@ mod tests {
         let sys = tree(30);
         let samples = vec![vec![-0.25, 0.0, 0.2], vec![0.3, 0.3, -0.3]];
         let rom = MultiPointPmor::new(MultiPointOptions::with_samples(samples.clone(), 5))
-            .reduce(&sys)
+            .reduce_once(&sys)
             .unwrap();
         let full = FullModel::new(&sys);
         for p in &samples {
@@ -249,7 +250,7 @@ mod tests {
     fn interpolates_between_samples() {
         let sys = tree(30);
         let opts = MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 4);
-        let rom = MultiPointPmor::new(opts).reduce(&sys).unwrap();
+        let rom = MultiPointPmor::new(opts).reduce_once(&sys).unwrap();
         let full = FullModel::new(&sys);
         let p = [0.1, -0.05, 0.15]; // strictly inside the grid
         let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
@@ -263,7 +264,7 @@ mod tests {
     fn empty_samples_rejected() {
         let sys = tree(10);
         let opts = MultiPointOptions::with_samples(Vec::new(), 2);
-        assert!(MultiPointPmor::new(opts).reduce(&sys).is_err());
+        assert!(MultiPointPmor::new(opts).reduce_once(&sys).is_err());
     }
 
     #[test]
@@ -271,7 +272,7 @@ mod tests {
         let sys = tree(10);
         let opts = MultiPointOptions::with_samples(vec![vec![0.0]], 2);
         assert!(matches!(
-            MultiPointPmor::new(opts).reduce(&sys),
+            MultiPointPmor::new(opts).reduce_once(&sys),
             Err(PmorError::Invalid(_))
         ));
     }

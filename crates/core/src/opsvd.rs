@@ -175,7 +175,12 @@ mod tests {
         .unwrap();
         for j in 0..3 {
             let rel = (approx.sigma[j] - dense.sigma[j]).abs() / dense.sigma[j];
-            assert!(rel < 1e-6, "σ{j}: {} vs {}", approx.sigma[j], dense.sigma[j]);
+            assert!(
+                rel < 1e-6,
+                "σ{j}: {} vs {}",
+                approx.sigma[j],
+                dense.sigma[j]
+            );
         }
     }
 
@@ -197,7 +202,11 @@ mod tests {
         let err = a.sub_mat(&approx.reconstruct());
         // Error of best rank-1 is σ₂ (spectral) ≤ ‖err‖_F ≤ √n σ₂.
         let sigma2 = dense.sigma[1];
-        assert!(err.norm_fro() <= 10.0 * sigma2, "{} vs σ₂={sigma2}", err.norm_fro());
+        assert!(
+            err.norm_fro() <= 10.0 * sigma2,
+            "{} vs σ₂={sigma2}",
+            err.norm_fro()
+        );
     }
 
     #[test]
@@ -265,7 +274,9 @@ mod tests {
             }
             Matrix::from_cols(&cols)
         };
-        assert!(s.reconstruct().approx_eq(&explicit, 1e-8 * explicit.max_abs()));
+        assert!(s
+            .reconstruct()
+            .approx_eq(&explicit, 1e-8 * explicit.max_abs()));
     }
 
     #[test]

@@ -15,27 +15,25 @@
 //! reduction inside the multi-point method, and the `V0` subspace of
 //! Algorithm 1 step 2.1.
 
+use crate::reduce::{Reducer, ReductionContext};
 use crate::rom::ParametricRom;
 use crate::Result;
 use pmor_circuits::ParametricSystem;
 use pmor_num::orth::OrthoBasis;
 use pmor_num::Matrix;
-use pmor_sparse::{ordering, SparseLu};
+use pmor_sparse::SparseLu;
 
 /// Options for a PRIMA reduction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimaOptions {
     /// Number of block moments matched (`k` Krylov blocks).
     pub num_block_moments: usize,
-    /// Use a reverse Cuthill–McKee ordering for the `G0` factorization.
-    pub use_rcm: bool,
 }
 
 impl Default for PrimaOptions {
     fn default() -> Self {
         PrimaOptions {
             num_block_moments: 8,
-            use_rcm: true,
         }
     }
 }
@@ -47,11 +45,12 @@ impl Default for PrimaOptions {
 /// ```
 /// use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
 /// use pmor::prima::{Prima, PrimaOptions};
+/// use pmor::{Reducer, ReductionContext};
 ///
 /// # fn main() -> Result<(), pmor::PmorError> {
 /// let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() }).assemble();
 /// let rom = Prima::new(PrimaOptions { num_block_moments: 4, ..Default::default() })
-///     .reduce(&sys)?;
+///     .reduce(&sys, &mut ReductionContext::new())?;
 /// assert!(rom.size() <= 4);
 /// # Ok(())
 /// # }
@@ -70,13 +69,17 @@ impl Prima {
     /// Computes the PRIMA projection basis for the system *at its nominal
     /// point* (parameters are ignored; sensitivities are reduced alongside,
     /// which is exactly the "nominal projection" baseline of the paper's
-    /// figures).
+    /// figures), drawing the `G0` factors from the shared context.
     ///
     /// # Errors
     ///
     /// Fails when `G0` is singular.
-    pub fn projection(&self, sys: &ParametricSystem) -> Result<Matrix<f64>> {
-        let lu = factor_g0(&sys.g0, self.options.use_rcm)?;
+    pub fn projection(
+        &self,
+        sys: &ParametricSystem,
+        ctx: &mut ReductionContext,
+    ) -> Result<Matrix<f64>> {
+        let lu = ctx.factor_g0(sys)?;
         let mut basis = OrthoBasis::new(sys.dim());
         krylov_blocks(
             &lu,
@@ -87,30 +90,17 @@ impl Prima {
         )?;
         Ok(basis.to_matrix())
     }
-
-    /// Reduces the parametric system using the nominal PRIMA projection.
-    ///
-    /// # Errors
-    ///
-    /// Fails when `G0` is singular.
-    pub fn reduce(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
-        let v = self.projection(sys)?;
-        Ok(ParametricRom::by_congruence(sys, &v))
-    }
 }
 
-/// Factors `G0`, optionally under an RCM ordering.
-pub(crate) fn factor_g0(
-    g0: &pmor_sparse::CsrMatrix<f64>,
-    use_rcm: bool,
-) -> Result<SparseLu<f64>> {
-    let lu = if use_rcm {
-        let perm = ordering::rcm(g0);
-        SparseLu::factor(g0, Some(&perm))?
-    } else {
-        SparseLu::factor(g0, None)?
-    };
-    Ok(lu)
+impl Reducer for Prima {
+    fn name(&self) -> &'static str {
+        "prima"
+    }
+
+    fn reduce(&self, sys: &ParametricSystem, ctx: &mut ReductionContext) -> Result<ParametricRom> {
+        let v = self.projection(sys, ctx)?;
+        Ok(ParametricRom::by_congruence(sys, &v))
+    }
 }
 
 /// Builds the block Krylov subspace `{S, A·S, …, A^(blocks-1)·S}` for an
@@ -212,7 +202,9 @@ mod tests {
     #[test]
     fn projection_is_orthonormal() {
         let sys = small_tree();
-        let v = Prima::new(PrimaOptions::default()).projection(&sys).unwrap();
+        let v = Prima::new(PrimaOptions::default())
+            .projection(&sys, &mut ReductionContext::new())
+            .unwrap();
         let vtv = v.tr_mul_mat(&v);
         assert!(vtv.approx_eq(&Matrix::identity(v.ncols()), 1e-10));
     }
@@ -223,9 +215,8 @@ mod tests {
         let k = 5;
         let rom = Prima::new(PrimaOptions {
             num_block_moments: k,
-            use_rcm: true,
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         assert!(rom.size() <= k * sys.num_inputs());
         assert!(rom.size() >= 1);
@@ -234,7 +225,9 @@ mod tests {
     #[test]
     fn transfer_function_matches_full_model_at_low_frequency() {
         let sys = small_tree();
-        let rom = Prima::new(PrimaOptions::default()).reduce(&sys).unwrap();
+        let rom = Prima::new(PrimaOptions::default())
+            .reduce_once(&sys)
+            .unwrap();
         let p = vec![0.0; sys.num_params()];
         let full = crate::eval::FullModel::new(&sys);
         for f_hz in [1e6, 1e8, 1e9] {
@@ -254,9 +247,8 @@ mod tests {
         let k = 4;
         let rom = Prima::new(PrimaOptions {
             num_block_moments: k,
-            use_rcm: false,
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let full_moments = crate::moments::nominal_transfer_moments(&sys, k).unwrap();
         let rom_moments = rom.nominal_transfer_moments(k).unwrap();
@@ -271,7 +263,9 @@ mod tests {
     fn passivity_stamps_preserved() {
         let sys = small_tree();
         assert!(sys.has_symmetric_ports());
-        let rom = Prima::new(PrimaOptions::default()).reduce(&sys).unwrap();
+        let rom = Prima::new(PrimaOptions::default())
+            .reduce_once(&sys)
+            .unwrap();
         assert!(rom.is_passive_stamp(&vec![0.0; sys.num_params()]).unwrap());
     }
 
@@ -289,9 +283,8 @@ mod tests {
         let sys = net.assemble();
         let rom = Prima::new(PrimaOptions {
             num_block_moments: 10,
-            use_rcm: false,
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         assert!(rom.size() <= 2);
     }

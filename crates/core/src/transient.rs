@@ -330,13 +330,19 @@ pub fn step_response_rom(
         };
         rom.num_inputs()
     ];
-    simulate_rom(rom, p, &stimuli, &TransientOptions::trapezoidal(t_stop, steps))
+    simulate_rom(
+        rom,
+        p,
+        &stimuli,
+        &TransientOptions::trapezoidal(t_stop, steps),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lowrank::{LowRankOptions, LowRankPmor};
+    use crate::reduce::Reducer;
     use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
     use pmor_circuits::Netlist;
 
@@ -377,7 +383,10 @@ mod tests {
         assert!((res.outputs[0].last().unwrap() - 50.0).abs() < 0.05);
         let d = res.delay_50(0).unwrap();
         let expect_delay = tau * 2.0f64.ln();
-        assert!((d - expect_delay).abs() < 0.05 * expect_delay, "{d} vs {expect_delay}");
+        assert!(
+            (d - expect_delay).abs() < 0.05 * expect_delay,
+            "{d} vs {expect_delay}"
+        );
     }
 
     #[test]
@@ -413,7 +422,7 @@ mod tests {
             rank: 2,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let p = [0.2, -0.2, 0.1];
         let stim = [Stimulus::Ramp {
@@ -424,9 +433,7 @@ mod tests {
         let opts = TransientOptions::trapezoidal(2e-9, 400);
         let full = simulate_full(&sys, &p, &stim, &opts).unwrap();
         let red = simulate_rom(&rom, &p, &stim, &opts).unwrap();
-        let scale = full.outputs[0]
-            .iter()
-            .fold(0.0f64, |a, &b| a.max(b.abs()));
+        let scale = full.outputs[0].iter().fold(0.0f64, |a, &b| a.max(b.abs()));
         for k in 0..full.time.len() {
             let d = (full.outputs[0][k] - red.outputs[0][k]).abs();
             assert!(d < 1e-3 * scale, "step {k}: {d} vs scale {scale}");
@@ -454,7 +461,10 @@ mod tests {
             .iter()
             .fold(0.0f64, |a, &b| a.max(b.abs()));
         let h = crate::eval::FullModel::new(&sys)
-            .transfer(&[], pmor_num::Complex64::jw(2.0 * std::f64::consts::PI * f_hz))
+            .transfer(
+                &[],
+                pmor_num::Complex64::jw(2.0 * std::f64::consts::PI * f_hz),
+            )
             .unwrap()[(0, 0)]
             .abs();
         assert!((peak - h).abs() < 0.02 * h, "peak {peak} vs |H| {h}");
@@ -462,10 +472,17 @@ mod tests {
 
     #[test]
     fn stimulus_shapes() {
-        let s = Stimulus::Step { t0: 1.0, amplitude: 2.0 };
+        let s = Stimulus::Step {
+            t0: 1.0,
+            amplitude: 2.0,
+        };
         assert_eq!(s.at(0.5), 0.0);
         assert_eq!(s.at(1.0), 2.0);
-        let r = Stimulus::Ramp { t0: 1.0, rise: 2.0, amplitude: 4.0 };
+        let r = Stimulus::Ramp {
+            t0: 1.0,
+            rise: 2.0,
+            amplitude: 4.0,
+        };
         assert_eq!(r.at(0.5), 0.0);
         assert_eq!(r.at(2.0), 2.0);
         assert_eq!(r.at(5.0), 4.0);

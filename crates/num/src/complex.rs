@@ -166,6 +166,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is the intent
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -300,7 +301,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (1.0, 1.0), (-3.0, -7.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (1.0, 1.0),
+            (-3.0, -7.0),
+            (0.0, 2.0),
+        ] {
             let z = Complex64::new(re, im);
             let r = z.sqrt();
             assert!(close(r * r, z), "sqrt({z}) = {r}");

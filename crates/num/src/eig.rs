@@ -169,7 +169,7 @@ fn complex_hessenberg_eigenvalues(h: &mut Matrix<Complex64>) -> Result<Vec<Compl
 
         // Wilkinson shift from the trailing 2x2 of the active block, with an
         // occasional exceptional shift to break symmetric cycling.
-        let shift = if iters_since_deflation > 0 && iters_since_deflation % 12 == 0 {
+        let shift = if iters_since_deflation > 0 && iters_since_deflation.is_multiple_of(12) {
             h[(hi - 1, hi - 1)] + Complex64::from_real(1.5 * h[(hi - 1, hi - 2)].abs())
         } else {
             wilkinson_shift(
@@ -385,7 +385,12 @@ mod tests {
         let e = eigenvalues(&a).unwrap();
         let sum: Complex64 = e.iter().copied().sum();
         let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
-        assert!((sum.re - tr).abs() < 1e-8, "trace mismatch: {} vs {}", sum.re, tr);
+        assert!(
+            (sum.re - tr).abs() < 1e-8,
+            "trace mismatch: {} vs {}",
+            sum.re,
+            tr
+        );
         assert!(sum.im.abs() < 1e-8);
         let prod = e.iter().fold(Complex64::ONE, |acc, &z| acc * z);
         let det = crate::lu::LuFactors::factor(&a).unwrap().det();

@@ -89,7 +89,10 @@ impl fmt::Display for NumError {
             NumError::NoConvergence {
                 context,
                 iterations,
-            } => write!(f, "{context} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{context} did not converge after {iterations} iterations"
+            ),
         }
     }
 }

@@ -244,10 +244,7 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if the inner dimensions disagree.
     pub fn mul_mat(&self, other: &Matrix<T>) -> Matrix<T> {
-        assert_eq!(
-            self.ncols, other.nrows,
-            "mul_mat: inner dimension mismatch"
-        );
+        assert_eq!(self.ncols, other.nrows, "mul_mat: inner dimension mismatch");
         let mut out = Matrix::zeros(self.nrows, other.ncols);
         for i in 0..self.nrows {
             for k in 0..self.ncols {

@@ -175,7 +175,9 @@ mod tests {
     fn builds_orthonormal_basis() {
         let mut b = OrthoBasis::new(4);
         for j in 0..4 {
-            let v: Vec<f64> = (0..4).map(|i| ((i * j + i + 1) as f64).sin() + 1.0).collect();
+            let v: Vec<f64> = (0..4)
+                .map(|i| ((i * j + i + 1) as f64).sin() + 1.0)
+                .collect();
             b.insert(&v);
         }
         assert!(b.orthogonality_defect() < 1e-12);
@@ -208,7 +210,11 @@ mod tests {
         b.insert(&[1.0, 0.0, 0.0]);
         b.insert(&[1.0, 1e-9, 0.0]);
         b.insert(&[1.0, 1e-9, 1e-9]);
-        assert!(b.orthogonality_defect() < 1e-12, "{}", b.orthogonality_defect());
+        assert!(
+            b.orthogonality_defect() < 1e-12,
+            "{}",
+            b.orthogonality_defect()
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn square_qr() {
-        let a = Matrix::from_rows(&[&[12.0, -51.0, 4.0], &[6.0, 167.0, -68.0], &[-4.0, 24.0, -41.0]]);
+        let a = Matrix::from_rows(&[
+            &[12.0, -51.0, 4.0],
+            &[6.0, 167.0, -68.0],
+            &[-4.0, 24.0, -41.0],
+        ]);
         check_qr(&a, 1e-10);
     }
 

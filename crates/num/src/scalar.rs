@@ -166,6 +166,9 @@ mod tests {
     fn complex_field_laws() {
         field_laws(Complex64::new(1.0, 2.0), Complex64::new(-3.0, 0.5));
         assert_eq!(Complex64::new(1.0, 2.0).imag(), 2.0);
-        assert_eq!(<Complex64 as Scalar>::from_f64(4.0), Complex64::new(4.0, 0.0));
+        assert_eq!(
+            <Complex64 as Scalar>::from_f64(4.0),
+            Complex64::new(4.0, 0.0)
+        );
     }
 }

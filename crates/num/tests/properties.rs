@@ -9,9 +9,8 @@ use proptest::prelude::*;
 
 /// Strategy: a well-scaled dense matrix of the given shape.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<f64>> {
-    proptest::collection::vec(-10.0..10.0f64, rows * cols).prop_map(move |data| {
-        Matrix::from_fn(rows, cols, |r, c| data[r * cols + c])
-    })
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_fn(rows, cols, |r, c| data[r * cols + c]))
 }
 
 /// Strategy: a diagonally dominant (hence nonsingular) square matrix.

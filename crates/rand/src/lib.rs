@@ -1,0 +1,202 @@
+#![warn(missing_docs)]
+
+//! Vendored, dependency-free stand-in for the subset of the [`rand`]
+//! crate API this workspace uses.
+//!
+//! The build environment is fully offline, so the real `rand` crate cannot
+//! be fetched; this crate provides a drop-in replacement for exactly the
+//! surface the workspace consumes:
+//!
+//! * [`rngs::StdRng`] — a seedable deterministic generator
+//!   (xoshiro256++ seeded through SplitMix64),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over `f64`/`usize` ranges (half-open and
+//!   inclusive) and [`Rng::gen_bool`].
+//!
+//! Streams are **not** bit-compatible with the upstream `rand` crate; all
+//! workspace consumers only rely on determinism-given-seed and on sound
+//! statistical quality, both of which xoshiro256++ provides.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be deterministically constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose entire stream is a function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// `u64` bits to a uniform `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// `u64` bits to a uniform `f64` in `[0, 1]`.
+fn unit_f64_inclusive(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u = unit_f64(rng.next_u64());
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty f64 range");
+        let u = unit_f64_inclusive(rng.next_u64());
+        lo + (hi - lo) * u
+    }
+}
+
+/// Uniform integer in `[0, span)` by 128-bit multiply (Lemire reduction;
+/// the negligible modulo bias of the plain multiply is irrelevant for the
+/// workspace's circuit-generation spans, which are far below 2^53).
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range: empty usize range");
+        let span = (self.end - self.start) as u64;
+        self.start + below(rng, span) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "gen_range: empty u64 range");
+        self.start + below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty usize range");
+        let span = (hi - lo) as u64 + 1;
+        lo + below(rng, span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-0.25..0.75);
+            assert!((-0.25..0.75).contains(&x));
+            let y = rng.gen_range(2.0..=3.0);
+            assert!((2.0..=3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn usize_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..3usize)] = true;
+            seen[rng.gen_range(3..=5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -21,7 +21,7 @@ impl<T: Scalar> CsrMatrix<T> {
     /// dropping entries that cancel to exact zero.
     pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, T)]) -> Self {
         let mut sorted: Vec<(usize, usize, T)> = triplets.to_vec();
-        sorted.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_by_key(|t| (t.0, t.1));
 
         let mut row_ptr = vec![0usize; nrows + 1];
         let mut col_idx = Vec::with_capacity(sorted.len());
@@ -291,7 +291,13 @@ mod tests {
         CsrMatrix::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
         )
     }
 

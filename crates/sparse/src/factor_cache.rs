@@ -1,0 +1,244 @@
+//! Memoizing store for sparse LU factorizations.
+//!
+//! The paper's cost model (§4.2) revolves around a **one-time**
+//! factorization of the nominal conductance matrix `G0`: PRIMA's Krylov
+//! recurrence, the sensitivity SVDs of Algorithm 1 (forward *and*
+//! transpose solves), multi-point expansion's nominal sample and
+//! full-model evaluation all reuse those factors. Before this cache, each
+//! consumer factored `G0` for itself; [`FactorCache`] memoizes factors
+//! under caller-chosen keys so a whole pipeline shares one factorization
+//! per distinct matrix.
+//!
+//! Keys are opaque to this crate: callers (see `pmor::ReductionContext`)
+//! derive them from whatever identifies the matrix in their domain — a
+//! parameter point, a complex frequency shift, a matrix role tag. Factors
+//! are handed out as [`Arc`]s, so held factors stay valid across later
+//! cache insertions and can be shared across worker threads.
+
+use crate::lu::SparseLu;
+use crate::Result;
+use pmor_num::Complex64;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An opaque cache key: a sequence of 64-bit words (typically a role tag
+/// followed by the bit patterns of the identifying floats).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FactorKey(pub Vec<u64>);
+
+impl FactorKey {
+    /// Builds a key from a role tag and the bit patterns of `values`.
+    pub fn tagged(tag: u64, values: &[f64]) -> Self {
+        let mut words = Vec::with_capacity(values.len() + 1);
+        words.push(tag);
+        words.extend(values.iter().map(|v| v.to_bits()));
+        FactorKey(words)
+    }
+}
+
+/// Counters describing how a [`FactorCache`] has been used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FactorCacheStats {
+    /// Real factorizations actually performed (cache misses).
+    pub real_factorizations: usize,
+    /// Complex factorizations actually performed (cache misses).
+    pub complex_factorizations: usize,
+    /// Requests served from the cache without factoring.
+    pub hits: usize,
+}
+
+impl FactorCacheStats {
+    /// Total factorizations performed (real + complex).
+    pub fn factorizations(&self) -> usize {
+        self.real_factorizations + self.complex_factorizations
+    }
+}
+
+/// A memoizing store of real and complex sparse LU factors.
+///
+/// # Example
+///
+/// ```
+/// use pmor_sparse::{CooBuilder, FactorCache, FactorKey, SparseLu};
+///
+/// # fn main() -> Result<(), pmor_sparse::SparseError> {
+/// let mut coo = CooBuilder::new(2, 2);
+/// coo.add(0, 0, 2.0);
+/// coo.add(1, 1, 4.0);
+/// let a = coo.build_csr();
+/// let mut cache = FactorCache::new();
+/// let key = FactorKey::tagged(1, &[]);
+/// let lu1 = cache.real(key.clone(), || SparseLu::factor(&a, None))?;
+/// let lu2 = cache.real(key, || unreachable!("second request must hit"))?;
+/// assert_eq!(cache.stats().real_factorizations, 1);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert!((lu1.solve(&[2.0, 8.0])?[1] - lu2.solve(&[2.0, 8.0])?[1]).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FactorCache {
+    real: HashMap<FactorKey, Arc<SparseLu<f64>>>,
+    complex: HashMap<FactorKey, Arc<SparseLu<Complex64>>>,
+    stats: FactorCacheStats,
+}
+
+impl FactorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FactorCache::default()
+    }
+
+    /// Returns the real factors stored under `key`, calling `factor` to
+    /// produce them on the first request. A failed factorization is not
+    /// cached (and not counted as performed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error returned by `factor`.
+    pub fn real(
+        &mut self,
+        key: FactorKey,
+        factor: impl FnOnce() -> Result<SparseLu<f64>>,
+    ) -> Result<Arc<SparseLu<f64>>> {
+        if let Some(lu) = self.real.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(lu));
+        }
+        let lu = Arc::new(factor()?);
+        self.stats.real_factorizations += 1;
+        self.real.insert(key, Arc::clone(&lu));
+        Ok(lu)
+    }
+
+    /// Complex-valued counterpart of [`FactorCache::real`] (frequency
+    /// shifts `G + sC`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error returned by `factor`.
+    pub fn complex(
+        &mut self,
+        key: FactorKey,
+        factor: impl FnOnce() -> Result<SparseLu<Complex64>>,
+    ) -> Result<Arc<SparseLu<Complex64>>> {
+        if let Some(lu) = self.complex.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(lu));
+        }
+        let lu = Arc::new(factor()?);
+        self.stats.complex_factorizations += 1;
+        self.complex.insert(key, Arc::clone(&lu));
+        Ok(lu)
+    }
+
+    /// Usage counters (misses are factorizations, hits are reuses).
+    pub fn stats(&self) -> FactorCacheStats {
+        self.stats
+    }
+
+    /// Number of distinct factors currently held.
+    pub fn len(&self) -> usize {
+        self.real.len() + self.complex.len()
+    }
+
+    /// Whether the cache holds no factors.
+    pub fn is_empty(&self) -> bool {
+        self.real.is_empty() && self.complex.is_empty()
+    }
+
+    /// Drops every stored factor. Counters are preserved: they describe
+    /// lifetime usage, not current contents.
+    pub fn clear(&mut self) {
+        self.real.clear();
+        self.complex.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    fn diag(values: &[f64]) -> CsrMatrix<f64> {
+        let triplets: Vec<(usize, usize, f64)> =
+            values.iter().enumerate().map(|(i, &v)| (i, i, v)).collect();
+        CsrMatrix::from_triplets(values.len(), values.len(), &triplets)
+    }
+
+    #[test]
+    fn second_request_hits_and_reuses_the_same_factors() {
+        let a = diag(&[2.0, 4.0]);
+        let mut cache = FactorCache::new();
+        let key = FactorKey::tagged(0, &[0.0, 0.0]);
+        let lu1 = cache
+            .real(key.clone(), || SparseLu::factor(&a, None))
+            .unwrap();
+        let lu2 = cache.real(key, || panic!("must not refactor")).unwrap();
+        assert!(Arc::ptr_eq(&lu1, &lu2));
+        assert_eq!(cache.stats().real_factorizations, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_factor_independently() {
+        let a = diag(&[2.0, 4.0]);
+        let b = diag(&[1.0, 8.0]);
+        let mut cache = FactorCache::new();
+        let lu_a = cache
+            .real(FactorKey::tagged(0, &[0.0]), || SparseLu::factor(&a, None))
+            .unwrap();
+        let lu_b = cache
+            .real(FactorKey::tagged(0, &[0.5]), || SparseLu::factor(&b, None))
+            .unwrap();
+        assert_eq!(cache.stats().real_factorizations, 2);
+        assert_eq!(cache.stats().hits, 0);
+        // Each key solves its own system.
+        assert!((lu_a.solve(&[2.0, 4.0]).unwrap()[0] - 1.0).abs() < 1e-15);
+        assert!((lu_b.solve(&[2.0, 4.0]).unwrap()[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn real_and_complex_caches_are_separate() {
+        let a = diag(&[3.0]);
+        let ac = a.map(|v| Complex64::new(v, 1.0));
+        let mut cache = FactorCache::new();
+        let key = FactorKey::tagged(7, &[]);
+        cache
+            .real(key.clone(), || SparseLu::factor(&a, None))
+            .unwrap();
+        cache.complex(key, || SparseLu::factor(&ac, None)).unwrap();
+        assert_eq!(cache.stats().real_factorizations, 1);
+        assert_eq!(cache.stats().complex_factorizations, 1);
+        assert_eq!(cache.stats().factorizations(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_factorization_is_not_cached() {
+        let singular = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        let ok = diag(&[1.0, 1.0]);
+        let mut cache = FactorCache::new();
+        let key = FactorKey::tagged(0, &[]);
+        assert!(cache
+            .real(key.clone(), || SparseLu::factor(&singular, None))
+            .is_err());
+        assert_eq!(cache.stats().real_factorizations, 0);
+        // The key is free for a successful retry.
+        cache.real(key, || SparseLu::factor(&ok, None)).unwrap();
+        assert_eq!(cache.stats().real_factorizations, 1);
+    }
+
+    #[test]
+    fn clear_preserves_lifetime_counters() {
+        let a = diag(&[1.0]);
+        let mut cache = FactorCache::new();
+        cache
+            .real(FactorKey::tagged(0, &[]), || SparseLu::factor(&a, None))
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().real_factorizations, 1);
+    }
+}

@@ -129,11 +129,7 @@ impl<T: Scalar> SparseLu<T> {
                 visited[i0] = k;
                 while let Some(&mut (i, ref mut child)) = dfs_stack.last_mut() {
                     let kp = pinv[i];
-                    let children: &[(usize, T)] = if kp == UNASSIGNED {
-                        &[]
-                    } else {
-                        &l_cols[kp]
-                    };
+                    let children: &[(usize, T)] = if kp == UNASSIGNED { &[] } else { &l_cols[kp] };
                     if *child < children.len() {
                         let (r, _) = children[*child];
                         *child += 1;
@@ -192,13 +188,12 @@ impl<T: Scalar> SparseLu<T> {
                 return Err(SparseError::Singular(col));
             }
             // Prefer the diagonal when it passes the threshold test.
-            let piv_row = if diag_row != UNASSIGNED
-                && x[diag_row].modulus() >= PIVOT_THRESHOLD * best_mag
-            {
-                diag_row
-            } else {
-                best_row
-            };
+            let piv_row =
+                if diag_row != UNASSIGNED && x[diag_row].modulus() >= PIVOT_THRESHOLD * best_mag {
+                    diag_row
+                } else {
+                    best_row
+                };
             let pivot = x[piv_row];
 
             // --- Gather into L and U columns.

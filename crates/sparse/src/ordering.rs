@@ -38,15 +38,8 @@ pub fn rcm<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
     let mut visited = vec![false; n];
 
     // Process every connected component.
-    loop {
-        // Unvisited node of minimum degree as BFS root candidate.
-        let start = match (0..n)
-            .filter(|&i| !visited[i])
-            .min_by_key(|&i| degree[i])
-        {
-            Some(s) => s,
-            None => break,
-        };
+    // Unvisited node of minimum degree as BFS root candidate.
+    while let Some(start) = (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree[i]) {
         let root = pseudo_peripheral(start, &adj, &visited);
 
         // Cuthill–McKee BFS, neighbors sorted by increasing degree.

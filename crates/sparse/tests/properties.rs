@@ -6,7 +6,10 @@ use pmor_sparse::{ordering, CsrMatrix, SparseLu};
 use proptest::prelude::*;
 
 /// Strategy: sparse triplets over an n×n grid with ~density fraction.
-fn sparse_triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+fn sparse_triplets(
+    n: usize,
+    max_entries: usize,
+) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
     proptest::collection::vec(
         (0..n, 0..n, -5.0..5.0f64).prop_map(|(r, c, v)| (r, c, v)),
         0..max_entries,

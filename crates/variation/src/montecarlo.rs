@@ -5,11 +5,19 @@
 //! perturbed **full** model and of the **reduced** parametric model at each
 //! instance, and collect the relative errors ("the error distribution in
 //! these poles across all the instances is plotted in Fig. 5").
+//!
+//! The engine is written against the unified [`Reducer`] trait: hand it a
+//! system and *any* registered reduction method and it reduces once (with
+//! a shared [`ReductionContext`]) before sampling. Instance evaluation is
+//! embarrassingly parallel and is chunked across [`std::thread::scope`]
+//! workers — deterministic, because the sample points are pre-drawn by
+//! [`MonteCarlo::sample_points`] and results are stitched back in sample
+//! order.
 
 use crate::dist::ParameterDistribution;
 use crate::stats::{histogram, Bin, Summary};
 use pmor::eval::{pole_errors, FullModel};
-use pmor::{ParametricRom, Result};
+use pmor::{ParametricRom, Reducer, ReductionContext, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::Complex64;
 use rand::rngs::StdRng;
@@ -24,6 +32,9 @@ pub struct MonteCarlo {
     pub instances: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for instance evaluation; `0` means use the
+    /// machine's available parallelism.
+    pub threads: usize,
 }
 
 impl MonteCarlo {
@@ -33,6 +44,7 @@ impl MonteCarlo {
             distributions: vec![ParameterDistribution::paper_metal_width(); np],
             instances,
             seed: 0x3C0,
+            threads: 0,
         }
     }
 
@@ -49,32 +61,114 @@ impl MonteCarlo {
             .collect()
     }
 
-    /// Compares the `num_poles` most dominant poles of the full and reduced
-    /// models at every instance.
+    /// The effective worker count: the configured `threads`, or available
+    /// parallelism when 0, never more than one worker per instance.
+    pub fn worker_count(&self) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        configured.clamp(1, self.instances.max(1))
+    }
+
+    /// Runs `eval` over every pre-drawn sample point, chunked across
+    /// scoped worker threads, returning results in sample order.
+    fn parallel_map<T, F>(&self, eval: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&[f64]) -> Result<T> + Sync,
+    {
+        let points = self.sample_points();
+        let workers = self.worker_count();
+        if workers <= 1 {
+            return points.iter().map(|p| eval(p)).collect();
+        }
+        let chunk_size = points.len().div_ceil(workers);
+        let chunks: Vec<&[Vec<f64>]> = points.chunks(chunk_size).collect();
+        let results: Vec<Result<Vec<T>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(|| chunk.iter().map(|p| eval(p)).collect()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("Monte-Carlo worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(points.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Reduces `sys` with `reducer` (in a fresh private context) and
+    /// compares the `num_poles` most dominant poles of the full and
+    /// reduced models at every instance. To share factorizations with
+    /// other pipeline stages, use [`MonteCarlo::pole_errors_in`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the reduction fails, a sampled instance is singular or
+    /// an eigensolve stalls.
+    pub fn pole_errors(
+        &self,
+        sys: &ParametricSystem,
+        reducer: &dyn Reducer,
+        num_poles: usize,
+    ) -> Result<PoleErrorReport> {
+        self.pole_errors_in(sys, reducer, num_poles, &mut ReductionContext::new())
+    }
+
+    /// [`MonteCarlo::pole_errors`] drawing the reduction's factorizations
+    /// from the caller's shared context, so the one-time `G0`
+    /// factorization spans the whole pipeline.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarlo::pole_errors`].
+    pub fn pole_errors_in(
+        &self,
+        sys: &ParametricSystem,
+        reducer: &dyn Reducer,
+        num_poles: usize,
+        ctx: &mut ReductionContext,
+    ) -> Result<PoleErrorReport> {
+        let rom = reducer.reduce(sys, ctx)?;
+        self.pole_errors_with_rom(sys, &rom, num_poles)
+    }
+
+    /// [`MonteCarlo::pole_errors`] against an already-reduced model.
     ///
     /// # Errors
     ///
     /// Fails when a sampled instance is singular or an eigensolve stalls.
-    pub fn pole_errors(
+    pub fn pole_errors_with_rom(
         &self,
         sys: &ParametricSystem,
         rom: &ParametricRom,
         num_poles: usize,
     ) -> Result<PoleErrorReport> {
         let full = FullModel::new(sys);
-        let mut errors_percent = Vec::with_capacity(self.instances * num_poles);
-        let mut per_instance_max = Vec::with_capacity(self.instances);
-        for p in self.sample_points() {
-            let reference = full.dominant_poles(&p, num_poles)?;
+        let per_instance: Vec<(Vec<f64>, f64)> = self.parallel_map(|p| {
+            let reference = full.dominant_poles(p, num_poles)?;
             // Give the matcher a deeper candidate list than the reference so
             // near-degenerate reference poles both find their partner.
-            let candidate = rom.dominant_poles(&p, 2 * num_poles + 4)?;
+            let candidate = rom.dominant_poles(p, 2 * num_poles + 4)?;
             let errs = pole_errors(&reference, &candidate);
             let mut inst_max = 0.0f64;
+            let mut percents = Vec::with_capacity(errs.len());
             for e in errs {
-                errors_percent.push(100.0 * e);
+                percents.push(100.0 * e);
                 inst_max = inst_max.max(100.0 * e);
             }
+            Ok((percents, inst_max))
+        })?;
+        let mut errors_percent = Vec::with_capacity(self.instances * num_poles);
+        let mut per_instance_max = Vec::with_capacity(self.instances);
+        for (percents, inst_max) in per_instance {
+            errors_percent.extend(percents);
             per_instance_max.push(inst_max);
         }
         Ok(PoleErrorReport {
@@ -84,33 +178,65 @@ impl MonteCarlo {
         })
     }
 
-    /// Worst-case transfer-function error over instances at a fixed set of
-    /// frequencies: `max_f |H_full − H_rom| / |H_full|` per instance.
+    /// Reduces `sys` with `reducer` (fresh private context; see
+    /// [`MonteCarlo::transfer_errors_in`] to share one) and reports the
+    /// worst-case transfer-function error over instances at a fixed set
+    /// of frequencies: `max_f |H_full − H_rom| / |H_full|` per instance.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the reduction fails or an instance is singular at one
+    /// of the frequencies.
+    pub fn transfer_errors(
+        &self,
+        sys: &ParametricSystem,
+        reducer: &dyn Reducer,
+        freqs_hz: &[f64],
+    ) -> Result<Vec<f64>> {
+        self.transfer_errors_in(sys, reducer, freqs_hz, &mut ReductionContext::new())
+    }
+
+    /// [`MonteCarlo::transfer_errors`] drawing the reduction's
+    /// factorizations from the caller's shared context.
+    ///
+    /// # Errors
+    ///
+    /// See [`MonteCarlo::transfer_errors`].
+    pub fn transfer_errors_in(
+        &self,
+        sys: &ParametricSystem,
+        reducer: &dyn Reducer,
+        freqs_hz: &[f64],
+        ctx: &mut ReductionContext,
+    ) -> Result<Vec<f64>> {
+        let rom = reducer.reduce(sys, ctx)?;
+        self.transfer_errors_with_rom(sys, &rom, freqs_hz)
+    }
+
+    /// [`MonteCarlo::transfer_errors`] against an already-reduced model.
     ///
     /// # Errors
     ///
     /// Fails when an instance is singular at one of the frequencies.
-    pub fn transfer_errors(
+    pub fn transfer_errors_with_rom(
         &self,
         sys: &ParametricSystem,
         rom: &ParametricRom,
         freqs_hz: &[f64],
     ) -> Result<Vec<f64>> {
         let full = FullModel::new(sys);
-        let mut out = Vec::with_capacity(self.instances);
-        for p in self.sample_points() {
+        self.parallel_map(|p| {
             let mut worst = 0.0f64;
             for &f in freqs_hz {
                 let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
-                let hf = full.transfer(&p, s)?;
-                let hr = rom.transfer(&p, s)?;
+                let hf = full.transfer(p, s)?;
+                let hr = rom.transfer(p, s)?;
                 let denom = hf.max_abs().max(1e-300);
                 let num = hf.sub_mat(&hr).max_abs();
                 worst = worst.max(num / denom);
             }
-            out.push(worst);
-        }
-        Ok(out)
+            Ok(worst)
+        })
     }
 }
 
@@ -173,16 +299,14 @@ mod tests {
     #[test]
     fn lowrank_rom_pole_errors_are_small() {
         let sys = tree(40);
-        let rom = LowRankPmor::new(LowRankOptions {
+        let reducer = LowRankPmor::new(LowRankOptions {
             s_order: 8,
             param_order: 3,
             rank: 2,
             ..Default::default()
-        })
-        .reduce(&sys)
-        .unwrap();
+        });
         let mc = MonteCarlo::paper_protocol(3, 10);
-        let report = mc.pole_errors(&sys, &rom, 5).unwrap();
+        let report = mc.pole_errors(&sys, &reducer, 5).unwrap();
         assert_eq!(report.errors_percent.len(), 50);
         assert_eq!(report.per_instance_max.len(), 10);
         // The paper reports sub-percent dominant-pole errors.
@@ -194,11 +318,42 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_results() {
+        let sys = tree(30);
+        let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
+        let mut mc = MonteCarlo::paper_protocol(3, 9);
+        mc.threads = 1;
+        let serial = mc.pole_errors_with_rom(&sys, &rom, 3).unwrap();
+        mc.threads = 4;
+        let parallel = mc.pole_errors_with_rom(&sys, &rom, 3).unwrap();
+        assert_eq!(serial, parallel);
+        // More workers than instances is fine too.
+        mc.threads = 64;
+        let oversubscribed = mc.pole_errors_with_rom(&sys, &rom, 3).unwrap();
+        assert_eq!(serial, oversubscribed);
+    }
+
+    #[test]
+    fn engines_share_one_factorization_through_a_context() {
+        // The `_in` entry points let a whole analysis pipeline ride on one
+        // nominal G0 factorization.
+        let sys = tree(30);
+        let reducer = LowRankPmor::with_defaults();
+        let mut ctx = ReductionContext::new();
+        let mc = MonteCarlo::paper_protocol(3, 3);
+        mc.pole_errors_in(&sys, &reducer, 2, &mut ctx).unwrap();
+        mc.transfer_errors_in(&sys, &reducer, &[1e8], &mut ctx)
+            .unwrap();
+        assert_eq!(ctx.real_factorizations(), 1);
+        assert!(ctx.cache_hits() >= 1, "hits: {}", ctx.cache_hits());
+    }
+
+    #[test]
     fn report_histogram_covers_all_errors() {
         let sys = tree(30);
-        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
         let mc = MonteCarlo::paper_protocol(3, 8);
-        let report = mc.pole_errors(&sys, &rom, 3).unwrap();
+        let report = mc.pole_errors_with_rom(&sys, &rom, 3).unwrap();
         let bins = report.histogram(10);
         let total: usize = bins.iter().map(|b| b.count).sum();
         assert_eq!(total, report.errors_percent.len());
@@ -207,10 +362,10 @@ mod tests {
     #[test]
     fn transfer_errors_bounded() {
         let sys = tree(30);
-        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+        let reducer = LowRankPmor::with_defaults();
         let mc = MonteCarlo::paper_protocol(3, 5);
         let errs = mc
-            .transfer_errors(&sys, &rom, &[1e7, 1e8, 1e9])
+            .transfer_errors(&sys, &reducer, &[1e7, 1e8, 1e9])
             .unwrap();
         assert_eq!(errs.len(), 5);
         assert!(errs.iter().all(|&e| e < 0.01), "{errs:?}");

@@ -6,7 +6,7 @@
 //! parameters pinned.
 
 use pmor::eval::{pole_errors, FullModel};
-use pmor::{ParametricRom, Result};
+use pmor::{ParametricRom, Reducer, ReductionContext, Result};
 use pmor_circuits::ParametricSystem;
 
 /// Evenly spaced values over `[lo, hi]`, inclusive.
@@ -64,13 +64,45 @@ impl Sweep2d {
         out
     }
 
-    /// Relative error (in percent) of the most dominant pole of `rom`
-    /// against the full model over the grid: `result[ia][ib]`.
+    /// Reduces `sys` with `reducer` and maps the relative error (in
+    /// percent) of the most dominant pole against the full model over the
+    /// grid: `result[ia][ib]`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the reduction fails, an instance is singular or an
+    /// eigensolve stalls.
+    pub fn dominant_pole_error_grid(
+        &self,
+        sys: &ParametricSystem,
+        reducer: &dyn Reducer,
+    ) -> Result<Vec<Vec<f64>>> {
+        self.dominant_pole_error_grid_in(sys, reducer, &mut ReductionContext::new())
+    }
+
+    /// [`Sweep2d::dominant_pole_error_grid`] drawing the reduction's
+    /// factorizations from the caller's shared context.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sweep2d::dominant_pole_error_grid`].
+    pub fn dominant_pole_error_grid_in(
+        &self,
+        sys: &ParametricSystem,
+        reducer: &dyn Reducer,
+        ctx: &mut ReductionContext,
+    ) -> Result<Vec<Vec<f64>>> {
+        let rom = reducer.reduce(sys, ctx)?;
+        self.dominant_pole_error_grid_with_rom(sys, &rom)
+    }
+
+    /// [`Sweep2d::dominant_pole_error_grid`] against an already-reduced
+    /// model.
     ///
     /// # Errors
     ///
     /// Fails when an instance is singular or an eigensolve stalls.
-    pub fn dominant_pole_error_grid(
+    pub fn dominant_pole_error_grid_with_rom(
         &self,
         sys: &ParametricSystem,
         rom: &ParametricRom,
@@ -128,9 +160,10 @@ mod tests {
             ..Default::default()
         })
         .assemble();
-        let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
         let sweep = Sweep2d::paper_m5_m6(3);
-        let grid = sweep.dominant_pole_error_grid(&sys, &rom).unwrap();
+        let grid = sweep
+            .dominant_pole_error_grid(&sys, &LowRankPmor::with_defaults())
+            .unwrap();
         assert_eq!(grid.len(), 3);
         for row in &grid {
             assert_eq!(row.len(), 3);

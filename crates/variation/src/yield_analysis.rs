@@ -8,7 +8,8 @@
 
 use crate::montecarlo::MonteCarlo;
 use pmor::transient::{simulate_rom, Stimulus, TransientOptions};
-use pmor::{ParametricRom, Result};
+use pmor::{ParametricRom, Reducer, ReductionContext, Result};
+use pmor_circuits::ParametricSystem;
 
 /// A pass/fail performance specification evaluated on a reduced model at
 /// one parameter point.
@@ -46,7 +47,7 @@ impl Spec<'_> {
         match self {
             Spec::MinDominantPole { min_rad_s } => {
                 let poles = rom.dominant_poles(p, 1)?;
-                Ok(poles.first().map_or(false, |z| z.abs() >= *min_rad_s))
+                Ok(poles.first().is_some_and(|z| z.abs() >= *min_rad_s))
             }
             Spec::MaxDelay {
                 output,
@@ -55,9 +56,7 @@ impl Spec<'_> {
                 options,
             } => {
                 let res = simulate_rom(rom, p, stimuli, options)?;
-                Ok(res
-                    .delay_50(*output)
-                    .map_or(false, |d| d <= *max_seconds))
+                Ok(res.delay_50(*output).is_some_and(|d| d <= *max_seconds))
             }
             Spec::Custom(f) => f(rom, p),
         }
@@ -75,13 +74,44 @@ pub struct YieldEstimate {
     pub std_error: f64,
 }
 
-/// Estimates yield of `spec` over the Monte-Carlo distribution using the
-/// reduced model.
+/// Reduces `sys` with `reducer` and estimates the yield of `spec` over
+/// the Monte-Carlo distribution at reduced-model cost.
+///
+/// # Errors
+///
+/// Propagates reduction and per-instance evaluation failures.
+pub fn estimate_yield(
+    sys: &ParametricSystem,
+    reducer: &dyn Reducer,
+    mc: &MonteCarlo,
+    spec: &Spec<'_>,
+) -> Result<YieldEstimate> {
+    estimate_yield_in(sys, reducer, mc, spec, &mut ReductionContext::new())
+}
+
+/// [`estimate_yield`] drawing the reduction's factorizations from the
+/// caller's shared context.
+///
+/// # Errors
+///
+/// See [`estimate_yield`].
+pub fn estimate_yield_in(
+    sys: &ParametricSystem,
+    reducer: &dyn Reducer,
+    mc: &MonteCarlo,
+    spec: &Spec<'_>,
+    ctx: &mut ReductionContext,
+) -> Result<YieldEstimate> {
+    let rom = reducer.reduce(sys, ctx)?;
+    estimate_yield_with_rom(&rom, mc, spec)
+}
+
+/// [`estimate_yield`] against an already-reduced model.
 ///
 /// # Errors
 ///
 /// Propagates per-instance evaluation failures.
-pub fn estimate_yield(
+pub fn estimate_yield_with_rom(
     rom: &ParametricRom,
     mc: &MonteCarlo,
     spec: &Spec<'_>,
@@ -108,6 +138,7 @@ mod tests {
     use super::*;
     use crate::dist::ParameterDistribution;
     use pmor::lowrank::{LowRankOptions, LowRankPmor};
+    use pmor::Reducer;
     use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
 
     fn rom() -> ParametricRom {
@@ -122,7 +153,7 @@ mod tests {
             rank: 2,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap()
     }
 
@@ -133,26 +164,39 @@ mod tests {
     #[test]
     fn trivially_loose_spec_yields_one() {
         let rom = rom();
-        let est = estimate_yield(
-            &rom,
-            &mc(30),
-            &Spec::MinDominantPole { min_rad_s: 1.0 },
-        )
-        .unwrap();
+        let est = estimate_yield_with_rom(&rom, &mc(30), &Spec::MinDominantPole { min_rad_s: 1.0 })
+            .unwrap();
         assert_eq!(est.yield_fraction, 1.0);
         assert_eq!(est.instances, 30);
         assert_eq!(est.std_error, 0.0);
     }
 
     #[test]
-    fn impossible_spec_yields_zero() {
-        let rom = rom();
+    fn dyn_reducer_entry_reduces_then_estimates() {
+        // The registry-facing entry point: any `&dyn Reducer` works.
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 40,
+            ..Default::default()
+        })
+        .assemble();
+        let reducer = pmor::reducer_by_name("lowrank", &sys).unwrap();
         let est = estimate_yield(
-            &rom,
-            &mc(30),
-            &Spec::MinDominantPole { min_rad_s: 1e30 },
+            &sys,
+            reducer.as_ref(),
+            &mc(20),
+            &Spec::MinDominantPole { min_rad_s: 1.0 },
         )
         .unwrap();
+        assert_eq!(est.yield_fraction, 1.0);
+        assert_eq!(est.instances, 20);
+    }
+
+    #[test]
+    fn impossible_spec_yields_zero() {
+        let rom = rom();
+        let est =
+            estimate_yield_with_rom(&rom, &mc(30), &Spec::MinDominantPole { min_rad_s: 1e30 })
+                .unwrap();
         assert_eq!(est.yield_fraction, 0.0);
     }
 
@@ -162,7 +206,7 @@ mod tests {
         // half the instances should pass.
         let rom = rom();
         let nominal = rom.dominant_poles(&[0.0; 3], 1).unwrap()[0].abs();
-        let est = estimate_yield(
+        let est = estimate_yield_with_rom(
             &rom,
             &mc(120),
             &Spec::MinDominantPole { min_rad_s: nominal },
@@ -185,7 +229,7 @@ mod tests {
         }];
         let options = TransientOptions::trapezoidal(3e-9, 200);
         // Generous delay budget ⇒ everything passes.
-        let est = estimate_yield(
+        let est = estimate_yield_with_rom(
             &rom,
             &mc(10),
             &Spec::MaxDelay {
@@ -210,11 +254,12 @@ mod tests {
             ],
             instances: 25,
             seed: 9,
+            threads: 0,
         };
         // Custom spec: parameter 0 must be nonnegative — independent of the
         // model, with known analytic yield ≈ 0.5.
         let spec = Spec::Custom(&|_rom, p| Ok(p[0] >= 0.0));
-        let est = estimate_yield(&rom, &mc, &spec).unwrap();
+        let est = estimate_yield_with_rom(&rom, &mc, &spec).unwrap();
         assert!(est.yield_fraction > 0.2 && est.yield_fraction < 0.8);
     }
 }

@@ -7,6 +7,7 @@
 
 use pmor::eval::FullModel;
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::Reducer;
 use pmor_circuits::generators::{rlc_bus, RlcBusConfig};
 use pmor_num::Complex64;
 
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rank: 2,
         ..Default::default()
     })
-    .reduce(&sys)?;
+    .reduce_once(&sys)?;
     println!("parametric reduced model: {} states", rom.size());
 
     let full = FullModel::new(&sys);

@@ -8,6 +8,7 @@
 //! Run: `cargo run --release -p pmor-bench --example clock_tree_variability`
 
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::Reducer;
 use pmor_circuits::generators::rcnet_a;
 use pmor_variation::{MonteCarlo, Summary};
 
@@ -25,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rank: 2,
         ..Default::default()
     })
-    .reduce(&sys)?;
+    .reduce_once(&sys)?;
     println!("parametric reduced model: {} states", rom.size());
 
     // Process distribution: each layer width varies ±30% at 3σ (normal).
@@ -47,16 +48,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And how accurate is that, verified against the full model per
     // instance?
-    let report = mc.pole_errors(&sys, &rom, 5)?;
+    let report = mc.pole_errors_with_rom(&sys, &rom, 5)?;
     let es = report.summary();
-    println!("\nROM-vs-full error over 5 dominant poles x {} instances:", 100);
+    println!(
+        "\nROM-vs-full error over 5 dominant poles x {} instances:",
+        100
+    );
     println!(
         "  mean {:.2e}%  median {:.2e}%  max {:.2e}%",
         es.mean, es.median, es.max
     );
     println!("\nerror histogram [%]:");
     for b in report.histogram(8) {
-        println!("  {:>9.2e} .. {:>9.2e} | {}", b.lo, b.hi, "#".repeat(b.count.min(60)));
+        println!(
+            "  {:>9.2e} .. {:>9.2e} | {}",
+            b.lo,
+            b.hi,
+            "#".repeat(b.count.min(60))
+        );
     }
     Ok(())
 }

@@ -5,6 +5,7 @@
 
 use pmor::eval::FullModel;
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
+use pmor::Reducer;
 use pmor_circuits::Netlist;
 use pmor_num::Complex64;
 
@@ -44,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rank: 1,
         ..Default::default()
     })
-    .reduce(&sys)?;
+    .reduce_once(&sys)?;
     println!("reduced model: {} states", rom.size());
 
     // 4. Evaluate the reduced model against the full one across corners.

@@ -8,6 +8,7 @@
 
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::transient::{simulate_full, simulate_rom, Stimulus, TransientOptions};
+use pmor::Reducer;
 use pmor_circuits::generators::{rc_mesh, RcMeshConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rank: 2,
         ..Default::default()
     })
-    .reduce(&sys)?;
+    .reduce_once(&sys)?;
     println!("reduced model: {} states", rom.size());
 
     // Current step into pad 0 (e.g. a di/dt event); watch the pad voltages.

@@ -5,6 +5,7 @@ use pmor::eval::FullModel;
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
 use pmor::prima::{Prima, PrimaOptions};
+use pmor::Reducer;
 use pmor_circuits::generators::{
     clock_tree, rc_random, rlc_bus, ClockTreeConfig, RcRandomConfig, RlcBusConfig,
 };
@@ -55,7 +56,7 @@ fn lowrank_tracks_full_model_on_every_workload() {
             rank: 2,
             ..Default::default()
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap_or_else(|e| panic!("{name}: reduction failed: {e}"));
         assert!(rom.size() < sys.dim(), "{name}: no reduction achieved");
         let full = FullModel::new(&sys);
@@ -73,7 +74,7 @@ fn multipoint_tracks_full_model_on_every_workload() {
         let np = sys.num_params();
         let opts = MultiPointOptions::grid(&vec![(-0.4, 0.4); np], 2, 6);
         let rom = MultiPointPmor::new(opts)
-            .reduce(&sys)
+            .reduce_once(&sys)
             .unwrap_or_else(|e| panic!("{name}: reduction failed: {e}"));
         let full = FullModel::new(&sys);
         let s = Complex64::jw(2.0 * std::f64::consts::PI * f_hz);
@@ -89,9 +90,8 @@ fn prima_is_exact_at_nominal_low_frequency() {
     for (name, sys, _, f_hz) in workloads() {
         let rom = Prima::new(PrimaOptions {
             num_block_moments: 10,
-            use_rcm: true,
         })
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
         let p = vec![0.0; sys.num_params()];
         let full = FullModel::new(&sys);
@@ -112,7 +112,7 @@ fn reduced_poles_are_stable_across_corners() {
         ..Default::default()
     })
     .assemble();
-    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
     for corner in [
         [0.3, 0.3, 0.3],
         [-0.3, -0.3, -0.3],
@@ -134,7 +134,7 @@ fn projection_expands_reduced_states_to_node_voltages() {
         ..Default::default()
     })
     .assemble();
-    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
     let p = vec![0.0; 3];
     // Reduced DC solve: G̃ x̃ = B̃.
     let lu = pmor_num::lu::LuFactors::factor(&rom.g_at(&p)).unwrap();

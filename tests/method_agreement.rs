@@ -7,6 +7,7 @@ use pmor::fit::{FitOptions, FittedProjectionPmor};
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::moments::{SinglePointOptions, SinglePointPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
+use pmor::Reducer;
 use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
 use pmor_num::Complex64;
 
@@ -28,19 +29,16 @@ fn all_methods_agree_at_moderate_perturbation() {
     let candidates: Vec<(&str, Complex64)> = vec![
         (
             "single-point",
-            SinglePointPmor::new(SinglePointOptions {
-                order: 3,
-                use_rcm: true,
-            })
-            .reduce(&sys)
-            .unwrap()
-            .transfer(&p, s)
-            .unwrap()[(0, 0)],
+            SinglePointPmor::new(SinglePointOptions { order: 3 })
+                .reduce_once(&sys)
+                .unwrap()
+                .transfer(&p, s)
+                .unwrap()[(0, 0)],
         ),
         (
             "multi-point",
             MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 4))
-                .reduce(&sys)
+                .reduce_once(&sys)
                 .unwrap()
                 .transfer(&p, s)
                 .unwrap()[(0, 0)],
@@ -53,7 +51,7 @@ fn all_methods_agree_at_moderate_perturbation() {
                 rank: 2,
                 ..Default::default()
             })
-            .reduce(&sys)
+            .reduce_once(&sys)
             .unwrap()
             .transfer(&p, s)
             .unwrap()[(0, 0)],
@@ -74,10 +72,10 @@ fn lowrank_and_multipoint_agree_on_dominant_poles() {
         rank: 2,
         ..Default::default()
     })
-    .reduce(&sys)
+    .reduce_once(&sys)
     .unwrap();
     let multipoint = MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 6))
-        .reduce(&sys)
+        .reduce_once(&sys)
         .unwrap();
     for p in [[0.0, 0.0, 0.0], [0.2, -0.2, 0.2], [-0.25, 0.1, 0.05]] {
         let a = lowrank.dominant_poles(&p, 3).unwrap();
@@ -103,11 +101,10 @@ fn projection_fit_agrees_near_its_samples() {
     let fitted = FittedProjectionPmor::new(FitOptions {
         samples,
         num_block_moments: 4,
-        use_rcm: true,
     })
-    .reduce(&sys)
+    .reduce_fitted(&sys)
     .unwrap();
-    let lowrank = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    let lowrank = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
     let s = Complex64::jw(2.0 * std::f64::consts::PI * 2e8);
     for p in [[0.1, 0.0, 0.0], [0.0, -0.15, 0.0], [0.05, 0.05, 0.05]] {
         let hf = fitted.transfer(&p, s).unwrap()[(0, 0)];
@@ -123,11 +120,13 @@ fn rom_frequency_response_is_causal_low_pass() {
     // magnitude decreases with frequency, real part stays positive
     // (positive-real immittance).
     let sys = sys();
-    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
     let p = [0.2, -0.1, 0.3];
     let mut last = f64::INFINITY;
     for f in [1e6, 1e7, 1e8, 1e9, 1e10, 1e11] {
-        let h = rom.transfer(&p, Complex64::jw(2.0 * std::f64::consts::PI * f)).unwrap()[(0, 0)];
+        let h = rom
+            .transfer(&p, Complex64::jw(2.0 * std::f64::consts::PI * f))
+            .unwrap()[(0, 0)];
         assert!(h.re > 0.0, "non-positive-real at {f}: {h}");
         assert!(h.abs() <= last * 1.001, "magnitude rose at {f}");
         last = h.abs();

@@ -8,6 +8,7 @@ use pmor::moments::{
     SinglePointOptions, SinglePointPmor,
 };
 use pmor::rom::ParametricRom;
+use pmor::{Reducer, ReductionContext};
 use pmor_circuits::generators::{clock_tree, rc_random, ClockTreeConfig, RcRandomConfig};
 use pmor_circuits::ParametricSystem;
 use pmor_num::Matrix;
@@ -35,12 +36,9 @@ fn single_point_matches_all_moments_to_order_3() {
     })
     .assemble();
     let k = 3;
-    let rom = SinglePointPmor::new(SinglePointOptions {
-        order: k,
-        use_rcm: true,
-    })
-    .reduce(&sys)
-    .unwrap();
+    let rom = SinglePointPmor::new(SinglePointOptions { order: k })
+        .reduce_once(&sys)
+        .unwrap();
     let w0 = frequency_scale(&sys);
     let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
     let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
@@ -55,12 +53,9 @@ fn single_point_matches_on_random_rc_with_two_sources() {
     })
     .assemble();
     let k = 2;
-    let rom = SinglePointPmor::new(SinglePointOptions {
-        order: k,
-        use_rcm: true,
-    })
-    .reduce(&sys)
-    .unwrap();
+    let rom = SinglePointPmor::new(SinglePointOptions { order: k })
+        .reduce_once(&sys)
+        .unwrap();
     let w0 = frequency_scale(&sys);
     let full_m = multi_parameter_transfer_moments(&sys, k).unwrap();
     let rom_m = rom_multi_parameter_transfer_moments(&rom, k, w0).unwrap();
@@ -84,7 +79,9 @@ fn theorem1_lowrank_rom_matches_nearby_system_moments() {
         ..Default::default()
     });
     let nearby = reducer.nearby_system(&sys).unwrap();
-    let v = reducer.projection(&sys).unwrap();
+    let v = reducer
+        .projection(&sys, &mut ReductionContext::new())
+        .unwrap();
     let rom = ParametricRom::by_congruence(&nearby, &v);
     let k = 1;
     let w0 = frequency_scale(&nearby);
@@ -115,7 +112,7 @@ fn full_rank_lowrank_matches_true_system_moments() {
         },
         ..Default::default()
     })
-    .reduce(&sys)
+    .reduce_once(&sys)
     .unwrap();
     let k = 1;
     let w0 = frequency_scale(&sys);

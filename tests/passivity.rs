@@ -6,6 +6,7 @@ use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::moments::{SinglePointOptions, SinglePointPmor};
 use pmor::multipoint::{MultiPointOptions, MultiPointPmor};
 use pmor::prima::{Prima, PrimaOptions};
+use pmor::Reducer;
 use pmor_circuits::generators::{clock_tree, rlc_bus, ClockTreeConfig, RlcBusConfig};
 use pmor_circuits::ParametricSystem;
 use pmor_num::eig::is_positive_semidefinite;
@@ -42,32 +43,34 @@ fn rc_clock_tree_stays_passive_under_every_reducer() {
     .assemble();
     // Precondition: the full parametric model is passive over the box.
     for p in corners(3, 0.3) {
-        assert!(full_system_is_passive_stamp(&sys, &p), "full model at {p:?}");
+        assert!(
+            full_system_is_passive_stamp(&sys, &p),
+            "full model at {p:?}"
+        );
     }
 
     let roms = vec![
         (
             "prima",
-            Prima::new(PrimaOptions::default()).reduce(&sys).unwrap(),
+            Prima::new(PrimaOptions::default())
+                .reduce_once(&sys)
+                .unwrap(),
         ),
         (
             "single-point",
-            SinglePointPmor::new(SinglePointOptions {
-                order: 2,
-                use_rcm: true,
-            })
-            .reduce(&sys)
-            .unwrap(),
+            SinglePointPmor::new(SinglePointOptions { order: 2 })
+                .reduce_once(&sys)
+                .unwrap(),
         ),
         (
             "multi-point",
             MultiPointPmor::new(MultiPointOptions::grid(&[(-0.3, 0.3); 3], 2, 3))
-                .reduce(&sys)
+                .reduce_once(&sys)
                 .unwrap(),
         ),
         (
             "low-rank",
-            LowRankPmor::with_defaults().reduce(&sys).unwrap(),
+            LowRankPmor::with_defaults().reduce_once(&sys).unwrap(),
         ),
         (
             "low-rank simplified",
@@ -75,7 +78,7 @@ fn rc_clock_tree_stays_passive_under_every_reducer() {
                 include_transpose_subspaces: false,
                 ..Default::default()
             })
-            .reduce(&sys)
+            .reduce_once(&sys)
             .unwrap(),
         ),
     ];
@@ -103,7 +106,7 @@ fn rlc_bus_reduction_preserves_passivity_stamp() {
         rank: 1,
         ..Default::default()
     })
-    .reduce(&sys)
+    .reduce_once(&sys)
     .unwrap();
     for p in corners(2, 0.3) {
         assert!(rom.is_passive_stamp(&p).unwrap(), "bus ROM at {p:?}");
@@ -118,7 +121,7 @@ fn reduced_bus_poles_never_cross_into_right_half_plane() {
         ..Default::default()
     })
     .assemble();
-    let rom = LowRankPmor::with_defaults().reduce(&sys).unwrap();
+    let rom = LowRankPmor::with_defaults().reduce_once(&sys).unwrap();
     for w in [-0.3, -0.1, 0.1, 0.3] {
         for t in [-0.3, 0.0, 0.3] {
             for z in rom.poles(&[w, t]).unwrap() {
@@ -142,6 +145,8 @@ fn asymmetric_output_breaks_the_passivity_stamp() {
     net.add_output(b);
     let sys = net.assemble();
     assert!(!sys.has_symmetric_ports());
-    let rom = Prima::new(PrimaOptions::default()).reduce(&sys).unwrap();
+    let rom = Prima::new(PrimaOptions::default())
+        .reduce_once(&sys)
+        .unwrap();
     assert!(!rom.is_passive_stamp(&[]).unwrap());
 }

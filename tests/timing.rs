@@ -4,6 +4,7 @@
 
 use pmor::lowrank::{LowRankOptions, LowRankPmor};
 use pmor::transient::{simulate_full, simulate_rom, Stimulus, TransientOptions};
+use pmor::Reducer;
 use pmor_circuits::elmore::elmore_delays;
 use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
 use pmor_circuits::Netlist;
@@ -67,7 +68,7 @@ fn rom_reproduces_full_delay_across_corners_on_a_clock_tree() {
         rank: 2,
         ..Default::default()
     })
-    .reduce(&sys)
+    .reduce_once(&sys)
     .unwrap();
     let stim = [Stimulus::Ramp {
         t0: 0.0,
@@ -111,8 +112,7 @@ fn elmore_tracks_parametric_direction_of_transient_delay() {
         wide[0]
     );
     // …while the worst wire-dominated *increment* beyond the root shrinks.
-    let worst_inc =
-        |d: &[f64]| d.iter().map(|&x| x - d[0]).fold(0.0f64, f64::max);
+    let worst_inc = |d: &[f64]| d.iter().map(|&x| x - d[0]).fold(0.0f64, f64::max);
     assert!(
         worst_inc(&wide) < worst_inc(&nom),
         "leaf wire delay did not speed up: {} -> {}",
