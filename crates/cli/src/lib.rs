@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! Scenario-driven command-line front end for the `pmor` stack.
+//!
+//! The DATE 2005 paper's value proposition is an end-to-end flow —
+//! assemble a varying interconnect system, reduce it **once**, then
+//! evaluate thousands of parameter/frequency points cheaply. This crate
+//! packages that flow behind one binary, `pmor`, driven by declarative
+//! TOML **scenario files** (see [`scenario`] and the ready-made files
+//! under `scenarios/`):
+//!
+//! ```text
+//! pmor run    <scenario.toml>   # reduce + analyze + BENCH_*.json [+ ROMs]
+//! pmor reduce <scenario.toml>   # reduce only, persist every method's ROM
+//! pmor eval   <model.rom> …     # frequency sweep on a persisted ROM
+//! pmor mc     <model.rom> …     # Monte-Carlo statistics on a persisted ROM
+//! pmor info   <model.rom>       # describe a persisted ROM
+//! pmor list                     # registered generators, methods, analyses
+//! ```
+//!
+//! Scenarios reuse the rest of the workspace unchanged: generators from
+//! `pmor-circuits`, methods through `pmor::reducer_by_name` over one
+//! shared [`pmor::ReductionContext`], analyses from `pmor-variation`,
+//! and `BENCH_*.json` records from `pmor-bench`. ROM persistence is
+//! `pmor::rom::save`/`load` — reloaded models evaluate bit-for-bit
+//! identically to the originals.
+
+pub mod exec;
+pub mod scenario;
+pub mod toml;
+
+pub use exec::{reduce_scenario, run_scenario, ExecReport};
+pub use scenario::{Analysis, McMetric, OutputSpec, Scenario, SystemSpec};
+
+use std::fmt;
+
+/// Top-level CLI error: every failure the binary reports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Filesystem failure (reading scenarios, writing outputs).
+    Io(String),
+    /// Scenario schema violation or invalid request.
+    Invalid(String),
+    /// A reduction/analysis kernel failed.
+    Pmor(String),
+    /// Command-line usage error (unknown subcommand, bad flag).
+    Usage(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CliError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            CliError::Pmor(msg) => write!(f, "computation failed: {msg}"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<crate::toml::TomlError> for CliError {
+    fn from(e: crate::toml::TomlError) -> Self {
+        CliError::Invalid(e.to_string())
+    }
+}

@@ -1,0 +1,763 @@
+//! Declarative scenario files: schema and TOML loading.
+//!
+//! A scenario names a workload generator and its configuration, the
+//! reduction methods to run (registry names from [`pmor::ReducerKind`]),
+//! one analysis stage, and an output sink. See `docs/GUIDE.md` for the
+//! full file reference; the short shape is:
+//!
+//! ```toml
+//! [scenario]
+//! name = "fig3_rc_network"
+//!
+//! [system]
+//! generator = "rc_random"   # rc_random | rlc_bus | clock_tree | rc_mesh
+//! num_nodes = 767
+//!
+//! [reduce]
+//! methods = ["prima", "lowrank", "multipoint"]
+//!
+//! [analysis]
+//! kind = "frequency_sweep"  # | montecarlo | corner_sweep | yield
+//!
+//! [output]
+//! save_roms = true
+//! ```
+
+use crate::toml::{self, Document, TomlError};
+use crate::CliError;
+use pmor::ReducerKind;
+use pmor_circuits::generators::{
+    clock_tree, rc_mesh, rc_random, rlc_bus, ClockTreeConfig, RcMeshConfig, RcRandomConfig,
+    RlcBusConfig,
+};
+use pmor_circuits::ParametricSystem;
+use std::path::{Path, PathBuf};
+
+/// A fully parsed scenario, ready to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name; also the default bench tag and ROM file stem.
+    pub name: String,
+    /// Free-form description (printed in the run banner).
+    pub description: String,
+    /// The workload to assemble.
+    pub system: SystemSpec,
+    /// Reduction methods to run, by registry name (validated at parse
+    /// time against [`ReducerKind`]).
+    pub methods: Vec<String>,
+    /// Optional method tuning; unset fields fall back to the registry's
+    /// workload-sized defaults.
+    pub tuning: ReduceTuning,
+    /// The analysis stage applied to every reduced model.
+    pub analysis: Analysis,
+    /// Where results go.
+    pub output: OutputSpec,
+}
+
+/// The `[reduce]` tuning knobs are the registry's own
+/// [`pmor::ReducerTuning`] — construction stays in core, the CLI only
+/// parses the keys (see that type's docs for the key → method table).
+pub use pmor::ReducerTuning as ReduceTuning;
+
+/// The workload generator and its configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemSpec {
+    /// §5.1 random RC network ([`rc_random`]).
+    RcRandom(RcRandomConfig),
+    /// §5.2 coupled RLC bus ([`rlc_bus`]).
+    RlcBus(RlcBusConfig),
+    /// §5.3 clock-tree net ([`clock_tree`]).
+    ClockTree(ClockTreeConfig),
+    /// Power-grid style RC mesh ([`rc_mesh`]).
+    RcMesh(RcMeshConfig),
+}
+
+impl SystemSpec {
+    /// Generator family name as written in scenario files.
+    pub fn generator_name(&self) -> &'static str {
+        match self {
+            SystemSpec::RcRandom(_) => "rc_random",
+            SystemSpec::RlcBus(_) => "rlc_bus",
+            SystemSpec::ClockTree(_) => "clock_tree",
+            SystemSpec::RcMesh(_) => "rc_mesh",
+        }
+    }
+
+    /// Builds the netlist and assembles the MNA descriptor system.
+    pub fn assemble(&self) -> ParametricSystem {
+        match self {
+            SystemSpec::RcRandom(cfg) => rc_random(cfg).assemble(),
+            SystemSpec::RlcBus(cfg) => rlc_bus(cfg).assemble(),
+            SystemSpec::ClockTree(cfg) => clock_tree(cfg).assemble(),
+            SystemSpec::RcMesh(cfg) => rc_mesh(cfg).assemble(),
+        }
+    }
+
+    /// Workload label for `BENCH_*.json` records, e.g. `rc_random(767)`.
+    pub fn workload_label(&self, sys: &ParametricSystem) -> String {
+        format!("{}({})", self.generator_name(), sys.dim())
+    }
+}
+
+/// The analysis stage of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Analysis {
+    /// Frequency sweep of `|H|`, optionally against the full model.
+    FrequencySweep {
+        /// Sweep start, Hz.
+        f_min_hz: f64,
+        /// Sweep end, Hz.
+        f_max_hz: f64,
+        /// Number of log-spaced points.
+        points: usize,
+        /// Parameter point evaluated (defaults to all zeros).
+        parameters: Option<Vec<f64>>,
+        /// Also evaluate the full model and report per-method errors.
+        compare_full: bool,
+    },
+    /// Monte-Carlo accuracy study over sampled parameter instances.
+    MonteCarlo {
+        /// Number of sampled instances.
+        instances: usize,
+        /// Per-parameter sigma of the ±3σ-truncated normal.
+        sigma: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads (`0` = available parallelism).
+        threads: usize,
+        /// What to compare against the full model.
+        metric: McMetric,
+    },
+    /// Deterministic 2-D corner sweep of reduced-model error.
+    CornerSweep {
+        /// First swept parameter index.
+        param_a: usize,
+        /// Second swept parameter index.
+        param_b: usize,
+        /// Sweep range lower bound (relative variation).
+        lo: f64,
+        /// Sweep range upper bound.
+        hi: f64,
+        /// Grid points per axis.
+        points_per_axis: usize,
+        /// What to compare at each corner. [`McMetric::Poles`] uses dense
+        /// full-model eigensolves (RC nets); [`McMetric::Transfer`] uses
+        /// sparse solves and also works for RLC pencils.
+        metric: McMetric,
+    },
+    /// Monte-Carlo parametric yield at reduced-model cost.
+    Yield {
+        /// Number of sampled instances.
+        instances: usize,
+        /// Per-parameter sigma of the ±3σ-truncated normal.
+        sigma: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Pass threshold: dominant pole magnitude must be at least this
+        /// (rad/s). When `None`, the threshold is `margin` × the ROM's
+        /// nominal dominant-pole magnitude.
+        min_pole_rad_s: Option<f64>,
+        /// Relative threshold used when `min_pole_rad_s` is absent.
+        margin: f64,
+    },
+}
+
+/// Monte-Carlo comparison metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McMetric {
+    /// Relative errors of the most dominant poles (dense full-model
+    /// eigensolves — affordable for the paper's net sizes).
+    Poles {
+        /// Number of dominant poles tracked.
+        num_poles: usize,
+    },
+    /// Worst relative transfer-function error over a frequency list
+    /// (sparse full-model solves — scales to larger nets).
+    Transfer {
+        /// Frequencies evaluated, Hz.
+        freqs_hz: Vec<f64>,
+    },
+}
+
+/// Output sink configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSpec {
+    /// Tag of the emitted `BENCH_<tag>.json` record file.
+    pub bench_tag: String,
+    /// Directory receiving the record file and any saved ROMs.
+    pub dir: PathBuf,
+    /// Persist every reduced model as `<dir>/<name>_<method>.rom`.
+    pub save_roms: bool,
+}
+
+impl Scenario {
+    /// Loads and validates a scenario from a TOML file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, TOML parse errors, and schema violations
+    /// (unknown generator, unregistered method, bad analysis kind, …).
+    pub fn load(path: impl AsRef<Path>) -> Result<Scenario, CliError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("reading {}: {e}", path.display())))?;
+        Scenario::parse(&text).map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))
+    }
+
+    /// Parses a scenario from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::load`].
+    pub fn parse(text: &str) -> Result<Scenario, TomlError> {
+        let doc = toml::parse(text)?;
+        for section in doc.section_names() {
+            if !matches!(
+                section,
+                "" | "scenario" | "system" | "reduce" | "analysis" | "output"
+            ) {
+                return fail(format!("unknown section [{section}]"));
+            }
+        }
+        check_keys(&doc, "", &[])?;
+        check_keys(&doc, "scenario", &["name", "description"])?;
+        check_keys(
+            &doc,
+            "reduce",
+            &[
+                "methods",
+                "range",
+                "samples_per_axis",
+                "block_moments",
+                "s_order",
+                "param_order",
+                "rank",
+                "include_transpose",
+            ],
+        )?;
+        check_keys(&doc, "output", &["bench_tag", "dir", "save_roms"])?;
+        let name = doc.str_req("scenario", "name")?.to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return fail(format!(
+                "[scenario] name {name:?} must be nonempty and filename-safe ([A-Za-z0-9_-])"
+            ));
+        }
+        let description = doc
+            .str_opt("scenario", "description")?
+            .unwrap_or("")
+            .to_string();
+        let system = parse_system(&doc)?;
+        let methods = doc.str_array_req("reduce", "methods")?;
+        if methods.is_empty() {
+            return fail("[reduce] methods must name at least one reduction method");
+        }
+        for m in &methods {
+            if ReducerKind::from_name(m).is_none() {
+                let known: Vec<&str> = ReducerKind::ALL.iter().map(|k| k.name()).collect();
+                return fail(format!(
+                    "[reduce] unknown method {m:?}; registered methods: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+        let tuning = ReduceTuning {
+            range: match doc.f64_opt("reduce", "range")? {
+                Some(r) if r > 0.0 && r.is_finite() => Some(r),
+                Some(r) => return fail(format!("[reduce] range must be positive, got {r}")),
+                None => None,
+            },
+            samples_per_axis: nonzero_opt(&doc, "samples_per_axis")?,
+            block_moments: nonzero_opt(&doc, "block_moments")?,
+            s_order: nonzero_opt(&doc, "s_order")?,
+            param_order: nonzero_opt(&doc, "param_order")?,
+            rank: nonzero_opt(&doc, "rank")?,
+            include_transpose: match doc.get("reduce", "include_transpose") {
+                None => None,
+                Some(_) => Some(doc.bool_or("reduce", "include_transpose", true)?),
+            },
+        };
+        let analysis = parse_analysis(&doc)?;
+        let output = OutputSpec {
+            bench_tag: doc
+                .str_opt("output", "bench_tag")?
+                .unwrap_or(&name)
+                .to_string(),
+            dir: PathBuf::from(doc.str_opt("output", "dir")?.unwrap_or(".")),
+            save_roms: doc.bool_or("output", "save_roms", false)?,
+        };
+        Ok(Scenario {
+            name,
+            description,
+            system,
+            methods,
+            tuning,
+            analysis,
+            output,
+        })
+    }
+
+    /// The path a persisted ROM of `method` goes to.
+    pub fn rom_path(&self, method: &str) -> PathBuf {
+        self.output.dir.join(format!("{}_{method}.rom", self.name))
+    }
+}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line: 0,
+        msg: msg.into(),
+    })
+}
+
+/// Rejects keys in `section` outside the `allowed` list, so a typo
+/// (`instanses = 2000`) fails loudly instead of silently running with
+/// the default.
+fn check_keys(doc: &Document, section: &str, allowed: &[&str]) -> Result<(), TomlError> {
+    let Some(table) = doc.section(section) else {
+        return Ok(());
+    };
+    for key in table.keys() {
+        if !allowed.contains(&key.as_str()) {
+            let shown = if section.is_empty() {
+                "top level".to_string()
+            } else {
+                format!("[{section}]")
+            };
+            return fail(format!(
+                "{shown}: unknown key `{key}`; allowed keys: {}",
+                if allowed.is_empty() {
+                    "(none)".to_string()
+                } else {
+                    allowed.join(", ")
+                }
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// An optional `[reduce]` integer that must be ≥ 1 when present.
+fn nonzero_opt(doc: &Document, key: &str) -> Result<Option<usize>, TomlError> {
+    match doc.get("reduce", key) {
+        None => Ok(None),
+        Some(_) => {
+            let v = doc.usize_or("reduce", key, 0)?;
+            if v == 0 {
+                fail(format!("[reduce] {key} must be at least 1"))
+            } else {
+                Ok(Some(v))
+            }
+        }
+    }
+}
+
+fn parse_system(doc: &Document) -> Result<SystemSpec, TomlError> {
+    let generator = doc.str_req("system", "generator")?;
+    let sec = "system";
+    match generator {
+        "rc_random" => check_keys(
+            doc,
+            sec,
+            &[
+                "generator",
+                "num_nodes",
+                "num_params",
+                "extra_resistor_fraction",
+                "coupling_cap_fraction",
+                "sensitivity_density",
+                "spatially_correlated",
+                "seed",
+            ],
+        ),
+        "rlc_bus" => check_keys(
+            doc,
+            sec,
+            &[
+                "generator",
+                "lines",
+                "segments",
+                "line_res",
+                "line_ind",
+                "line_cap",
+                "coupling_ratio",
+            ],
+        ),
+        "clock_tree" => check_keys(
+            doc,
+            sec,
+            &[
+                "generator",
+                "num_nodes",
+                "m7_below_depth",
+                "m6_below_depth",
+                "driver_res",
+                "sink_cap",
+                "seed",
+            ],
+        ),
+        "rc_mesh" => check_keys(
+            doc,
+            sec,
+            &[
+                "generator",
+                "cols",
+                "rows",
+                "seg_res",
+                "node_cap",
+                "num_regions",
+                "num_pads",
+                "seed",
+            ],
+        ),
+        _ => Ok(()),
+    }?;
+    match generator {
+        "rc_random" => {
+            let d = RcRandomConfig::default();
+            Ok(SystemSpec::RcRandom(RcRandomConfig {
+                num_nodes: doc.usize_or(sec, "num_nodes", d.num_nodes)?,
+                num_params: doc.usize_or(sec, "num_params", d.num_params)?,
+                extra_resistor_fraction: doc.f64_or(
+                    sec,
+                    "extra_resistor_fraction",
+                    d.extra_resistor_fraction,
+                )?,
+                coupling_cap_fraction: doc.f64_or(
+                    sec,
+                    "coupling_cap_fraction",
+                    d.coupling_cap_fraction,
+                )?,
+                sensitivity_density: doc.f64_or(
+                    sec,
+                    "sensitivity_density",
+                    d.sensitivity_density,
+                )?,
+                spatially_correlated: doc.bool_or(
+                    sec,
+                    "spatially_correlated",
+                    d.spatially_correlated,
+                )?,
+                seed: doc.u64_or(sec, "seed", d.seed)?,
+            }))
+        }
+        "rlc_bus" => {
+            let d = RlcBusConfig::default();
+            Ok(SystemSpec::RlcBus(RlcBusConfig {
+                lines: doc.usize_or(sec, "lines", d.lines)?,
+                segments: doc.usize_or(sec, "segments", d.segments)?,
+                line_res: doc.f64_or(sec, "line_res", d.line_res)?,
+                line_ind: doc.f64_or(sec, "line_ind", d.line_ind)?,
+                line_cap: doc.f64_or(sec, "line_cap", d.line_cap)?,
+                coupling_ratio: doc.f64_or(sec, "coupling_ratio", d.coupling_ratio)?,
+            }))
+        }
+        "clock_tree" => {
+            let d = ClockTreeConfig::default();
+            Ok(SystemSpec::ClockTree(ClockTreeConfig {
+                num_nodes: doc.usize_or(sec, "num_nodes", d.num_nodes)?,
+                m7_below_depth: doc.usize_or(sec, "m7_below_depth", d.m7_below_depth)?,
+                m6_below_depth: doc.usize_or(sec, "m6_below_depth", d.m6_below_depth)?,
+                driver_res: doc.f64_or(sec, "driver_res", d.driver_res)?,
+                sink_cap: doc.f64_or(sec, "sink_cap", d.sink_cap)?,
+                seed: doc.u64_or(sec, "seed", d.seed)?,
+            }))
+        }
+        "rc_mesh" => {
+            let d = RcMeshConfig::default();
+            Ok(SystemSpec::RcMesh(RcMeshConfig {
+                cols: doc.usize_or(sec, "cols", d.cols)?,
+                rows: doc.usize_or(sec, "rows", d.rows)?,
+                seg_res: doc.f64_or(sec, "seg_res", d.seg_res)?,
+                node_cap: doc.f64_or(sec, "node_cap", d.node_cap)?,
+                num_regions: doc.usize_or(sec, "num_regions", d.num_regions)?,
+                num_pads: doc.usize_or(sec, "num_pads", d.num_pads)?,
+                seed: doc.u64_or(sec, "seed", d.seed)?,
+            }))
+        }
+        other => fail(format!(
+            "[system] unknown generator {other:?}; known: rc_random, rlc_bus, clock_tree, rc_mesh"
+        )),
+    }
+}
+
+fn parse_analysis(doc: &Document) -> Result<Analysis, TomlError> {
+    let sec = "analysis";
+    let kind = doc.str_opt(sec, "kind")?.unwrap_or("frequency_sweep");
+    match kind {
+        "frequency_sweep" => check_keys(
+            doc,
+            sec,
+            &[
+                "kind",
+                "f_min_hz",
+                "f_max_hz",
+                "points",
+                "parameters",
+                "compare_full",
+            ],
+        ),
+        // The metric-specific key (`num_poles` vs `freqs_hz`) is only
+        // accepted under its own metric, so a mismatched key fails loudly
+        // instead of being silently ignored. An unknown metric gets the
+        // union here; parse_metric then reports the better error.
+        "montecarlo" => {
+            const COMMON: [&str; 6] = ["kind", "instances", "sigma", "seed", "threads", "metric"];
+            let metric_keys: &[&str] = match doc.str_opt(sec, "metric")?.unwrap_or("poles") {
+                "poles" => &["num_poles"],
+                "transfer" => &["freqs_hz"],
+                _ => &["num_poles", "freqs_hz"],
+            };
+            let allowed: Vec<&str> = COMMON.iter().chain(metric_keys).copied().collect();
+            check_keys(doc, sec, &allowed)
+        }
+        "corner_sweep" => check_keys(
+            doc,
+            sec,
+            &[
+                "kind",
+                "param_a",
+                "param_b",
+                "lo",
+                "hi",
+                "points_per_axis",
+                "metric",
+                "freqs_hz",
+            ],
+        ),
+        "yield" => check_keys(
+            doc,
+            sec,
+            &[
+                "kind",
+                "instances",
+                "sigma",
+                "seed",
+                "min_pole_rad_s",
+                "margin",
+            ],
+        ),
+        _ => Ok(()),
+    }?;
+    match kind {
+        "frequency_sweep" => {
+            let f_min_hz = doc.f64_or(sec, "f_min_hz", 1e7)?;
+            let f_max_hz = doc.f64_or(sec, "f_max_hz", 1e10)?;
+            if !(f_min_hz > 0.0 && f_max_hz > f_min_hz) {
+                return fail("[analysis] need 0 < f_min_hz < f_max_hz");
+            }
+            let points = doc.usize_or(sec, "points", 31)?;
+            if points < 2 {
+                return fail("[analysis] points must be at least 2");
+            }
+            Ok(Analysis::FrequencySweep {
+                f_min_hz,
+                f_max_hz,
+                points,
+                parameters: doc.f64_array_opt(sec, "parameters")?,
+                compare_full: doc.bool_or(sec, "compare_full", true)?,
+            })
+        }
+        "montecarlo" => Ok(Analysis::MonteCarlo {
+            instances: doc.usize_or(sec, "instances", 100)?.max(1),
+            sigma: positive(doc.f64_or(sec, "sigma", 0.1)?, "sigma")?,
+            seed: doc.u64_or(sec, "seed", 0x3C0)?,
+            threads: doc.usize_or(sec, "threads", 0)?,
+            metric: parse_metric(doc, 3)?,
+        }),
+        "corner_sweep" => {
+            let lo = doc.f64_or(sec, "lo", -0.3)?;
+            let hi = doc.f64_or(sec, "hi", 0.3)?;
+            if hi <= lo {
+                return fail("[analysis] need lo < hi");
+            }
+            Ok(Analysis::CornerSweep {
+                param_a: doc.usize_or(sec, "param_a", 0)?,
+                param_b: doc.usize_or(sec, "param_b", 1)?,
+                lo,
+                hi,
+                points_per_axis: doc.usize_or(sec, "points_per_axis", 5)?.max(2),
+                metric: parse_metric(doc, 1)?,
+            })
+        }
+        "yield" => Ok(Analysis::Yield {
+            instances: doc.usize_or(sec, "instances", 200)?.max(1),
+            sigma: positive(doc.f64_or(sec, "sigma", 0.1)?, "sigma")?,
+            seed: doc.u64_or(sec, "seed", 0x3C0)?,
+            min_pole_rad_s: doc
+                .f64_opt(sec, "min_pole_rad_s")?
+                .map(|v| positive(v, "min_pole_rad_s"))
+                .transpose()?,
+            margin: positive(doc.f64_or(sec, "margin", 0.9)?, "margin")?,
+        }),
+        other => fail(format!(
+            "[analysis] unknown kind {other:?}; known: frequency_sweep, montecarlo, corner_sweep, yield"
+        )),
+    }
+}
+
+/// Parses the shared `metric` / `num_poles` / `freqs_hz` keys of the
+/// Monte-Carlo and corner-sweep analyses.
+fn parse_metric(doc: &Document, default_poles: usize) -> Result<McMetric, TomlError> {
+    let sec = "analysis";
+    match doc.str_opt(sec, "metric")?.unwrap_or("poles") {
+        "poles" => Ok(McMetric::Poles {
+            num_poles: doc.usize_or(sec, "num_poles", default_poles)?.max(1),
+        }),
+        "transfer" => {
+            let freqs_hz = doc
+                .f64_array_opt(sec, "freqs_hz")?
+                .unwrap_or_else(|| vec![1e8, 1e9, 5e9]);
+            if freqs_hz.is_empty() || freqs_hz.iter().any(|&f| f <= 0.0 || !f.is_finite()) {
+                return fail("[analysis] freqs_hz must be nonempty and positive");
+            }
+            Ok(McMetric::Transfer { freqs_hz })
+        }
+        other => fail(format!(
+            "[analysis] unknown metric {other:?}; known: poles, transfer"
+        )),
+    }
+}
+
+fn positive(v: f64, what: &str) -> Result<f64, TomlError> {
+    if v > 0.0 && v.is_finite() {
+        Ok(v)
+    } else {
+        fail(format!("[analysis] {what} must be positive, got {v}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+[scenario]
+name = "tiny"
+
+[system]
+generator = "clock_tree"
+num_nodes = 20
+
+[reduce]
+methods = ["prima"]
+"#;
+
+    #[test]
+    fn minimal_scenario_fills_defaults() {
+        let sc = Scenario::parse(MINIMAL).unwrap();
+        assert_eq!(sc.name, "tiny");
+        assert_eq!(sc.methods, vec!["prima".to_string()]);
+        assert!(matches!(
+            sc.analysis,
+            Analysis::FrequencySweep {
+                compare_full: true,
+                points: 31,
+                ..
+            }
+        ));
+        assert_eq!(sc.output.bench_tag, "tiny");
+        assert!(!sc.output.save_roms);
+        assert_eq!(sc.rom_path("prima"), PathBuf::from("./tiny_prima.rom"));
+        match &sc.system {
+            SystemSpec::ClockTree(cfg) => assert_eq!(cfg.num_nodes, 20),
+            other => panic!("wrong system: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_analysis_kind_parses() {
+        for (kind, extra, check) in [
+            (
+                "montecarlo",
+                "instances = 7\nsigma = 0.05\nmetric = \"transfer\"\nfreqs_hz = [1e8]",
+                "mc-transfer",
+            ),
+            ("montecarlo", "num_poles = 2", "mc-poles"),
+            (
+                "corner_sweep",
+                "param_a = 0\nparam_b = 2\npoints_per_axis = 3",
+                "corner",
+            ),
+            ("yield", "margin = 0.95\ninstances = 10", "yield"),
+        ] {
+            let text = format!("{MINIMAL}\n[analysis]\nkind = \"{kind}\"\n{extra}\n");
+            let sc = Scenario::parse(&text).unwrap_or_else(|e| panic!("{check}: {e}"));
+            match (kind, &sc.analysis) {
+                ("montecarlo", Analysis::MonteCarlo { .. }) => {}
+                ("corner_sweep", Analysis::CornerSweep { param_b: 2, .. }) => {}
+                ("yield", Analysis::Yield { margin, .. }) => assert_eq!(*margin, 0.95),
+                other => panic!("{check}: parsed into {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for (mutation, what) in [
+            (MINIMAL.replace("\"prima\"", "\"bogus\""), "unknown method"),
+            (MINIMAL.replace("clock_tree", "spice"), "unknown generator"),
+            (
+                MINIMAL.replace("[reduce]\nmethods = [\"prima\"]", ""),
+                "missing methods",
+            ),
+            (MINIMAL.replace("\"tiny\"", "\"has space\""), "unsafe name"),
+            (
+                format!("{MINIMAL}\n[analysis]\nkind = \"novel\""),
+                "unknown analysis",
+            ),
+            (format!("{MINIMAL}\n[extra]\nx = 1"), "unknown section"),
+            (
+                format!("{MINIMAL}\n[analysis]\nf_min_hz = 1e10\nf_max_hz = 1e7"),
+                "inverted range",
+            ),
+            (
+                format!("{MINIMAL}\n[analysis]\nkind = \"yield\"\ninstanses = 2000"),
+                "typoed analysis key",
+            ),
+            (
+                MINIMAL.replace("num_nodes = 20", "num_nodez = 20"),
+                "typoed system key",
+            ),
+            (
+                format!("{MINIMAL}\n[analysis]\nkind = \"yield\"\nmin_pole_rad_s = -1"),
+                "negative yield threshold",
+            ),
+            (
+                format!("{MINIMAL}\n[analysis]\nkind = \"corner_sweep\"\nnum_poles = 5"),
+                "num_poles on corner sweep (only the dominant pole is tracked)",
+            ),
+            (
+                format!(
+                    "{MINIMAL}\n[analysis]\nkind = \"montecarlo\"\nmetric = \"poles\"\nfreqs_hz = [2e10]"
+                ),
+                "freqs_hz under the poles metric (would be silently ignored)",
+            ),
+            (
+                format!(
+                    "{MINIMAL}\n[analysis]\nkind = \"montecarlo\"\nmetric = \"transfer\"\nnum_poles = 2"
+                ),
+                "num_poles under the transfer metric (would be silently ignored)",
+            ),
+            (
+                format!("{MINIMAL}\n[output]\nsave_romz = true"),
+                "typoed output key",
+            ),
+        ] {
+            assert!(Scenario::parse(&mutation).is_err(), "{what} accepted");
+        }
+    }
+
+    #[test]
+    fn methods_list_preserves_order() {
+        let text = MINIMAL.replace(
+            "methods = [\"prima\"]",
+            "methods = [\"lowrank\", \"prima\", \"fit\"]",
+        );
+        let sc = Scenario::parse(&text).unwrap();
+        assert_eq!(sc.methods, vec!["lowrank", "prima", "fit"]);
+    }
+}

@@ -64,8 +64,15 @@ pub mod residues;
 pub mod rom;
 pub mod transient;
 
-pub use reduce::{reducer_by_name, Reducer, ReducerKind, ReductionContext};
+pub use reduce::{reducer_by_name, Reducer, ReducerKind, ReducerTuning, ReductionContext};
 pub use rom::ParametricRom;
+
+// The README's Rust code blocks are compiled and run as doctests of this
+// crate, so the quick-start snippets can never drift from the API again
+// (rustdoc sets `cfg(doctest)` while collecting).
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+mod readme_doctests {}
 
 use std::fmt;
 

@@ -265,6 +265,59 @@ fn system_fingerprint(sys: &ParametricSystem) -> u64 {
     h
 }
 
+/// The default option values [`ReducerKind::build`] uses for the knobs
+/// that [`ReducerTuning`] may override individually. Kept as named
+/// constants so a partial override falls back to exactly the registry's
+/// values, never a drifted copy.
+pub mod registry_defaults {
+    /// Half-width of the multipoint/fit parameter sample box.
+    pub const SAMPLE_RANGE: f64 = 0.3;
+    /// Multipoint grid samples per parameter axis.
+    pub const MULTIPOINT_PER_AXIS: usize = 2;
+    /// `s`-moment blocks per multipoint/fit sample.
+    pub const SAMPLE_BLOCK_MOMENTS: usize = 4;
+    /// Low-rank frequency-moment order.
+    pub const LOWRANK_S_ORDER: usize = 6;
+    /// Low-rank parameter-moment order.
+    pub const LOWRANK_PARAM_ORDER: usize = 2;
+    /// Low-rank SVD rank per generalized sensitivity.
+    pub const LOWRANK_RANK: usize = 2;
+}
+
+/// Optional per-method overrides for [`ReducerKind::build_tuned`] — the
+/// knobs external front ends (the scenario CLI, future services) expose
+/// without re-implementing method construction. Every field is
+/// optional; `None` keeps the registry default, so
+/// `build_tuned(sys, &Default::default())` ≡ `build(sys)`. Each knob
+/// only affects the methods that read it:
+///
+/// | field | methods | meaning |
+/// |---|---|---|
+/// | `range` | multipoint, fit | half-width of the parameter sample box |
+/// | `samples_per_axis` | multipoint | grid samples per parameter axis |
+/// | `block_moments` | prima, multipoint, fit | matched `s`-moment blocks |
+/// | `s_order` | lowrank | frequency-moment blocks in `V0` |
+/// | `param_order` | lowrank | Krylov blocks per parameter subspace |
+/// | `rank` | lowrank | SVD rank per generalized sensitivity |
+/// | `include_transpose` | lowrank | keep the `Ã0ᵀ` subspaces (Alg. 1 step 2.2) |
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReducerTuning {
+    /// Parameter sample half-width for multipoint/fit grids.
+    pub range: Option<f64>,
+    /// Multipoint grid samples per axis.
+    pub samples_per_axis: Option<usize>,
+    /// Matched `s`-moment blocks for prima/multipoint/fit.
+    pub block_moments: Option<usize>,
+    /// Low-rank `s`-moment order.
+    pub s_order: Option<usize>,
+    /// Low-rank parameter-moment order.
+    pub param_order: Option<usize>,
+    /// Low-rank SVD rank per sensitivity.
+    pub rank: Option<usize>,
+    /// Low-rank transpose-subspace toggle.
+    pub include_transpose: Option<bool>,
+}
+
 /// The registry of reduction methods, selectable by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReducerKind {
@@ -310,47 +363,75 @@ impl ReducerKind {
 
     /// Builds the method with workload-appropriate default options
     /// (sample grids and fitting stencils are sized from
-    /// `sys.num_params()`).
+    /// `sys.num_params()`; numeric knobs come from [`registry_defaults`]).
     pub fn build(self, sys: &ParametricSystem) -> Box<dyn Reducer> {
+        self.build_tuned(sys, &ReducerTuning::default())
+    }
+
+    /// [`ReducerKind::build`] with individual option overrides. This is
+    /// the **single** construction site for registry methods: unset
+    /// tuning fields fall back to the same [`registry_defaults`] the
+    /// plain `build` uses, so a partially tuned method never diverges
+    /// from an untuned one on the untouched knobs.
+    pub fn build_tuned(self, sys: &ParametricSystem, t: &ReducerTuning) -> Box<dyn Reducer> {
+        use registry_defaults as rd;
         let np = sys.num_params();
+        let range = t.range.unwrap_or(rd::SAMPLE_RANGE);
         match self {
-            ReducerKind::Prima => Box::new(crate::prima::Prima::new(
-                crate::prima::PrimaOptions::default(),
-            )),
+            ReducerKind::Prima => Box::new(crate::prima::Prima::new(crate::prima::PrimaOptions {
+                num_block_moments: t
+                    .block_moments
+                    .unwrap_or(crate::prima::PrimaOptions::default().num_block_moments),
+            })),
             ReducerKind::Moments => Box::new(crate::moments::SinglePointPmor::new(
                 crate::moments::SinglePointOptions::default(),
             )),
             ReducerKind::MultiPoint => Box::new(crate::multipoint::MultiPointPmor::new(
-                crate::multipoint::MultiPointOptions::grid(&vec![(-0.3, 0.3); np], 2, 4),
+                crate::multipoint::MultiPointOptions::grid(
+                    &vec![(-range, range); np],
+                    t.samples_per_axis.unwrap_or(rd::MULTIPOINT_PER_AXIS),
+                    t.block_moments.unwrap_or(rd::SAMPLE_BLOCK_MOMENTS),
+                ),
             )),
             ReducerKind::LowRank => Box::new(crate::lowrank::LowRankPmor::new(
                 crate::lowrank::LowRankOptions {
-                    s_order: 6,
-                    param_order: 2,
-                    rank: 2,
+                    s_order: t.s_order.unwrap_or(rd::LOWRANK_S_ORDER),
+                    param_order: t.param_order.unwrap_or(rd::LOWRANK_PARAM_ORDER),
+                    rank: t.rank.unwrap_or(rd::LOWRANK_RANK),
+                    include_transpose_subspaces: t.include_transpose.unwrap_or(
+                        crate::lowrank::LowRankOptions::default().include_transpose_subspaces,
+                    ),
                     ..Default::default()
                 },
             )),
             ReducerKind::Fit => {
                 // Center + ±δ along each axis: the minimal well-posed
                 // stencil for the linear projection fit.
-                let mut samples = vec![vec![0.0; np]];
-                for i in 0..np {
-                    for delta in [-0.3, 0.3] {
-                        let mut p = vec![0.0; np];
-                        p[i] = delta;
-                        samples.push(p);
-                    }
-                }
                 Box::new(crate::fit::FittedProjectionPmor::new(
                     crate::fit::FitOptions {
-                        samples,
-                        num_block_moments: 4,
+                        samples: fit_stencil(np, range),
+                        num_block_moments: t.block_moments.unwrap_or(rd::SAMPLE_BLOCK_MOMENTS),
                     },
                 ))
             }
         }
     }
+}
+
+/// The fitting reducer's sample stencil: the center plus ±`range` along
+/// each of `np` axes — the minimal well-posed set for the linear
+/// projection fit ([`ReducerKind::build_tuned`] is the only caller;
+/// external front ends go through it).
+fn fit_stencil(np: usize, range: f64) -> Vec<Vec<f64>> {
+    let mut samples = vec![vec![0.0; np]];
+    for i in 0..np {
+        for delta in [-range, range] {
+            let mut p = vec![0.0; np];
+            p[i] = delta;
+            samples.push(p);
+        }
+    }
+    samples
 }
 
 /// Builds a registered reduction method by name with default options

@@ -4,11 +4,24 @@
 //! `{G̃0, C̃0, G̃ᵢ, C̃ᵢ, B̃, L̃}` (Algorithm 1 step 4 / Eq. (2)) and offers the
 //! evaluations the paper's experiments need: transfer functions `H(s, p)`,
 //! frequency sweeps, dominant poles and passivity checks.
+//!
+//! # Serialization
+//!
+//! ROMs persist to disk through [`save`]/[`load`] (or the
+//! [`ParametricRom::save`]/[`ParametricRom::load`] conveniences): a small
+//! versioned binary format that stores every `f64` by its exact bit
+//! pattern, so a reloaded model is **bitwise identical** — `transfer()`
+//! at any `(p, s)` returns bit-for-bit the same values as the original.
+//! A checksum over the payload rejects corrupted files, and unknown
+//! format versions are refused instead of misread. This is what lets a
+//! `pmor reduce` run persist its result for later `pmor eval` / `pmor mc`
+//! runs (see the `pmor-cli` crate) without re-reducing.
 
 use crate::{PmorError, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::lu::LuFactors;
 use pmor_num::{eig, Complex64, Matrix};
+use std::path::Path;
 
 /// A reduced-order parametric descriptor model
 /// `C̃(p) dx̃/dt = -G̃(p) x̃ + B̃ u`, `y = L̃ᵀ x̃`.
@@ -274,6 +287,238 @@ pub fn pencil_poles(g: &Matrix<f64>, c: &Matrix<f64>) -> Result<Vec<Complex64>> 
     Ok(poles)
 }
 
+// --- Serialization ---------------------------------------------------------
+
+/// Magic bytes opening every serialized ROM file.
+pub const ROM_MAGIC: [u8; 8] = *b"PMORROM\n";
+
+/// Current ROM format version. Readers refuse any other version.
+pub const ROM_FORMAT_VERSION: u32 = 1;
+
+/// Serializes `rom` into the versioned binary ROM format.
+///
+/// Layout (all integers little-endian):
+///
+/// ```text
+/// magic     8 B   b"PMORROM\n"
+/// version   4 B   u32, currently 1
+/// payload         5×u64 header (size, full dim, #params, #inputs, #outputs)
+///                 then each matrix as nrows:u64, ncols:u64, row-major
+///                 f64 bit patterns as u64 — order: G̃0, C̃0, G̃ᵢ…, C̃ᵢ…, B̃,
+///                 L̃, projection
+/// checksum  8 B   FNV-1a over the payload bytes
+/// ```
+///
+/// Floats travel as exact bit patterns, so deserializing reproduces the
+/// model bit-for-bit (see [`load`]).
+pub fn to_bytes(rom: &ParametricRom) -> Vec<u8> {
+    let mut payload = Vec::new();
+    let push_u64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
+    push_u64(&mut payload, rom.size() as u64);
+    push_u64(&mut payload, rom.projection.nrows() as u64);
+    push_u64(&mut payload, rom.num_params() as u64);
+    push_u64(&mut payload, rom.num_inputs() as u64);
+    push_u64(&mut payload, rom.num_outputs() as u64);
+    let push_mat = |out: &mut Vec<u8>, m: &Matrix<f64>| {
+        push_u64(out, m.nrows() as u64);
+        push_u64(out, m.ncols() as u64);
+        for r in 0..m.nrows() {
+            for c in 0..m.ncols() {
+                push_u64(out, m[(r, c)].to_bits());
+            }
+        }
+    };
+    push_mat(&mut payload, &rom.g0);
+    push_mat(&mut payload, &rom.c0);
+    for m in &rom.gi {
+        push_mat(&mut payload, m);
+    }
+    for m in &rom.ci {
+        push_mat(&mut payload, m);
+    }
+    push_mat(&mut payload, &rom.b);
+    push_mat(&mut payload, &rom.l);
+    push_mat(&mut payload, &rom.projection);
+
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(&ROM_MAGIC);
+    out.extend_from_slice(&ROM_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    out
+}
+
+/// Deserializes a ROM written by [`to_bytes`].
+///
+/// # Errors
+///
+/// Rejects files with a wrong magic, an unsupported format version, a
+/// checksum mismatch (corruption), truncation, or inconsistent matrix
+/// dimensions.
+pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
+    let err = |msg: &str| PmorError::Invalid(format!("ROM deserialization: {msg}"));
+    if bytes.len() < ROM_MAGIC.len() + 4 + 8 {
+        return Err(err("file too short"));
+    }
+    if bytes[..8] != ROM_MAGIC {
+        return Err(err("not a pmor ROM file (bad magic)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != ROM_FORMAT_VERSION {
+        return Err(err(&format!(
+            "unsupported format version {version} (this build reads version {ROM_FORMAT_VERSION})"
+        )));
+    }
+    let payload = &bytes[12..bytes.len() - 8];
+    let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a(payload) != stored_sum {
+        return Err(err("checksum mismatch (corrupted file)"));
+    }
+
+    let mut cursor = 0usize;
+    let mut next_u64 = |payload: &[u8]| -> Result<u64> {
+        let end = cursor
+            .checked_add(8)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| err("truncated payload"))?;
+        let v = u64::from_le_bytes(payload[cursor..end].try_into().unwrap());
+        cursor = end;
+        Ok(v)
+    };
+    let as_dim = |v: u64| -> Result<usize> {
+        // A dimension beyond ~16M rows would mean a multi-terabyte dense
+        // payload; anything larger is a corrupt header that survived the
+        // checksum of a truncated write.
+        if v > (1 << 24) {
+            Err(err(&format!("implausible dimension {v}")))
+        } else {
+            Ok(v as usize)
+        }
+    };
+    let size = as_dim(next_u64(payload)?)?;
+    let full_dim = as_dim(next_u64(payload)?)?;
+    let np = as_dim(next_u64(payload)?)?;
+    let ni = as_dim(next_u64(payload)?)?;
+    let no = as_dim(next_u64(payload)?)?;
+    let mut read_mat = |payload: &[u8], want_r: usize, want_c: usize| -> Result<Matrix<f64>> {
+        let end = cursor
+            .checked_add(16)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| err("truncated payload"))?;
+        let nr = as_dim(u64::from_le_bytes(
+            payload[cursor..cursor + 8].try_into().unwrap(),
+        ))?;
+        let nc = as_dim(u64::from_le_bytes(
+            payload[cursor + 8..end].try_into().unwrap(),
+        ))?;
+        cursor = end;
+        if nr != want_r || nc != want_c {
+            return Err(err(&format!(
+                "matrix dimension mismatch: stored {nr}×{nc}, header implies {want_r}×{want_c}"
+            )));
+        }
+        let n = nr
+            .checked_mul(nc)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| err("matrix size overflow"))?;
+        let data_end = cursor
+            .checked_add(n)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| err("truncated payload"))?;
+        let mut m = Matrix::zeros(nr, nc);
+        for r in 0..nr {
+            for c in 0..nc {
+                let at = cursor + 8 * (r * nc + c);
+                m[(r, c)] =
+                    f64::from_bits(u64::from_le_bytes(payload[at..at + 8].try_into().unwrap()));
+            }
+        }
+        cursor = data_end;
+        Ok(m)
+    };
+    let g0 = read_mat(payload, size, size)?;
+    let c0 = read_mat(payload, size, size)?;
+    let mut gi = Vec::with_capacity(np);
+    for _ in 0..np {
+        gi.push(read_mat(payload, size, size)?);
+    }
+    let mut ci = Vec::with_capacity(np);
+    for _ in 0..np {
+        ci.push(read_mat(payload, size, size)?);
+    }
+    let b = read_mat(payload, size, ni)?;
+    let l = read_mat(payload, size, no)?;
+    let projection = read_mat(payload, full_dim, size)?;
+    if cursor != payload.len() {
+        return Err(err("trailing bytes after payload"));
+    }
+    Ok(ParametricRom {
+        g0,
+        c0,
+        gi,
+        ci,
+        b,
+        l,
+        projection,
+    })
+}
+
+/// Writes `rom` to `path` in the versioned binary ROM format (see
+/// [`to_bytes`]).
+///
+/// # Errors
+///
+/// Propagates filesystem failures as [`PmorError::Invalid`].
+pub fn save(rom: &ParametricRom, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    std::fs::write(path, to_bytes(rom))
+        .map_err(|e| PmorError::Invalid(format!("ROM save to {}: {e}", path.display())))
+}
+
+/// Reads a ROM previously written by [`save`]. The reloaded model is
+/// bitwise identical to the saved one: every evaluation (`transfer`,
+/// poles, …) reproduces the original's results exactly.
+///
+/// # Errors
+///
+/// Propagates filesystem failures and every [`from_bytes`] rejection.
+pub fn load(path: impl AsRef<Path>) -> Result<ParametricRom> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| PmorError::Invalid(format!("ROM load from {}: {e}", path.display())))?;
+    from_bytes(&bytes)
+}
+
+impl ParametricRom {
+    /// Method form of [`save`].
+    ///
+    /// # Errors
+    ///
+    /// See [`save`].
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        save(self, path)
+    }
+
+    /// Method form of [`load`].
+    ///
+    /// # Errors
+    ///
+    /// See [`load`].
+    pub fn load(path: impl AsRef<Path>) -> Result<ParametricRom> {
+        load(path)
+    }
+}
+
+/// FNV-1a over a byte slice (the payload checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,5 +670,65 @@ mod tests {
         let g = Matrix::<f64>::identity(2);
         let c = Matrix::<f64>::identity(3);
         assert!(pencil_poles(&g, &c).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips_bitwise() {
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let bytes = to_bytes(&rom);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back.size(), rom.size());
+        assert_eq!(back.num_params(), rom.num_params());
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 3.7e8);
+        let h0 = rom.transfer(&[0.13], s).unwrap();
+        let h1 = back.transfer(&[0.13], s).unwrap();
+        assert_eq!(h0[(0, 0)].re.to_bits(), h1[(0, 0)].re.to_bits());
+        assert_eq!(h0[(0, 0)].im.to_bits(), h1[(0, 0)].im.to_bits());
+    }
+
+    #[test]
+    fn deserialization_rejects_bad_inputs() {
+        let rom = identity_rom(&rc2());
+        let good = to_bytes(&rom);
+        // Truncation.
+        assert!(from_bytes(&good[..good.len() - 9]).is_err());
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(from_bytes(&bad).is_err());
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            from_bytes(&bad),
+            Err(PmorError::Invalid(msg)) if msg.contains("version")
+        ));
+        // Payload corruption → checksum mismatch.
+        let mut bad = good.clone();
+        bad[40] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&bad),
+            Err(PmorError::Invalid(msg)) if msg.contains("checksum")
+        ));
+        // Intact input still loads.
+        assert!(from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        // Unique per process: concurrent `cargo test` runs must not race
+        // on the same file.
+        let dir = std::env::temp_dir().join(format!("pmor_rom_io_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rc2.rom");
+        let rom = identity_rom(&rc2());
+        rom.save(&path).unwrap();
+        let back = ParametricRom::load(&path).unwrap();
+        assert_eq!(
+            format!("{:?}", back.projection),
+            format!("{:?}", rom.projection)
+        );
+        assert!(ParametricRom::load(dir.join("missing.rom")).is_err());
     }
 }

@@ -199,14 +199,14 @@ tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
 pub mod collection {
     use super::*;
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
     }
 
-    /// Conversions accepted as the size argument of [`vec`].
+    /// Conversions accepted as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// The half-open range of permitted lengths.
         fn into_size_range(self) -> Range<usize>;

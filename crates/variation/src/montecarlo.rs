@@ -13,6 +13,25 @@
 //! workers — deterministic, because the sample points are pre-drawn by
 //! [`MonteCarlo::sample_points`] and results are stitched back in sample
 //! order.
+//!
+//! # Example
+//!
+//! ```
+//! use pmor::lowrank::LowRankPmor;
+//! use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+//! use pmor_variation::MonteCarlo;
+//!
+//! # fn main() -> Result<(), pmor::PmorError> {
+//! let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() })
+//!     .assemble();
+//! // The paper's ±30% (3σ) metal-width protocol over all 3 parameters.
+//! let mc = MonteCarlo::paper_protocol(sys.num_params(), 5);
+//! let report = mc.pole_errors(&sys, &LowRankPmor::with_defaults(), 2)?;
+//! assert_eq!(report.errors_percent.len(), 5 * 2); // instances × poles
+//! assert!(report.max_percent() < 1.0); // sub-percent dominant-pole error
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::dist::ParameterDistribution;
 use crate::stats::{histogram, Bin, Summary};

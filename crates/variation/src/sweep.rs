@@ -4,6 +4,25 @@
 //! dominant pole as a function of M5 and M6 metal line widths (within -30%
 //! to 30% of their nominal values)" — a 2-D grid sweep with the remaining
 //! parameters pinned.
+//!
+//! # Example
+//!
+//! ```
+//! use pmor::lowrank::LowRankPmor;
+//! use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+//! use pmor_variation::sweep::Sweep2d;
+//!
+//! # fn main() -> Result<(), pmor::PmorError> {
+//! let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() })
+//!     .assemble();
+//! // M5 × M6 over ±30%, 3 points per axis, M7 pinned at nominal.
+//! let sweep = Sweep2d::paper_m5_m6(3);
+//! let grid = sweep.dominant_pole_error_grid(&sys, &LowRankPmor::with_defaults())?;
+//! assert_eq!((grid.len(), grid[0].len()), (3, 3));
+//! assert!(grid.iter().flatten().all(|&err_percent| err_percent < 1.0));
+//! # Ok(())
+//! # }
+//! ```
 
 use pmor::eval::{pole_errors, FullModel};
 use pmor::{ParametricRom, Reducer, ReductionContext, Result};

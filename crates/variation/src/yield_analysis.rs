@@ -5,6 +5,27 @@
 //! τ_max" or "the 50 % delay must stay below d_max"), estimate the fraction
 //! of manufactured instances that pass — at reduced-model cost, which is
 //! what makes Monte-Carlo yield sweeps affordable in the first place.
+//!
+//! # Example
+//!
+//! ```
+//! use pmor::lowrank::LowRankPmor;
+//! use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+//! use pmor_variation::yield_analysis::{estimate_yield, Spec};
+//! use pmor_variation::MonteCarlo;
+//!
+//! # fn main() -> Result<(), pmor::PmorError> {
+//! let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() })
+//!     .assemble();
+//! let mc = MonteCarlo::paper_protocol(sys.num_params(), 25);
+//! // Bandwidth floor so loose that every ±30% instance passes.
+//! let spec = Spec::MinDominantPole { min_rad_s: 1.0 };
+//! let est = estimate_yield(&sys, &LowRankPmor::with_defaults(), &mc, &spec)?;
+//! assert_eq!(est.yield_fraction, 1.0);
+//! assert_eq!(est.instances, 25);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::montecarlo::MonteCarlo;
 use pmor::transient::{simulate_rom, Stimulus, TransientOptions};
