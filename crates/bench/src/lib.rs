@@ -20,15 +20,14 @@ pub use report::{write_bench_json, write_bench_json_in, BenchRecord};
 use std::time::Instant;
 
 /// Logarithmically spaced frequencies over `[lo_hz, hi_hz]`, inclusive.
+/// Delegates to [`pmor_variation::sweep::logspace`] so the figure
+/// binaries and the registry analyses can never disagree on the grid.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo_hz < hi_hz`.
 pub fn logspace(lo_hz: f64, hi_hz: f64, count: usize) -> Vec<f64> {
-    assert!(lo_hz > 0.0 && hi_hz > lo_hz, "logspace: bad range");
-    if count == 1 {
-        return vec![lo_hz];
-    }
-    let (l0, l1) = (lo_hz.log10(), hi_hz.log10());
-    (0..count)
-        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (count - 1) as f64))
-        .collect()
+    pmor_variation::sweep::logspace(lo_hz, hi_hz, count)
 }
 
 /// Linearly spaced values over `[lo, hi]`, inclusive.

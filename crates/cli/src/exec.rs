@@ -3,21 +3,24 @@
 //! One [`run_scenario`] call is the CLI's whole pipeline: assemble the
 //! workload, reduce it with every selected method over **one shared
 //! [`ReductionContext`]** (so the paper's one-time `G0` factorization
-//! spans the CLI boundary), run the analysis stage, emit the same
-//! machine-readable `BENCH_<tag>.json` records the figure binaries
-//! write, and optionally persist every reduced model with
-//! [`pmor::rom::save`] for later `pmor eval` / `pmor mc` runs.
+//! spans the CLI boundary), run the scenario's registered analysis —
+//! built by [`pmor_variation::AnalysisKind::build`] and executed through
+//! the [`pmor::TransferModel`] trait on a batched [`pmor::EvalEngine`] —
+//! emit the same machine-readable `BENCH_<tag>.json` records the figure
+//! binaries write (stamped with the analysis's provenance metrics), and
+//! optionally persist every reduced model with [`pmor::rom::save`] for
+//! later `pmor eval` / `pmor mc` runs.
+//!
+//! There is deliberately **no** per-analysis code here: the analysis
+//! layer is registry-dispatched, so a new analysis registered in
+//! `pmor_variation::analysis` is immediately runnable from scenarios
+//! without touching this module.
 
-use crate::scenario::{Analysis, McMetric, Scenario};
+use crate::scenario::Scenario;
 use crate::CliError;
 use pmor::eval::FullModel;
-use pmor::{ParametricRom, ReducerKind, ReductionContext};
-use pmor_bench::{logspace, print_csv, print_grid, timed, write_bench_json_in, BenchRecord};
-use pmor_num::Complex64;
-use pmor_variation::dist::ParameterDistribution;
-use pmor_variation::sweep::{linspace, Sweep2d};
-use pmor_variation::yield_analysis::{estimate_yield_with_rom, Spec};
-use pmor_variation::MonteCarlo;
+use pmor::{EvalEngine, ParametricRom, ReducerKind, ReductionContext};
+use pmor_bench::{print_csv, print_grid, timed, write_bench_json_in, BenchRecord};
 use std::path::PathBuf;
 
 /// What a scenario run produced.
@@ -99,82 +102,52 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
         });
     }
 
-    // --- Analysis ----------------------------------------------------------
+    // --- Analysis: registry dispatch over the TransferModel trait ----------
     let mut records = Vec::new();
     if analyze {
-        match &sc.analysis {
-            Analysis::FrequencySweep {
-                f_min_hz,
-                f_max_hz,
-                points,
-                parameters,
-                compare_full,
-            } => frequency_sweep(
-                &sys,
-                &workload,
-                &reduced,
-                &mut ctx,
-                &mut records,
-                *f_min_hz,
-                *f_max_hz,
-                *points,
-                parameters.as_deref(),
-                *compare_full,
-            )?,
-            Analysis::MonteCarlo {
-                instances,
-                sigma,
-                seed,
-                threads,
-                metric,
-            } => monte_carlo(
-                &sys,
-                &workload,
-                &reduced,
-                &mut records,
-                *instances,
-                *sigma,
-                *seed,
-                *threads,
-                metric,
-            )?,
-            Analysis::CornerSweep {
-                param_a,
-                param_b,
-                lo,
-                hi,
-                points_per_axis,
-                metric,
-            } => corner_sweep(
-                &sys,
-                &workload,
-                &reduced,
-                &mut ctx,
-                &mut records,
-                *param_a,
-                *param_b,
-                *lo,
-                *hi,
-                *points_per_axis,
-                metric,
-            )?,
-            Analysis::Yield {
-                instances,
-                sigma,
-                seed,
-                min_pole_rad_s,
-                margin,
-            } => yield_study(
-                &sys,
-                &workload,
-                &reduced,
-                &mut records,
-                *instances,
-                *sigma,
-                *seed,
-                *min_pole_rad_s,
-                *margin,
-            )?,
+        let analysis = sc
+            .analysis
+            .kind
+            .build(&sc.analysis.config)
+            .map_err(|e| CliError::Invalid(format!("[analysis] {e}")))?;
+        let engine = EvalEngine::new(sc.analysis.config.threads.unwrap_or(0));
+        let full = FullModel::new(&sys);
+        for m in &reduced {
+            let report = analysis
+                .run(&engine, &full, &m.rom)
+                .map_err(|e| CliError::Pmor(format!("{} {}: {e}", m.name, analysis.name())))?;
+            if let Some(csv) = &report.csv {
+                let series: Vec<(&str, Vec<f64>)> = csv
+                    .series
+                    .iter()
+                    .map(|(label, values)| {
+                        // The analysis labels the reduced side generically;
+                        // the CLI knows which method it is.
+                        let label = if label == "rom" { &m.name } else { label };
+                        (label.as_str(), values.clone())
+                    })
+                    .collect();
+                print_csv(&csv.x_label, &csv.x, &series);
+            }
+            if let Some(grid) = &report.grid {
+                print_grid(
+                    &format!("{}: {}", m.name, grid.title),
+                    "p_a \\ p_b",
+                    &grid.row_values,
+                    &grid.col_values,
+                    &grid.values,
+                );
+            }
+            for line in &report.lines {
+                println!("# {}: {line}", m.name);
+            }
+            println!("# {}: {}", m.name, report.provenance);
+            let mut rec = BenchRecord::new(m.name.clone(), workload.clone(), m.seconds)
+                .metric("size", m.rom.size() as f64);
+            for (metric, value) in &report.metrics {
+                rec = rec.metric(metric.clone(), *value);
+            }
+            records.push(rec);
         }
     } else {
         for m in &reduced {
@@ -213,318 +186,4 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
         real_factorizations: ctx.real_factorizations(),
         cache_hits: ctx.cache_hits(),
     })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn frequency_sweep(
-    sys: &pmor_circuits::ParametricSystem,
-    workload: &str,
-    reduced: &[Reduced],
-    ctx: &mut ReductionContext,
-    records: &mut Vec<BenchRecord>,
-    f_min_hz: f64,
-    f_max_hz: f64,
-    points: usize,
-    parameters: Option<&[f64]>,
-    compare_full: bool,
-) -> Result<(), CliError> {
-    let p = match parameters {
-        Some(p) if p.len() == sys.num_params() => p.to_vec(),
-        Some(p) => {
-            return Err(CliError::Invalid(format!(
-                "[analysis] parameters has {} entries, the system has {} parameters",
-                p.len(),
-                sys.num_params()
-            )))
-        }
-        None => vec![0.0; sys.num_params()],
-    };
-    let freqs = logspace(f_min_hz, f_max_hz, points);
-    let mag = |h: &pmor_num::Matrix<Complex64>| h[(0, 0)].abs();
-    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut full_secs = 0.0;
-    if compare_full {
-        // Routed through the shared context: the full model's shifted
-        // factorizations land in the same cache the reducers used.
-        let full = FullModel::new(sys);
-        let (resp, secs) = timed(|| -> pmor::Result<Vec<f64>> {
-            freqs
-                .iter()
-                .map(|&f| {
-                    let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
-                    Ok(mag(&full.transfer_in(&p, s, ctx)?))
-                })
-                .collect()
-        });
-        full_secs = secs;
-        series.push((
-            "full".to_string(),
-            resp.map_err(|e| CliError::Pmor(format!("full-model sweep: {e}")))?,
-        ));
-    }
-    for m in reduced {
-        let resp: pmor::Result<Vec<f64>> = freqs
-            .iter()
-            .map(|&f| {
-                let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
-                Ok(mag(&m.rom.transfer(&p, s)?))
-            })
-            .collect();
-        series.push((
-            m.name.clone(),
-            resp.map_err(|e| CliError::Pmor(format!("{} ROM sweep: {e}", m.name)))?,
-        ));
-    }
-    let refs: Vec<(&str, Vec<f64>)> = series
-        .iter()
-        .map(|(n, v)| (n.as_str(), v.clone()))
-        .collect();
-    print_csv("freq_hz", &freqs, &refs);
-    for (i, m) in reduced.iter().enumerate() {
-        let mut rec = BenchRecord::new(m.name.clone(), workload.to_string(), m.seconds)
-            .metric("size", m.rom.size() as f64);
-        if compare_full {
-            let full_resp = &series[0].1;
-            let rom_resp = &series[i + 1].1;
-            let worst_rel = full_resp
-                .iter()
-                .zip(rom_resp.iter())
-                .map(|(f, r)| (f - r).abs() / f.abs().max(1e-300))
-                .fold(0.0, f64::max);
-            // The figures are read on a normalized amplitude axis, so also
-            // report the worst gap relative to the band's peak — pointwise
-            // relative error is inflated in deep |H| notches.
-            let band_max = full_resp.iter().copied().fold(1e-300, f64::max);
-            let worst_gap = full_resp
-                .iter()
-                .zip(rom_resp.iter())
-                .map(|(f, r)| (f - r).abs() / band_max)
-                .fold(0.0, f64::max);
-            println!(
-                "# {}: vs full — max relative |H| error {worst_rel:.3e}, max plot-axis gap {worst_gap:.3e}",
-                m.name
-            );
-            rec = rec
-                .metric("max_rel_err", worst_rel)
-                .metric("max_plot_gap", worst_gap)
-                .metric("full_eval_seconds", full_secs);
-        }
-        records.push(rec);
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn monte_carlo(
-    sys: &pmor_circuits::ParametricSystem,
-    workload: &str,
-    reduced: &[Reduced],
-    records: &mut Vec<BenchRecord>,
-    instances: usize,
-    sigma: f64,
-    seed: u64,
-    threads: usize,
-    metric: &McMetric,
-) -> Result<(), CliError> {
-    let mc = MonteCarlo {
-        distributions: vec![ParameterDistribution::Normal3Sigma { sigma }; sys.num_params()],
-        instances,
-        seed,
-        threads,
-    };
-    for m in reduced {
-        match metric {
-            McMetric::Poles { num_poles } => {
-                let (report, secs) = timed(|| mc.pole_errors_with_rom(sys, &m.rom, *num_poles));
-                let report =
-                    report.map_err(|e| CliError::Pmor(format!("{} Monte Carlo: {e}", m.name)))?;
-                let s = report.summary();
-                println!(
-                    "# {}: {} instances × {} poles — max {:.4}% mean {:.4}% median {:.4}%",
-                    m.name, instances, num_poles, s.max, s.mean, s.median
-                );
-                records.push(
-                    BenchRecord::new(m.name.clone(), workload.to_string(), m.seconds)
-                        .metric("size", m.rom.size() as f64)
-                        .metric("analysis_seconds", secs)
-                        .metric("instances", instances as f64)
-                        .metric("max_pole_err_percent", s.max)
-                        .metric("mean_pole_err_percent", s.mean)
-                        .metric("median_pole_err_percent", s.median),
-                );
-            }
-            McMetric::Transfer { freqs_hz } => {
-                let (errs, secs) = timed(|| mc.transfer_errors_with_rom(sys, &m.rom, freqs_hz));
-                let errs =
-                    errs.map_err(|e| CliError::Pmor(format!("{} Monte Carlo: {e}", m.name)))?;
-                let worst = errs.iter().copied().fold(0.0, f64::max);
-                let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
-                println!(
-                    "# {}: {} instances × {} freqs — worst rel |H| err {worst:.3e}, mean {mean:.3e}",
-                    m.name,
-                    instances,
-                    freqs_hz.len()
-                );
-                records.push(
-                    BenchRecord::new(m.name.clone(), workload.to_string(), m.seconds)
-                        .metric("size", m.rom.size() as f64)
-                        .metric("analysis_seconds", secs)
-                        .metric("instances", instances as f64)
-                        .metric("worst_rel_transfer_err", worst)
-                        .metric("mean_rel_transfer_err", mean),
-                );
-            }
-        }
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn corner_sweep(
-    sys: &pmor_circuits::ParametricSystem,
-    workload: &str,
-    reduced: &[Reduced],
-    ctx: &mut ReductionContext,
-    records: &mut Vec<BenchRecord>,
-    param_a: usize,
-    param_b: usize,
-    lo: f64,
-    hi: f64,
-    points_per_axis: usize,
-    metric: &McMetric,
-) -> Result<(), CliError> {
-    let np = sys.num_params();
-    if param_a >= np || param_b >= np || param_a == param_b {
-        return Err(CliError::Invalid(format!(
-            "[analysis] corner sweep needs two distinct parameter indices < {np}, got {param_a} and {param_b}"
-        )));
-    }
-    let values = linspace(lo, hi, points_per_axis);
-    let sweep = Sweep2d {
-        param_a,
-        param_b,
-        values_a: values.clone(),
-        values_b: values.clone(),
-        base: vec![0.0; np],
-    };
-    for m in reduced {
-        let (label, unit, grid, secs) = match metric {
-            McMetric::Poles { .. } => {
-                let (grid, secs) = timed(|| sweep.dominant_pole_error_grid_with_rom(sys, &m.rom));
-                let grid =
-                    grid.map_err(|e| CliError::Pmor(format!("{} corner sweep: {e}", m.name)))?;
-                ("dominant-pole error %", "pole_err_percent", grid, secs)
-            }
-            McMetric::Transfer { freqs_hz } => {
-                // Sparse solves only — the path that stays robust for RLC
-                // pencils (the dense pole eigensolver can stall there) and
-                // scales past a few hundred unknowns. The shared context
-                // memoizes the full-model factors per (p, s).
-                let full = FullModel::new(sys);
-                let (grid, secs) = timed(|| -> pmor::Result<Vec<Vec<f64>>> {
-                    let mut grid = vec![vec![0.0; values.len()]; values.len()];
-                    for (ia, ib, p) in sweep.points() {
-                        let mut worst = 0.0f64;
-                        for &f in freqs_hz {
-                            let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
-                            let hf = full.transfer_in(&p, s, ctx)?;
-                            let hr = m.rom.transfer(&p, s)?;
-                            let denom = hf.max_abs().max(1e-300);
-                            worst = worst.max(hf.sub_mat(&hr).max_abs() / denom);
-                        }
-                        grid[ia][ib] = worst;
-                    }
-                    Ok(grid)
-                });
-                let grid =
-                    grid.map_err(|e| CliError::Pmor(format!("{} corner sweep: {e}", m.name)))?;
-                ("worst relative |H| error", "rel_transfer_err", grid, secs)
-            }
-        };
-        print_grid(
-            &format!("{}: {label}, p{param_a} (rows) × p{param_b} (cols)", m.name),
-            "p_a \\ p_b",
-            &values,
-            &values,
-            &grid,
-        );
-        let flat: Vec<f64> = grid.iter().flatten().copied().collect();
-        let worst = flat.iter().copied().fold(0.0, f64::max);
-        let mean = flat.iter().sum::<f64>() / flat.len().max(1) as f64;
-        println!(
-            "# {}: worst corner {label} {worst:.4e}, mean {mean:.4e}",
-            m.name
-        );
-        records.push(
-            BenchRecord::new(m.name.clone(), workload.to_string(), m.seconds)
-                .metric("size", m.rom.size() as f64)
-                .metric("analysis_seconds", secs)
-                .metric("grid_points", flat.len() as f64)
-                .metric(format!("worst_{unit}"), worst)
-                .metric(format!("mean_{unit}"), mean),
-        );
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn yield_study(
-    sys: &pmor_circuits::ParametricSystem,
-    workload: &str,
-    reduced: &[Reduced],
-    records: &mut Vec<BenchRecord>,
-    instances: usize,
-    sigma: f64,
-    seed: u64,
-    min_pole_rad_s: Option<f64>,
-    margin: f64,
-) -> Result<(), CliError> {
-    let mc = MonteCarlo {
-        distributions: vec![ParameterDistribution::Normal3Sigma { sigma }; sys.num_params()],
-        instances,
-        seed,
-        threads: 0,
-    };
-    for m in reduced {
-        let threshold = match min_pole_rad_s {
-            Some(v) => v,
-            None => {
-                // Spec relative to this ROM's nominal bandwidth: pass while
-                // the dominant pole stays within `margin` of nominal.
-                let nominal = m
-                    .rom
-                    .dominant_poles(&vec![0.0; sys.num_params()], 1)
-                    .map_err(|e| CliError::Pmor(format!("{} nominal poles: {e}", m.name)))?;
-                let Some(first) = nominal.first() else {
-                    return Err(CliError::Invalid(format!(
-                        "{}: ROM has no finite poles to build a yield spec from",
-                        m.name
-                    )));
-                };
-                margin * first.abs()
-            }
-        };
-        let spec = Spec::MinDominantPole {
-            min_rad_s: threshold,
-        };
-        let (est, secs) = timed(|| estimate_yield_with_rom(&m.rom, &mc, &spec));
-        let est = est.map_err(|e| CliError::Pmor(format!("{} yield: {e}", m.name)))?;
-        println!(
-            "# {}: yield {:.1}% ± {:.1}% over {} instances (|λ₁| ≥ {threshold:.3e} rad/s)",
-            m.name,
-            100.0 * est.yield_fraction,
-            100.0 * est.std_error,
-            est.instances
-        );
-        records.push(
-            BenchRecord::new(m.name.clone(), workload.to_string(), m.seconds)
-                .metric("size", m.rom.size() as f64)
-                .metric("analysis_seconds", secs)
-                .metric("instances", est.instances as f64)
-                .metric("yield_fraction", est.yield_fraction)
-                .metric("yield_std_error", est.std_error)
-                .metric("threshold_rad_s", threshold),
-        );
-    }
-    Ok(())
 }

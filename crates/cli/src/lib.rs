@@ -30,7 +30,8 @@ pub mod scenario;
 pub mod toml;
 
 pub use exec::{reduce_scenario, run_scenario, ExecReport};
-pub use scenario::{Analysis, McMetric, OutputSpec, Scenario, SystemSpec};
+pub use pmor_variation::analysis::{AnalysisConfig, AnalysisKind, ErrorMetric};
+pub use scenario::{AnalysisSpec, OutputSpec, Scenario, SystemSpec};
 
 use std::fmt;
 

@@ -279,9 +279,10 @@ fn cmd_list() {
     for kind in pmor::ReducerKind::ALL {
         println!("  {}", kind.name());
     }
+    // Derived from the analysis registry, so this list can never drift
+    // from what `[analysis] kind = …` actually accepts.
     println!("analyses ([analysis] kind = …):");
-    println!("  frequency_sweep   |H(f)| sweep, optionally vs the full model");
-    println!("  montecarlo        pole/transfer error distribution vs the full model");
-    println!("  corner_sweep      2-D dominant-pole-error grid over two parameters");
-    println!("  yield             pass/fail spec yield at reduced-model cost");
+    for kind in pmor_variation::AnalysisKind::ALL {
+        println!("  {:<17} {}", kind.name(), kind.describe());
+    }
 }

@@ -31,6 +31,7 @@ use pmor_circuits::generators::{
     RlcBusConfig,
 };
 use pmor_circuits::ParametricSystem;
+use pmor_variation::analysis::{AnalysisConfig, AnalysisKind, ErrorMetric};
 use std::path::{Path, PathBuf};
 
 /// A fully parsed scenario, ready to execute.
@@ -48,10 +49,24 @@ pub struct Scenario {
     /// Optional method tuning; unset fields fall back to the registry's
     /// workload-sized defaults.
     pub tuning: ReduceTuning,
-    /// The analysis stage applied to every reduced model.
-    pub analysis: Analysis,
+    /// The analysis stage applied to every reduced model: a registry
+    /// kind plus its configuration, built and run through
+    /// [`pmor_variation::analysis`].
+    pub analysis: AnalysisSpec,
     /// Where results go.
     pub output: OutputSpec,
+}
+
+/// The analysis stage of a scenario: which registered analysis to run
+/// ([`AnalysisKind`]) and the knobs it takes ([`AnalysisConfig`] — unset
+/// fields fall back to the registry's defaults). Construction stays in
+/// the registry's `AnalysisKind::build`, the CLI only parses keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisSpec {
+    /// Which registered analysis runs.
+    pub kind: AnalysisKind,
+    /// Its configuration (unset fields use registry defaults).
+    pub config: AnalysisConfig,
 }
 
 /// The `[reduce]` tuning knobs are the registry's own
@@ -97,86 +112,6 @@ impl SystemSpec {
     pub fn workload_label(&self, sys: &ParametricSystem) -> String {
         format!("{}({})", self.generator_name(), sys.dim())
     }
-}
-
-/// The analysis stage of a scenario.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Analysis {
-    /// Frequency sweep of `|H|`, optionally against the full model.
-    FrequencySweep {
-        /// Sweep start, Hz.
-        f_min_hz: f64,
-        /// Sweep end, Hz.
-        f_max_hz: f64,
-        /// Number of log-spaced points.
-        points: usize,
-        /// Parameter point evaluated (defaults to all zeros).
-        parameters: Option<Vec<f64>>,
-        /// Also evaluate the full model and report per-method errors.
-        compare_full: bool,
-    },
-    /// Monte-Carlo accuracy study over sampled parameter instances.
-    MonteCarlo {
-        /// Number of sampled instances.
-        instances: usize,
-        /// Per-parameter sigma of the ±3σ-truncated normal.
-        sigma: f64,
-        /// RNG seed.
-        seed: u64,
-        /// Worker threads (`0` = available parallelism).
-        threads: usize,
-        /// What to compare against the full model.
-        metric: McMetric,
-    },
-    /// Deterministic 2-D corner sweep of reduced-model error.
-    CornerSweep {
-        /// First swept parameter index.
-        param_a: usize,
-        /// Second swept parameter index.
-        param_b: usize,
-        /// Sweep range lower bound (relative variation).
-        lo: f64,
-        /// Sweep range upper bound.
-        hi: f64,
-        /// Grid points per axis.
-        points_per_axis: usize,
-        /// What to compare at each corner. [`McMetric::Poles`] uses dense
-        /// full-model eigensolves (RC nets); [`McMetric::Transfer`] uses
-        /// sparse solves and also works for RLC pencils.
-        metric: McMetric,
-    },
-    /// Monte-Carlo parametric yield at reduced-model cost.
-    Yield {
-        /// Number of sampled instances.
-        instances: usize,
-        /// Per-parameter sigma of the ±3σ-truncated normal.
-        sigma: f64,
-        /// RNG seed.
-        seed: u64,
-        /// Pass threshold: dominant pole magnitude must be at least this
-        /// (rad/s). When `None`, the threshold is `margin` × the ROM's
-        /// nominal dominant-pole magnitude.
-        min_pole_rad_s: Option<f64>,
-        /// Relative threshold used when `min_pole_rad_s` is absent.
-        margin: f64,
-    },
-}
-
-/// Monte-Carlo comparison metric.
-#[derive(Debug, Clone, PartialEq)]
-pub enum McMetric {
-    /// Relative errors of the most dominant poles (dense full-model
-    /// eigensolves — affordable for the paper's net sizes).
-    Poles {
-        /// Number of dominant poles tracked.
-        num_poles: usize,
-    },
-    /// Worst relative transfer-function error over a frequency list
-    /// (sparse full-model solves — scales to larger nets).
-    Transfer {
-        /// Frequencies evaluated, Hz.
-        freqs_hz: Vec<f64>,
-    },
 }
 
 /// Output sink configuration.
@@ -484,15 +419,30 @@ fn parse_system(doc: &Document) -> Result<SystemSpec, TomlError> {
     }
 }
 
-fn parse_analysis(doc: &Document) -> Result<Analysis, TomlError> {
+/// Parses the `[analysis]` section into a registry kind plus its
+/// configuration. Keys are validated per kind (typos fail loudly), the
+/// knob *values* are validated by the registry itself: the parsed config
+/// is eagerly passed through [`AnalysisKind::build`] so a scenario that
+/// cannot build is rejected at parse time with the registry's own error.
+fn parse_analysis(doc: &Document) -> Result<AnalysisSpec, TomlError> {
     let sec = "analysis";
-    let kind = doc.str_opt(sec, "kind")?.unwrap_or("frequency_sweep");
+    let kind_name = doc.str_opt(sec, "kind")?.unwrap_or("frequency_sweep");
+    let Some(kind) = AnalysisKind::from_name(kind_name) else {
+        let known: Vec<&str> = AnalysisKind::ALL.iter().map(|k| k.name()).collect();
+        return fail(format!(
+            "[analysis] unknown kind {kind_name:?}; known: {}",
+            known.join(", ")
+        ));
+    };
     match kind {
-        "frequency_sweep" => check_keys(
+        // Every kind accepts `threads`: the whole analysis layer runs on
+        // the batched engine, so the worker knob is universal.
+        AnalysisKind::FrequencySweep => check_keys(
             doc,
             sec,
             &[
                 "kind",
+                "threads",
                 "f_min_hz",
                 "f_max_hz",
                 "points",
@@ -504,7 +454,7 @@ fn parse_analysis(doc: &Document) -> Result<Analysis, TomlError> {
         // accepted under its own metric, so a mismatched key fails loudly
         // instead of being silently ignored. An unknown metric gets the
         // union here; parse_metric then reports the better error.
-        "montecarlo" => {
+        AnalysisKind::MonteCarlo => {
             const COMMON: [&str; 6] = ["kind", "instances", "sigma", "seed", "threads", "metric"];
             let metric_keys: &[&str] = match doc.str_opt(sec, "metric")?.unwrap_or("poles") {
                 "poles" => &["num_poles"],
@@ -514,11 +464,12 @@ fn parse_analysis(doc: &Document) -> Result<Analysis, TomlError> {
             let allowed: Vec<&str> = COMMON.iter().chain(metric_keys).copied().collect();
             check_keys(doc, sec, &allowed)
         }
-        "corner_sweep" => check_keys(
+        AnalysisKind::CornerSweep => check_keys(
             doc,
             sec,
             &[
                 "kind",
+                "threads",
                 "param_a",
                 "param_b",
                 "lo",
@@ -528,11 +479,12 @@ fn parse_analysis(doc: &Document) -> Result<Analysis, TomlError> {
                 "freqs_hz",
             ],
         ),
-        "yield" => check_keys(
+        AnalysisKind::Yield => check_keys(
             doc,
             sec,
             &[
                 "kind",
+                "threads",
                 "instances",
                 "sigma",
                 "seed",
@@ -540,71 +492,48 @@ fn parse_analysis(doc: &Document) -> Result<Analysis, TomlError> {
                 "margin",
             ],
         ),
-        _ => Ok(()),
     }?;
-    match kind {
-        "frequency_sweep" => {
-            let f_min_hz = doc.f64_or(sec, "f_min_hz", 1e7)?;
-            let f_max_hz = doc.f64_or(sec, "f_max_hz", 1e10)?;
-            if !(f_min_hz > 0.0 && f_max_hz > f_min_hz) {
-                return fail("[analysis] need 0 < f_min_hz < f_max_hz");
-            }
-            let points = doc.usize_or(sec, "points", 31)?;
-            if points < 2 {
-                return fail("[analysis] points must be at least 2");
-            }
-            Ok(Analysis::FrequencySweep {
-                f_min_hz,
-                f_max_hz,
-                points,
-                parameters: doc.f64_array_opt(sec, "parameters")?,
-                compare_full: doc.bool_or(sec, "compare_full", true)?,
-            })
-        }
-        "montecarlo" => Ok(Analysis::MonteCarlo {
-            instances: doc.usize_or(sec, "instances", 100)?.max(1),
-            sigma: positive(doc.f64_or(sec, "sigma", 0.1)?, "sigma")?,
-            seed: doc.u64_or(sec, "seed", 0x3C0)?,
-            threads: doc.usize_or(sec, "threads", 0)?,
-            metric: parse_metric(doc, 3)?,
-        }),
-        "corner_sweep" => {
-            let lo = doc.f64_or(sec, "lo", -0.3)?;
-            let hi = doc.f64_or(sec, "hi", 0.3)?;
-            if hi <= lo {
-                return fail("[analysis] need lo < hi");
-            }
-            Ok(Analysis::CornerSweep {
-                param_a: doc.usize_or(sec, "param_a", 0)?,
-                param_b: doc.usize_or(sec, "param_b", 1)?,
-                lo,
-                hi,
-                points_per_axis: doc.usize_or(sec, "points_per_axis", 5)?.max(2),
-                metric: parse_metric(doc, 1)?,
-            })
-        }
-        "yield" => Ok(Analysis::Yield {
-            instances: doc.usize_or(sec, "instances", 200)?.max(1),
-            sigma: positive(doc.f64_or(sec, "sigma", 0.1)?, "sigma")?,
-            seed: doc.u64_or(sec, "seed", 0x3C0)?,
-            min_pole_rad_s: doc
-                .f64_opt(sec, "min_pole_rad_s")?
-                .map(|v| positive(v, "min_pole_rad_s"))
-                .transpose()?,
-            margin: positive(doc.f64_or(sec, "margin", 0.9)?, "margin")?,
-        }),
-        other => fail(format!(
-            "[analysis] unknown kind {other:?}; known: frequency_sweep, montecarlo, corner_sweep, yield"
-        )),
+    let config = AnalysisConfig {
+        instances: usize_opt(doc, sec, "instances")?,
+        sigma: doc.f64_opt(sec, "sigma")?,
+        seed: u64_opt(doc, sec, "seed")?,
+        threads: usize_opt(doc, sec, "threads")?,
+        metric: match kind {
+            AnalysisKind::MonteCarlo => Some(parse_metric(doc, 3)?),
+            AnalysisKind::CornerSweep => Some(parse_metric(doc, 1)?),
+            _ => None,
+        },
+        f_min_hz: doc.f64_opt(sec, "f_min_hz")?,
+        f_max_hz: doc.f64_opt(sec, "f_max_hz")?,
+        points: usize_opt(doc, sec, "points")?,
+        parameters: doc.f64_array_opt(sec, "parameters")?,
+        compare_full: match doc.get(sec, "compare_full") {
+            None => None,
+            Some(_) => Some(doc.bool_or(sec, "compare_full", true)?),
+        },
+        param_a: usize_opt(doc, sec, "param_a")?,
+        param_b: usize_opt(doc, sec, "param_b")?,
+        lo: doc.f64_opt(sec, "lo")?,
+        hi: doc.f64_opt(sec, "hi")?,
+        points_per_axis: usize_opt(doc, sec, "points_per_axis")?,
+        min_pole_rad_s: doc.f64_opt(sec, "min_pole_rad_s")?,
+        margin: doc.f64_opt(sec, "margin")?,
+    };
+    // Eager build: knob-value violations (negative sigma, inverted
+    // bands, …) surface here, with the registry as the single source of
+    // validation rules.
+    if let Err(e) = kind.build(&config) {
+        return fail(format!("[analysis] {e}"));
     }
+    Ok(AnalysisSpec { kind, config })
 }
 
 /// Parses the shared `metric` / `num_poles` / `freqs_hz` keys of the
 /// Monte-Carlo and corner-sweep analyses.
-fn parse_metric(doc: &Document, default_poles: usize) -> Result<McMetric, TomlError> {
+fn parse_metric(doc: &Document, default_poles: usize) -> Result<ErrorMetric, TomlError> {
     let sec = "analysis";
     match doc.str_opt(sec, "metric")?.unwrap_or("poles") {
-        "poles" => Ok(McMetric::Poles {
+        "poles" => Ok(ErrorMetric::Poles {
             num_poles: doc.usize_or(sec, "num_poles", default_poles)?.max(1),
         }),
         "transfer" => {
@@ -614,7 +543,7 @@ fn parse_metric(doc: &Document, default_poles: usize) -> Result<McMetric, TomlEr
             if freqs_hz.is_empty() || freqs_hz.iter().any(|&f| f <= 0.0 || !f.is_finite()) {
                 return fail("[analysis] freqs_hz must be nonempty and positive");
             }
-            Ok(McMetric::Transfer { freqs_hz })
+            Ok(ErrorMetric::Transfer { freqs_hz })
         }
         other => fail(format!(
             "[analysis] unknown metric {other:?}; known: poles, transfer"
@@ -622,11 +551,19 @@ fn parse_metric(doc: &Document, default_poles: usize) -> Result<McMetric, TomlEr
     }
 }
 
-fn positive(v: f64, what: &str) -> Result<f64, TomlError> {
-    if v > 0.0 && v.is_finite() {
-        Ok(v)
-    } else {
-        fail(format!("[analysis] {what} must be positive, got {v}"))
+/// An optional `[analysis]` unsigned integer.
+fn usize_opt(doc: &Document, sec: &str, key: &str) -> Result<Option<usize>, TomlError> {
+    match doc.get(sec, key) {
+        None => Ok(None),
+        Some(_) => Ok(Some(doc.usize_or(sec, key, 0)?)),
+    }
+}
+
+/// An optional `[analysis]` u64 (seeds).
+fn u64_opt(doc: &Document, sec: &str, key: &str) -> Result<Option<u64>, TomlError> {
+    match doc.get(sec, key) {
+        None => Ok(None),
+        Some(_) => Ok(Some(doc.u64_or(sec, key, 0)?)),
     }
 }
 
@@ -651,14 +588,10 @@ methods = ["prima"]
         let sc = Scenario::parse(MINIMAL).unwrap();
         assert_eq!(sc.name, "tiny");
         assert_eq!(sc.methods, vec!["prima".to_string()]);
-        assert!(matches!(
-            sc.analysis,
-            Analysis::FrequencySweep {
-                compare_full: true,
-                points: 31,
-                ..
-            }
-        ));
+        assert_eq!(sc.analysis.kind, AnalysisKind::FrequencySweep);
+        // Unset knobs stay unset: the registry's defaults apply at build
+        // time, not parse time, so they can never drift.
+        assert_eq!(sc.analysis.config, AnalysisConfig::default());
         assert_eq!(sc.output.bench_tag, "tiny");
         assert!(!sc.output.save_roms);
         assert_eq!(sc.rom_path("prima"), PathBuf::from("./tiny_prima.rom"));
@@ -682,15 +615,39 @@ methods = ["prima"]
                 "param_a = 0\nparam_b = 2\npoints_per_axis = 3",
                 "corner",
             ),
-            ("yield", "margin = 0.95\ninstances = 10", "yield"),
+            // `threads` must be accepted by every kind — the whole
+            // analysis layer runs on the batched engine.
+            (
+                "yield",
+                "margin = 0.95\ninstances = 10\nthreads = 1",
+                "yield",
+            ),
         ] {
             let text = format!("{MINIMAL}\n[analysis]\nkind = \"{kind}\"\n{extra}\n");
             let sc = Scenario::parse(&text).unwrap_or_else(|e| panic!("{check}: {e}"));
-            match (kind, &sc.analysis) {
-                ("montecarlo", Analysis::MonteCarlo { .. }) => {}
-                ("corner_sweep", Analysis::CornerSweep { param_b: 2, .. }) => {}
-                ("yield", Analysis::Yield { margin, .. }) => assert_eq!(*margin, 0.95),
-                other => panic!("{check}: parsed into {other:?}"),
+            assert_eq!(sc.analysis.kind.name(), kind, "{check}");
+            match check {
+                "mc-transfer" => {
+                    assert_eq!(sc.analysis.config.instances, Some(7));
+                    assert_eq!(
+                        sc.analysis.config.metric,
+                        Some(ErrorMetric::Transfer {
+                            freqs_hz: vec![1e8]
+                        })
+                    );
+                }
+                "mc-poles" => {
+                    assert_eq!(
+                        sc.analysis.config.metric,
+                        Some(ErrorMetric::Poles { num_poles: 2 })
+                    );
+                }
+                "corner" => assert_eq!(sc.analysis.config.param_b, Some(2)),
+                "yield" => {
+                    assert_eq!(sc.analysis.config.margin, Some(0.95));
+                    assert_eq!(sc.analysis.config.threads, Some(1));
+                }
+                other => panic!("unknown check {other}"),
             }
         }
     }

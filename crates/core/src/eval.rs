@@ -6,7 +6,8 @@
 //! eigensolver (affordable for the paper's pole-accuracy nets, 78 and 333
 //! nodes).
 
-use crate::reduce::ReductionContext;
+use crate::engine::{EvalWorkspace, TransferModel};
+use crate::reduce::{system_fingerprint, union_pattern, ReductionContext};
 use crate::rom::pencil_poles;
 use crate::Result;
 use pmor_circuits::ParametricSystem;
@@ -14,19 +15,34 @@ use pmor_num::{Complex64, Matrix};
 use pmor_sparse::{ordering, SparseLu};
 
 /// Reference evaluator wrapping a full parametric system.
+///
+/// Construction precomputes (once per model) the RCM fill-reducing
+/// ordering of the **union** sparsity pattern of every system matrix —
+/// valid at any `(p, s)` since an ordering only affects fill-in, never
+/// values — so repeated [`FullModel::transfer`] calls stop paying a
+/// per-call ordering pass.
 #[derive(Debug, Clone)]
 pub struct FullModel<'a> {
     sys: &'a ParametricSystem,
+    /// RCM ordering of the union pattern, shared by every evaluation.
+    perm: Vec<usize>,
+    /// Content fingerprint keying per-model caches in [`EvalWorkspace`].
+    fingerprint: u64,
 }
 
 impl<'a> FullModel<'a> {
-    /// Wraps a system for evaluation.
+    /// Wraps a system for evaluation (computes the shared fill-reducing
+    /// ordering once).
     pub fn new(sys: &'a ParametricSystem) -> Self {
-        FullModel { sys }
+        FullModel {
+            sys,
+            perm: ordering::rcm(&union_pattern(sys)),
+            fingerprint: system_fingerprint(sys),
+        }
     }
 
     /// Evaluates `H(s, p) = Lᵀ (G(p) + s C(p))⁻¹ B` with one sparse complex
-    /// factorization.
+    /// factorization (reusing the model's precomputed ordering).
     ///
     /// # Errors
     ///
@@ -35,11 +51,47 @@ impl<'a> FullModel<'a> {
         let g = self.sys.g_at(p).to_complex();
         let c = self.sys.c_at(p).to_complex();
         let a = g.add_scaled(s, &c);
-        let perm = ordering::rcm(&a);
-        let lu = SparseLu::factor(&a, Some(&perm))?;
+        let lu = SparseLu::factor(&a, Some(&self.perm))?;
         let bc = self.sys.b.to_complex();
         let x = lu.solve_dense(&bc)?;
         Ok(self.sys.l.to_complex().tr_mul_mat(&x))
+    }
+
+    /// [`FullModel::transfer`] drawing scratch from a reusable
+    /// [`EvalWorkspace`]: the complex `G(p)`/`C(p)` assemblies are
+    /// memoized per parameter point (so a frequency sweep at one `p`
+    /// assembles once) and the complex port maps are converted once per
+    /// model. Values are bitwise identical to [`FullModel::transfer`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G(p) + sC(p)` is singular.
+    pub fn transfer_with(
+        &self,
+        p: &[f64],
+        s: Complex64,
+        ws: &mut EvalWorkspace,
+    ) -> Result<Matrix<Complex64>> {
+        let pbits: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
+        let wanted = (self.fingerprint, pbits);
+        if ws.full_key.as_ref() != Some(&wanted) {
+            ws.full_g = Some(self.sys.g_at(p).to_complex());
+            ws.full_c = Some(self.sys.c_at(p).to_complex());
+            ws.full_key = Some(wanted);
+        }
+        if ws.full_io_key != Some(self.fingerprint) {
+            ws.full_b = Some(self.sys.b.to_complex());
+            ws.full_l = Some(self.sys.l.to_complex());
+            ws.full_io_key = Some(self.fingerprint);
+        }
+        let (g, c) = (
+            ws.full_g.as_ref().expect("assembled above"),
+            ws.full_c.as_ref().expect("assembled above"),
+        );
+        let a = g.add_scaled(s, c);
+        let lu = SparseLu::factor(&a, Some(&self.perm))?;
+        let x = lu.solve_dense(ws.full_b.as_ref().expect("converted above"))?;
+        Ok(ws.full_l.as_ref().expect("converted above").tr_mul_mat(&x))
     }
 
     /// [`FullModel::transfer`] drawing (and memoizing) factorizations
@@ -111,6 +163,37 @@ impl<'a> FullModel<'a> {
         let mut poles = self.poles(p)?;
         poles.truncate(count);
         Ok(poles)
+    }
+}
+
+impl TransferModel for FullModel<'_> {
+    fn kind(&self) -> &'static str {
+        "full"
+    }
+
+    fn dim(&self) -> usize {
+        self.sys.dim()
+    }
+
+    fn num_params(&self) -> usize {
+        self.sys.num_params()
+    }
+
+    fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
+        FullModel::transfer(self, p, s)
+    }
+
+    fn dominant_poles(&self, p: &[f64], count: usize) -> Result<Vec<Complex64>> {
+        FullModel::dominant_poles(self, p, count)
+    }
+
+    fn transfer_with(
+        &self,
+        p: &[f64],
+        s: Complex64,
+        ws: &mut EvalWorkspace,
+    ) -> Result<Matrix<Complex64>> {
+        FullModel::transfer_with(self, p, s, ws)
     }
 }
 

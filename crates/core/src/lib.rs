@@ -26,6 +26,10 @@
 //!   `H(s, p)`, pole extraction and passivity checks,
 //! * [`eval`] — full-model reference evaluation (sparse complex solves,
 //!   exact poles),
+//! * [`engine`] — the **unified evaluation interface**: the
+//!   [`TransferModel`] trait implemented by both the full model and
+//!   every reduced model, reusable [`EvalWorkspace`]s, and the batched,
+//!   deterministic [`EvalEngine`] every analysis runs on,
 //! * [`reduce`] — the **unified method interface**: the [`Reducer`] trait
 //!   implemented by all five methods, the [`ReductionContext`] solver
 //!   cache realizing the paper's one-time-`G0`-factorization cost model
@@ -52,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod engine;
 pub mod eval;
 pub mod fit;
 pub mod lowrank;
@@ -64,6 +69,7 @@ pub mod residues;
 pub mod rom;
 pub mod transient;
 
+pub use engine::{EvalEngine, EvalPoint, EvalWorkspace, TransferModel};
 pub use reduce::{reducer_by_name, Reducer, ReducerKind, ReducerTuning, ReductionContext};
 pub use rom::ParametricRom;
 

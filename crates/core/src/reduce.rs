@@ -97,6 +97,10 @@ pub struct ReductionContext {
     cache: FactorCache,
     fingerprint: Option<u64>,
     use_rcm: bool,
+    /// RCM ordering of the served system's union sparsity pattern,
+    /// computed once per system and shared by every factorization
+    /// (orderings only affect fill-in, never solution values).
+    ordering: Option<Arc<Vec<usize>>>,
 }
 
 impl Default for ReductionContext {
@@ -113,6 +117,7 @@ impl ReductionContext {
             cache: FactorCache::new(),
             fingerprint: None,
             use_rcm: true,
+            ordering: None,
         }
     }
 
@@ -143,11 +148,11 @@ impl ReductionContext {
     /// Fails when `G(p)` is singular or `p` has the wrong length.
     pub fn factor_g_at(&mut self, sys: &ParametricSystem, p: &[f64]) -> Result<Arc<SparseLu<f64>>> {
         self.ensure_system(sys);
-        let use_rcm = self.use_rcm;
+        let ord = self.shared_ordering(sys);
         let key = FactorKey::tagged(TAG_REAL_G, p);
         let lu = self.cache.real(key, || {
             let g = sys.g_at(p);
-            factor_real(&g, use_rcm)
+            SparseLu::factor(&g, ord.as_deref().map(Vec::as_slice))
         })?;
         Ok(lu)
     }
@@ -165,25 +170,33 @@ impl ReductionContext {
         s: Complex64,
     ) -> Result<Arc<SparseLu<Complex64>>> {
         self.ensure_system(sys);
+        let ord = self.shared_ordering(sys);
         let mut words = Vec::with_capacity(p.len() + 2);
         words.push(s.re);
         words.push(s.im);
         words.extend_from_slice(p);
         let key = FactorKey::tagged(TAG_SHIFTED, &words);
-        let use_rcm = self.use_rcm;
         let lu = self.cache.complex(key, || {
             let a = sys
                 .g_at(p)
                 .to_complex()
                 .add_scaled(s, &sys.c_at(p).to_complex());
-            if use_rcm {
-                let perm = ordering::rcm(&a);
-                SparseLu::factor(&a, Some(&perm))
-            } else {
-                SparseLu::factor(&a, None)
-            }
+            SparseLu::factor(&a, ord.as_deref().map(Vec::as_slice))
         })?;
         Ok(lu)
+    }
+
+    /// The context's shared fill-reducing ordering: RCM of the union
+    /// sparsity pattern, computed once per served system ([`None`] when
+    /// the context was built with [`ReductionContext::without_rcm`]).
+    fn shared_ordering(&mut self, sys: &ParametricSystem) -> Option<Arc<Vec<usize>>> {
+        if !self.use_rcm {
+            return None;
+        }
+        if self.ordering.is_none() {
+            self.ordering = Some(Arc::new(ordering::rcm(&union_pattern(sys))));
+        }
+        self.ordering.clone()
     }
 
     /// Number of **real** sparse factorizations actually performed over
@@ -222,24 +235,32 @@ impl ReductionContext {
             if self.fingerprint.is_some() {
                 self.cache.clear();
             }
+            self.ordering = None;
             self.fingerprint = Some(fp);
         }
     }
 }
 
-fn factor_real(g: &CsrMatrix<f64>, use_rcm: bool) -> pmor_sparse::Result<SparseLu<f64>> {
-    if use_rcm {
-        let perm = ordering::rcm(g);
-        SparseLu::factor(g, Some(&perm))
-    } else {
-        SparseLu::factor(g, None)
+/// The union sparsity pattern of every system matrix (`G0`, `C0`, all
+/// `Gᵢ`/`Cᵢ`) as a nonnegative-valued sparse matrix: absolute values
+/// summed, so no entry can cancel away. `G(p) + s·C(p)` has a subset of
+/// this pattern at every `(p, s)`, which makes an RCM ordering of the
+/// union valid (orderings only affect fill-in, never solution values)
+/// for any evaluation — the basis of the compute-once orderings in
+/// [`crate::eval::FullModel`] and [`ReductionContext`].
+pub(crate) fn union_pattern(sys: &ParametricSystem) -> CsrMatrix<f64> {
+    let mut u = sys.g0.map(f64::abs);
+    u = u.add_scaled(1.0, &sys.c0.map(f64::abs));
+    for m in sys.gi.iter().chain(sys.ci.iter()) {
+        u = u.add_scaled(1.0, &m.map(f64::abs));
     }
+    u
 }
 
 /// FNV-1a over the structure and values of every system matrix. The
 /// cache key space is per-system, so the fingerprint must cover anything
 /// `G(p)`/`C(p)` assembly can depend on.
-fn system_fingerprint(sys: &ParametricSystem) -> u64 {
+pub(crate) fn system_fingerprint(sys: &ParametricSystem) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut word = |w: u64| {
         h ^= w;

@@ -17,6 +17,7 @@
 //! `pmor reduce` run persist its result for later `pmor eval` / `pmor mc`
 //! runs (see the `pmor-cli` crate) without re-reducing.
 
+use crate::engine::{EvalWorkspace, TransferModel};
 use crate::{PmorError, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::lu::LuFactors;
@@ -92,14 +93,21 @@ impl ParametricRom {
     ///
     /// Panics if `p.len() != num_params()`.
     pub fn g_at(&self, p: &[f64]) -> Matrix<f64> {
-        assert_eq!(p.len(), self.num_params(), "g_at: parameter count");
-        let mut g = self.g0.clone();
-        for (pi, gi) in p.iter().zip(self.gi.iter()) {
-            if *pi != 0.0 {
-                g.add_assign_scaled(*pi, gi);
-            }
-        }
+        let mut g = Matrix::zeros(0, 0);
+        self.g_at_into(p, &mut g);
         g
+    }
+
+    /// [`ParametricRom::g_at`] assembling into a caller-owned buffer
+    /// (resized on first use, reused after) — the allocation-free path
+    /// batch evaluation runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != num_params()`.
+    pub fn g_at_into(&self, p: &[f64], out: &mut Matrix<f64>) {
+        assert_eq!(p.len(), self.num_params(), "g_at: parameter count");
+        assemble_affine_into(&self.g0, &self.gi, p, out);
     }
 
     /// Assembles `C̃(p) = C̃0 + Σ pᵢ C̃ᵢ`.
@@ -108,14 +116,20 @@ impl ParametricRom {
     ///
     /// Panics if `p.len() != num_params()`.
     pub fn c_at(&self, p: &[f64]) -> Matrix<f64> {
-        assert_eq!(p.len(), self.num_params(), "c_at: parameter count");
-        let mut c = self.c0.clone();
-        for (pi, ci) in p.iter().zip(self.ci.iter()) {
-            if *pi != 0.0 {
-                c.add_assign_scaled(*pi, ci);
-            }
-        }
+        let mut c = Matrix::zeros(0, 0);
+        self.c_at_into(p, &mut c);
         c
+    }
+
+    /// [`ParametricRom::c_at`] assembling into a caller-owned buffer
+    /// (resized on first use, reused after).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len() != num_params()`.
+    pub fn c_at_into(&self, p: &[f64], out: &mut Matrix<f64>) {
+        assert_eq!(p.len(), self.num_params(), "c_at: parameter count");
+        assemble_affine_into(&self.c0, &self.ci, p, out);
     }
 
     /// Evaluates the transfer matrix `H(s, p) = L̃ᵀ (G̃(p) + s C̃(p))⁻¹ B̃`
@@ -130,6 +144,43 @@ impl ParametricRom {
         let mut a = g;
         a.add_assign_scaled(s, &c);
         let lu = LuFactors::factor(&a)?;
+        let x = lu.solve_mat(&self.b.to_complex())?;
+        Ok(self.l.to_complex().tr_mul_mat(&x))
+    }
+
+    /// [`ParametricRom::transfer`] drawing dense scratch from a reusable
+    /// [`EvalWorkspace`]: `G̃(p)`, `C̃(p)` and the complex pencil are
+    /// assembled into preallocated buffers instead of fresh allocations
+    /// per call — the path batch evaluation runs on. Values are bitwise
+    /// identical to [`ParametricRom::transfer`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G̃(p) + s C̃(p)` is singular (i.e. `s` is a pole).
+    pub fn transfer_with(
+        &self,
+        p: &[f64],
+        s: Complex64,
+        ws: &mut EvalWorkspace,
+    ) -> Result<Matrix<Complex64>> {
+        self.g_at_into(p, &mut ws.rom_g);
+        self.c_at_into(p, &mut ws.rom_c);
+        let n = self.size();
+        if ws.rom_k.nrows() != n || ws.rom_k.ncols() != n {
+            ws.rom_k = Matrix::zeros(n, n);
+        }
+        for ((k, &gv), &cv) in ws
+            .rom_k
+            .as_mut_slice()
+            .iter_mut()
+            .zip(ws.rom_g.as_slice())
+            .zip(ws.rom_c.as_slice())
+        {
+            // Same operation order as `transfer` (to_complex, then
+            // add_assign_scaled), so the results match bit for bit.
+            *k = Complex64::new(gv, 0.0) + s * Complex64::new(cv, 0.0);
+        }
+        let lu = LuFactors::factor(&ws.rom_k)?;
         let x = lu.solve_mat(&self.b.to_complex())?;
         Ok(self.l.to_complex().tr_mul_mat(&x))
     }
@@ -254,6 +305,57 @@ impl ParametricRom {
             x = lu.solve_mat(&cx)?.scaled(-1.0);
         }
         Ok(out)
+    }
+}
+
+impl TransferModel for ParametricRom {
+    fn kind(&self) -> &'static str {
+        "rom"
+    }
+
+    fn dim(&self) -> usize {
+        self.size()
+    }
+
+    fn num_params(&self) -> usize {
+        ParametricRom::num_params(self)
+    }
+
+    fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
+        ParametricRom::transfer(self, p, s)
+    }
+
+    fn dominant_poles(&self, p: &[f64], count: usize) -> Result<Vec<Complex64>> {
+        ParametricRom::dominant_poles(self, p, count)
+    }
+
+    fn transfer_with(
+        &self,
+        p: &[f64],
+        s: Complex64,
+        ws: &mut EvalWorkspace,
+    ) -> Result<Matrix<Complex64>> {
+        ParametricRom::transfer_with(self, p, s, ws)
+    }
+}
+
+/// Assembles `M0 + Σ pᵢ Mᵢ` into `out`, resizing only when the buffer
+/// has the wrong shape (the workspace-reuse backbone of `g_at`/`c_at`).
+fn assemble_affine_into(
+    base: &Matrix<f64>,
+    terms: &[Matrix<f64>],
+    p: &[f64],
+    out: &mut Matrix<f64>,
+) {
+    if out.nrows() != base.nrows() || out.ncols() != base.ncols() {
+        *out = base.clone();
+    } else {
+        out.as_mut_slice().copy_from_slice(base.as_slice());
+    }
+    for (pi, m) in p.iter().zip(terms.iter()) {
+        if *pi != 0.0 {
+            out.add_assign_scaled(*pi, m);
+        }
     }
 }
 

@@ -1,0 +1,1010 @@
+//! First-class analyses: the [`Analysis`] trait, the [`AnalysisKind`]
+//! registry, and the four built-in analyses — symmetric to the reduction
+//! side's `Reducer`/`ReducerKind` design.
+//!
+//! Every analysis is written once against two [`TransferModel`]s (the
+//! full-order reference and a reduced model) and one [`EvalEngine`], so
+//! parallel, workspace-reusing, deterministic evaluation comes for free
+//! and front ends (the `pmor` CLI, figure binaries, future services)
+//! dispatch by registry name instead of matching over kinds:
+//!
+//! | name | analysis | reports |
+//! |---|---|---|
+//! | `frequency_sweep` | [`FrequencySweepAnalysis`] | `\|H(f)\|` + error vs full |
+//! | `montecarlo` | [`MonteCarloAnalysis`] | pole/transfer error distribution |
+//! | `corner_sweep` | [`CornerSweepAnalysis`] | 2-D error grid over two parameters |
+//! | `yield` | [`YieldAnalysis`] | pass/fail spec yield at ROM cost |
+//!
+//! Each [`AnalysisReport`] is stamped with provenance — model kinds and
+//! dimensions, evaluation point count, worker count, wall time — so any
+//! number a `BENCH_*.json` record carries can be audited.
+//!
+//! # Example
+//!
+//! ```
+//! use pmor::eval::FullModel;
+//! use pmor::{EvalEngine, Reducer};
+//! use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+//! use pmor_variation::analysis::{AnalysisConfig, AnalysisKind};
+//!
+//! # fn main() -> Result<(), pmor::PmorError> {
+//! let sys = clock_tree(&ClockTreeConfig { num_nodes: 30, ..Default::default() }).assemble();
+//! let rom = pmor::reducer_by_name("lowrank", &sys).unwrap().reduce_once(&sys)?;
+//! let analysis = AnalysisKind::MonteCarlo.build(&AnalysisConfig {
+//!     instances: Some(5),
+//!     ..Default::default()
+//! })?;
+//! let report = analysis.run(&EvalEngine::serial(), &FullModel::new(&sys), &rom)?;
+//! assert_eq!(report.analysis, "montecarlo");
+//! assert!(report.metric_value("max_pole_err_percent").unwrap() < 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::dist::ParameterDistribution;
+use crate::montecarlo::MonteCarlo;
+use crate::stats::Summary;
+use crate::sweep::{linspace, Sweep2d};
+use pmor::eval::pole_errors;
+use pmor::{EvalEngine, EvalPoint, PmorError, Result, TransferModel};
+use pmor_num::Complex64;
+use std::time::Instant;
+
+/// What an analysis compares between the two models at each point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorMetric {
+    /// Relative errors of the most dominant poles (dense full-model
+    /// eigensolves — affordable for the paper's net sizes).
+    Poles {
+        /// Number of dominant poles tracked.
+        num_poles: usize,
+    },
+    /// Worst relative transfer-function error over a frequency list
+    /// (sparse full-model solves — scales to larger nets, and the only
+    /// robust choice for RLC pencils).
+    Transfer {
+        /// Frequencies evaluated, Hz.
+        freqs_hz: Vec<f64>,
+    },
+}
+
+/// A CSV-shaped result block: one x column plus named series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvBlock {
+    /// Label of the x column.
+    pub x_label: String,
+    /// The x values.
+    pub x: Vec<f64>,
+    /// Named y series, each as long as `x`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+/// A 2-D grid result block (corner sweeps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridBlock {
+    /// What the grid values are.
+    pub title: String,
+    /// Row coordinate values.
+    pub row_values: Vec<f64>,
+    /// Column coordinate values.
+    pub col_values: Vec<f64>,
+    /// `values[row][col]`.
+    pub values: Vec<Vec<f64>>,
+}
+
+/// What one [`Analysis::run`] produced: named scalar metrics (the
+/// `BENCH_*.json` payload), human-readable summary lines, optional
+/// CSV/grid blocks, and the provenance stamp auditing every number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Registry name of the analysis that produced this.
+    pub analysis: String,
+    /// Named scalar metrics, in emission order.
+    pub metrics: Vec<(String, f64)>,
+    /// Human-readable summary lines (no leading `#`; front ends add
+    /// their own comment markers and method labels).
+    pub lines: Vec<String>,
+    /// Optional CSV block (frequency sweeps).
+    pub csv: Option<CsvBlock>,
+    /// Optional grid block (corner sweeps).
+    pub grid: Option<GridBlock>,
+    /// One-line provenance: model kinds/dims, point count, workers,
+    /// wall time.
+    pub provenance: String,
+}
+
+impl AnalysisReport {
+    fn new(analysis: &str) -> Self {
+        AnalysisReport {
+            analysis: analysis.to_string(),
+            metrics: Vec::new(),
+            lines: Vec::new(),
+            csv: None,
+            grid: None,
+            provenance: String::new(),
+        }
+    }
+
+    /// Adds one named metric (builder-style).
+    #[must_use]
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a metric by name.
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Stamps the provenance line and the audit metrics (`eval_points`,
+    /// `threads`, `analysis_seconds`, `full_dim`, `rom_dim`) every
+    /// emitted record carries. `points` counts transfer/pole
+    /// evaluations; `mapped_items` is the number of work items the
+    /// engine actually chunked (instances, grid corners, sweep points),
+    /// which is what bounds the effective worker count.
+    fn stamp(
+        mut self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+        points: usize,
+        mapped_items: usize,
+        seconds: f64,
+    ) -> Self {
+        let workers = engine.worker_count(mapped_items);
+        self.provenance = format!(
+            "{}({}) vs {}({}): {points} evaluation points on {workers} thread{} in {seconds:.3}s",
+            full.kind(),
+            full.dim(),
+            rom.kind(),
+            rom.dim(),
+            if workers == 1 { "" } else { "s" },
+        );
+        self.metrics.push(("eval_points".into(), points as f64));
+        self.metrics.push(("threads".into(), workers as f64));
+        self.metrics.push(("analysis_seconds".into(), seconds));
+        self.metrics.push(("full_dim".into(), full.dim() as f64));
+        self.metrics.push(("rom_dim".into(), rom.dim() as f64));
+        self
+    }
+}
+
+/// A variation analysis comparing a reduced model against the full
+/// reference through the [`TransferModel`] trait, on a shared engine.
+pub trait Analysis {
+    /// The registry name of this analysis (see [`AnalysisKind`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs the analysis, evaluating both models through `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration is invalid for the models (parameter
+    /// counts, indices) or an evaluation point is singular.
+    fn run(
+        &self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+    ) -> Result<AnalysisReport>;
+}
+
+fn invalid(msg: impl Into<String>) -> PmorError {
+    PmorError::Invalid(msg.into())
+}
+
+/// The default values [`AnalysisKind::build`] uses for unset
+/// [`AnalysisConfig`] fields — named constants so partial configs fall
+/// back to exactly the registry's values.
+pub mod analysis_defaults {
+    /// Sweep start frequency, Hz.
+    pub const F_MIN_HZ: f64 = 1e7;
+    /// Sweep end frequency, Hz.
+    pub const F_MAX_HZ: f64 = 1e10;
+    /// Log-spaced sweep points.
+    pub const SWEEP_POINTS: usize = 31;
+    /// Monte-Carlo instances.
+    pub const MC_INSTANCES: usize = 100;
+    /// Yield instances.
+    pub const YIELD_INSTANCES: usize = 200;
+    /// Per-parameter sigma of the ±3σ-truncated normal.
+    pub const SIGMA: f64 = 0.1;
+    /// RNG seed.
+    pub const SEED: u64 = 0x3C0;
+    /// Dominant poles tracked by the Monte-Carlo poles metric.
+    pub const MC_NUM_POLES: usize = 3;
+    /// Transfer-metric frequency list, Hz.
+    pub const TRANSFER_FREQS_HZ: [f64; 3] = [1e8, 1e9, 5e9];
+    /// Corner-sweep range lower bound.
+    pub const CORNER_LO: f64 = -0.3;
+    /// Corner-sweep range upper bound.
+    pub const CORNER_HI: f64 = 0.3;
+    /// Corner-sweep grid points per axis.
+    pub const CORNER_POINTS_PER_AXIS: usize = 5;
+    /// Relative yield threshold when no absolute one is given.
+    pub const YIELD_MARGIN: f64 = 0.9;
+}
+
+/// Optional knobs for [`AnalysisKind::build`] — the union of every
+/// analysis's configuration, all optional; unset fields fall back to
+/// [`analysis_defaults`]. Each knob only affects the analyses that read
+/// it (mirroring [`pmor::ReducerTuning`] on the reduction side).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisConfig {
+    /// Sampled instances (montecarlo, yield).
+    pub instances: Option<usize>,
+    /// Per-parameter sigma of the ±3σ-truncated normal (montecarlo,
+    /// yield).
+    pub sigma: Option<f64>,
+    /// RNG seed (montecarlo, yield).
+    pub seed: Option<u64>,
+    /// Worker threads, `0` = available parallelism (consumed by front
+    /// ends to build the [`EvalEngine`]; not read by the analyses).
+    pub threads: Option<usize>,
+    /// Comparison metric (montecarlo, corner_sweep).
+    pub metric: Option<ErrorMetric>,
+    /// Sweep start, Hz (frequency_sweep).
+    pub f_min_hz: Option<f64>,
+    /// Sweep end, Hz (frequency_sweep).
+    pub f_max_hz: Option<f64>,
+    /// Log-spaced sweep points (frequency_sweep).
+    pub points: Option<usize>,
+    /// Parameter point evaluated (frequency_sweep; defaults to zeros).
+    pub parameters: Option<Vec<f64>>,
+    /// Also evaluate the full model (frequency_sweep).
+    pub compare_full: Option<bool>,
+    /// First swept parameter index (corner_sweep).
+    pub param_a: Option<usize>,
+    /// Second swept parameter index (corner_sweep).
+    pub param_b: Option<usize>,
+    /// Sweep range lower bound (corner_sweep).
+    pub lo: Option<f64>,
+    /// Sweep range upper bound (corner_sweep).
+    pub hi: Option<f64>,
+    /// Grid points per axis (corner_sweep).
+    pub points_per_axis: Option<usize>,
+    /// Absolute pass threshold, rad/s (yield).
+    pub min_pole_rad_s: Option<f64>,
+    /// Relative threshold when `min_pole_rad_s` is unset (yield).
+    pub margin: Option<f64>,
+}
+
+/// The registry of analyses, selectable by name — symmetric to
+/// [`pmor::ReducerKind`] on the reduction side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// `|H(f)|` sweep, optionally vs the full model
+    /// (`"frequency_sweep"`).
+    FrequencySweep,
+    /// Pole/transfer error distribution over sampled instances
+    /// (`"montecarlo"`).
+    MonteCarlo,
+    /// 2-D error grid over two parameters (`"corner_sweep"`).
+    CornerSweep,
+    /// Pass/fail spec yield at reduced-model cost (`"yield"`).
+    Yield,
+}
+
+impl AnalysisKind {
+    /// Every registered analysis, in presentation order.
+    pub const ALL: [AnalysisKind; 4] = [
+        AnalysisKind::FrequencySweep,
+        AnalysisKind::MonteCarlo,
+        AnalysisKind::CornerSweep,
+        AnalysisKind::Yield,
+    ];
+
+    /// The registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::FrequencySweep => "frequency_sweep",
+            AnalysisKind::MonteCarlo => "montecarlo",
+            AnalysisKind::CornerSweep => "corner_sweep",
+            AnalysisKind::Yield => "yield",
+        }
+    }
+
+    /// One-line description for help/`list` output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            AnalysisKind::FrequencySweep => "|H(f)| sweep, optionally vs the full model",
+            AnalysisKind::MonteCarlo => "pole/transfer error distribution vs the full model",
+            AnalysisKind::CornerSweep => "2-D error grid over two parameters",
+            AnalysisKind::Yield => "pass/fail spec yield at reduced-model cost",
+        }
+    }
+
+    /// Looks an analysis up by its registry name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AnalysisKind> {
+        AnalysisKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the analysis; unset config fields fall back to
+    /// [`analysis_defaults`]. This is the single construction site for
+    /// registry analyses.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid knob values (non-positive sigma, inverted
+    /// ranges, …).
+    pub fn build(self, cfg: &AnalysisConfig) -> Result<Box<dyn Analysis>> {
+        use analysis_defaults as d;
+        let sigma = cfg.sigma.unwrap_or(d::SIGMA);
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(invalid(format!("sigma must be positive, got {sigma}")));
+        }
+        let seed = cfg.seed.unwrap_or(d::SEED);
+        let metric = |default_poles: usize| match &cfg.metric {
+            None => ErrorMetric::Poles {
+                num_poles: default_poles,
+            },
+            Some(m) => m.clone(),
+        };
+        match self {
+            AnalysisKind::FrequencySweep => {
+                let f_min_hz = cfg.f_min_hz.unwrap_or(d::F_MIN_HZ);
+                let f_max_hz = cfg.f_max_hz.unwrap_or(d::F_MAX_HZ);
+                if !(f_min_hz > 0.0 && f_max_hz > f_min_hz) {
+                    return Err(invalid("need 0 < f_min_hz < f_max_hz"));
+                }
+                let points = cfg.points.unwrap_or(d::SWEEP_POINTS);
+                if points < 2 {
+                    return Err(invalid("points must be at least 2"));
+                }
+                Ok(Box::new(FrequencySweepAnalysis {
+                    f_min_hz,
+                    f_max_hz,
+                    points,
+                    parameters: cfg.parameters.clone(),
+                    compare_full: cfg.compare_full.unwrap_or(true),
+                }))
+            }
+            AnalysisKind::MonteCarlo => Ok(Box::new(MonteCarloAnalysis {
+                instances: cfg.instances.unwrap_or(d::MC_INSTANCES).max(1),
+                sigma,
+                seed,
+                metric: metric(d::MC_NUM_POLES),
+            })),
+            AnalysisKind::CornerSweep => {
+                let lo = cfg.lo.unwrap_or(d::CORNER_LO);
+                let hi = cfg.hi.unwrap_or(d::CORNER_HI);
+                if hi <= lo {
+                    return Err(invalid("need lo < hi"));
+                }
+                Ok(Box::new(CornerSweepAnalysis {
+                    param_a: cfg.param_a.unwrap_or(0),
+                    param_b: cfg.param_b.unwrap_or(1),
+                    lo,
+                    hi,
+                    points_per_axis: cfg
+                        .points_per_axis
+                        .unwrap_or(d::CORNER_POINTS_PER_AXIS)
+                        .max(2),
+                    metric: metric(1),
+                }))
+            }
+            AnalysisKind::Yield => {
+                if let Some(v) = cfg.min_pole_rad_s {
+                    if !(v > 0.0 && v.is_finite()) {
+                        return Err(invalid(format!("min_pole_rad_s must be positive, got {v}")));
+                    }
+                }
+                let margin = cfg.margin.unwrap_or(d::YIELD_MARGIN);
+                if !(margin > 0.0 && margin.is_finite()) {
+                    return Err(invalid(format!("margin must be positive, got {margin}")));
+                }
+                Ok(Box::new(YieldAnalysis {
+                    instances: cfg.instances.unwrap_or(d::YIELD_INSTANCES).max(1),
+                    sigma,
+                    seed,
+                    min_pole_rad_s: cfg.min_pole_rad_s,
+                    margin,
+                }))
+            }
+        }
+    }
+}
+
+/// Builds a registered analysis by name. Returns `None` for unknown
+/// names; see [`AnalysisKind::build`] for config errors.
+pub fn analysis_by_name(name: &str, cfg: &AnalysisConfig) -> Option<Result<Box<dyn Analysis>>> {
+    AnalysisKind::from_name(name).map(|k| k.build(cfg))
+}
+
+/// The Monte-Carlo sampler the analyses share: the paper's ±3σ-truncated
+/// normal per parameter, deterministic in the seed.
+fn sampler(np: usize, instances: usize, sigma: f64, seed: u64) -> MonteCarlo {
+    MonteCarlo {
+        distributions: vec![ParameterDistribution::Normal3Sigma { sigma }; np],
+        instances,
+        seed,
+        threads: 0,
+    }
+}
+
+// --- frequency_sweep -------------------------------------------------------
+
+/// `|H(f)|` over a log-spaced band at one parameter point, optionally
+/// against the full model (the shape of the paper's Figs 3–4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencySweepAnalysis {
+    /// Sweep start, Hz.
+    pub f_min_hz: f64,
+    /// Sweep end, Hz.
+    pub f_max_hz: f64,
+    /// Number of log-spaced points.
+    pub points: usize,
+    /// Parameter point evaluated (`None` = all zeros).
+    pub parameters: Option<Vec<f64>>,
+    /// Also evaluate the full model and report errors.
+    pub compare_full: bool,
+}
+
+impl Analysis for FrequencySweepAnalysis {
+    fn name(&self) -> &'static str {
+        AnalysisKind::FrequencySweep.name()
+    }
+
+    fn run(
+        &self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+    ) -> Result<AnalysisReport> {
+        let start = Instant::now();
+        let np = full.num_params();
+        let p = match &self.parameters {
+            Some(p) if p.len() == np => p.clone(),
+            Some(p) => {
+                return Err(invalid(format!(
+                    "parameters has {} entries, the system has {np} parameters",
+                    p.len()
+                )))
+            }
+            None => vec![0.0; np],
+        };
+        let freqs = crate::sweep::logspace(self.f_min_hz, self.f_max_hz, self.points);
+        let pts = EvalPoint::sweep(&p, &freqs);
+        let mag = |h: &pmor_num::Matrix<Complex64>| h[(0, 0)].abs();
+        let rom_mag: Vec<f64> = engine.transfer_batch(rom, &pts)?.iter().map(mag).collect();
+        let mut report = AnalysisReport::new(self.name());
+        let mut series = Vec::new();
+        let mut eval_points = pts.len();
+        if self.compare_full {
+            let full_start = Instant::now();
+            let full_mag: Vec<f64> = engine.transfer_batch(full, &pts)?.iter().map(mag).collect();
+            let full_secs = full_start.elapsed().as_secs_f64();
+            eval_points += pts.len();
+            let worst_rel = full_mag
+                .iter()
+                .zip(&rom_mag)
+                .map(|(f, r)| (f - r).abs() / f.abs().max(1e-300))
+                .fold(0.0, f64::max);
+            // The figures are read on a normalized amplitude axis, so also
+            // report the worst gap relative to the band's peak — pointwise
+            // relative error is inflated in deep |H| notches.
+            let band_max = full_mag.iter().copied().fold(1e-300, f64::max);
+            let worst_gap = full_mag
+                .iter()
+                .zip(&rom_mag)
+                .map(|(f, r)| (f - r).abs() / band_max)
+                .fold(0.0, f64::max);
+            report.lines.push(format!(
+                "vs full — max relative |H| error {worst_rel:.3e}, max plot-axis gap {worst_gap:.3e}"
+            ));
+            report = report
+                .metric("max_rel_err", worst_rel)
+                .metric("max_plot_gap", worst_gap)
+                .metric("full_eval_seconds", full_secs);
+            series.push(("full".to_string(), full_mag));
+        }
+        series.push(("rom".to_string(), rom_mag));
+        report.csv = Some(CsvBlock {
+            x_label: "freq_hz".to_string(),
+            x: freqs,
+            series,
+        });
+        let secs = start.elapsed().as_secs_f64();
+        Ok(report.stamp(engine, full, rom, eval_points, pts.len(), secs))
+    }
+}
+
+// --- montecarlo ------------------------------------------------------------
+
+/// The paper's §5.3 protocol as a registered analysis: draw parameter
+/// instances, evaluate full and reduced models at each, and report the
+/// error distribution under the configured [`ErrorMetric`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloAnalysis {
+    /// Number of sampled instances.
+    pub instances: usize,
+    /// Per-parameter sigma of the ±3σ-truncated normal.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// What to compare between the models.
+    pub metric: ErrorMetric,
+}
+
+impl Analysis for MonteCarloAnalysis {
+    fn name(&self) -> &'static str {
+        AnalysisKind::MonteCarlo.name()
+    }
+
+    fn run(
+        &self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+    ) -> Result<AnalysisReport> {
+        let start = Instant::now();
+        let points =
+            sampler(full.num_params(), self.instances, self.sigma, self.seed).sample_points();
+        let mut report =
+            AnalysisReport::new(self.name()).metric("instances", self.instances as f64);
+        let eval_points;
+        match &self.metric {
+            ErrorMetric::Poles { num_poles } => {
+                let n = *num_poles;
+                let per_instance: Vec<Vec<f64>> = engine.map(&points, |p, _ws| {
+                    let reference = full.dominant_poles(p, n)?;
+                    // Deeper candidate list than the reference so
+                    // near-degenerate reference poles both find a partner.
+                    let candidate = rom.dominant_poles(p, 2 * n + 4)?;
+                    Ok(pole_errors(&reference, &candidate)
+                        .into_iter()
+                        .map(|e| 100.0 * e)
+                        .collect())
+                })?;
+                eval_points = 2 * points.len();
+                let pooled: Vec<f64> = per_instance.into_iter().flatten().collect();
+                let s = Summary::of(&pooled);
+                report.lines.push(format!(
+                    "{} instances × {n} poles — max {:.4}% mean {:.4}% median {:.4}%",
+                    self.instances, s.max, s.mean, s.median
+                ));
+                report = report
+                    .metric("max_pole_err_percent", s.max)
+                    .metric("mean_pole_err_percent", s.mean)
+                    .metric("median_pole_err_percent", s.median);
+            }
+            ErrorMetric::Transfer { freqs_hz } => {
+                let freqs = freqs_hz.clone();
+                let errs: Vec<f64> = engine.map(&points, |p, ws| {
+                    let mut worst = 0.0f64;
+                    for &f in &freqs {
+                        let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+                        let hf = full.transfer_with(p, s, ws)?;
+                        let hr = rom.transfer_with(p, s, ws)?;
+                        let denom = hf.max_abs().max(1e-300);
+                        worst = worst.max(hf.sub_mat(&hr).max_abs() / denom);
+                    }
+                    Ok(worst)
+                })?;
+                eval_points = 2 * points.len() * freqs.len();
+                let worst = errs.iter().copied().fold(0.0, f64::max);
+                let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+                report.lines.push(format!(
+                    "{} instances × {} freqs — worst rel |H| err {worst:.3e}, mean {mean:.3e}",
+                    self.instances,
+                    freqs.len()
+                ));
+                report = report
+                    .metric("worst_rel_transfer_err", worst)
+                    .metric("mean_rel_transfer_err", mean);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        Ok(report.stamp(engine, full, rom, eval_points, points.len(), secs))
+    }
+}
+
+// --- corner_sweep ----------------------------------------------------------
+
+/// Deterministic 2-D grid sweep of reduced-model error over two selected
+/// parameters (the right-hand plots of the paper's Figs 5–6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerSweepAnalysis {
+    /// First swept parameter index (grid rows).
+    pub param_a: usize,
+    /// Second swept parameter index (grid columns).
+    pub param_b: usize,
+    /// Sweep range lower bound.
+    pub lo: f64,
+    /// Sweep range upper bound.
+    pub hi: f64,
+    /// Grid points per axis.
+    pub points_per_axis: usize,
+    /// What to compare at each corner.
+    pub metric: ErrorMetric,
+}
+
+impl Analysis for CornerSweepAnalysis {
+    fn name(&self) -> &'static str {
+        AnalysisKind::CornerSweep.name()
+    }
+
+    fn run(
+        &self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+    ) -> Result<AnalysisReport> {
+        let start = Instant::now();
+        let np = full.num_params();
+        if self.param_a >= np || self.param_b >= np || self.param_a == self.param_b {
+            return Err(invalid(format!(
+                "corner sweep needs two distinct parameter indices < {np}, got {} and {}",
+                self.param_a, self.param_b
+            )));
+        }
+        let values = linspace(self.lo, self.hi, self.points_per_axis);
+        let sweep = Sweep2d {
+            param_a: self.param_a,
+            param_b: self.param_b,
+            values_a: values.clone(),
+            values_b: values.clone(),
+            base: vec![0.0; np],
+        };
+        let grid_points = sweep.points();
+        let (label, unit, errs, eval_points): (&str, &str, Vec<f64>, usize) = match &self.metric {
+            ErrorMetric::Poles { .. } => {
+                let errs = engine.map(&grid_points, |(_, _, p), _ws| {
+                    let reference = full.dominant_poles(p, 1)?;
+                    let candidate = rom.dominant_poles(p, 6)?;
+                    Ok(100.0 * pole_errors(&reference, &candidate)[0])
+                })?;
+                (
+                    "dominant-pole error %",
+                    "pole_err_percent",
+                    errs,
+                    2 * grid_points.len(),
+                )
+            }
+            ErrorMetric::Transfer { freqs_hz } => {
+                let freqs = freqs_hz.clone();
+                let errs = engine.map(&grid_points, |(_, _, p), ws| {
+                    let mut worst = 0.0f64;
+                    for &f in &freqs {
+                        let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+                        let hf = full.transfer_with(p, s, ws)?;
+                        let hr = rom.transfer_with(p, s, ws)?;
+                        let denom = hf.max_abs().max(1e-300);
+                        worst = worst.max(hf.sub_mat(&hr).max_abs() / denom);
+                    }
+                    Ok(worst)
+                })?;
+                (
+                    "worst relative |H| error",
+                    "rel_transfer_err",
+                    errs,
+                    2 * grid_points.len() * freqs.len(),
+                )
+            }
+        };
+        let mut grid = vec![vec![0.0; values.len()]; values.len()];
+        for ((ia, ib, _), err) in grid_points.iter().zip(&errs) {
+            grid[*ia][*ib] = *err;
+        }
+        let worst = errs.iter().copied().fold(0.0, f64::max);
+        let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        let mut report = AnalysisReport::new(self.name())
+            .metric("grid_points", errs.len() as f64)
+            .metric(format!("worst_{unit}"), worst)
+            .metric(format!("mean_{unit}"), mean);
+        report
+            .lines
+            .push(format!("worst corner {label} {worst:.4e}, mean {mean:.4e}"));
+        report.grid = Some(GridBlock {
+            title: format!(
+                "{label}, p{} (rows) × p{} (cols)",
+                self.param_a, self.param_b
+            ),
+            row_values: values.clone(),
+            col_values: values,
+            values: grid,
+        });
+        let secs = start.elapsed().as_secs_f64();
+        Ok(report.stamp(engine, full, rom, eval_points, grid_points.len(), secs))
+    }
+}
+
+// --- yield -----------------------------------------------------------------
+
+/// Monte-Carlo parametric yield at reduced-model cost: the fraction of
+/// sampled instances whose dominant pole magnitude stays above a
+/// bandwidth floor (absolute, or relative to the reduced model's nominal
+/// bandwidth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldAnalysis {
+    /// Number of sampled instances.
+    pub instances: usize,
+    /// Per-parameter sigma of the ±3σ-truncated normal.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Absolute pass threshold, rad/s. `None` = `margin` × nominal.
+    pub min_pole_rad_s: Option<f64>,
+    /// Relative threshold used when `min_pole_rad_s` is absent.
+    pub margin: f64,
+}
+
+impl Analysis for YieldAnalysis {
+    fn name(&self) -> &'static str {
+        AnalysisKind::Yield.name()
+    }
+
+    fn run(
+        &self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+    ) -> Result<AnalysisReport> {
+        let start = Instant::now();
+        let np = full.num_params();
+        let threshold = match self.min_pole_rad_s {
+            Some(v) => v,
+            None => {
+                // Spec relative to this model's nominal bandwidth: pass
+                // while the dominant pole stays within `margin` of nominal.
+                let nominal = rom.dominant_poles(&vec![0.0; np], 1)?;
+                let Some(first) = nominal.first() else {
+                    return Err(invalid(
+                        "model has no finite poles to build a yield spec from",
+                    ));
+                };
+                self.margin * first.abs()
+            }
+        };
+        let points = sampler(np, self.instances, self.sigma, self.seed).sample_points();
+        let passes: Vec<bool> = engine.map(&points, |p, _ws| {
+            let poles = rom.dominant_poles(p, 1)?;
+            Ok(poles.first().is_some_and(|z| z.abs() >= threshold))
+        })?;
+        let n = passes.len();
+        let pass = passes.iter().filter(|&&b| b).count();
+        let y = pass as f64 / n.max(1) as f64;
+        let std_error = (y * (1.0 - y) / n.max(1) as f64).sqrt();
+        let mut report = AnalysisReport::new(self.name())
+            .metric("instances", n as f64)
+            .metric("yield_fraction", y)
+            .metric("yield_std_error", std_error)
+            .metric("threshold_rad_s", threshold);
+        report.lines.push(format!(
+            "yield {:.1}% ± {:.1}% over {n} instances (|λ₁| ≥ {threshold:.3e} rad/s)",
+            100.0 * y,
+            100.0 * std_error
+        ));
+        let secs = start.elapsed().as_secs_f64();
+        Ok(report.stamp(engine, full, rom, n, n, secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor::eval::FullModel;
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+    use pmor_circuits::ParametricSystem;
+
+    fn tree(n: usize) -> ParametricSystem {
+        clock_tree(&ClockTreeConfig {
+            num_nodes: n,
+            ..Default::default()
+        })
+        .assemble()
+    }
+
+    fn rom_for(sys: &ParametricSystem) -> pmor::ParametricRom {
+        pmor::reducer_by_name("lowrank", sys)
+            .unwrap()
+            .reduce_once(sys)
+            .unwrap()
+    }
+
+    #[test]
+    fn registry_round_trips_names_and_builds() {
+        for kind in AnalysisKind::ALL {
+            assert_eq!(AnalysisKind::from_name(kind.name()), Some(kind));
+            assert_eq!(
+                AnalysisKind::from_name(&kind.name().to_uppercase()),
+                Some(kind)
+            );
+            let analysis = kind.build(&AnalysisConfig::default()).unwrap();
+            assert_eq!(analysis.name(), kind.name());
+            assert!(!kind.describe().is_empty());
+        }
+        assert_eq!(AnalysisKind::from_name("no-such-analysis"), None);
+        assert!(analysis_by_name("bogus", &AnalysisConfig::default()).is_none());
+    }
+
+    #[test]
+    fn build_rejects_bad_knobs() {
+        for (cfg, what) in [
+            (
+                AnalysisConfig {
+                    sigma: Some(-0.1),
+                    ..Default::default()
+                },
+                "negative sigma",
+            ),
+            (
+                AnalysisConfig {
+                    f_min_hz: Some(1e10),
+                    f_max_hz: Some(1e7),
+                    ..Default::default()
+                },
+                "inverted band",
+            ),
+            (
+                AnalysisConfig {
+                    points: Some(1),
+                    ..Default::default()
+                },
+                "single sweep point",
+            ),
+        ] {
+            assert!(
+                AnalysisKind::FrequencySweep.build(&cfg).is_err(),
+                "{what} accepted"
+            );
+        }
+        assert!(AnalysisKind::Yield
+            .build(&AnalysisConfig {
+                min_pole_rad_s: Some(-1.0),
+                ..Default::default()
+            })
+            .is_err());
+        assert!(AnalysisKind::CornerSweep
+            .build(&AnalysisConfig {
+                lo: Some(0.3),
+                hi: Some(-0.3),
+                ..Default::default()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn every_analysis_runs_and_stamps_provenance() {
+        let sys = tree(30);
+        let full = FullModel::new(&sys);
+        let rom = rom_for(&sys);
+        let engine = EvalEngine::new(2);
+        let small = AnalysisConfig {
+            instances: Some(4),
+            points: Some(4),
+            points_per_axis: Some(2),
+            ..Default::default()
+        };
+        for kind in AnalysisKind::ALL {
+            let report = kind
+                .build(&small)
+                .unwrap()
+                .run(&engine, &full, &rom)
+                .unwrap();
+            assert_eq!(report.analysis, kind.name());
+            assert!(
+                report.provenance.contains("full(") && report.provenance.contains("rom("),
+                "{}: {}",
+                kind.name(),
+                report.provenance
+            );
+            for want in [
+                "eval_points",
+                "threads",
+                "analysis_seconds",
+                "full_dim",
+                "rom_dim",
+            ] {
+                assert!(
+                    report.metric_value(want).is_some(),
+                    "{} missing {want}",
+                    kind.name()
+                );
+            }
+            assert!(!report.lines.is_empty() || report.csv.is_some());
+        }
+    }
+
+    #[test]
+    fn montecarlo_results_identical_across_thread_counts() {
+        let sys = tree(30);
+        let full = FullModel::new(&sys);
+        let rom = rom_for(&sys);
+        let analysis = MonteCarloAnalysis {
+            instances: 6,
+            sigma: 0.1,
+            seed: 0x3C0,
+            metric: ErrorMetric::Transfer {
+                freqs_hz: vec![1e8, 1e9],
+            },
+        };
+        let serial = analysis.run(&EvalEngine::new(1), &full, &rom).unwrap();
+        let parallel = analysis.run(&EvalEngine::new(4), &full, &rom).unwrap();
+        assert_eq!(
+            serial
+                .metric_value("worst_rel_transfer_err")
+                .unwrap()
+                .to_bits(),
+            parallel
+                .metric_value("worst_rel_transfer_err")
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(
+            serial
+                .metric_value("mean_rel_transfer_err")
+                .unwrap()
+                .to_bits(),
+            parallel
+                .metric_value("mean_rel_transfer_err")
+                .unwrap()
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn frequency_sweep_validates_parameter_count() {
+        let sys = tree(20);
+        let full = FullModel::new(&sys);
+        let rom = rom_for(&sys);
+        let analysis = FrequencySweepAnalysis {
+            f_min_hz: 1e7,
+            f_max_hz: 1e9,
+            points: 3,
+            parameters: Some(vec![0.1]),
+            compare_full: false,
+        };
+        let err = analysis
+            .run(&EvalEngine::serial(), &full, &rom)
+            .unwrap_err();
+        assert!(err.to_string().contains("parameters"), "{err}");
+    }
+
+    #[test]
+    fn corner_sweep_validates_indices_and_fills_grid() {
+        let sys = tree(20);
+        let full = FullModel::new(&sys);
+        let rom = rom_for(&sys);
+        let bad = CornerSweepAnalysis {
+            param_a: 0,
+            param_b: 9,
+            lo: -0.2,
+            hi: 0.2,
+            points_per_axis: 2,
+            metric: ErrorMetric::Poles { num_poles: 1 },
+        };
+        let err = bad.run(&EvalEngine::serial(), &full, &rom).unwrap_err();
+        assert!(err.to_string().contains("parameter indices"), "{err}");
+
+        let good = CornerSweepAnalysis { param_b: 1, ..bad };
+        let report = good.run(&EvalEngine::new(3), &full, &rom).unwrap();
+        assert_eq!(report.metric_value("grid_points"), Some(4.0));
+        let grid = report.grid.as_ref().unwrap();
+        assert_eq!(grid.values.len(), 2);
+        assert!(grid.values.iter().flatten().all(|&e| e < 1.0));
+    }
+
+    #[test]
+    fn yield_margin_spec_passes_loose_threshold() {
+        let sys = tree(30);
+        let full = FullModel::new(&sys);
+        let rom = rom_for(&sys);
+        let analysis = YieldAnalysis {
+            instances: 20,
+            sigma: 0.1,
+            seed: 0x3C0,
+            min_pole_rad_s: None,
+            margin: 0.5,
+        };
+        let report = analysis.run(&EvalEngine::new(2), &full, &rom).unwrap();
+        assert!(report.metric_value("yield_fraction").unwrap() > 0.9);
+        assert!(report.metric_value("threshold_rad_s").unwrap() > 0.0);
+    }
+}

@@ -16,14 +16,22 @@
 //!   paper's Figs 5–6),
 //! * [`stats`] — summary statistics and histogram binning,
 //! * [`yield_analysis`] — pass/fail performance specs and Monte-Carlo
-//!   parametric yield estimation at reduced-model cost.
+//!   parametric yield estimation at reduced-model cost,
+//! * [`analysis`] — the **unified analysis interface**: the [`Analysis`]
+//!   trait run against two `TransferModel`s on a batched `EvalEngine`,
+//!   and the [`AnalysisKind`] registry (symmetric to `pmor`'s
+//!   `Reducer`/`ReducerKind`) front ends dispatch by name.
 
+pub mod analysis;
 pub mod dist;
 pub mod montecarlo;
 pub mod stats;
 pub mod sweep;
 pub mod yield_analysis;
 
+pub use analysis::{
+    analysis_by_name, Analysis, AnalysisConfig, AnalysisKind, AnalysisReport, ErrorMetric,
+};
 pub use dist::ParameterDistribution;
 pub use montecarlo::{MonteCarlo, PoleErrorReport};
 pub use stats::{histogram, Summary};

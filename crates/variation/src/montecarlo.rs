@@ -6,13 +6,15 @@
 //! instance, and collect the relative errors ("the error distribution in
 //! these poles across all the instances is plotted in Fig. 5").
 //!
-//! The engine is written against the unified [`Reducer`] trait: hand it a
-//! system and *any* registered reduction method and it reduces once (with
-//! a shared [`ReductionContext`]) before sampling. Instance evaluation is
-//! embarrassingly parallel and is chunked across [`std::thread::scope`]
-//! workers — deterministic, because the sample points are pre-drawn by
-//! [`MonteCarlo::sample_points`] and results are stitched back in sample
-//! order.
+//! The sampler is written against the unified [`Reducer`] trait: hand it
+//! a system and *any* registered reduction method and it reduces once
+//! (with a shared [`ReductionContext`]) before sampling. Instance
+//! evaluation is embarrassingly parallel and runs on the batched
+//! [`EvalEngine`] — deterministic, because the sample points are
+//! pre-drawn by [`MonteCarlo::sample_points`] and the engine stitches
+//! results back in sample order regardless of thread count. (For the
+//! registry-dispatched form every front end shares, see
+//! [`crate::analysis::MonteCarloAnalysis`].)
 //!
 //! # Example
 //!
@@ -36,7 +38,7 @@
 use crate::dist::ParameterDistribution;
 use crate::stats::{histogram, Bin, Summary};
 use pmor::eval::{pole_errors, FullModel};
-use pmor::{ParametricRom, Reducer, ReductionContext, Result};
+use pmor::{EvalEngine, ParametricRom, Reducer, ReductionContext, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::Complex64;
 use rand::rngs::StdRng;
@@ -80,46 +82,15 @@ impl MonteCarlo {
             .collect()
     }
 
+    /// The batched evaluation engine this configuration runs on.
+    pub fn engine(&self) -> EvalEngine {
+        EvalEngine::new(self.threads)
+    }
+
     /// The effective worker count: the configured `threads`, or available
     /// parallelism when 0, never more than one worker per instance.
     pub fn worker_count(&self) -> usize {
-        let configured = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.threads
-        };
-        configured.clamp(1, self.instances.max(1))
-    }
-
-    /// Runs `eval` over every pre-drawn sample point, chunked across
-    /// scoped worker threads, returning results in sample order.
-    fn parallel_map<T, F>(&self, eval: F) -> Result<Vec<T>>
-    where
-        T: Send,
-        F: Fn(&[f64]) -> Result<T> + Sync,
-    {
-        let points = self.sample_points();
-        let workers = self.worker_count();
-        if workers <= 1 {
-            return points.iter().map(|p| eval(p)).collect();
-        }
-        let chunk_size = points.len().div_ceil(workers);
-        let chunks: Vec<&[Vec<f64>]> = points.chunks(chunk_size).collect();
-        let results: Vec<Result<Vec<T>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| scope.spawn(|| chunk.iter().map(|p| eval(p)).collect()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("Monte-Carlo worker panicked"))
-                .collect()
-        });
-        let mut out = Vec::with_capacity(points.len());
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        self.engine().worker_count(self.instances)
     }
 
     /// Reduces `sys` with `reducer` (in a fresh private context) and
@@ -170,7 +141,8 @@ impl MonteCarlo {
         num_poles: usize,
     ) -> Result<PoleErrorReport> {
         let full = FullModel::new(sys);
-        let per_instance: Vec<(Vec<f64>, f64)> = self.parallel_map(|p| {
+        let points = self.sample_points();
+        let per_instance: Vec<(Vec<f64>, f64)> = self.engine().map(&points, |p, _ws| {
             let reference = full.dominant_poles(p, num_poles)?;
             // Give the matcher a deeper candidate list than the reference so
             // near-degenerate reference poles both find their partner.
@@ -244,12 +216,13 @@ impl MonteCarlo {
         freqs_hz: &[f64],
     ) -> Result<Vec<f64>> {
         let full = FullModel::new(sys);
-        self.parallel_map(|p| {
+        let points = self.sample_points();
+        self.engine().map(&points, |p, ws| {
             let mut worst = 0.0f64;
             for &f in freqs_hz {
                 let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
-                let hf = full.transfer(p, s)?;
-                let hr = rom.transfer(p, s)?;
+                let hf = full.transfer_with(p, s, ws)?;
+                let hr = rom.transfer_with(p, s, ws)?;
                 let denom = hf.max_abs().max(1e-300);
                 let num = hf.sub_mat(&hr).max_abs();
                 worst = worst.max(num / denom);

@@ -25,8 +25,27 @@
 //! ```
 
 use pmor::eval::{pole_errors, FullModel};
-use pmor::{ParametricRom, Reducer, ReductionContext, Result};
+use pmor::{EvalEngine, ParametricRom, Reducer, ReductionContext, Result};
 use pmor_circuits::ParametricSystem;
+
+/// Logarithmically spaced values over `[lo, hi]`, inclusive (`lo > 0`).
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi`.
+pub fn logspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "logspace: bad range");
+    if count == 0 {
+        return Vec::new();
+    }
+    if count == 1 {
+        return vec![lo];
+    }
+    let (l0, l1) = (lo.log10(), hi.log10());
+    (0..count)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (count - 1) as f64))
+        .collect()
+}
 
 /// Evenly spaced values over `[lo, hi]`, inclusive.
 pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
@@ -126,13 +145,19 @@ impl Sweep2d {
         sys: &ParametricSystem,
         rom: &ParametricRom,
     ) -> Result<Vec<Vec<f64>>> {
+        // Grid corners are independent: run them through the shared
+        // batched engine (deterministic stitching, so any thread count
+        // yields the identical grid).
         let full = FullModel::new(sys);
+        let points = self.points();
+        let errs = EvalEngine::default().map(&points, |(_, _, p), _ws| {
+            let reference = full.dominant_poles(p, 1)?;
+            let candidate = rom.dominant_poles(p, 6)?;
+            Ok(100.0 * pole_errors(&reference, &candidate)[0])
+        })?;
         let mut grid = vec![vec![0.0; self.values_b.len()]; self.values_a.len()];
-        for (ia, ib, p) in self.points() {
-            let reference = full.dominant_poles(&p, 1)?;
-            let candidate = rom.dominant_poles(&p, 6)?;
-            let errs = pole_errors(&reference, &candidate);
-            grid[ia][ib] = 100.0 * errs[0];
+        for ((ia, ib, _), err) in points.iter().zip(&errs) {
+            grid[*ia][*ib] = *err;
         }
         Ok(grid)
     }

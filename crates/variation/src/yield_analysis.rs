@@ -53,8 +53,9 @@ pub enum Spec<'a> {
         /// Integration options.
         options: &'a TransientOptions,
     },
-    /// Custom predicate.
-    Custom(&'a dyn Fn(&ParametricRom, &[f64]) -> Result<bool>),
+    /// Custom predicate (`Sync`, so yield runs can evaluate it from the
+    /// engine's worker threads).
+    Custom(&'a (dyn Fn(&ParametricRom, &[f64]) -> Result<bool> + Sync)),
 }
 
 impl Spec<'_> {
@@ -137,13 +138,12 @@ pub fn estimate_yield_with_rom(
     mc: &MonteCarlo,
     spec: &Spec<'_>,
 ) -> Result<YieldEstimate> {
+    // Instances are independent: evaluate them on the shared batched
+    // engine (pass counts are order-independent, so any thread count
+    // yields the identical estimate).
     let points = mc.sample_points();
-    let mut pass = 0usize;
-    for p in &points {
-        if spec.passes(rom, p)? {
-            pass += 1;
-        }
-    }
+    let passes = mc.engine().map(&points, |p, _ws| spec.passes(rom, p))?;
+    let pass = passes.iter().filter(|&&b| b).count();
     let n = points.len();
     let y = pass as f64 / n.max(1) as f64;
     let std_error = (y * (1.0 - y) / n.max(1) as f64).sqrt();
