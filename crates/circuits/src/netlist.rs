@@ -34,7 +34,7 @@ pub enum ElementKind {
 }
 
 /// A two-terminal element with parameter sensitivities on its stamped value.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Element {
     /// Element kind.
     pub kind: ElementKind,
@@ -66,7 +66,7 @@ impl Element {
 /// Inputs are unit current sources injected into nodes; outputs are observed
 /// node voltages. When `inputs == outputs` the assembled system is in
 /// immittance form (`B = L`) and congruence reduction preserves passivity.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Netlist {
     num_nodes: usize,
     elements: Vec<Element>,

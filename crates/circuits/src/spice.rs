@@ -7,6 +7,7 @@
 //! syntax for — travel in structured comment cards:
 //!
 //! ```text
+//! *NODE 1             ; optional: pins a node to the next dense index
 //! R1 1 2 100.0
 //! C1 2 0 50f
 //! *PORT 1
@@ -17,7 +18,11 @@
 //! ```
 //!
 //! Node `0` is ground; all other node names are arbitrary tokens mapped to
-//! dense indices in first-appearance order.
+//! dense indices in first-appearance order. `*NODE` cards (emitted by
+//! [`to_spice`] before the element cards) pin that order explicitly, so a
+//! serialize→parse round trip reproduces the original node indexing — and
+//! with it bit-identical MNA stamps — even when the elements visit nodes
+//! out of order. Port cards must reference a non-ground node.
 
 use crate::netlist::{ElementKind, Netlist};
 use std::collections::HashMap;
@@ -55,6 +60,12 @@ pub fn to_spice(net: &Netlist, title: &str) -> String {
             Some(n) => format!("{}", n + 1),
         }
     };
+    // Pin the node order up front: without this, a deck whose elements
+    // visit nodes out of index order would parse back with permuted node
+    // indices (first-appearance mapping) and permuted MNA stamps.
+    for n in 0..net.num_nodes() {
+        out.push_str(&format!("*NODE {}\n", n + 1));
+    }
     let mut counters = [0usize; 3];
     let mut names: Vec<String> = Vec::new();
     for e in net.elements() {
@@ -132,6 +143,21 @@ pub fn parse_spice(deck: &str) -> Result<Netlist, ParseSpiceError> {
                 || upper.starts_with("PORT ")
             {
                 deferred.push((line, rest.to_string()));
+            } else if upper == "NODE" || upper.starts_with("NODE ") {
+                // Declaration card: assign the node its dense index now,
+                // pinning the first-appearance order.
+                let Some(tok) = rest.split_whitespace().nth(1) else {
+                    return Err(ParseSpiceError {
+                        line,
+                        message: "*NODE needs a node".into(),
+                    });
+                };
+                if lookup_node(&mut net, &mut node_ids, tok).is_none() {
+                    return Err(ParseSpiceError {
+                        line,
+                        message: "*NODE cannot declare the ground node".into(),
+                    });
+                }
             }
             continue; // ordinary comment
         }
@@ -219,6 +245,15 @@ pub fn parse_spice(deck: &str) -> Result<Netlist, ParseSpiceError> {
                     line,
                     message: format!("*{kw} needs a node"),
                 })?;
+                if ntok == "0" || ntok.eq_ignore_ascii_case("gnd") {
+                    return Err(ParseSpiceError {
+                        line,
+                        message: format!(
+                            "*{kw}: ports cannot reference ground ('{ntok}'); \
+                             ports are defined on non-ground nodes"
+                        ),
+                    });
+                }
                 let node = node_ids.get(ntok).copied().ok_or_else(|| ParseSpiceError {
                     line,
                     message: format!("*{kw} references unknown node '{ntok}'"),
@@ -373,6 +408,46 @@ Rdrv in 0 50
         let sys = parsed.assemble();
         assert!(sys.has_symmetric_ports());
         assert_eq!(sys.dim(), 4);
+    }
+
+    #[test]
+    fn ground_ports_rejected_explicitly() {
+        for kw in ["PORT", "INPUT", "OUTPUT", "VPORT"] {
+            for gnd in ["0", "gnd", "GND"] {
+                let deck = format!("R1 a 0 5\nC1 a 0 1f\n*{kw} {gnd}\n.END\n");
+                let err = parse_spice(&deck).unwrap_err();
+                assert_eq!(err.line, 3, "*{kw} {gnd}");
+                assert!(
+                    err.message.contains("ports cannot reference ground"),
+                    "*{kw} {gnd}: {}",
+                    err.message
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_cards_pin_the_index_order() {
+        // Elements visit nodes out of index order; without the *NODE
+        // preamble the parsed netlist would permute them.
+        let mut net = Netlist::new(3);
+        net.add_resistor(Some(2), None, 10.0);
+        net.add_resistor(Some(2), Some(0), 20.0);
+        net.add_resistor(Some(0), Some(1), 30.0);
+        net.add_capacitor(Some(1), None, 1e-12);
+        net.add_port(2);
+        net.add_output(0);
+        let deck = to_spice(&net, "out-of-order nodes");
+        let parsed = parse_spice(&deck).unwrap();
+        assert_eq!(net, parsed);
+        assert_eq!(net.assemble().g0, parsed.assemble().g0);
+
+        // Hand-written *NODE cards work too, and ground is rejected.
+        assert!(parse_spice("*NODE a\nR1 a 0 5\n").is_ok());
+        let err = parse_spice("*NODE 0\nR1 a 0 5\n").unwrap_err();
+        assert!(err.message.contains("ground"), "{}", err.message);
+        let err = parse_spice("*NODE\nR1 a 0 5\n").unwrap_err();
+        assert!(err.message.contains("needs a node"), "{}", err.message);
     }
 
     #[test]

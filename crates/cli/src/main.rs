@@ -275,6 +275,7 @@ fn cmd_list() {
     println!("  rlc_bus      §5.2 coupled multi-bit RLC bus (default 1086 MNA unknowns)");
     println!("  clock_tree   §5.3 three-layer clock tree (RCNetA/B stand-ins)");
     println!("  rc_mesh      power-grid style RC mesh with regional parameters");
+    println!("  spice        a .sp netlist deck parsed via pmor_circuits::spice (path = …)");
     println!("reduction methods ([reduce] methods = […]):");
     for kind in pmor::ReducerKind::ALL {
         println!("  {}", kind.name());

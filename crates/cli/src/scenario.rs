@@ -25,12 +25,14 @@
 
 use crate::toml::{self, Document, TomlError};
 use crate::CliError;
+use pmor::transient::IntegrationMethod;
 use pmor::ReducerKind;
 use pmor_circuits::generators::{
     clock_tree, rc_mesh, rc_random, rlc_bus, ClockTreeConfig, RcMeshConfig, RcRandomConfig,
     RlcBusConfig,
 };
-use pmor_circuits::ParametricSystem;
+use pmor_circuits::spice::parse_spice;
+use pmor_circuits::{Netlist, ParametricSystem};
 use pmor_variation::analysis::{AnalysisConfig, AnalysisKind, ErrorMetric};
 use std::path::{Path, PathBuf};
 
@@ -85,6 +87,16 @@ pub enum SystemSpec {
     ClockTree(ClockTreeConfig),
     /// Power-grid style RC mesh ([`rc_mesh`]).
     RcMesh(RcMeshConfig),
+    /// A SPICE deck parsed through [`parse_spice`] — real extracted
+    /// netlists instead of synthetic generators. The deck is read and
+    /// validated at scenario-parse time.
+    Spice {
+        /// Deck path as resolved (relative paths are anchored at the
+        /// scenario file's directory).
+        path: PathBuf,
+        /// The parsed netlist.
+        netlist: Netlist,
+    },
 }
 
 impl SystemSpec {
@@ -95,6 +107,7 @@ impl SystemSpec {
             SystemSpec::RlcBus(_) => "rlc_bus",
             SystemSpec::ClockTree(_) => "clock_tree",
             SystemSpec::RcMesh(_) => "rc_mesh",
+            SystemSpec::Spice { .. } => "spice",
         }
     }
 
@@ -105,6 +118,7 @@ impl SystemSpec {
             SystemSpec::RlcBus(cfg) => rlc_bus(cfg).assemble(),
             SystemSpec::ClockTree(cfg) => clock_tree(cfg).assemble(),
             SystemSpec::RcMesh(cfg) => rc_mesh(cfg).assemble(),
+            SystemSpec::Spice { netlist, .. } => netlist.assemble(),
         }
     }
 
@@ -136,15 +150,29 @@ impl Scenario {
         let path = path.as_ref();
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::Io(format!("reading {}: {e}", path.display())))?;
-        Scenario::parse(&text).map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))
+        Scenario::parse_at(&text, path.parent())
+            .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))
     }
 
-    /// Parses a scenario from TOML text.
+    /// Parses a scenario from TOML text. Relative paths inside the
+    /// scenario (e.g. a SPICE deck) resolve against the current working
+    /// directory; use [`Scenario::parse_at`] (or [`Scenario::load`]) to
+    /// anchor them at the scenario file instead.
     ///
     /// # Errors
     ///
     /// See [`Scenario::load`].
     pub fn parse(text: &str) -> Result<Scenario, TomlError> {
+        Scenario::parse_at(text, None)
+    }
+
+    /// Parses a scenario from TOML text, resolving relative paths inside
+    /// it against `base` (the directory of the scenario file).
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::load`].
+    pub fn parse_at(text: &str, base: Option<&Path>) -> Result<Scenario, TomlError> {
         let doc = toml::parse(text)?;
         for section in doc.section_names() {
             if !matches!(
@@ -185,7 +213,7 @@ impl Scenario {
             .str_opt("scenario", "description")?
             .unwrap_or("")
             .to_string();
-        let system = parse_system(&doc)?;
+        let system = parse_system(&doc, base)?;
         let methods = doc.str_array_req("reduce", "methods")?;
         if methods.is_empty() {
             return fail("[reduce] methods must name at least one reduction method");
@@ -290,10 +318,11 @@ fn nonzero_opt(doc: &Document, key: &str) -> Result<Option<usize>, TomlError> {
     }
 }
 
-fn parse_system(doc: &Document) -> Result<SystemSpec, TomlError> {
+fn parse_system(doc: &Document, base: Option<&Path>) -> Result<SystemSpec, TomlError> {
     let generator = doc.str_req("system", "generator")?;
     let sec = "system";
     match generator {
+        "spice" => check_keys(doc, sec, &["generator", "path"]),
         "rc_random" => check_keys(
             doc,
             sec,
@@ -413,8 +442,30 @@ fn parse_system(doc: &Document) -> Result<SystemSpec, TomlError> {
                 seed: doc.u64_or(sec, "seed", d.seed)?,
             }))
         }
+        "spice" => {
+            let rel = doc.str_req(sec, "path")?;
+            let path = match base {
+                Some(base) => base.join(rel),
+                None => PathBuf::from(rel),
+            };
+            let deck = std::fs::read_to_string(&path).map_err(|e| TomlError {
+                line: 0,
+                msg: format!("[system] reading SPICE deck {}: {e}", path.display()),
+            })?;
+            let netlist = parse_spice(&deck).map_err(|e| TomlError {
+                line: 0,
+                msg: format!("[system] {}: {e}", path.display()),
+            })?;
+            if netlist.inputs().is_empty() || netlist.outputs().is_empty() {
+                return fail(format!(
+                    "[system] {}: deck declares no ports — add *PORT/*INPUT/*OUTPUT cards",
+                    path.display()
+                ));
+            }
+            Ok(SystemSpec::Spice { path, netlist })
+        }
         other => fail(format!(
-            "[system] unknown generator {other:?}; known: rc_random, rlc_bus, clock_tree, rc_mesh"
+            "[system] unknown generator {other:?}; known: rc_random, rlc_bus, clock_tree, rc_mesh, spice"
         )),
     }
 }
@@ -492,7 +543,34 @@ fn parse_analysis(doc: &Document) -> Result<AnalysisSpec, TomlError> {
                 "margin",
             ],
         ),
+        AnalysisKind::Transient => check_keys(
+            doc,
+            sec,
+            &[
+                "kind",
+                "threads",
+                "instances",
+                "sigma",
+                "seed",
+                "t_stop",
+                "steps",
+                "rise",
+                "integrator",
+            ],
+        ),
     }?;
+    let integrator = match doc.str_opt(sec, "integrator")? {
+        None => None,
+        Some(name) => match name {
+            "trapezoidal" => Some(IntegrationMethod::Trapezoidal),
+            "backward_euler" => Some(IntegrationMethod::BackwardEuler),
+            other => {
+                return fail(format!(
+                    "[analysis] unknown integrator {other:?}; known: trapezoidal, backward_euler"
+                ))
+            }
+        },
+    };
     let config = AnalysisConfig {
         instances: usize_opt(doc, sec, "instances")?,
         sigma: doc.f64_opt(sec, "sigma")?,
@@ -518,6 +596,10 @@ fn parse_analysis(doc: &Document) -> Result<AnalysisSpec, TomlError> {
         points_per_axis: usize_opt(doc, sec, "points_per_axis")?,
         min_pole_rad_s: doc.f64_opt(sec, "min_pole_rad_s")?,
         margin: doc.f64_opt(sec, "margin")?,
+        t_stop: doc.f64_opt(sec, "t_stop")?,
+        steps: usize_opt(doc, sec, "steps")?,
+        rise: doc.f64_opt(sec, "rise")?,
+        integrator,
     };
     // Eager build: knob-value violations (negative sigma, inverted
     // bands, …) surface here, with the registry as the single source of

@@ -199,6 +199,121 @@ fn yield_analysis_runs() {
 }
 
 #[test]
+fn transient_analysis_runs_end_to_end() {
+    let dir = out_dir("transient");
+    let sc = tiny_scenario(
+        "transient",
+        &dir,
+        "[analysis]\nkind = \"transient\"\ninstances = 3\nsteps = 120\nintegrator = \"trapezoidal\"",
+        "\"lowrank\"",
+    );
+    let report = run_scenario(&sc).unwrap();
+    let json = std::fs::read_to_string(&report.bench_path).unwrap();
+    assert!(json.contains("max_delay_err_percent"), "{json}");
+    assert!(json.contains("mean_full_delay_s"), "{json}");
+    // Provenance metrics stamp transient records like every other kind.
+    for want in ["eval_points", "threads", "analysis_seconds", "t_stop_s"] {
+        assert!(json.contains(want), "missing {want}: {json}");
+    }
+    // A lowrank ROM of a 30-node tree tracks the delay to well under 1%.
+    let rec = &report.records[0];
+    let worst = rec
+        .metrics
+        .iter()
+        .find(|(n, _)| n == "max_delay_err_percent")
+        .unwrap()
+        .1;
+    assert!(worst < 1.0, "delay err {worst}%");
+}
+
+/// Writes a deck + scenario pair into `dir` and returns the scenario path.
+fn write_spice_scenario(dir: &std::path::Path, deck: &str) -> PathBuf {
+    std::fs::create_dir_all(dir.join("decks")).unwrap();
+    std::fs::write(dir.join("decks/net.sp"), deck).unwrap();
+    let toml = format!(
+        r#"
+[scenario]
+name = "spice_e2e"
+
+[system]
+generator = "spice"
+path = "decks/net.sp"
+
+[reduce]
+methods = ["lowrank"]
+
+[analysis]
+kind = "frequency_sweep"
+points = 4
+f_max_hz = 5e9
+
+[output]
+dir = "{}"
+"#,
+        dir.display()
+    );
+    let path = dir.join("spice_e2e.toml");
+    std::fs::write(&path, toml).unwrap();
+    path
+}
+
+const TEST_DECK: &str = "\
+* tiny parametric RC
+Rdrv in 0 50
+R1 in out 100
+C1 out 0 40f
+*SENS R1 0 0.5
+*SENS C1 0 0.5
+*PORT in
+*OUTPUT out
+.END
+";
+
+#[test]
+fn spice_scenario_resolves_deck_relative_to_the_scenario_file() {
+    let dir = out_dir("spice");
+    let path = write_spice_scenario(&dir, TEST_DECK);
+    // Load from a different working directory than the scenario's: the
+    // deck must resolve against the scenario file, not the cwd.
+    let sc = Scenario::load(&path).unwrap();
+    assert_eq!(sc.system.generator_name(), "spice");
+    let sys = sc.system.assemble();
+    assert_eq!(sys.num_params(), 1);
+    assert_eq!(sys.num_inputs(), 1);
+    let report = run_scenario(&sc).unwrap();
+    let json = std::fs::read_to_string(&report.bench_path).unwrap();
+    assert!(json.contains("\"workload\": \"spice("), "{json}");
+    assert!(json.contains("max_rel_err"), "{json}");
+}
+
+#[test]
+fn spice_scenario_errors_are_loud() {
+    let dir = out_dir("spicebad");
+    // Missing deck file: the error names the resolved path.
+    let path = write_spice_scenario(&dir, TEST_DECK);
+    std::fs::remove_file(dir.join("decks/net.sp")).unwrap();
+    let err = Scenario::load(&path).unwrap_err();
+    assert!(err.to_string().contains("net.sp"), "{err}");
+
+    // A deck with no port cards is rejected at parse time.
+    let portless = "R1 a 0 50\nC1 a 0 1f\n.END\n";
+    let path = write_spice_scenario(&dir, portless);
+    let err = Scenario::load(&path).unwrap_err();
+    assert!(err.to_string().contains("no ports"), "{err}");
+
+    // Deck parse errors surface with the spice parser's line numbers.
+    let broken = "R1 in 0 50\nX2 in 0 5\n*PORT in\n";
+    let path = write_spice_scenario(&dir, broken);
+    let err = Scenario::load(&path).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+
+    // Generator-specific keys are still checked for spice.
+    let toml = "\n[scenario]\nname = \"x\"\n\n[system]\ngenerator = \"spice\"\nnum_nodes = 5\n\n[reduce]\nmethods = [\"prima\"]\n";
+    let err = Scenario::parse(toml).unwrap_err();
+    assert!(err.to_string().contains("unknown key"), "{err}");
+}
+
+#[test]
 fn reduce_scenario_persists_roms_without_analysis() {
     let dir = out_dir("reduce");
     let mut sc = tiny_scenario(
@@ -262,7 +377,7 @@ fn all_shipped_scenarios_parse() {
         }
     }
     assert!(
-        seen >= 6,
-        "expected at least 6 shipped scenarios, found {seen}"
+        seen >= 9,
+        "expected at least 9 shipped scenarios, found {seen}"
     );
 }

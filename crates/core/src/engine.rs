@@ -52,6 +52,7 @@
 //! # }
 //! ```
 
+use crate::transient::{Stimulus, TransientOptions, TransientResult};
 use crate::Result;
 use pmor_num::{Complex64, Matrix};
 use pmor_sparse::CsrMatrix;
@@ -110,6 +111,16 @@ pub struct EvalWorkspace {
     pub(crate) full_io_key: Option<u64>,
     pub(crate) full_b: Option<Matrix<Complex64>>,
     pub(crate) full_l: Option<Matrix<Complex64>>,
+    // Dense transient scratch: the θ-method step matrices `C/h + θG` /
+    // `C/h − (1−θ)G` and the per-step state/rhs/input vectors, all
+    // resized on first use and reused across steps and parameter points.
+    pub(crate) trans_a: Matrix<f64>,
+    pub(crate) trans_m: Matrix<f64>,
+    pub(crate) trans_x: Vec<f64>,
+    pub(crate) trans_rhs: Vec<f64>,
+    pub(crate) trans_u: Vec<f64>,
+    pub(crate) trans_bu: Vec<f64>,
+    pub(crate) trans_y: Vec<f64>,
 }
 
 impl Default for EvalWorkspace {
@@ -131,6 +142,13 @@ impl EvalWorkspace {
             full_io_key: None,
             full_b: None,
             full_l: None,
+            trans_a: Matrix::zeros(0, 0),
+            trans_m: Matrix::zeros(0, 0),
+            trans_x: Vec::new(),
+            trans_rhs: Vec::new(),
+            trans_u: Vec::new(),
+            trans_bu: Vec::new(),
+            trans_y: Vec::new(),
         }
     }
 }
@@ -152,6 +170,12 @@ pub trait TransferModel: Sync {
 
     /// Number of variational parameters.
     fn num_params(&self) -> usize;
+
+    /// Number of input ports.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of output ports.
+    fn num_outputs(&self) -> usize;
 
     /// Evaluates the transfer matrix `H(s, p)` (`outputs × inputs`).
     ///
@@ -185,6 +209,26 @@ pub trait TransferModel: Sync {
         let _ = ws;
         self.transfer(p, s)
     }
+
+    /// Simulates the model's time-domain response at parameter point `p`
+    /// under one [`Stimulus`] per input, integrating the descriptor
+    /// equation with the θ-method configured in `opts` (see
+    /// [`crate::transient`]). Scratch is drawn from the workspace where
+    /// the implementation supports it; results are independent of the
+    /// workspace's history, so batched transient analyses stay bitwise
+    /// deterministic across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the step matrix `C(p)/h + θG(p)` is singular or the
+    /// options are inconsistent with the model's ports.
+    fn transient(
+        &self,
+        p: &[f64],
+        stimuli: &[Stimulus],
+        opts: &TransientOptions,
+        ws: &mut EvalWorkspace,
+    ) -> Result<TransientResult>;
 
     /// Evaluates a batch of points with one shared workspace, in order.
     /// This is the unit of work the [`EvalEngine`] hands each worker

@@ -179,6 +179,27 @@ impl TransferModel for FullModel<'_> {
         self.sys.num_params()
     }
 
+    fn num_inputs(&self) -> usize {
+        self.sys.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.sys.num_outputs()
+    }
+
+    fn transient(
+        &self,
+        p: &[f64],
+        stimuli: &[crate::transient::Stimulus],
+        opts: &crate::transient::TransientOptions,
+        _ws: &mut EvalWorkspace,
+    ) -> Result<crate::transient::TransientResult> {
+        // Sparse path: nothing dense to reuse from the workspace, but the
+        // model's precomputed union-pattern ordering replaces the
+        // per-call RCM pass.
+        crate::transient::simulate_full_ordered(self.sys, p, stimuli, opts, Some(&self.perm))
+    }
+
     fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
         FullModel::transfer(self, p, s)
     }

@@ -321,6 +321,24 @@ impl TransferModel for ParametricRom {
         ParametricRom::num_params(self)
     }
 
+    fn num_inputs(&self) -> usize {
+        ParametricRom::num_inputs(self)
+    }
+
+    fn num_outputs(&self) -> usize {
+        ParametricRom::num_outputs(self)
+    }
+
+    fn transient(
+        &self,
+        p: &[f64],
+        stimuli: &[crate::transient::Stimulus],
+        opts: &crate::transient::TransientOptions,
+        ws: &mut EvalWorkspace,
+    ) -> Result<crate::transient::TransientResult> {
+        crate::transient::simulate_rom_with(self, p, stimuli, opts, ws)
+    }
+
     fn transfer(&self, p: &[f64], s: Complex64) -> Result<Matrix<Complex64>> {
         ParametricRom::transfer(self, p, s)
     }

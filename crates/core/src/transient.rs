@@ -12,12 +12,21 @@
 //! `C/h + θG` is nonsingular whenever the pencil is regular), for the full
 //! sparse system and for dense [`ParametricRom`]s — so reduced models can
 //! be validated in the domain where they are actually consumed.
+//!
+//! Both paths are also reachable through the unified evaluation layer:
+//! [`crate::TransferModel::transient`] dispatches here for
+//! [`crate::eval::FullModel`] (reusing the model's precomputed ordering)
+//! and [`ParametricRom`] (reusing [`crate::EvalWorkspace`] buffers via the
+//! `_into` assembly/solve variants), which is what lets the
+//! `pmor_variation` transient analysis batch time-domain comparisons over
+//! parameter points on the [`crate::EvalEngine`].
 
+use crate::engine::EvalWorkspace;
 use crate::rom::ParametricRom;
 use crate::{PmorError, Result};
 use pmor_circuits::ParametricSystem;
 use pmor_num::lu::LuFactors;
-use pmor_num::vecops;
+use pmor_num::{vecops, Matrix};
 use pmor_sparse::{ordering, SparseLu};
 
 /// Input stimulus applied to one input port.
@@ -67,9 +76,12 @@ impl Stimulus {
                 rise,
                 amplitude,
             } => {
-                if t <= t0 {
+                // A zero-rise ramp degenerates to a step, and the `t < t0`
+                // boundary matches `Step` (which is `amplitude` at `t = t0`),
+                // so the two shapes agree in the limit `rise → 0`.
+                if t < t0 {
                     0.0
-                } else if t >= t0 + rise {
+                } else if rise <= 0.0 || t >= t0 + rise {
                     amplitude
                 } else {
                     amplitude * (t - t0) / rise
@@ -122,7 +134,9 @@ impl TransientOptions {
     }
 
     fn validate(&self, num_inputs: usize, stimuli: &[Stimulus]) -> Result<()> {
-        if !(self.dt > 0.0) || !(self.t_stop > 0.0) || self.dt > self.t_stop {
+        if !(self.dt > 0.0 && self.dt.is_finite() && self.t_stop > 0.0 && self.t_stop.is_finite())
+            || self.dt > self.t_stop
+        {
             return Err(PmorError::Invalid(format!(
                 "transient: bad time grid dt={} t_stop={}",
                 self.dt, self.t_stop
@@ -156,13 +170,21 @@ pub struct TransientResult {
 }
 
 impl TransientResult {
-    /// First time output `j` crosses `level` (linear interpolation), or
-    /// `None` if it never does.
+    /// First time output `j` reaches `level`: a sample sitting exactly at
+    /// `level` counts as a crossing, and strict sign changes between
+    /// samples are located by linear interpolation. `None` if the
+    /// waveform never reaches `level`.
     pub fn crossing_time(&self, j: usize, level: f64) -> Option<f64> {
         let y = &self.outputs[j];
-        for k in 1..y.len() {
+        for k in 0..y.len() {
+            if y[k] == level {
+                return Some(self.time[k]);
+            }
+            if k == 0 {
+                continue;
+            }
             let (a, b) = (y[k - 1], y[k]);
-            if (a < level && b >= level) || (a > level && b <= level) {
+            if (a < level && b > level) || (a > level && b < level) {
                 let frac = (level - a) / (b - a);
                 return Some(self.time[k - 1] + frac * (self.time[k] - self.time[k - 1]));
             }
@@ -170,39 +192,59 @@ impl TransientResult {
         None
     }
 
-    /// 50 %-of-final-value delay of output `j` — the standard interconnect
-    /// delay metric.
+    /// 50 %-swing delay of output `j` — the standard interconnect delay
+    /// metric: the first time the waveform reaches the midpoint
+    /// `y₀ + 0.5·(y_final − y₀)` of its initial→final swing. Measuring
+    /// against the swing (not `0.5·y_final`) makes falling edges and
+    /// discharge waveforms settling to 0 well defined.
     pub fn delay_50(&self, j: usize) -> Option<f64> {
-        let y_final = *self.outputs[j].last()?;
-        self.crossing_time(j, 0.5 * y_final)
+        let y = &self.outputs[j];
+        let (y0, y_final) = (*y.first()?, *y.last()?);
+        self.crossing_time(j, y0 + 0.5 * (y_final - y0))
     }
 
-    /// Maximum overshoot of output `j` beyond its final value, as a
-    /// fraction of the final value.
+    /// Maximum overshoot of output `j` beyond its final value, measured in
+    /// the direction of the initial→final swing (so a falling edge's
+    /// undershoot below a negative final value is reported as positive
+    /// overshoot), as a fraction of the final value. Returns 0 for flat
+    /// waveforms and for final values of exactly 0 (no reference scale).
     pub fn overshoot(&self, j: usize) -> f64 {
         let y = &self.outputs[j];
-        let y_final = *y.last().unwrap_or(&0.0);
+        let (Some(&y0), Some(&y_final)) = (y.first(), y.last()) else {
+            return 0.0;
+        };
         if y_final == 0.0 {
             return 0.0;
         }
+        let direction = (y_final - y0).signum();
         y.iter()
-            .map(|&v| (v - y_final) / y_final.abs())
+            .map(|&v| direction * (v - y_final) / y_final.abs())
             .fold(0.0f64, f64::max)
     }
 }
 
-/// θ-method step shared by the sparse and dense paths:
+/// The blended θ-method input `θ·u(t1) + (1−θ)·u(t0)` of the step
 ///
 /// ```text
 /// (C/h + θG) x_{k+1} = (C/h - (1-θ)G) x_k + B·(θ u_{k+1} + (1-θ) u_k)
 /// ```
-fn input_vec(stimuli: &[Stimulus], t: f64) -> Vec<f64> {
-    stimuli.iter().map(|s| s.at(t)).collect()
+///
+/// shared by the sparse and dense paths, written into a reused buffer.
+fn blend_inputs(stimuli: &[Stimulus], theta: f64, t0: f64, t1: f64, u: &mut Vec<f64>) {
+    u.clear();
+    u.extend(
+        stimuli
+            .iter()
+            .map(|s| theta * s.at(t1) + (1.0 - theta) * s.at(t0)),
+    );
 }
 
 /// Simulates the **full sparse** parametric system at parameter point `p`.
 ///
 /// One sparse factorization of `C/h + θG(p)` is reused for all steps.
+/// Computes a fill-reducing ordering per call; evaluation layers that
+/// already hold one (e.g. [`crate::eval::FullModel`]) should use
+/// [`simulate_full_ordered`].
 ///
 /// # Errors
 ///
@@ -214,6 +256,24 @@ pub fn simulate_full(
     stimuli: &[Stimulus],
     opts: &TransientOptions,
 ) -> Result<TransientResult> {
+    simulate_full_ordered(sys, p, stimuli, opts, None)
+}
+
+/// [`simulate_full`] with an optional precomputed fill-reducing column
+/// ordering for the step matrix (any permutation valid for the union
+/// sparsity pattern works — an ordering only affects fill-in, never
+/// values). `None` computes an RCM ordering of the step matrix per call.
+///
+/// # Errors
+///
+/// See [`simulate_full`].
+pub fn simulate_full_ordered(
+    sys: &ParametricSystem,
+    p: &[f64],
+    stimuli: &[Stimulus],
+    opts: &TransientOptions,
+    perm: Option<&[usize]>,
+) -> Result<TransientResult> {
     opts.validate(sys.num_inputs(), stimuli)?;
     let theta = opts.theta();
     let h = opts.dt;
@@ -222,40 +282,47 @@ pub fn simulate_full(
     // A = C/h + θG,   M = C/h − (1−θ)G.
     let a = c.scaled(1.0 / h).add_scaled(theta, &g);
     let m = c.scaled(1.0 / h).add_scaled(-(1.0 - theta), &g);
-    let perm = ordering::rcm(&a);
-    let lu = SparseLu::factor(&a, Some(&perm))?;
+    let owned_perm;
+    let perm = match perm {
+        Some(perm) => perm,
+        None => {
+            owned_perm = ordering::rcm(&a);
+            &owned_perm
+        }
+    };
+    let lu = SparseLu::factor(&a, Some(perm))?;
 
     let n = sys.dim();
     let steps = (opts.t_stop / h).round() as usize;
     let mut x = vec![0.0; n];
     let mut time = Vec::with_capacity(steps + 1);
     let mut outputs = vec![Vec::with_capacity(steps + 1); sys.num_outputs()];
+    // Per-step scratch, allocated once and reused via the `_into` paths.
+    let mut rhs = Vec::with_capacity(n);
+    let mut u = Vec::with_capacity(stimuli.len());
+    let mut bu = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(sys.num_outputs());
 
-    let record = |x: &[f64], outputs: &mut Vec<Vec<f64>>| {
-        let y = sys.l.tr_mul_vec(x);
-        for (j, v) in y.into_iter().enumerate() {
+    let record = |x: &[f64], y: &mut Vec<f64>, outputs: &mut Vec<Vec<f64>>| {
+        sys.l.tr_mul_vec_into(x, y);
+        for (j, &v) in y.iter().enumerate() {
             outputs[j].push(v);
         }
     };
     time.push(0.0);
-    record(&x, &mut outputs);
+    record(&x, &mut y, &mut outputs);
 
     for k in 0..steps {
         let t0 = k as f64 * h;
         let t1 = t0 + h;
-        let u0 = input_vec(stimuli, t0);
-        let u1 = input_vec(stimuli, t1);
         // rhs = M x + B (θ u1 + (1-θ) u0)
-        let mut rhs = m.mul_vec(&x);
-        let mut u = vec![0.0; u0.len()];
-        for i in 0..u.len() {
-            u[i] = theta * u1[i] + (1.0 - theta) * u0[i];
-        }
-        let bu = sys.b.mul_vec(&u);
+        m.mul_vec_into(&x, &mut rhs);
+        blend_inputs(stimuli, theta, t0, t1, &mut u);
+        sys.b.mul_vec_into(&u, &mut bu);
         vecops::axpy(1.0, &bu, &mut rhs);
         x = lu.solve(&rhs)?;
         time.push(t1);
-        record(&x, &mut outputs);
+        record(&x, &mut y, &mut outputs);
     }
     Ok(TransientResult { time, outputs })
 }
@@ -271,46 +338,80 @@ pub fn simulate_rom(
     stimuli: &[Stimulus],
     opts: &TransientOptions,
 ) -> Result<TransientResult> {
+    simulate_rom_with(rom, p, stimuli, opts, &mut EvalWorkspace::new())
+}
+
+/// [`simulate_rom`] drawing every dense buffer — the assembled
+/// `G̃(p)`/`C̃(p)`, the θ-method step matrices, and the per-step
+/// state/rhs/input vectors — from a reusable [`EvalWorkspace`] through the
+/// `_into` assembly and solve variants, so a batched transient sweep over
+/// many parameter points allocates nothing per step. Results are
+/// independent of the workspace's history (every buffer is fully
+/// overwritten), hence bitwise identical to [`simulate_rom`].
+///
+/// # Errors
+///
+/// See [`simulate_rom`].
+pub fn simulate_rom_with(
+    rom: &ParametricRom,
+    p: &[f64],
+    stimuli: &[Stimulus],
+    opts: &TransientOptions,
+    ws: &mut EvalWorkspace,
+) -> Result<TransientResult> {
     opts.validate(rom.num_inputs(), stimuli)?;
     let theta = opts.theta();
     let h = opts.dt;
-    let g = rom.g_at(p);
-    let c = rom.c_at(p);
-    let mut a = c.scaled(1.0 / h);
-    a.add_assign_scaled(theta, &g);
-    let mut m = c.scaled(1.0 / h);
-    m.add_assign_scaled(-(1.0 - theta), &g);
-    let lu = LuFactors::factor(&a)?;
+    let n = rom.size();
+    rom.g_at_into(p, &mut ws.rom_g);
+    rom.c_at_into(p, &mut ws.rom_c);
+    // A = C/h + θG,   M = C/h − (1−θ)G, assembled elementwise into the
+    // workspace's step-matrix buffers.
+    if ws.trans_a.nrows() != n || ws.trans_a.ncols() != n {
+        ws.trans_a = Matrix::zeros(n, n);
+        ws.trans_m = Matrix::zeros(n, n);
+    }
+    let inv_h = 1.0 / h;
+    let neg = -(1.0 - theta);
+    for (((av, mv), &gv), &cv) in ws
+        .trans_a
+        .as_mut_slice()
+        .iter_mut()
+        .zip(ws.trans_m.as_mut_slice())
+        .zip(ws.rom_g.as_slice())
+        .zip(ws.rom_c.as_slice())
+    {
+        *av = cv * inv_h + theta * gv;
+        *mv = cv * inv_h + neg * gv;
+    }
+    let lu = LuFactors::factor(&ws.trans_a)?;
 
     let steps = (opts.t_stop / h).round() as usize;
-    let mut x = vec![0.0; rom.size()];
+    ws.trans_x.clear();
+    ws.trans_x.resize(n, 0.0);
     let mut time = Vec::with_capacity(steps + 1);
     let mut outputs = vec![Vec::with_capacity(steps + 1); rom.num_outputs()];
 
-    let record = |x: &[f64], outputs: &mut Vec<Vec<f64>>| {
-        let y = rom.l.tr_mul_vec(x);
-        for (j, v) in y.into_iter().enumerate() {
-            outputs[j].push(v);
-        }
-    };
+    rom.l.tr_mul_vec_into(&ws.trans_x, &mut ws.trans_y);
     time.push(0.0);
-    record(&x, &mut outputs);
+    for (j, &v) in ws.trans_y.iter().enumerate() {
+        outputs[j].push(v);
+    }
 
     for k in 0..steps {
         let t0 = k as f64 * h;
         let t1 = t0 + h;
-        let u0 = input_vec(stimuli, t0);
-        let u1 = input_vec(stimuli, t1);
-        let mut rhs = m.mul_vec(&x);
-        let mut u = vec![0.0; u0.len()];
-        for i in 0..u.len() {
-            u[i] = theta * u1[i] + (1.0 - theta) * u0[i];
-        }
-        let bu = rom.b.mul_vec(&u);
-        vecops::axpy(1.0, &bu, &mut rhs);
-        x = lu.solve(&rhs)?;
+        // rhs = M x + B (θ u1 + (1-θ) u0), all through reused buffers.
+        ws.trans_m.mul_vec_into(&ws.trans_x, &mut ws.trans_rhs);
+        blend_inputs(stimuli, theta, t0, t1, &mut ws.trans_u);
+        rom.b.mul_vec_into(&ws.trans_u, &mut ws.trans_bu);
+        vecops::axpy(1.0, &ws.trans_bu, &mut ws.trans_rhs);
+        lu.solve_into(&ws.trans_rhs, &mut ws.trans_x)?;
+        rom.l.tr_mul_vec_into(&ws.trans_x, &mut ws.trans_y);
         time.push(t1);
-        record(&x, &mut outputs);
+        for (j, &v) in ws.trans_y.iter().enumerate() {
+            outputs[j].push(v);
+        }
     }
     Ok(TransientResult { time, outputs })
 }
@@ -506,6 +607,19 @@ mod tests {
         .is_err());
         // Wrong stimulus count.
         assert!(simulate_full(&sys, &[], &[], &TransientOptions::trapezoidal(1e-9, 10)).is_err());
+        // A non-finite grid (e.g. a window auto-sized from a pole at the
+        // origin) must be rejected, not silently produce zero steps.
+        assert!(simulate_full(
+            &sys,
+            &[],
+            &stim,
+            &TransientOptions {
+                t_stop: f64::INFINITY,
+                dt: f64::INFINITY,
+                method: IntegrationMethod::Trapezoidal
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -517,5 +631,112 @@ mod tests {
         let t = res.crossing_time(0, 0.5).unwrap();
         assert!((t - 0.5).abs() < 1e-12);
         assert!(res.crossing_time(0, 2.0).is_none());
+    }
+
+    #[test]
+    fn crossing_time_counts_exact_samples() {
+        let res = TransientResult {
+            time: vec![0.0, 1.0, 2.0],
+            outputs: vec![vec![0.0, 0.5, 1.0]],
+        };
+        assert_eq!(res.crossing_time(0, 0.5), Some(1.0));
+        assert_eq!(res.crossing_time(0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn falling_edge_delay_is_defined() {
+        // A discharge waveform settling to 0: the 50% level is the
+        // midpoint of the initial→final swing, crossed exactly at t = 1.
+        let res = TransientResult {
+            time: vec![0.0, 1.0, 2.0, 3.0],
+            outputs: vec![vec![8.0, 4.0, 1.0, 0.0]],
+        };
+        let d = res.delay_50(0).unwrap();
+        assert!((d - 1.0).abs() < 1e-12, "{d}");
+        // A falling edge settling to a negative value: threshold −2,
+        // crossed two thirds into the first interval.
+        let neg = TransientResult {
+            time: vec![0.0, 1.0, 2.0],
+            outputs: vec![vec![0.0, -3.0, -4.0]],
+        };
+        let d = neg.delay_50(0).unwrap();
+        assert!((d - 2.0 / 3.0).abs() < 1e-12, "{d}");
+    }
+
+    #[test]
+    fn overshoot_measures_the_swing_direction() {
+        let mk = |samples: Vec<f64>| TransientResult {
+            time: (0..samples.len()).map(|k| k as f64).collect(),
+            outputs: vec![samples],
+        };
+        // Rising past a positive final value — unchanged semantics.
+        assert!((mk(vec![0.0, 1.2, 1.0]).overshoot(0) - 0.2).abs() < 1e-12);
+        // Falling past a negative final value: the undershoot below the
+        // final value is the overshoot of that edge.
+        assert!((mk(vec![0.0, -1.2, -1.0]).overshoot(0) - 0.2).abs() < 1e-12);
+        // Excursions on the settling side never count.
+        assert_eq!(mk(vec![0.0, 0.5, 1.0]).overshoot(0), 0.0);
+        assert_eq!(mk(vec![0.0, -0.5, -1.0]).overshoot(0), 0.0);
+    }
+
+    #[test]
+    fn zero_rise_ramp_degenerates_to_step() {
+        let step = Stimulus::Step {
+            t0: 1.0,
+            amplitude: 2.0,
+        };
+        let ramp = Stimulus::Ramp {
+            t0: 1.0,
+            rise: 0.0,
+            amplitude: 2.0,
+        };
+        for t in [0.0, 0.999, 1.0, 1.001, 5.0] {
+            assert_eq!(step.at(t), ramp.at(t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_across_systems() {
+        // One workspace serving two ROMs of different sizes back and
+        // forth reproduces the fresh-workspace results bit for bit.
+        let sys_a = clock_tree(&ClockTreeConfig {
+            num_nodes: 30,
+            ..Default::default()
+        })
+        .assemble();
+        let sys_b = clock_tree(&ClockTreeConfig {
+            num_nodes: 50,
+            ..Default::default()
+        })
+        .assemble();
+        let rom_a = LowRankPmor::with_defaults().reduce_once(&sys_a).unwrap();
+        let rom_b = LowRankPmor::with_defaults().reduce_once(&sys_b).unwrap();
+        let stim_a = vec![
+            Stimulus::Step {
+                t0: 0.0,
+                amplitude: 1.0,
+            };
+            rom_a.num_inputs()
+        ];
+        let stim_b = vec![
+            Stimulus::Step {
+                t0: 0.0,
+                amplitude: 1.0,
+            };
+            rom_b.num_inputs()
+        ];
+        let opts = TransientOptions::trapezoidal(1e-9, 120);
+        let p = [0.1, -0.1, 0.2];
+        let mut ws = EvalWorkspace::new();
+        for _ in 0..2 {
+            let a = simulate_rom_with(&rom_a, &p, &stim_a, &opts, &mut ws).unwrap();
+            let b = simulate_rom_with(&rom_b, &p, &stim_b, &opts, &mut ws).unwrap();
+            let fresh_a = simulate_rom(&rom_a, &p, &stim_a, &opts).unwrap();
+            let fresh_b = simulate_rom(&rom_b, &p, &stim_b, &opts).unwrap();
+            for k in 0..a.time.len() {
+                assert_eq!(a.outputs[0][k].to_bits(), fresh_a.outputs[0][k].to_bits());
+                assert_eq!(b.outputs[0][k].to_bits(), fresh_b.outputs[0][k].to_bits());
+            }
+        }
     }
 }

@@ -89,6 +89,20 @@ impl<T: Scalar> LuFactors<T> {
     ///
     /// Returns [`NumError::DimensionMismatch`] if `b.len() != dim()`.
     pub fn solve(&self, b: &[T]) -> Result<Vec<T>> {
+        let mut x = Vec::with_capacity(self.dim());
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`LuFactors::solve`] writing the solution into a caller-owned
+    /// buffer (cleared and refilled; capacity is reused across calls) —
+    /// the allocation-free path time stepping runs on. Values are
+    /// bitwise identical to [`LuFactors::solve`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_into(&self, b: &[T], x: &mut Vec<T>) -> Result<()> {
         let n = self.dim();
         if b.len() != n {
             return Err(NumError::DimensionMismatch {
@@ -98,7 +112,8 @@ impl<T: Scalar> LuFactors<T> {
             });
         }
         // Apply permutation.
-        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        x.clear();
+        x.extend(self.perm.iter().map(|&p| b[p]));
         // Forward substitution with unit lower factor.
         for i in 1..n {
             let mut acc = x[i];
@@ -115,7 +130,7 @@ impl<T: Scalar> LuFactors<T> {
             }
             x[i] = acc * self.lu[(i, i)].recip();
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` column-by-column.

@@ -292,15 +292,27 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if `x.len() != ncols`.
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.ncols, "mul_vec: dimension mismatch");
-        (0..self.nrows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x.iter())
-                    .fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.nrows);
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::mul_vec`] writing into a caller-owned buffer (cleared and
+    /// refilled; capacity is reused across calls). Values are bitwise
+    /// identical to [`Matrix::mul_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec_into(&self, x: &[T], out: &mut Vec<T>) {
+        assert_eq!(x.len(), self.ncols, "mul_vec_into: dimension mismatch");
+        out.clear();
+        out.extend((0..self.nrows).map(|r| {
+            self.row(r)
+                .iter()
+                .zip(x.iter())
+                .fold(T::ZERO, |acc, (&a, &b)| acc + a * b)
+        }));
     }
 
     /// Transposed matrix–vector product `selfᵀ * x`.
@@ -309,8 +321,22 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// Panics if `x.len() != nrows`.
     pub fn tr_mul_vec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.nrows, "tr_mul_vec: dimension mismatch");
-        let mut out = vec![T::ZERO; self.ncols];
+        let mut out = Vec::with_capacity(self.ncols);
+        self.tr_mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`Matrix::tr_mul_vec`] writing into a caller-owned buffer (cleared
+    /// and refilled; capacity is reused across calls). Values are bitwise
+    /// identical to [`Matrix::tr_mul_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn tr_mul_vec_into(&self, x: &[T], out: &mut Vec<T>) {
+        assert_eq!(x.len(), self.nrows, "tr_mul_vec_into: dimension mismatch");
+        out.clear();
+        out.resize(self.ncols, T::ZERO);
         for (r, &xr) in x.iter().enumerate() {
             if xr == T::ZERO {
                 continue;
@@ -319,7 +345,6 @@ impl<T: Scalar> Matrix<T> {
                 *o += a * xr;
             }
         }
-        out
     }
 
     /// Returns `self + other`.

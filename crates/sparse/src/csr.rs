@@ -139,17 +139,29 @@ impl<T: Scalar> CsrMatrix<T> {
     ///
     /// Panics if `x.len() != ncols`.
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.ncols, "CsrMatrix::mul_vec: dim mismatch");
-        let mut y = vec![T::ZERO; self.nrows];
-        for r in 0..self.nrows {
+        let mut y = Vec::with_capacity(self.nrows);
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// [`CsrMatrix::mul_vec`] writing into a caller-owned buffer (cleared
+    /// and refilled; capacity is reused across calls). Values are bitwise
+    /// identical to [`CsrMatrix::mul_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec_into(&self, x: &[T], y: &mut Vec<T>) {
+        assert_eq!(x.len(), self.ncols, "CsrMatrix::mul_vec_into: dim mismatch");
+        y.clear();
+        y.extend((0..self.nrows).map(|r| {
             let (cols, vals) = self.row(r);
             let mut acc = T::ZERO;
             for (&c, &v) in cols.iter().zip(vals.iter()) {
                 acc += v * x[c];
             }
-            y[r] = acc;
-        }
-        y
+            acc
+        }));
     }
 
     /// Transposed product `y = Aᵀ·x` without forming the transpose.

@@ -14,6 +14,7 @@
 //! | `montecarlo` | [`MonteCarloAnalysis`] | pole/transfer error distribution |
 //! | `corner_sweep` | [`CornerSweepAnalysis`] | 2-D error grid over two parameters |
 //! | `yield` | [`YieldAnalysis`] | pass/fail spec yield at ROM cost |
+//! | `transient` | [`TransientAnalysis`] | 50 % delay / overshoot error distribution |
 //!
 //! Each [`AnalysisReport`] is stamped with provenance — model kinds and
 //! dimensions, evaluation point count, worker count, wall time — so any
@@ -46,6 +47,7 @@ use crate::montecarlo::MonteCarlo;
 use crate::stats::Summary;
 use crate::sweep::{linspace, Sweep2d};
 use pmor::eval::pole_errors;
+use pmor::transient::{IntegrationMethod, Stimulus, TransientOptions};
 use pmor::{EvalEngine, EvalPoint, PmorError, Result, TransferModel};
 use pmor_num::Complex64;
 use std::time::Instant;
@@ -227,6 +229,13 @@ pub mod analysis_defaults {
     pub const CORNER_POINTS_PER_AXIS: usize = 5;
     /// Relative yield threshold when no absolute one is given.
     pub const YIELD_MARGIN: f64 = 0.9;
+    /// Transient Monte-Carlo instances.
+    pub const TRANSIENT_INSTANCES: usize = 50;
+    /// Uniform transient time steps.
+    pub const TRANSIENT_STEPS: usize = 400;
+    /// Auto time window: `t_stop = TRANSIENT_TAU_FACTOR / |λ₁|` of the
+    /// reduced model's nominal dominant pole when `t_stop` is unset.
+    pub const TRANSIENT_TAU_FACTOR: f64 = 8.0;
 }
 
 /// Optional knobs for [`AnalysisKind::build`] — the union of every
@@ -271,6 +280,15 @@ pub struct AnalysisConfig {
     pub min_pole_rad_s: Option<f64>,
     /// Relative threshold when `min_pole_rad_s` is unset (yield).
     pub margin: Option<f64>,
+    /// Simulation end time, s; unset = auto from the reduced model's
+    /// nominal dominant pole (transient).
+    pub t_stop: Option<f64>,
+    /// Uniform time steps (transient).
+    pub steps: Option<usize>,
+    /// Input ramp rise time, s; 0 or unset = ideal step (transient).
+    pub rise: Option<f64>,
+    /// Integration scheme (transient).
+    pub integrator: Option<IntegrationMethod>,
 }
 
 /// The registry of analyses, selectable by name — symmetric to
@@ -287,15 +305,19 @@ pub enum AnalysisKind {
     CornerSweep,
     /// Pass/fail spec yield at reduced-model cost (`"yield"`).
     Yield,
+    /// Time-domain 50 % delay / overshoot error distribution over
+    /// sampled instances (`"transient"`).
+    Transient,
 }
 
 impl AnalysisKind {
     /// Every registered analysis, in presentation order.
-    pub const ALL: [AnalysisKind; 4] = [
+    pub const ALL: [AnalysisKind; 5] = [
         AnalysisKind::FrequencySweep,
         AnalysisKind::MonteCarlo,
         AnalysisKind::CornerSweep,
         AnalysisKind::Yield,
+        AnalysisKind::Transient,
     ];
 
     /// The registry name.
@@ -305,6 +327,7 @@ impl AnalysisKind {
             AnalysisKind::MonteCarlo => "montecarlo",
             AnalysisKind::CornerSweep => "corner_sweep",
             AnalysisKind::Yield => "yield",
+            AnalysisKind::Transient => "transient",
         }
     }
 
@@ -315,6 +338,7 @@ impl AnalysisKind {
             AnalysisKind::MonteCarlo => "pole/transfer error distribution vs the full model",
             AnalysisKind::CornerSweep => "2-D error grid over two parameters",
             AnalysisKind::Yield => "pass/fail spec yield at reduced-model cost",
+            AnalysisKind::Transient => "time-domain 50% delay/overshoot errors vs the full model",
         }
     }
 
@@ -405,6 +429,30 @@ impl AnalysisKind {
                     seed,
                     min_pole_rad_s: cfg.min_pole_rad_s,
                     margin,
+                }))
+            }
+            AnalysisKind::Transient => {
+                if let Some(t) = cfg.t_stop {
+                    if !(t > 0.0 && t.is_finite()) {
+                        return Err(invalid(format!("t_stop must be positive, got {t}")));
+                    }
+                }
+                let steps = cfg.steps.unwrap_or(d::TRANSIENT_STEPS);
+                if steps < 2 {
+                    return Err(invalid("steps must be at least 2"));
+                }
+                let rise = cfg.rise.unwrap_or(0.0);
+                if !(rise >= 0.0 && rise.is_finite()) {
+                    return Err(invalid(format!("rise must be non-negative, got {rise}")));
+                }
+                Ok(Box::new(TransientAnalysis {
+                    instances: cfg.instances.unwrap_or(d::TRANSIENT_INSTANCES).max(1),
+                    sigma,
+                    seed,
+                    t_stop: cfg.t_stop,
+                    steps,
+                    rise,
+                    method: cfg.integrator.unwrap_or(IntegrationMethod::Trapezoidal),
                 }))
             }
         }
@@ -786,6 +834,156 @@ impl Analysis for YieldAnalysis {
     }
 }
 
+// --- transient -------------------------------------------------------------
+
+/// Monte-Carlo comparison of the metrics designers actually sign off on:
+/// at every sampled process instance, both models are driven with the
+/// same unit step (or ramp) through the θ-method transient engine, and
+/// the reduced model's 50 %-swing delay and overshoot are scored against
+/// the full model's. This is the paper's "one ROM serves *all* downstream
+/// analyses" claim taken to the time domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientAnalysis {
+    /// Number of sampled instances.
+    pub instances: usize,
+    /// Per-parameter sigma of the ±3σ-truncated normal.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Simulation end time, s. `None` = auto:
+    /// [`analysis_defaults::TRANSIENT_TAU_FACTOR`] over the reduced
+    /// model's nominal dominant-pole magnitude.
+    pub t_stop: Option<f64>,
+    /// Uniform time steps.
+    pub steps: usize,
+    /// Input ramp rise time, s; 0 = ideal step.
+    pub rise: f64,
+    /// Integration scheme.
+    pub method: IntegrationMethod,
+}
+
+impl Analysis for TransientAnalysis {
+    fn name(&self) -> &'static str {
+        AnalysisKind::Transient.name()
+    }
+
+    fn run(
+        &self,
+        engine: &EvalEngine,
+        full: &dyn TransferModel,
+        rom: &dyn TransferModel,
+    ) -> Result<AnalysisReport> {
+        let start = Instant::now();
+        let np = full.num_params();
+        if full.num_inputs() == 0 || full.num_outputs() == 0 {
+            return Err(invalid(
+                "transient analysis needs at least one input and one output port",
+            ));
+        }
+        let t_stop = match self.t_stop {
+            Some(t) => t,
+            None => {
+                // Size the window from the reduced model's nominal
+                // dominant pole: |λ₁| is the slowest rate, so
+                // TAU_FACTOR/|λ₁| covers the settling transient.
+                let nominal = rom.dominant_poles(&vec![0.0; np], 1)?;
+                let Some(first) = nominal.first() else {
+                    return Err(invalid(
+                        "model has no finite poles to size the transient window from",
+                    ));
+                };
+                let t = analysis_defaults::TRANSIENT_TAU_FACTOR / first.abs();
+                if !(t > 0.0 && t.is_finite()) {
+                    return Err(invalid(format!(
+                        "cannot auto-size the transient window from dominant pole {first} \
+                         (got t_stop = {t}); set t_stop explicitly"
+                    )));
+                }
+                t
+            }
+        };
+        let opts = TransientOptions {
+            t_stop,
+            dt: t_stop / self.steps as f64,
+            method: self.method,
+        };
+        let stimulus = if self.rise > 0.0 {
+            Stimulus::Ramp {
+                t0: 0.0,
+                rise: self.rise,
+                amplitude: 1.0,
+            }
+        } else {
+            Stimulus::Step {
+                t0: 0.0,
+                amplitude: 1.0,
+            }
+        };
+        let stimuli = vec![stimulus; full.num_inputs()];
+        let points = sampler(np, self.instances, self.sigma, self.seed).sample_points();
+        // Per instance: (full delay, rom delay, full overshoot, rom
+        // overshoot) of output 0, both models simulated on the same grid.
+        let per_instance: Vec<[f64; 4]> = engine.map(&points, |p, ws| {
+            let yf = full.transient(p, &stimuli, &opts, ws)?;
+            let yr = rom.transient(p, &stimuli, &opts, ws)?;
+            let df = yf.delay_50(0).ok_or_else(|| {
+                invalid(format!(
+                    "full-model waveform never reaches its 50% level at p = {p:?} \
+                     (raise t_stop or steps)"
+                ))
+            })?;
+            let dr = yr.delay_50(0).ok_or_else(|| {
+                invalid(format!(
+                    "reduced-model waveform never reaches its 50% level at p = {p:?} \
+                     (raise t_stop or steps)"
+                ))
+            })?;
+            Ok([df, dr, yf.overshoot(0), yr.overshoot(0)])
+        })?;
+        let delay_errs: Vec<f64> = per_instance
+            .iter()
+            .map(|[df, dr, _, _]| 100.0 * (df - dr).abs() / df.abs().max(1e-300))
+            .collect();
+        let over_errs: Vec<f64> = per_instance
+            .iter()
+            .map(|[_, _, of, or]| (of - or).abs())
+            .collect();
+        let d = Summary::of(&delay_errs);
+        let worst_over = over_errs.iter().copied().fold(0.0, f64::max);
+        let mean_full_delay =
+            per_instance.iter().map(|e| e[0]).sum::<f64>() / per_instance.len().max(1) as f64;
+        let mut report = AnalysisReport::new(self.name())
+            .metric("instances", self.instances as f64)
+            .metric("steps", self.steps as f64)
+            .metric("t_stop_s", t_stop)
+            .metric("max_delay_err_percent", d.max)
+            .metric("mean_delay_err_percent", d.mean)
+            .metric("max_overshoot_err", worst_over)
+            .metric("mean_full_delay_s", mean_full_delay);
+        report.lines.push(format!(
+            "{} instances × {} steps to {t_stop:.3e}s — 50% delay err max {:.4}% mean {:.4}%, \
+             overshoot gap max {worst_over:.3e} (mean full delay {mean_full_delay:.3e}s)",
+            self.instances, self.steps, d.max, d.mean
+        ));
+        report.csv = Some(CsvBlock {
+            x_label: "instance".to_string(),
+            x: (0..per_instance.len()).map(|i| i as f64).collect(),
+            series: vec![
+                (
+                    "full_delay_s".to_string(),
+                    per_instance.iter().map(|e| e[0]).collect(),
+                ),
+                (
+                    "rom_delay_s".to_string(),
+                    per_instance.iter().map(|e| e[1]).collect(),
+                ),
+            ],
+        });
+        let secs = start.elapsed().as_secs_f64();
+        Ok(report.stamp(engine, full, rom, 2 * points.len(), points.len(), secs))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,6 +1078,7 @@ mod tests {
             instances: Some(4),
             points: Some(4),
             points_per_axis: Some(2),
+            steps: Some(100),
             ..Default::default()
         };
         for kind in AnalysisKind::ALL {
@@ -989,6 +1188,65 @@ mod tests {
         let grid = report.grid.as_ref().unwrap();
         assert_eq!(grid.values.len(), 2);
         assert!(grid.values.iter().flatten().all(|&e| e < 1.0));
+    }
+
+    #[test]
+    fn transient_analysis_reports_small_errors_and_delays() {
+        let sys = tree(30);
+        let full = FullModel::new(&sys);
+        let rom = rom_for(&sys);
+        let analysis = TransientAnalysis {
+            instances: 3,
+            sigma: 0.1,
+            seed: 0x3C0,
+            t_stop: None,
+            steps: 150,
+            rise: 0.0,
+            method: IntegrationMethod::Trapezoidal,
+        };
+        let report = analysis.run(&EvalEngine::new(2), &full, &rom).unwrap();
+        // A lowrank ROM reproduces the clock tree's delay to well under a
+        // percent, and the auto window is positive and finite.
+        assert!(report.metric_value("max_delay_err_percent").unwrap() < 1.0);
+        assert!(report.metric_value("t_stop_s").unwrap() > 0.0);
+        assert!(report.metric_value("mean_full_delay_s").unwrap() > 0.0);
+        assert!(report.metric_value("max_overshoot_err").unwrap() < 0.05);
+        // Per-instance delays ride along as a CSV block.
+        let csv = report.csv.as_ref().unwrap();
+        assert_eq!(csv.x.len(), 3);
+        assert_eq!(csv.series.len(), 2);
+    }
+
+    #[test]
+    fn transient_build_rejects_bad_knobs() {
+        for (cfg, what) in [
+            (
+                AnalysisConfig {
+                    t_stop: Some(-1e-9),
+                    ..Default::default()
+                },
+                "negative t_stop",
+            ),
+            (
+                AnalysisConfig {
+                    steps: Some(1),
+                    ..Default::default()
+                },
+                "single step",
+            ),
+            (
+                AnalysisConfig {
+                    rise: Some(-1e-12),
+                    ..Default::default()
+                },
+                "negative rise",
+            ),
+        ] {
+            assert!(
+                AnalysisKind::Transient.build(&cfg).is_err(),
+                "{what} accepted"
+            );
+        }
     }
 
     #[test]

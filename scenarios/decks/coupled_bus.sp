@@ -1,0 +1,54 @@
+* Two-line coupled RC bus, extracted-deck style.
+*
+* Ports and variational sensitivities travel in the structured comment
+* cards pmor_circuits::spice understands (*PORT / *OUTPUT / *SENS):
+*   p0 = line-1 metal width, p1 = line-2 metal width.
+* Widening a line raises its conductance (lower series R) and raises its
+* ground and coupling capacitance, so *SENS coefficients are positive on
+* the stored conductance/capacitance values.
+
+Rdrv1 in1 0 50
+Rdrv2 in2 0 50
+
+R11 in1 m11 40
+R12 m11 m12 40
+R13 m12 out1 40
+R21 in2 m21 40
+R22 m21 m22 40
+R23 m22 out2 40
+
+C11 m11 0 30f
+C12 m12 0 30f
+C13 out1 0 60f
+C21 m21 0 30f
+C22 m22 0 30f
+C23 out2 0 60f
+
+Cc1 m11 m21 12f
+Cc2 m12 m22 12f
+Cc3 out1 out2 12f
+
+*SENS R11 0 0.5
+*SENS R12 0 0.5
+*SENS R13 0 0.5
+*SENS C11 0 0.5
+*SENS C12 0 0.5
+*SENS C13 0 0.5
+*SENS R21 1 0.5
+*SENS R22 1 0.5
+*SENS R23 1 0.5
+*SENS C21 1 0.5
+*SENS C22 1 0.5
+*SENS C23 1 0.5
+*SENS Cc1 0 0.3
+*SENS Cc1 1 0.3
+*SENS Cc2 0 0.3
+*SENS Cc2 1 0.3
+*SENS Cc3 0 0.3
+*SENS Cc3 1 0.3
+
+*PORT in1
+*PORT in2
+*OUTPUT out1
+*OUTPUT out2
+.END
