@@ -13,9 +13,12 @@
 pub mod harness;
 pub mod micro;
 pub mod report;
+pub mod suite;
+pub mod toml;
 
 pub use harness::{methods_from_args, reduce_all, ReducedMethod};
-pub use report::{write_bench_json, write_bench_json_in, BenchRecord};
+pub use report::{validate_bench_json, write_bench_json, write_bench_json_in, BenchRecord};
+pub use suite::{BenchSuite, MicroKernel, SuiteEntry, SuiteEntryKind};
 
 use std::time::Instant;
 
@@ -54,19 +57,32 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 ///
 /// Panics if a series length differs from `x.len()`.
 pub fn print_csv(x_label: &str, x: &[f64], series: &[(&str, Vec<f64>)]) {
-    print!("{x_label}");
+    print!("{}", format_csv(x_label, x, series));
+}
+
+/// [`print_csv`] into a string — for callers that buffer per-job output
+/// (the CLI's concurrent analyses) before printing it in order.
+///
+/// # Panics
+///
+/// Panics if a series length differs from `x.len()`.
+pub fn format_csv(x_label: &str, x: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(x_label);
     for (name, _) in series {
-        print!(",{name}");
+        let _ = write!(out, ",{name}");
     }
-    println!();
+    out.push('\n');
     for (i, xv) in x.iter().enumerate() {
-        print!("{xv:.6e}");
+        let _ = write!(out, "{xv:.6e}");
         for (_, ys) in series {
             assert_eq!(ys.len(), x.len(), "series length mismatch");
-            print!(",{:.6e}", ys[i]);
+            let _ = write!(out, ",{:.6e}", ys[i]);
         }
-        println!();
+        out.push('\n');
     }
+    out
 }
 
 /// Renders multiple series as an ASCII line chart (one glyph per series),
@@ -119,19 +135,33 @@ pub fn ascii_chart(title: &str, series: &[(&str, Vec<f64>)], height: usize, widt
 
 /// Renders a 2-D grid (e.g. pole error vs two parameters) as ASCII rows.
 pub fn print_grid(title: &str, row_label: &str, rows: &[f64], cols: &[f64], grid: &[Vec<f64>]) {
-    println!("--- {title} ---");
-    print!("{row_label:>10}");
+    print!("{}", format_grid(title, row_label, rows, cols, grid));
+}
+
+/// [`print_grid`] into a string (see [`format_csv`] for why).
+pub fn format_grid(
+    title: &str,
+    row_label: &str,
+    rows: &[f64],
+    cols: &[f64],
+    grid: &[Vec<f64>],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {title} ---");
+    let _ = write!(out, "{row_label:>10}");
     for c in cols {
-        print!(" {c:>9.2}");
+        let _ = write!(out, " {c:>9.2}");
     }
-    println!();
+    out.push('\n');
     for (i, r) in rows.iter().enumerate() {
-        print!("{r:>10.2}");
+        let _ = write!(out, "{r:>10.2}");
         for v in &grid[i] {
-            print!(" {v:>9.4}");
+            let _ = write!(out, " {v:>9.4}");
         }
-        println!();
+        out.push('\n');
     }
+    out
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ pub struct MicroStats {
     pub min_s: f64,
     /// Mean iteration, seconds.
     pub mean_s: f64,
+    /// Median iteration, seconds — the headline number `pmor bench`
+    /// records (robust against one slow outlier iteration).
+    pub median_s: f64,
     /// Slowest observed iteration, seconds.
     pub max_s: f64,
     /// Timed iterations.
@@ -27,9 +30,28 @@ pub struct MicroStats {
 /// # Panics
 ///
 /// Panics if `iters` is zero.
-pub fn bench_case<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> MicroStats {
+pub fn bench_case<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> MicroStats {
+    bench_case_config(name, 1, iters, f)
+}
+
+/// [`bench_case`] with an explicit warm-up count: runs `f` `warmup`
+/// untimed times, then `iters` timed times, printing and returning the
+/// summary. The suite runner (`pmor bench`) drives this variant with the
+/// suite file's `warmup`/`repeats` knobs.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn bench_case_config<T>(
+    name: &str,
+    warmup: usize,
+    iters: usize,
+    mut f: impl FnMut() -> T,
+) -> MicroStats {
     assert!(iters > 0, "bench_case: need at least one iteration");
-    std::hint::black_box(f()); // warm-up (page in, fill caches)
+    for _ in 0..warmup {
+        std::hint::black_box(f()); // warm-up (page in, fill caches)
+    }
     let mut times = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
@@ -42,16 +64,30 @@ pub fn bench_case<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> Micr
     let stats = MicroStats {
         min_s,
         mean_s,
+        median_s: median(&mut times),
         max_s,
         iters,
     };
     println!(
-        "{name:<44} min {:>10.3} ms   mean {:>10.3} ms   max {:>10.3} ms   ({iters} iters)",
+        "{name:<44} min {:>10.3} ms   median {:>10.3} ms   max {:>10.3} ms   ({iters} iters)",
         1e3 * min_s,
-        1e3 * mean_s,
+        1e3 * stats.median_s,
         1e3 * max_s
     );
     stats
+}
+
+/// Median of a nonempty sample (sorts in place; even-length samples
+/// average the two central values).
+pub fn median(times: &mut [f64]) -> f64 {
+    assert!(!times.is_empty(), "median: empty sample");
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let n = times.len();
+    if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        0.5 * (times[n / 2 - 1] + times[n / 2])
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +99,21 @@ mod tests {
         let s = bench_case("noop", 3, || 1 + 1);
         assert_eq!(s.iters, 3);
         assert!(s.min_s >= 0.0 && s.min_s <= s.mean_s && s.mean_s <= s.max_s);
+        assert!(s.min_s <= s.median_s && s.median_s <= s.max_s);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn warmup_iterations_are_not_timed() {
+        let mut calls = 0;
+        let s = bench_case_config("warm", 2, 3, || calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(s.iters, 3);
     }
 }

@@ -92,6 +92,55 @@ pub fn write_bench_json_in(
     Ok(path)
 }
 
+/// Metric names every standardized `BENCH_*.json` record must carry (on
+/// top of the structural `tag`/`method`/`wall_seconds` fields):
+/// `median_seconds` (the headline timing, median over the repeats) and
+/// `dim` (the full-system dimension the workload ran at). The CI
+/// bench-smoke job rejects records without them via
+/// [`validate_bench_json`].
+pub const REQUIRED_METRICS: [&str; 2] = ["median_seconds", "dim"];
+
+/// Checks that `text` is a `BENCH_*.json` file produced by
+/// [`write_bench_json`] whose every record carries the required fields:
+/// a file-level `tag`, and per record `method`, `wall_seconds`, and the
+/// [`REQUIRED_METRICS`] (`median_seconds`, `dim`). This is a structural
+/// check of the writer's own line-per-record format, not a general JSON
+/// parser — exactly what the CI artifact gate needs.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing field or record.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    if !text.contains("\"tag\": \"") {
+        return Err("missing file-level \"tag\" field".into());
+    }
+    let Some(start) = text.find("\"records\": [") else {
+        return Err("missing \"records\" array".into());
+    };
+    let mut records = 0;
+    for line in text[start..].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        records += 1;
+        for field in ["\"method\": \"", "\"workload\": \"", "\"wall_seconds\": "] {
+            if !line.contains(field) {
+                return Err(format!("record {records}: missing {field}"));
+            }
+        }
+        for metric in REQUIRED_METRICS {
+            if !line.contains(&format!("\"{metric}\": ")) {
+                return Err(format!("record {records}: missing metric \"{metric}\""));
+            }
+        }
+    }
+    if records == 0 {
+        return Err("no records".into());
+    }
+    Ok(())
+}
+
 /// JSON string literal with the mandatory escapes.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -137,6 +186,33 @@ mod tests {
         assert_eq!(json_number(3.0), "3.0");
         assert_eq!(json_number(f64::NAN), "null");
         assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn validates_required_fields() {
+        let good = vec![BenchRecord::new("lowrank", "rc_mesh(1089)", 0.5)
+            .metric("median_seconds", 0.5)
+            .metric("dim", 1089.0)];
+        let dir = std::env::temp_dir().join("pmor_bench_validate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_bench_json_in(&dir, "v", &good).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_bench_json(&text).unwrap();
+
+        // Records without the standardized metrics are rejected.
+        let bad = vec![BenchRecord::new("lowrank", "rc_mesh(1089)", 0.5)];
+        let path = write_bench_json_in(&dir, "v2", &bad).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let err = validate_bench_json(&text).unwrap_err();
+        assert!(err.contains("median_seconds"), "{err}");
+
+        // Empty files and non-bench JSON are rejected.
+        let path = write_bench_json_in(&dir, "v3", &[]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(validate_bench_json(&text)
+            .unwrap_err()
+            .contains("no records"));
+        assert!(validate_bench_json("{}").is_err());
     }
 
     #[test]

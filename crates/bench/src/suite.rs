@@ -1,0 +1,527 @@
+//! Declarative benchmark suites: the `pmor bench` file format and the
+//! micro-kernel runner.
+//!
+//! A suite is a TOML file (same hand-rolled [`crate::toml`] subset as
+//! scenario files) describing what to measure and how hard:
+//!
+//! ```toml
+//! [suite]
+//! name = "default"
+//! warmup = 1
+//! repeats = 5
+//!
+//! [micro]                        # sparse/dense kernel timings
+//! kernels = ["csr_mul", "lu_factor", "lu_solve", "qr_orth"]
+//! sides = [16, 32]               # rc_mesh side lengths (dim ≈ side²)
+//!
+//! [scenario-rc_mesh_stress]      # macro: reduce + analysis per method
+//! file = "../rc_mesh_stress.toml"
+//!
+//! [compare-rc_mesh_parallel]     # serial vs parallel reduction
+//! file = "../rc_mesh_stress.toml"
+//! method = "multipoint"
+//! ```
+//!
+//! Entry sections are `[micro]`/`[micro-<tag>]`, `[scenario-<tag>]` and
+//! `[compare-<tag>]`; the section-name suffix becomes the entry's
+//! **tag**, and each entry emits one `BENCH_<suite>_<tag>.json` record
+//! file. Entries run in section-name order (the parser stores
+//! sections sorted), so a suite's output set is deterministic.
+//!
+//! This module owns the schema and the micro/kernel measurements (they
+//! only need the workspace's sparse/dense kernels); the scenario and
+//! compare entries reference scenario files, which the `pmor` CLI layer
+//! knows how to load and run.
+
+use crate::micro::bench_case_config;
+use crate::report::BenchRecord;
+use crate::toml::{self, Document, TomlError};
+use pmor_circuits::generators::{rc_mesh, RcMeshConfig};
+use pmor_num::orth::OrthoBasis;
+use pmor_num::Matrix;
+use pmor_sparse::{ordering, CsrMatrix, SparseLu};
+use std::path::{Path, PathBuf};
+
+/// A parsed benchmark suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSuite {
+    /// Suite name: part of every emitted `BENCH_<name>_<tag>.json`.
+    pub name: String,
+    /// Free-form description (printed in the run banner).
+    pub description: String,
+    /// Untimed warm-up runs before the timed repeats.
+    pub warmup: usize,
+    /// Timed repeats per measurement; the recorded number is the median.
+    pub repeats: usize,
+    /// The measurements, in deterministic (section-name) order.
+    pub entries: Vec<SuiteEntry>,
+}
+
+/// One measurement of a suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteEntry {
+    /// Entry tag: the `BENCH_<suite>_<tag>.json` suffix.
+    pub tag: String,
+    /// What to measure.
+    pub kind: SuiteEntryKind,
+}
+
+/// The kinds of suite entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteEntryKind {
+    /// Sparse/dense kernel micro-benchmarks on an RC-mesh matrix.
+    Micro {
+        /// Which kernels to time.
+        kernels: Vec<MicroKernel>,
+        /// RC-mesh side lengths (matrix dimension ≈ side² + pads).
+        sides: Vec<usize>,
+    },
+    /// A scenario file run end-to-end (reduce + analysis per method),
+    /// timed as a whole. Executed by the CLI layer.
+    Scenario {
+        /// Scenario path, resolved against the suite file's directory.
+        file: PathBuf,
+    },
+    /// Serial (threads = 1) vs parallel (at least 4 workers, more when
+    /// the machine has them) reduction of a scenario's system with one
+    /// method, with a bitwise-equality check of the two ROMs' transfer
+    /// values. Executed by the CLI layer.
+    Compare {
+        /// Scenario path providing the system, resolved like `Scenario`.
+        file: PathBuf,
+        /// Reduction method (registry name); multi-shift methods
+        /// (`multipoint`, `fit`) are the ones with a parallel path.
+        method: String,
+    },
+}
+
+/// The micro-benchmark kernels `pmor bench` knows how to time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroKernel {
+    /// Sparse matrix–vector product `y = G·x`.
+    CsrMul,
+    /// Sparse LU factorization of `G` (RCM-ordered).
+    LuFactor,
+    /// Triangular solve on precomputed LU factors.
+    LuSolve,
+    /// Block orthonormalization (modified Gram–Schmidt) of 8 vectors.
+    QrOrth,
+}
+
+impl MicroKernel {
+    /// Every kernel, in presentation order.
+    pub const ALL: [MicroKernel; 4] = [
+        MicroKernel::CsrMul,
+        MicroKernel::LuFactor,
+        MicroKernel::LuSolve,
+        MicroKernel::QrOrth,
+    ];
+
+    /// The name used in suite files and `BENCH_*.json` records.
+    pub fn name(self) -> &'static str {
+        match self {
+            MicroKernel::CsrMul => "csr_mul",
+            MicroKernel::LuFactor => "lu_factor",
+            MicroKernel::LuSolve => "lu_solve",
+            MicroKernel::QrOrth => "qr_orth",
+        }
+    }
+
+    /// Looks a kernel up by its suite-file name.
+    pub fn from_name(name: &str) -> Option<MicroKernel> {
+        MicroKernel::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line: 0,
+        msg: msg.into(),
+    })
+}
+
+impl BenchSuite {
+    /// Loads and validates a suite from a TOML file; relative scenario
+    /// paths inside it resolve against the suite file's directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, TOML parse errors, and schema violations
+    /// (unknown section kind, unknown kernel, missing `file`, …).
+    pub fn load(path: impl AsRef<Path>) -> Result<BenchSuite, TomlError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| TomlError {
+            line: 0,
+            msg: format!("reading {}: {e}", path.display()),
+        })?;
+        BenchSuite::parse_at(&text, path.parent())
+    }
+
+    /// Parses a suite from TOML text, resolving relative scenario paths
+    /// against `base`.
+    ///
+    /// # Errors
+    ///
+    /// See [`BenchSuite::load`].
+    pub fn parse_at(text: &str, base: Option<&Path>) -> Result<BenchSuite, TomlError> {
+        let doc = toml::parse(text)?;
+        let name = doc.str_req("suite", "name")?.to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return fail(format!(
+                "[suite] name {name:?} must be nonempty and filename-safe ([A-Za-z0-9_-])"
+            ));
+        }
+        let description = doc
+            .str_opt("suite", "description")?
+            .unwrap_or("")
+            .to_string();
+        let warmup = doc.usize_or("suite", "warmup", 1)?;
+        let repeats = doc.usize_or("suite", "repeats", 5)?;
+        if repeats == 0 {
+            return fail("[suite] repeats must be at least 1");
+        }
+        for key in doc
+            .section("suite")
+            .map(|t| t.keys().cloned().collect::<Vec<_>>())
+            .unwrap_or_default()
+        {
+            if !["name", "description", "warmup", "repeats"].contains(&key.as_str()) {
+                return fail(format!("[suite]: unknown key `{key}`"));
+            }
+        }
+        let mut entries = Vec::new();
+        for section in doc.section_names() {
+            match section {
+                "" | "suite" => continue,
+                s if s == "micro" || s.starts_with("micro-") => {
+                    let tag = s.strip_prefix("micro-").unwrap_or("micro").to_string();
+                    entries.push(SuiteEntry {
+                        tag,
+                        kind: parse_micro(&doc, s)?,
+                    });
+                }
+                s if s.starts_with("scenario-") => {
+                    let tag = s["scenario-".len()..].to_string();
+                    entries.push(SuiteEntry {
+                        tag,
+                        kind: SuiteEntryKind::Scenario {
+                            file: parse_file(&doc, s, base, &["file"])?,
+                        },
+                    });
+                }
+                s if s.starts_with("compare-") => {
+                    let tag = s["compare-".len()..].to_string();
+                    let file = parse_file(&doc, s, base, &["file", "method"])?;
+                    let method = doc
+                        .str_opt(s, "method")?
+                        .unwrap_or("multipoint")
+                        .to_string();
+                    entries.push(SuiteEntry {
+                        tag,
+                        kind: SuiteEntryKind::Compare { file, method },
+                    });
+                }
+                other => {
+                    return fail(format!(
+                        "unknown section [{other}]; suites know [suite], [micro], \
+                         [scenario-<tag>] and [compare-<tag>]"
+                    ))
+                }
+            }
+        }
+        if entries.is_empty() {
+            return fail("suite has no entries");
+        }
+        // Tags name the output files (`BENCH_<suite>_<tag>.json`), so an
+        // empty tag ([scenario-]) or a collision ([scenario-mesh] +
+        // [compare-mesh]) would produce a nameless file or silently
+        // clobber one entry's records with the other's.
+        for (i, entry) in entries.iter().enumerate() {
+            if entry.tag.is_empty() {
+                return fail("entry section needs a tag after the dash (e.g. [scenario-mesh])");
+            }
+            if entries[..i].iter().any(|e| e.tag == entry.tag) {
+                return fail(format!(
+                    "duplicate entry tag {:?}: two sections would both write \
+                     BENCH_{name}_{}.json",
+                    entry.tag, entry.tag
+                ));
+            }
+        }
+        Ok(BenchSuite {
+            name,
+            description,
+            warmup,
+            repeats,
+            entries,
+        })
+    }
+}
+
+/// Parses a `[micro*]` section.
+fn parse_micro(doc: &Document, sec: &str) -> Result<SuiteEntryKind, TomlError> {
+    for key in doc
+        .section(sec)
+        .map(|t| t.keys().cloned().collect::<Vec<_>>())
+        .unwrap_or_default()
+    {
+        if !["kernels", "sides"].contains(&key.as_str()) {
+            return fail(format!("[{sec}]: unknown key `{key}`"));
+        }
+    }
+    let kernels = match doc.get(sec, "kernels") {
+        None => MicroKernel::ALL.to_vec(),
+        Some(_) => {
+            let names = doc.str_array_req(sec, "kernels")?;
+            if names.is_empty() {
+                return fail(format!("[{sec}] kernels must not be empty"));
+            }
+            names
+                .iter()
+                .map(|n| {
+                    MicroKernel::from_name(n).ok_or_else(|| TomlError {
+                        line: 0,
+                        msg: format!(
+                            "[{sec}] unknown kernel {n:?}; known: {}",
+                            MicroKernel::ALL.map(|k| k.name()).join(", ")
+                        ),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    let sides = match doc.f64_array_opt(sec, "sides")? {
+        None => vec![16],
+        Some(raw) => {
+            let mut sides = Vec::with_capacity(raw.len());
+            for v in raw {
+                if v < 2.0 || v.fract() != 0.0 || v > 512.0 {
+                    return fail(format!(
+                        "[{sec}] sides must be integers in 2..=512, got {v}"
+                    ));
+                }
+                sides.push(v as usize);
+            }
+            if sides.is_empty() {
+                return fail(format!("[{sec}] sides must not be empty"));
+            }
+            sides
+        }
+    };
+    Ok(SuiteEntryKind::Micro { kernels, sides })
+}
+
+/// Parses the `file` key of a scenario/compare section, checking the
+/// section's key set against `allowed`.
+fn parse_file(
+    doc: &Document,
+    sec: &str,
+    base: Option<&Path>,
+    allowed: &[&str],
+) -> Result<PathBuf, TomlError> {
+    for key in doc
+        .section(sec)
+        .map(|t| t.keys().cloned().collect::<Vec<_>>())
+        .unwrap_or_default()
+    {
+        if !allowed.contains(&key.as_str()) {
+            return fail(format!("[{sec}]: unknown key `{key}`"));
+        }
+    }
+    let rel = doc.str_req(sec, "file")?;
+    Ok(match base {
+        Some(base) => base.join(rel),
+        None => PathBuf::from(rel),
+    })
+}
+
+/// Runs one micro entry: every kernel × every mesh side, timed with the
+/// suite's warm-up and repeat counts, one [`BenchRecord`] per pair. The
+/// workload matrix is the RC mesh's nominal conductance `G0` — the same
+/// matrix family the macro scenarios factor.
+pub fn run_micro(
+    kernels: &[MicroKernel],
+    sides: &[usize],
+    warmup: usize,
+    repeats: usize,
+) -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    for &side in sides {
+        let sys = rc_mesh(&RcMeshConfig {
+            rows: side,
+            cols: side,
+            ..Default::default()
+        })
+        .assemble();
+        let g: &CsrMatrix<f64> = &sys.g0;
+        let dim = g.nrows();
+        let ord = ordering::rcm(g);
+        let lu = SparseLu::factor(g, Some(&ord)).expect("mesh G0 factors");
+        let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+        let block = Matrix::from_fn(dim, 8, |r, c| ((r * 31 + c * 17) as f64 * 0.11).cos());
+        for &kernel in kernels {
+            let label = format!("{}/{}(n={dim})", kernel.name(), side);
+            let stats = match kernel {
+                MicroKernel::CsrMul => bench_case_config(&label, warmup, repeats, || g.mul_vec(&x)),
+                MicroKernel::LuFactor => bench_case_config(&label, warmup, repeats, || {
+                    SparseLu::factor(g, Some(&ord)).expect("factors")
+                }),
+                MicroKernel::LuSolve => {
+                    bench_case_config(&label, warmup, repeats, || lu.solve(&x).expect("solves"))
+                }
+                MicroKernel::QrOrth => bench_case_config(&label, warmup, repeats, || {
+                    let mut basis = OrthoBasis::new(dim);
+                    basis.insert_block(&block)
+                }),
+            };
+            records.push(
+                BenchRecord::new(kernel.name(), format!("rc_mesh({dim})"), stats.median_s)
+                    .metric("median_seconds", stats.median_s)
+                    .metric("mean_seconds", stats.mean_s)
+                    .metric("min_seconds", stats.min_s)
+                    .metric("dim", dim as f64)
+                    .metric("repeats", repeats as f64),
+            );
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::validate_bench_json;
+    use crate::report::write_bench_json_in;
+
+    const SUITE: &str = r#"
+[suite]
+name = "unit"
+description = "suite schema test"
+repeats = 2
+
+[micro]
+kernels = ["csr_mul", "lu_solve"]
+sides = [4]
+
+[scenario-stress]
+file = "sub/stress.toml"
+
+[compare-par]
+file = "sub/stress.toml"
+method = "multipoint"
+"#;
+
+    #[test]
+    fn parses_every_entry_kind_with_resolved_paths() {
+        let suite = BenchSuite::parse_at(SUITE, Some(Path::new("/base"))).unwrap();
+        assert_eq!(suite.name, "unit");
+        assert_eq!(suite.warmup, 1);
+        assert_eq!(suite.repeats, 2);
+        assert_eq!(suite.entries.len(), 3);
+        // Section-name order: compare-par < micro < scenario-stress.
+        assert_eq!(suite.entries[0].tag, "par");
+        assert_eq!(suite.entries[1].tag, "micro");
+        assert_eq!(suite.entries[2].tag, "stress");
+        match &suite.entries[0].kind {
+            SuiteEntryKind::Compare { file, method } => {
+                assert_eq!(file, &PathBuf::from("/base/sub/stress.toml"));
+                assert_eq!(method, "multipoint");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match &suite.entries[1].kind {
+            SuiteEntryKind::Micro { kernels, sides } => {
+                assert_eq!(kernels, &[MicroKernel::CsrMul, MicroKernel::LuSolve]);
+                assert_eq!(sides, &[4]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn micro_defaults_cover_all_kernels() {
+        let text = "[suite]\nname = \"m\"\n\n[micro]\n";
+        let suite = BenchSuite::parse_at(text, None).unwrap();
+        match &suite.entries[0].kind {
+            SuiteEntryKind::Micro { kernels, sides } => {
+                assert_eq!(kernels.len(), 4);
+                assert_eq!(sides, &[16]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for (mutation, what) in [
+            (SUITE.replace("csr_mul", "bogus_kernel"), "unknown kernel"),
+            (SUITE.replace("[micro]", "[macro]"), "unknown section"),
+            (SUITE.replace("repeats = 2", "repeats = 0"), "zero repeats"),
+            (
+                SUITE.replace("file = \"sub/stress.toml\"\nmethod", "method"),
+                "missing file",
+            ),
+            (
+                SUITE.replace("name = \"unit\"", "name = \"a b\""),
+                "unsafe name",
+            ),
+            (
+                SUITE.replace("sides = [4]", "sides = [1]"),
+                "side too small",
+            ),
+            (
+                SUITE.replace("repeats = 2", "repeatz = 2"),
+                "typoed suite key",
+            ),
+            (
+                SUITE.replace("sides = [4]", "dimz = [4]"),
+                "typoed micro key",
+            ),
+            (
+                SUITE.replace("[scenario-stress]", "[scenario-par]"),
+                "duplicate entry tag (would clobber BENCH output)",
+            ),
+            (
+                SUITE.replace("[scenario-stress]", "[scenario-]"),
+                "empty entry tag (nameless BENCH file)",
+            ),
+        ] {
+            assert!(
+                BenchSuite::parse_at(&mutation, None).is_err(),
+                "{what} accepted"
+            );
+        }
+        let empty = "[suite]\nname = \"x\"\n";
+        assert!(BenchSuite::parse_at(empty, None)
+            .unwrap_err()
+            .to_string()
+            .contains("no entries"));
+    }
+
+    #[test]
+    fn kernel_registry_round_trips() {
+        for k in MicroKernel::ALL {
+            assert_eq!(MicroKernel::from_name(k.name()), Some(k));
+        }
+        assert_eq!(MicroKernel::from_name("nope"), None);
+    }
+
+    #[test]
+    fn micro_runner_emits_validating_records() {
+        let records = run_micro(&MicroKernel::ALL, &[4], 0, 1);
+        assert_eq!(records.len(), 4);
+        let dir = std::env::temp_dir().join("pmor_bench_micro_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_bench_json_in(&dir, "micro_unit", &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_bench_json(&text).unwrap();
+        for r in &records {
+            assert!(r.wall_seconds >= 0.0);
+            assert!(r.metrics.iter().any(|(n, _)| n == "dim"));
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! A small hand-rolled parser for the TOML subset scenario files use.
+//! A small hand-rolled parser for the TOML subset scenario and
+//! benchmark-suite files use.
 //!
 //! The build environment is fully offline, so instead of depending on a
-//! TOML crate this module parses exactly what scenario files need:
+//! TOML crate this module parses exactly what those files need:
 //!
 //! * `[section]` headers (one level, no dotted names),
 //! * `key = value` pairs with bare keys,
@@ -11,8 +12,10 @@
 //! * `#` comments (full-line or trailing) and blank lines.
 //!
 //! Anything outside this subset is rejected with a line-numbered error —
-//! a scenario file that parses here is also valid TOML, so files stay
-//! editable with ordinary tooling.
+//! a file that parses here is also valid TOML, so files stay editable
+//! with ordinary tooling. The parser lives in `pmor-bench` (the lowest
+//! crate that needs it, for suite files); the scenario CLI re-exports it
+//! as `pmor_cli::toml`.
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -1,0 +1,310 @@
+//! The `pmor bench` subcommand: declarative performance suites.
+//!
+//! A suite file ([`pmor_bench::suite`]) names micro-kernel timings,
+//! macro scenario runs (reduce + analysis per method) and serial-vs-
+//! parallel reduction comparisons; this module resolves and executes
+//! them and emits one standardized `BENCH_<suite>_<tag>.json` per entry
+//! — every record carrying the required `method` / `median_seconds` /
+//! `dim` fields ([`pmor_bench::report::REQUIRED_METRICS`]) so the CI
+//! artifact gate ([`validate_bench_json`]) can reject malformed
+//! trajectories.
+//!
+//! Timing discipline: `warmup` untimed runs, `repeats` timed runs, the
+//! **median** is the headline number. Scenario entries time reduction
+//! from a cold [`ReductionContext`] each repeat (that *is* the cost the
+//! paper amortizes) and the analysis stage separately; compare entries
+//! additionally assert that the serial (`threads = 1`) and parallel
+//! (≥ 4 workers) reduction paths produce bitwise-identical transfer
+//! values before recording the speedup.
+
+use crate::scenario::Scenario;
+use crate::CliError;
+use pmor::eval::FullModel;
+use pmor::{EvalEngine, ParametricRom, ReductionContext};
+use pmor_bench::micro::median;
+use pmor_bench::suite::{run_micro, BenchSuite, SuiteEntryKind};
+use pmor_bench::{timed, validate_bench_json, write_bench_json_in, BenchRecord};
+use pmor_circuits::ParametricSystem;
+use pmor_num::Complex64;
+use std::path::{Path, PathBuf};
+
+/// Where `pmor bench --suite <name>` looks for shipped suites when the
+/// argument is not a path to an existing file.
+pub const SUITE_DIR: &str = "scenarios/suites";
+
+/// Outcome of a suite run.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// The emitted `BENCH_*.json` files, one per suite entry.
+    pub files: Vec<PathBuf>,
+    /// Total records across all files.
+    pub records: usize,
+}
+
+/// Resolves a `--suite` argument: an existing file path as-is, else
+/// `scenarios/suites/<name>.toml` relative to the working directory.
+///
+/// # Errors
+///
+/// Fails when neither resolves, listing the shipped suites.
+pub fn resolve_suite(arg: &str) -> Result<PathBuf, CliError> {
+    let direct = PathBuf::from(arg);
+    if direct.is_file() {
+        return Ok(direct);
+    }
+    let shipped = Path::new(SUITE_DIR).join(format!("{arg}.toml"));
+    if shipped.is_file() {
+        return Ok(shipped);
+    }
+    let mut known: Vec<String> = std::fs::read_dir(SUITE_DIR)
+        .map(|rd| {
+            rd.filter_map(|e| {
+                let p = e.ok()?.path();
+                (p.extension()? == "toml").then(|| p.file_stem()?.to_str().map(String::from))?
+            })
+            .collect()
+        })
+        .unwrap_or_default();
+    known.sort();
+    Err(CliError::Usage(format!(
+        "suite {arg:?} is neither a file nor a shipped suite{}",
+        if known.is_empty() {
+            format!(" (no {SUITE_DIR}/ here — run from the repository root or pass a path)")
+        } else {
+            format!("; shipped suites: {}", known.join(", "))
+        }
+    )))
+}
+
+/// Runs a suite, writing one `BENCH_<suite>_<tag>.json` per entry into
+/// `out_dir`. Every emitted file is self-validated against the required
+/// record fields before this returns.
+///
+/// # Errors
+///
+/// Fails on unresolvable scenario files, reduction/analysis failures, a
+/// serial-vs-parallel bitwise mismatch, or unwritable output.
+pub fn run_suite(suite: &BenchSuite, out_dir: &Path) -> Result<BenchReport, CliError> {
+    println!(
+        "# suite {}: {} (warmup {}, repeats {}, median reported)",
+        suite.name, suite.description, suite.warmup, suite.repeats
+    );
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError::Io(format!("creating {}: {e}", out_dir.display())))?;
+    let mut files = Vec::new();
+    let mut total = 0;
+    for entry in &suite.entries {
+        println!("# entry {}", entry.tag);
+        let records = match &entry.kind {
+            SuiteEntryKind::Micro { kernels, sides } => {
+                run_micro(kernels, sides, suite.warmup, suite.repeats)
+            }
+            SuiteEntryKind::Scenario { file } => {
+                run_scenario_entry(file, suite.warmup, suite.repeats)?
+            }
+            SuiteEntryKind::Compare { file, method } => {
+                run_compare_entry(file, method, suite.warmup, suite.repeats)?
+            }
+        };
+        let tag = format!("{}_{}", suite.name, entry.tag);
+        let path = write_bench_json_in(out_dir, &tag, &records)
+            .map_err(|e| CliError::Io(format!("writing BENCH_{tag}.json: {e}")))?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Io(format!("re-reading {}: {e}", path.display())))?;
+        validate_bench_json(&text)
+            .map_err(|e| CliError::Invalid(format!("{} failed validation: {e}", path.display())))?;
+        println!("# wrote {} ({} records)", path.display(), records.len());
+        total += records.len();
+        files.push(path);
+    }
+    Ok(BenchReport {
+        files,
+        records: total,
+    })
+}
+
+/// Loads the scenario a suite entry references.
+fn load_entry_scenario(file: &Path) -> Result<(Scenario, ParametricSystem), CliError> {
+    let sc = Scenario::load(file)?;
+    let sys = sc.system.assemble();
+    Ok((sc, sys))
+}
+
+/// Macro benchmark: per method, reduction from a cold context (median
+/// over repeats) plus the scenario's analysis stage (median over
+/// repeats). The ROM cache is deliberately bypassed — `pmor bench`
+/// measures the work, not the cache.
+fn run_scenario_entry(
+    file: &Path,
+    warmup: usize,
+    repeats: usize,
+) -> Result<Vec<BenchRecord>, CliError> {
+    let (sc, sys) = load_entry_scenario(file)?;
+    let workload = sc.system.workload_label(&sys);
+    let full = FullModel::new(&sys);
+    let engine = EvalEngine::new(sc.analysis.config.threads.unwrap_or(0));
+    let mut records = Vec::new();
+    for name in &sc.methods {
+        let mut rom = None;
+        let mut reduce_times = Vec::with_capacity(repeats);
+        for i in 0..warmup + repeats {
+            // Cold context each repeat: the measured number is the real
+            // multi-shift reduction cost, not a cache replay.
+            let mut ctx = ReductionContext::with_threads(sc.threads);
+            let (r, secs) = crate::exec::reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
+            if i >= warmup {
+                reduce_times.push(secs);
+            }
+            rom = Some(r);
+        }
+        let rom = rom.expect("at least one repeat");
+        let analysis = sc
+            .analysis
+            .kind
+            .build(&sc.analysis.config)
+            .map_err(|e| CliError::Invalid(format!("[analysis] {e}")))?;
+        let mut analysis_times = Vec::with_capacity(repeats);
+        for i in 0..warmup + repeats {
+            let (rep, secs) = timed(|| analysis.run(&engine, &full, &rom));
+            rep.map_err(|e| CliError::Pmor(format!("{name} {}: {e}", analysis.name())))?;
+            if i >= warmup {
+                analysis_times.push(secs);
+            }
+        }
+        let reduce_median = median(&mut reduce_times);
+        let analysis_median = median(&mut analysis_times);
+        let total = reduce_median + analysis_median;
+        println!(
+            "#   {name}: reduce {reduce_median:.3}s + {} {analysis_median:.3}s (median of {repeats})",
+            analysis.name()
+        );
+        records.push(
+            BenchRecord::new(name.clone(), workload.clone(), total)
+                .metric("median_seconds", total)
+                .metric("reduce_median_seconds", reduce_median)
+                .metric("analysis_median_seconds", analysis_median)
+                .metric("dim", sys.dim() as f64)
+                .metric("size", rom.size() as f64)
+                .metric("repeats", repeats as f64),
+        );
+    }
+    Ok(records)
+}
+
+/// Transfer probe points for the bitwise serial-vs-parallel check: the
+/// nominal corner, a uniform shift, and an alternating-sign corner, each
+/// at two frequencies.
+fn probe_points(num_params: usize) -> Vec<(Vec<f64>, Complex64)> {
+    let corners = [
+        vec![0.0; num_params],
+        vec![0.2; num_params],
+        (0..num_params)
+            .map(|i| if i % 2 == 0 { 0.15 } else { -0.15 })
+            .collect(),
+    ];
+    let freqs = [1e8, 1e9];
+    corners
+        .iter()
+        .flat_map(|p| {
+            freqs
+                .iter()
+                .map(|f| (p.clone(), Complex64::jw(2.0 * std::f64::consts::PI * f)))
+        })
+        .collect()
+}
+
+/// Serial (`threads = 1`) vs parallel (≥ 4 workers) reduction of the
+/// scenario's system with one method: asserts bitwise-identical transfer
+/// values at the probe points, then records both medians and the
+/// speedup.
+fn run_compare_entry(
+    file: &Path,
+    method: &str,
+    warmup: usize,
+    repeats: usize,
+) -> Result<Vec<BenchRecord>, CliError> {
+    let (sc, sys) = load_entry_scenario(file)?;
+    let workload = sc.system.workload_label(&sys);
+    // At least 4 workers on the parallel leg: on small CI boxes
+    // `available_parallelism` can be 1, which would silently degrade the
+    // determinism gate to serial-vs-serial. Oversubscription is harmless
+    // — results are bitwise identical at any worker count.
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .max(4);
+    let mut roms: Vec<ParametricRom> = Vec::with_capacity(2);
+    let mut medians = Vec::with_capacity(2);
+    for threads in [1usize, workers] {
+        let mut times = Vec::with_capacity(repeats);
+        let mut rom = None;
+        for i in 0..warmup + repeats {
+            let mut ctx = ReductionContext::with_threads(threads);
+            let (r, secs) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
+            if i >= warmup {
+                times.push(secs);
+            }
+            rom = Some(r);
+        }
+        medians.push(median(&mut times));
+        roms.push(rom.expect("at least one repeat"));
+    }
+    // The determinism gate: parallel factorization must not change one
+    // bit of the reduced model's behavior.
+    for (p, s) in probe_points(sys.num_params()) {
+        let hs = roms[0]
+            .transfer(&p, s)
+            .map_err(|e| CliError::Pmor(format!("serial transfer: {e}")))?;
+        let hp = roms[1]
+            .transfer(&p, s)
+            .map_err(|e| CliError::Pmor(format!("parallel transfer: {e}")))?;
+        for r in 0..hs.nrows() {
+            for c in 0..hs.ncols() {
+                let (a, b) = (hs[(r, c)], hp[(r, c)]);
+                if a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits() {
+                    return Err(CliError::Pmor(format!(
+                        "serial/parallel reduction disagree at p={p:?}, s={s:?}: \
+                         {a:?} vs {b:?} — parallel path is not deterministic"
+                    )));
+                }
+            }
+        }
+    }
+    let speedup = medians[0] / medians[1].max(1e-12);
+    println!(
+        "#   {method}: serial {:.3}s, parallel {:.3}s on {workers} threads \
+         (x{speedup:.2}), transfer bitwise identical",
+        medians[0], medians[1]
+    );
+    let base = |label: &str, m: f64| {
+        BenchRecord::new(format!("{method}_{label}"), workload.clone(), m)
+            .metric("median_seconds", m)
+            .metric("dim", sys.dim() as f64)
+            .metric("size", roms[0].size() as f64)
+            .metric("repeats", repeats as f64)
+    };
+    Ok(vec![
+        base("serial", medians[0]).metric("threads", 1.0),
+        base("parallel", medians[1])
+            .metric("threads", workers as f64)
+            .metric("speedup", speedup),
+    ])
+}
+
+/// `pmor bench --check`: validates already-emitted record files.
+///
+/// # Errors
+///
+/// Fails when any file is unreadable or missing required fields.
+pub fn check_files(paths: &[String]) -> Result<(), CliError> {
+    if paths.is_empty() {
+        return Err(CliError::Usage("--check needs at least one file".into()));
+    }
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+        validate_bench_json(&text)
+            .map_err(|e| CliError::Invalid(format!("{path} failed validation: {e}")))?;
+        println!("# {path}: ok");
+    }
+    Ok(())
+}

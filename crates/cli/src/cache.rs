@@ -1,0 +1,185 @@
+//! Content-addressed ROM cache: repeated `pmor run` / `pmor bench`
+//! invocations skip re-reduction.
+//!
+//! The paper's whole pitch is that reduction cost amortizes across many
+//! cheap evaluations — so the CLI should never pay it twice for the same
+//! inputs. A cache entry is keyed by everything the reduced model is a
+//! function of:
+//!
+//! * the **assembled system's content fingerprint**
+//!   ([`pmor::system_fingerprint`]: dims, ports, and every matrix entry
+//!   of `G0/C0/Gᵢ/Cᵢ`) — so two scenarios generating the same system
+//!   share entries, and any generator-config change misses,
+//! * the **method** registry name,
+//! * the **tuning** knobs ([`pmor::ReducerTuning`]) — unset (`None`)
+//!   fields resolve to registry defaults at build time, so the key also
+//!   folds in [`pmor::reduce::registry_defaults::fingerprint`]: a
+//!   changed registry default invalidates entries instead of silently
+//!   serving models reduced under the old default,
+//! * the [`pmor::rom::ROM_FORMAT_VERSION`] plus a local cache-schema
+//!   version.
+//!
+//! Entries are ordinary [`pmor::rom`] files (`<key>_<method>.rom` under
+//! the cache directory), so `pmor info` / `pmor eval` can inspect them
+//! directly, and the serialization layer's checksum means a corrupted
+//! entry is silently treated as a miss and re-reduced. Reloaded ROMs
+//! evaluate **bitwise identically** to the freshly reduced ones (the
+//! serialization round-trip guarantee), so caching never changes
+//! numbers, only wall-clock.
+
+use pmor::rom;
+use pmor::{ParametricRom, ReducerTuning};
+use std::path::{Path, PathBuf};
+
+/// Bump when the key derivation itself changes (invalidates all old
+/// entries without having to delete them).
+const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// A directory of content-addressed ROM files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RomCache {
+    dir: PathBuf,
+}
+
+impl RomCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RomCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content key for reducing `method` (with `tuning`) on a system
+    /// whose [`pmor::system_fingerprint`] is `fingerprint`.
+    pub fn key(fingerprint: u64, method: &str, tuning: &ReducerTuning) -> u64 {
+        let opt_f64 = |v: Option<f64>| v.map_or(u64::MAX, f64::to_bits);
+        let opt_usize = |v: Option<usize>| v.map_or(u64::MAX, |n| n as u64);
+        let mut words = vec![
+            CACHE_SCHEMA_VERSION,
+            rom::ROM_FORMAT_VERSION as u64,
+            pmor::reduce::registry_defaults::fingerprint(),
+            fingerprint,
+        ];
+        words.extend(method.bytes().map(u64::from));
+        words.extend([
+            opt_f64(tuning.range),
+            opt_usize(tuning.samples_per_axis),
+            opt_usize(tuning.block_moments),
+            opt_usize(tuning.s_order),
+            opt_usize(tuning.param_order),
+            opt_usize(tuning.rank),
+            tuning.include_transpose.map_or(2, u64::from),
+        ]);
+        pmor::reduce::fnv1a_words(words)
+    }
+
+    /// The file an entry lives at.
+    pub fn entry_path(&self, key: u64, method: &str) -> PathBuf {
+        self.dir.join(format!("{key:016x}_{method}.rom"))
+    }
+
+    /// Looks an entry up; any failure (absent, corrupted, version
+    /// mismatch) is a miss.
+    pub fn load(&self, key: u64, method: &str) -> Option<ParametricRom> {
+        rom::load(self.entry_path(key, method)).ok()
+    }
+
+    /// Stores a reduced model under its key, returning the entry path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and serialization failures as the
+    /// serialization layer's error string.
+    pub fn store(&self, key: u64, method: &str, model: &ParametricRom) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating cache dir {}: {e}", self.dir.display()))?;
+        let path = self.entry_path(key, method);
+        rom::save(model, &path).map_err(|e| e.to_string())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmor::{reducer_by_name, ReducerTuning};
+    use pmor_circuits::generators::{clock_tree, ClockTreeConfig};
+
+    #[test]
+    fn key_separates_fingerprint_method_and_tuning() {
+        let t = ReducerTuning::default();
+        let base = RomCache::key(1, "prima", &t);
+        assert_ne!(base, RomCache::key(2, "prima", &t));
+        assert_ne!(base, RomCache::key(1, "lowrank", &t));
+        let tuned = ReducerTuning {
+            rank: Some(3),
+            ..Default::default()
+        };
+        assert_ne!(base, RomCache::key(1, "prima", &tuned));
+        // Unset (None) and set-to-zero knobs must not collide.
+        let zeroed = ReducerTuning {
+            rank: Some(0),
+            ..Default::default()
+        };
+        assert_ne!(RomCache::key(1, "prima", &zeroed), base);
+        assert_eq!(base, RomCache::key(1, "prima", &ReducerTuning::default()));
+    }
+
+    #[test]
+    fn port_placement_changes_the_system_fingerprint() {
+        // Regression: two systems identical in G/C but with a moved
+        // input port produce different reduced models, so they must not
+        // share cache entries.
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 20,
+            ..Default::default()
+        })
+        .assemble();
+        let mut moved = sys.clone();
+        let (r0, r1) = (0, moved.b.nrows() - 1);
+        let tmp = moved.b[(r0, 0)];
+        moved.b[(r0, 0)] = moved.b[(r1, 0)];
+        moved.b[(r1, 0)] = tmp;
+        assert_ne!(
+            pmor::system_fingerprint(&sys),
+            pmor::system_fingerprint(&moved)
+        );
+        let mut out_moved = sys.clone();
+        let mid = out_moved.l.nrows() / 2;
+        out_moved.l[(mid, 0)] += 1.0;
+        assert_ne!(
+            pmor::system_fingerprint(&sys),
+            pmor::system_fingerprint(&out_moved)
+        );
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_corruption_misses() {
+        let dir = std::env::temp_dir().join(format!("pmor_rom_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RomCache::new(&dir);
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 20,
+            ..Default::default()
+        })
+        .assemble();
+        let rom = reducer_by_name("prima", &sys)
+            .unwrap()
+            .reduce_once(&sys)
+            .unwrap();
+        let key = RomCache::key(pmor::system_fingerprint(&sys), "prima", &Default::default());
+        assert!(cache.load(key, "prima").is_none(), "cold cache must miss");
+        let path = cache.store(key, "prima", &rom).unwrap();
+        let back = cache.load(key, "prima").expect("hit after store");
+        assert_eq!(back.size(), rom.size());
+        // Corrupt the entry: the checksum turns it into a miss.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(key, "prima").is_none(), "corrupt entry served");
+    }
+}

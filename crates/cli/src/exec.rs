@@ -3,24 +3,34 @@
 //! One [`run_scenario`] call is the CLI's whole pipeline: assemble the
 //! workload, reduce it with every selected method over **one shared
 //! [`ReductionContext`]** (so the paper's one-time `G0` factorization
-//! spans the CLI boundary), run the scenario's registered analysis —
-//! built by [`pmor_variation::AnalysisKind::build`] and executed through
-//! the [`pmor::TransferModel`] trait on a batched [`pmor::EvalEngine`] —
-//! emit the same machine-readable `BENCH_<tag>.json` records the figure
-//! binaries write (stamped with the analysis's provenance metrics), and
-//! optionally persist every reduced model with [`pmor::rom::save`] for
-//! later `pmor eval` / `pmor mc` runs.
+//! spans the CLI boundary; the context's worker threads factor
+//! independent expansion points concurrently, bitwise-identically to the
+//! serial path), run the scenario's registered analysis — built by
+//! [`pmor_variation::AnalysisKind::build`] and executed through the
+//! [`pmor::TransferModel`] trait on a batched [`pmor::EvalEngine`], with
+//! independent method×analysis jobs running concurrently — emit the same
+//! machine-readable `BENCH_<tag>.json` records the figure binaries write
+//! (stamped with the analysis's provenance metrics), and optionally
+//! persist every reduced model with [`pmor::rom::save`] for later
+//! `pmor eval` / `pmor mc` runs.
+//!
+//! Two caches cut repeated work: the in-process factor cache above, and
+//! the on-disk content-addressed **ROM cache** ([`crate::cache`]) that
+//! lets a repeated `pmor run` / `pmor bench` skip re-reduction entirely
+//! when the (system, method, tuning) triple is unchanged.
 //!
 //! There is deliberately **no** per-analysis code here: the analysis
 //! layer is registry-dispatched, so a new analysis registered in
 //! `pmor_variation::analysis` is immediately runnable from scenarios
 //! without touching this module.
 
+use crate::cache::RomCache;
 use crate::scenario::Scenario;
 use crate::CliError;
 use pmor::eval::FullModel;
 use pmor::{EvalEngine, ParametricRom, ReducerKind, ReductionContext};
-use pmor_bench::{print_csv, print_grid, timed, write_bench_json_in, BenchRecord};
+use pmor_bench::{format_csv, format_grid, timed, write_bench_json_in, BenchRecord};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// What a scenario run produced.
@@ -38,10 +48,12 @@ pub struct ExecReport {
     pub rom_paths: Vec<PathBuf>,
     /// Real sparse factorizations performed across every method (the
     /// paper's headline count; 1 when all methods shared the nominal
-    /// `G0`).
+    /// `G0`, 0 when every method came out of the ROM cache).
     pub real_factorizations: usize,
     /// Factor requests served from the shared cache.
     pub cache_hits: usize,
+    /// Methods served from the on-disk ROM cache (no reduction ran).
+    pub rom_cache_hits: usize,
 }
 
 /// One reduced method inside a run.
@@ -49,6 +61,7 @@ struct Reduced {
     name: String,
     rom: ParametricRom,
     seconds: f64,
+    cached: bool,
 }
 
 /// Executes a scenario end-to-end. See the module docs for the stages.
@@ -72,6 +85,23 @@ pub fn reduce_scenario(sc: &Scenario) -> Result<ExecReport, CliError> {
     run(sc, true, false)
 }
 
+/// Registry lookup + tuned construction + timed reduction — the one
+/// reduction call site shared by scenario execution and the `pmor bench`
+/// entry runners.
+pub(crate) fn reduce_timed(
+    name: &str,
+    sys: &pmor_circuits::ParametricSystem,
+    tuning: &pmor::ReducerTuning,
+    ctx: &mut ReductionContext,
+) -> Result<(ParametricRom, f64), CliError> {
+    let kind = ReducerKind::from_name(name)
+        .ok_or_else(|| CliError::Invalid(format!("unregistered method {name:?}")))?;
+    let reducer = kind.build_tuned(sys, tuning);
+    let (rom, seconds) = timed(|| reducer.reduce(sys, ctx));
+    let rom = rom.map_err(|e| CliError::Invalid(format!("reducing with {name}: {e}")))?;
+    Ok((rom, seconds))
+}
+
 fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliError> {
     let sys = sc.system.assemble();
     let workload = sc.system.workload_label(&sys);
@@ -84,77 +114,132 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
     );
 
     // --- Reduce every method over one shared context -----------------------
-    let mut ctx = ReductionContext::new();
+    // The ROM cache short-circuits whole reductions; the factor cache
+    // inside the context shares factorizations between the methods that
+    // do run.
+    let rom_cache = sc
+        .output
+        .rom_cache
+        .then(|| RomCache::new(sc.output.dir.join(".pmor_cache")));
+    let fingerprint = pmor::system_fingerprint(&sys);
+    let mut ctx = ReductionContext::with_threads(sc.threads);
     let mut reduced = Vec::with_capacity(sc.methods.len());
     for name in &sc.methods {
+        // Unregistered names fail loudly even when a stale cache entry
+        // exists under them.
+        ReducerKind::from_name(name)
+            .ok_or_else(|| CliError::Invalid(format!("unregistered method {name:?}")))?;
+        let key = RomCache::key(fingerprint, name, &sc.tuning);
+        if let Some(cache) = &rom_cache {
+            let (hit, seconds) = timed(|| cache.load(key, name));
+            if let Some(rom) = hit {
+                println!(
+                    "# {name}: {} states loaded from ROM cache in {seconds:.3}s (reduction skipped)",
+                    rom.size()
+                );
+                reduced.push(Reduced {
+                    name: name.clone(),
+                    rom,
+                    seconds,
+                    cached: true,
+                });
+                continue;
+            }
+        }
         // Construction stays in the registry: unset tuning fields fall
         // back to exactly the registry's defaults.
-        let reducer = ReducerKind::from_name(name)
-            .map(|k| k.build_tuned(&sys, &sc.tuning))
-            .ok_or_else(|| CliError::Invalid(format!("unregistered method {name:?}")))?;
-        let (rom, seconds) = timed(|| reducer.reduce(&sys, &mut ctx));
-        let rom = rom.map_err(|e| CliError::Invalid(format!("reducing with {name}: {e}")))?;
+        let (rom, seconds) = reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
         println!("# {name}: {} states in {seconds:.3}s", rom.size());
+        if let Some(cache) = &rom_cache {
+            let path = cache
+                .store(key, name, &rom)
+                .map_err(|e| CliError::Io(format!("storing cached ROM: {e}")))?;
+            println!("# {name}: cached ROM at {}", path.display());
+        }
         reduced.push(Reduced {
             name: name.clone(),
             rom,
             seconds,
+            cached: false,
         });
     }
+    let rom_cache_hits = reduced.iter().filter(|m| m.cached).count();
 
     // --- Analysis: registry dispatch over the TransferModel trait ----------
+    // Method×analysis jobs are independent, so they run concurrently on
+    // up to `[reduce] threads` scoped workers (0 = one per method);
+    // output is buffered per method and printed in method order, and
+    // every job is deterministic, so concurrency never changes a byte.
     let mut records = Vec::new();
     if analyze {
-        let analysis = sc
-            .analysis
+        // Parse-time eager build ensures this cannot fail here, but keep
+        // the loud path anyway.
+        sc.analysis
             .kind
             .build(&sc.analysis.config)
             .map_err(|e| CliError::Invalid(format!("[analysis] {e}")))?;
-        let engine = EvalEngine::new(sc.analysis.config.threads.unwrap_or(0));
         let full = FullModel::new(&sys);
-        for m in &reduced {
-            let report = analysis
-                .run(&engine, &full, &m.rom)
-                .map_err(|e| CliError::Pmor(format!("{} {}: {e}", m.name, analysis.name())))?;
-            if let Some(csv) = &report.csv {
-                let series: Vec<(&str, Vec<f64>)> = csv
-                    .series
+        let dim = sys.dim();
+        // Worker count honors the `[reduce] threads` cap (`0` =
+        // available parallelism, matching the knob's meaning everywhere
+        // else); results land in their method's slot, so output order is
+        // scheduling-independent.
+        let configured = match sc.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let workers = configured.min(reduced.len());
+        // An auto engine (`[analysis] threads` unset or 0) divides the
+        // machine across the concurrent jobs instead of multiplying with
+        // them (jobs × all-cores would oversubscribe); an explicit value
+        // is honored per job. Engine worker count never affects results,
+        // only wall-clock (see pmor::engine).
+        let engine = EvalEngine::new(match sc.analysis.config.threads {
+            None | Some(0) => {
+                let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (avail / workers.max(1)).max(1)
+            }
+            Some(n) => n,
+        });
+        let outputs: Vec<Result<(String, BenchRecord), CliError>> = if workers <= 1 {
+            reduced
+                .iter()
+                .map(|m| analyze_one(sc, &engine, &full, m, &workload, dim))
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Result<(String, BenchRecord), CliError>>>> =
+                reduced
                     .iter()
-                    .map(|(label, values)| {
-                        // The analysis labels the reduced side generically;
-                        // the CLI knows which method it is.
-                        let label = if label == "rom" { &m.name } else { label };
-                        (label.as_str(), values.clone())
-                    })
+                    .map(|_| std::sync::Mutex::new(None))
                     .collect();
-                print_csv(&csv.x_label, &csv.x, &series);
-            }
-            if let Some(grid) = &report.grid {
-                print_grid(
-                    &format!("{}: {}", m.name, grid.title),
-                    "p_a \\ p_b",
-                    &grid.row_values,
-                    &grid.col_values,
-                    &grid.values,
-                );
-            }
-            for line in &report.lines {
-                println!("# {}: {line}", m.name);
-            }
-            println!("# {}: {}", m.name, report.provenance);
-            let mut rec = BenchRecord::new(m.name.clone(), workload.clone(), m.seconds)
-                .metric("size", m.rom.size() as f64);
-            for (metric, value) in &report.metrics {
-                rec = rec.metric(metric.clone(), *value);
-            }
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(m) = reduced.get(i) else { break };
+                        let out = analyze_one(sc, &engine, &full, m, &workload, dim);
+                        *slots[i].lock().expect("slot poisoned") = Some(out);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("slot poisoned")
+                        .expect("worker filled every claimed slot")
+                })
+                .collect()
+        };
+        for out in outputs {
+            let (text, rec) = out?;
+            print!("{text}");
             records.push(rec);
         }
     } else {
         for m in &reduced {
-            records.push(
-                BenchRecord::new(m.name.clone(), workload.clone(), m.seconds)
-                    .metric("size", m.rom.size() as f64),
-            );
+            records.push(base_record(m, &workload, sys.dim()));
         }
     }
     println!(
@@ -185,5 +270,72 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
         rom_paths,
         real_factorizations: ctx.real_factorizations(),
         cache_hits: ctx.cache_hits(),
+        rom_cache_hits,
     })
+}
+
+/// The per-method record shared by the analyze and reduce-only paths.
+/// `wall_seconds` is the reduction time (or cache-load time), duplicated
+/// as the standardized `median_seconds` metric — a single `pmor run` is
+/// one repeat, so the median is the observation itself ([`crate::
+/// bench_cmd`] overrides it with a true median over repeats).
+fn base_record(m: &Reduced, workload: &str, dim: usize) -> BenchRecord {
+    BenchRecord::new(m.name.clone(), workload, m.seconds)
+        .metric("median_seconds", m.seconds)
+        .metric("dim", dim as f64)
+        .metric("size", m.rom.size() as f64)
+        .metric("rom_cached", if m.cached { 1.0 } else { 0.0 })
+}
+
+/// Runs one method's analysis, returning its buffered stdout block and
+/// its bench record. Safe to call from concurrent workers: everything it
+/// touches is shared immutably.
+fn analyze_one(
+    sc: &Scenario,
+    engine: &EvalEngine,
+    full: &FullModel<'_>,
+    m: &Reduced,
+    workload: &str,
+    dim: usize,
+) -> Result<(String, BenchRecord), CliError> {
+    let analysis = sc
+        .analysis
+        .kind
+        .build(&sc.analysis.config)
+        .map_err(|e| CliError::Invalid(format!("[analysis] {e}")))?;
+    let report = analysis
+        .run(engine, full, &m.rom)
+        .map_err(|e| CliError::Pmor(format!("{} {}: {e}", m.name, analysis.name())))?;
+    let mut text = String::new();
+    if let Some(csv) = &report.csv {
+        let series: Vec<(&str, Vec<f64>)> = csv
+            .series
+            .iter()
+            .map(|(label, values)| {
+                // The analysis labels the reduced side generically;
+                // the CLI knows which method it is.
+                let label = if label == "rom" { &m.name } else { label };
+                (label.as_str(), values.clone())
+            })
+            .collect();
+        text.push_str(&format_csv(&csv.x_label, &csv.x, &series));
+    }
+    if let Some(grid) = &report.grid {
+        text.push_str(&format_grid(
+            &format!("{}: {}", m.name, grid.title),
+            "p_a \\ p_b",
+            &grid.row_values,
+            &grid.col_values,
+            &grid.values,
+        ));
+    }
+    for line in &report.lines {
+        let _ = writeln!(text, "# {}: {line}", m.name);
+    }
+    let _ = writeln!(text, "# {}: {}", m.name, report.provenance);
+    let mut rec = base_record(m, workload, dim);
+    for (metric, value) in &report.metrics {
+        rec = rec.metric(metric.clone(), *value);
+    }
+    Ok((text, rec))
 }

@@ -25,9 +25,11 @@
 //! `pmor::rom::save`/`load` — reloaded models evaluate bit-for-bit
 //! identically to the originals.
 
+pub mod bench_cmd;
+pub mod cache;
 pub mod exec;
 pub mod scenario;
-pub mod toml;
+pub use pmor_bench::toml;
 
 pub use exec::{reduce_scenario, run_scenario, ExecReport};
 pub use pmor_variation::analysis::{AnalysisConfig, AnalysisKind, ErrorMetric};

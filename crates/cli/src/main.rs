@@ -2,6 +2,8 @@
 //! persistence. `pmor help` prints the command reference; the library
 //! crate (`pmor_cli`) holds all the logic so it stays testable.
 
+use pmor_bench::suite::{BenchSuite, SuiteEntryKind};
+use pmor_cli::bench_cmd::{check_files, resolve_suite, run_suite, SUITE_DIR};
 use pmor_cli::{reduce_scenario, run_scenario, CliError, Scenario};
 use pmor_num::Complex64;
 use pmor_variation::dist::ParameterDistribution;
@@ -21,11 +23,16 @@ USAGE:
                                 Monte-Carlo dominant-pole statistics (and
                                 yield when --min-pole is given) on a ROM
   pmor info <model.rom>         describe a persisted ROM
-  pmor list                     registered generators, methods, analyses
+  pmor bench --suite <name|path> [--repeats N] [--warmup N] [--out DIR]
+                                run a benchmark suite; one standardized
+                                BENCH_<suite>_<entry>.json per entry
+  pmor bench --check <file>...  validate BENCH_*.json required fields
+  pmor list [--benches]         registered generators, methods, analyses
+                                (--benches: shipped benchmark suites)
   pmor help                     this text
 
-Ready-made scenarios live in scenarios/; the file format is documented
-in docs/GUIDE.md.";
+Ready-made scenarios live in scenarios/, benchmark suites in
+scenarios/suites/; both formats are documented in docs/GUIDE.md.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,10 +69,8 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "eval" => cmd_eval(rest),
         "mc" => cmd_mc(rest),
         "info" => cmd_info(rest),
-        "list" => {
-            cmd_list();
-            Ok(())
-        }
+        "bench" => cmd_bench(rest),
+        "list" => cmd_list(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -269,7 +274,125 @@ fn cmd_info(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_list() {
+/// `pmor bench`: run a suite or validate emitted record files.
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    if args.first().map(String::as_str) == Some("--check") {
+        return check_files(&args[1..]);
+    }
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(CliError::Usage(format!("unexpected argument {flag:?}")));
+        };
+        let Some(value) = it.next() else {
+            return Err(CliError::Usage(format!("--{name} needs a value")));
+        };
+        flags.push((name.to_string(), value.clone()));
+    }
+    check_flags(&flags, &["suite", "repeats", "warmup", "out"])?;
+    let Some((_, suite_arg)) = flags.iter().find(|(n, _)| n == "suite") else {
+        return Err(CliError::Usage(
+            "bench needs --suite <name|path> (or --check <file>...)".into(),
+        ));
+    };
+    let path = resolve_suite(suite_arg)?;
+    let mut suite = BenchSuite::load(&path)
+        .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
+    if let Some((_, v)) = flags.iter().find(|(n, _)| n == "repeats") {
+        let r = v.parse::<usize>().ok().filter(|r| *r >= 1).ok_or_else(|| {
+            CliError::Usage(format!("--repeats: need an integer >= 1, got {v:?}"))
+        })?;
+        suite.repeats = r;
+    }
+    if let Some((_, v)) = flags.iter().find(|(n, _)| n == "warmup") {
+        let w = v
+            .parse::<usize>()
+            .map_err(|_| CliError::Usage(format!("--warmup: invalid integer {v:?}")))?;
+        suite.warmup = w;
+    }
+    let out = flags
+        .iter()
+        .find(|(n, _)| n == "out")
+        .map_or_else(|| ".".to_string(), |(_, v)| v.clone());
+    let report = run_suite(&suite, std::path::Path::new(&out))?;
+    println!(
+        "# suite {} done: {} files, {} records",
+        suite.name,
+        report.files.len(),
+        report.records
+    );
+    Ok(())
+}
+
+fn cmd_list(args: &[String]) -> Result<(), CliError> {
+    match args {
+        [] => {
+            list_registries();
+            Ok(())
+        }
+        [flag] if flag == "--benches" => list_benches(std::path::Path::new(SUITE_DIR)),
+        [flag, dir] if flag == "--benches" => list_benches(std::path::Path::new(dir)),
+        _ => Err(CliError::Usage(
+            "list takes no arguments, or --benches [suite-dir]".into(),
+        )),
+    }
+}
+
+/// `pmor list --benches`: enumerate the suites in a directory with their
+/// entries, so the suite surface is discoverable without opening files.
+fn list_benches(dir: &std::path::Path) -> Result<(), CliError> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Io(format!("reading {}: {e}", dir.display())))?
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "toml").then_some(p)
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(CliError::Invalid(format!(
+            "no suite files (*.toml) in {}",
+            dir.display()
+        )));
+    }
+    println!(
+        "benchmark suites in {} (run: pmor bench --suite <name>):",
+        dir.display()
+    );
+    for path in paths {
+        let suite = BenchSuite::load(&path)
+            .map_err(|e| CliError::Invalid(format!("{}: {e}", path.display())))?;
+        println!(
+            "  {:<10} {} (warmup {}, repeats {})",
+            suite.name, suite.description, suite.warmup, suite.repeats
+        );
+        for entry in &suite.entries {
+            let what = match &entry.kind {
+                SuiteEntryKind::Micro { kernels, sides } => format!(
+                    "micro kernels [{}] on rc_mesh sides {:?}",
+                    kernels
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    sides
+                ),
+                SuiteEntryKind::Scenario { file } => {
+                    format!("scenario {}", file.display())
+                }
+                SuiteEntryKind::Compare { file, method } => format!(
+                    "serial-vs-parallel {method} reduction of {}",
+                    file.display()
+                ),
+            };
+            println!("    {:<22} {what}", entry.tag);
+        }
+    }
+    Ok(())
+}
+
+fn list_registries() {
     println!("generators ([system] generator = …):");
     println!("  rc_random    §5.1 random RC network (default 767 unknowns, 2 sources)");
     println!("  rlc_bus      §5.2 coupled multi-bit RLC bus (default 1086 MNA unknowns)");

@@ -51,6 +51,13 @@ pub struct Scenario {
     /// Optional method tuning; unset fields fall back to the registry's
     /// workload-sized defaults.
     pub tuning: ReduceTuning,
+    /// Worker threads for the reduction stage (`[reduce] threads`):
+    /// the [`pmor::ReductionContext`] factors independent expansion
+    /// points concurrently, and independent method×analysis jobs of the
+    /// scenario run concurrently. `0` (the default) means available
+    /// parallelism, `1` forces the fully serial path. Numeric results
+    /// are bitwise identical for every value.
+    pub threads: usize,
     /// The analysis stage applied to every reduced model: a registry
     /// kind plus its configuration, built and run through
     /// [`pmor_variation::analysis`].
@@ -137,6 +144,13 @@ pub struct OutputSpec {
     pub dir: PathBuf,
     /// Persist every reduced model as `<dir>/<name>_<method>.rom`.
     pub save_roms: bool,
+    /// Use the content-addressed ROM cache (`<dir>/.pmor_cache/`):
+    /// repeated runs with an unchanged (system, method, tuning) triple
+    /// load the persisted ROM instead of re-reducing. On by default;
+    /// set `rom_cache = false` to always re-reduce. Cached models
+    /// evaluate bitwise identically to freshly reduced ones (see
+    /// [`crate::cache`]).
+    pub rom_cache: bool,
 }
 
 impl Scenario {
@@ -189,6 +203,7 @@ impl Scenario {
             "reduce",
             &[
                 "methods",
+                "threads",
                 "range",
                 "samples_per_axis",
                 "block_moments",
@@ -198,7 +213,11 @@ impl Scenario {
                 "include_transpose",
             ],
         )?;
-        check_keys(&doc, "output", &["bench_tag", "dir", "save_roms"])?;
+        check_keys(
+            &doc,
+            "output",
+            &["bench_tag", "dir", "save_roms", "rom_cache"],
+        )?;
         let name = doc.str_req("scenario", "name")?.to_string();
         if name.is_empty()
             || !name
@@ -243,6 +262,7 @@ impl Scenario {
                 Some(_) => Some(doc.bool_or("reduce", "include_transpose", true)?),
             },
         };
+        let threads = doc.usize_or("reduce", "threads", 0)?;
         let analysis = parse_analysis(&doc)?;
         let output = OutputSpec {
             bench_tag: doc
@@ -251,6 +271,7 @@ impl Scenario {
                 .to_string(),
             dir: PathBuf::from(doc.str_opt("output", "dir")?.unwrap_or(".")),
             save_roms: doc.bool_or("output", "save_roms", false)?,
+            rom_cache: doc.bool_or("output", "rom_cache", true)?,
         };
         Ok(Scenario {
             name,
@@ -258,6 +279,7 @@ impl Scenario {
             system,
             methods,
             tuning,
+            threads,
             analysis,
             output,
         })
@@ -676,6 +698,8 @@ methods = ["prima"]
         assert_eq!(sc.analysis.config, AnalysisConfig::default());
         assert_eq!(sc.output.bench_tag, "tiny");
         assert!(!sc.output.save_roms);
+        assert!(sc.output.rom_cache, "ROM cache is on by default");
+        assert_eq!(sc.threads, 0, "reduction threads default to auto");
         assert_eq!(sc.rom_path("prima"), PathBuf::from("./tiny_prima.rom"));
         match &sc.system {
             SystemSpec::ClockTree(cfg) => assert_eq!(cfg.num_nodes, 20),
@@ -788,6 +812,24 @@ methods = ["prima"]
         ] {
             assert!(Scenario::parse(&mutation).is_err(), "{what} accepted");
         }
+    }
+
+    #[test]
+    fn threads_and_rom_cache_knobs_parse() {
+        let text = MINIMAL.replace(
+            "methods = [\"prima\"]",
+            "methods = [\"prima\"]\nthreads = 1",
+        ) + "\n[output]\nrom_cache = false\n";
+        let sc = Scenario::parse(&text).unwrap();
+        assert_eq!(sc.threads, 1);
+        assert!(!sc.output.rom_cache);
+        // Typos in the new keys fail loudly like every other key.
+        assert!(Scenario::parse(&format!("{MINIMAL}\n[output]\nrom_cach = false")).is_err());
+        assert!(Scenario::parse(&MINIMAL.replace(
+            "methods = [\"prima\"]",
+            "threadz = 2\nmethods = [\"prima\"]"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! End-to-end tests of the `pmor bench` subsystem and the ROM cache:
+//! suite execution, record validation, serial-vs-parallel determinism,
+//! and re-run reduction skipping.
+
+use pmor_bench::suite::BenchSuite;
+use pmor_bench::validate_bench_json;
+use pmor_cli::bench_cmd::{check_files, run_suite};
+use pmor_cli::{run_scenario, Scenario};
+use std::path::PathBuf;
+
+/// A unique per-test directory under the system temp dir.
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmor_bench_test_{tag}_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes a small scenario + suite pair into `dir`, returning the suite
+/// path. The scenario uses two multi-shift methods so both the parallel
+/// reduction path and the concurrent analysis path are exercised.
+fn write_suite(dir: &std::path::Path) -> PathBuf {
+    let scenario = format!(
+        r#"
+[scenario]
+name = "bench_e2e"
+description = "bench test scenario"
+
+[system]
+generator = "clock_tree"
+num_nodes = 30
+
+[reduce]
+methods = ["multipoint", "fit"]
+
+[analysis]
+kind = "frequency_sweep"
+points = 4
+
+[output]
+dir = "{}"
+"#,
+        dir.display()
+    );
+    std::fs::write(dir.join("bench_e2e.toml"), scenario).unwrap();
+    let suite = r#"
+[suite]
+name = "unit"
+description = "test suite"
+warmup = 0
+repeats = 2
+
+[micro]
+kernels = ["csr_mul", "lu_solve"]
+sides = [4]
+
+[scenario-e2e]
+file = "bench_e2e.toml"
+
+[compare-par]
+file = "bench_e2e.toml"
+method = "multipoint"
+"#;
+    let path = dir.join("unit.toml");
+    std::fs::write(&path, suite).unwrap();
+    path
+}
+
+#[test]
+fn suite_runs_end_to_end_with_validated_records() {
+    let dir = out_dir("suite");
+    let suite = BenchSuite::load(write_suite(&dir)).unwrap();
+    let report = run_suite(&suite, &dir).unwrap();
+    // One BENCH file per entry: compare-par, micro, scenario-e2e.
+    assert_eq!(report.files.len(), 3);
+    // 2 (compare) + 2 (micro kernels) + 2 (methods) records.
+    assert_eq!(report.records, 6);
+    for path in &report.files {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        assert!(name.starts_with("BENCH_unit_"), "{name}");
+        let text = std::fs::read_to_string(path).unwrap();
+        validate_bench_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+    // The compare entry recorded a speedup metric on the parallel leg.
+    let compare = std::fs::read_to_string(&report.files[0]).unwrap();
+    assert!(compare.contains("multipoint_serial"), "{compare}");
+    assert!(compare.contains("multipoint_parallel"), "{compare}");
+    assert!(compare.contains("\"speedup\""), "{compare}");
+    // --check accepts what run_suite emitted.
+    let paths: Vec<String> = report
+        .files
+        .iter()
+        .map(|p| p.to_str().unwrap().to_string())
+        .collect();
+    check_files(&paths).unwrap();
+}
+
+#[test]
+fn check_rejects_nonconforming_files() {
+    let dir = out_dir("check");
+    let bad = dir.join("BENCH_bad.json");
+    std::fs::write(&bad, "{\n  \"tag\": \"bad\",\n  \"records\": [\n  ]\n}\n").unwrap();
+    let err = check_files(&[bad.to_str().unwrap().to_string()]).unwrap_err();
+    assert!(err.to_string().contains("no records"), "{err}");
+    assert!(check_files(&[]).is_err());
+    assert!(check_files(&["/definitely/missing.json".into()]).is_err());
+}
+
+#[test]
+fn rom_cache_skips_reduction_on_the_second_run_with_identical_numbers() {
+    let dir = out_dir("romcache");
+    let text = format!(
+        r#"
+[scenario]
+name = "cachetest"
+
+[system]
+generator = "clock_tree"
+num_nodes = 30
+
+[reduce]
+methods = ["multipoint"]
+
+[analysis]
+kind = "frequency_sweep"
+points = 5
+
+[output]
+dir = "{}"
+"#,
+        dir.display()
+    );
+    let sc = Scenario::parse(&text).unwrap();
+    assert!(sc.output.rom_cache, "cache must default on");
+    let first = run_scenario(&sc).unwrap();
+    assert_eq!(first.rom_cache_hits, 0);
+    assert!(first.real_factorizations > 0);
+    let second = run_scenario(&sc).unwrap();
+    assert_eq!(second.rom_cache_hits, 1, "second run must hit the cache");
+    assert_eq!(
+        second.real_factorizations, 0,
+        "cached run must not factor anything"
+    );
+    // The analysis numbers are bitwise identical: a cached ROM is the
+    // same model.
+    let metrics = |r: &pmor_cli::ExecReport| -> Vec<(String, f64)> {
+        r.records[0]
+            .metrics
+            .iter()
+            .filter(|(n, _)| {
+                // Wall-clock (`*_seconds`) and cache-provenance metrics
+                // legitimately differ; everything numeric must not.
+                n != "rom_cached" && !n.ends_with("_seconds")
+            })
+            .cloned()
+            .collect()
+    };
+    let (a, b) = (metrics(&first), metrics(&second));
+    assert_eq!(a.len(), b.len());
+    for ((na, va), (nb, vb)) in a.iter().zip(&b) {
+        assert_eq!(na, nb);
+        assert_eq!(va.to_bits(), vb.to_bits(), "{na} drifted across cache");
+    }
+    // Opting out re-reduces.
+    let mut no_cache = sc.clone();
+    no_cache.output.rom_cache = false;
+    let third = run_scenario(&no_cache).unwrap();
+    assert_eq!(third.rom_cache_hits, 0);
+    assert!(third.real_factorizations > 0);
+}
+
+#[test]
+fn concurrent_method_analyses_match_the_serial_path() {
+    let make = |threads: usize, dir: &std::path::Path| {
+        let text = format!(
+            r#"
+[scenario]
+name = "conc"
+
+[system]
+generator = "clock_tree"
+num_nodes = 30
+
+[reduce]
+methods = ["prima", "multipoint", "lowrank"]
+threads = {threads}
+
+[analysis]
+kind = "montecarlo"
+instances = 6
+num_poles = 2
+
+[output]
+dir = "{}"
+rom_cache = false
+"#,
+            dir.display()
+        );
+        Scenario::parse(&text).unwrap()
+    };
+    let dir_s = out_dir("conc_serial");
+    let dir_p = out_dir("conc_parallel");
+    let serial = run_scenario(&make(1, &dir_s)).unwrap();
+    // Explicit worker count: `threads = 0` resolves to available
+    // parallelism, which is 1 on small CI boxes and would degrade this
+    // to serial-vs-serial; 3 workers = one per method everywhere.
+    let parallel = run_scenario(&make(3, &dir_p)).unwrap();
+    assert_eq!(serial.records.len(), parallel.records.len());
+    for (a, b) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(a.method, b.method, "record order must stay method order");
+        for ((na, va), (nb, vb)) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(na, nb);
+            if na.ends_with("_seconds") || na == "threads" {
+                // Wall-clock, and the engine worker count (the auto
+                // engine divides cores across concurrent jobs) — both
+                // legitimately differ; every error metric must not.
+                continue;
+            }
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{}/{na} differs between serial and concurrent analysis",
+                a.method
+            );
+        }
+    }
+}

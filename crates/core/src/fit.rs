@@ -177,18 +177,23 @@ impl FittedProjectionPmor {
                 np + 1
             )));
         }
-        // Per-sample PRIMA bases (factors shared through the context).
-        let mut bases: Vec<Matrix<f64>> = Vec::with_capacity(ns);
         for sample in &self.options.samples {
             if sample.len() != np {
                 return Err(PmorError::Invalid(
                     "projection fitting: sample parameter count mismatch".into(),
                 ));
             }
+        }
+        // Factor all sample points up front (parallel when the context
+        // has worker threads; bitwise-identical factors either way) and
+        // consume the returned factors directly.
+        let factors = ctx.prefactor_g_at(sys, &self.options.samples)?;
+        // Per-sample PRIMA bases (factors shared through the context).
+        let mut bases: Vec<Matrix<f64>> = Vec::with_capacity(ns);
+        for (sample, lu) in self.options.samples.iter().zip(&factors) {
             let c = sys.c_at(sample);
-            let lu = ctx.factor_g_at(sys, sample)?;
             let mut basis = OrthoBasis::new(sys.dim());
-            krylov_blocks(&lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
+            krylov_blocks(lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
             bases.push(basis.to_matrix());
         }
         let q = bases[0].ncols();

@@ -70,7 +70,9 @@ pub mod rom;
 pub mod transient;
 
 pub use engine::{EvalEngine, EvalPoint, EvalWorkspace, TransferModel};
-pub use reduce::{reducer_by_name, Reducer, ReducerKind, ReducerTuning, ReductionContext};
+pub use reduce::{
+    reducer_by_name, system_fingerprint, Reducer, ReducerKind, ReducerTuning, ReductionContext,
+};
 pub use rom::ParametricRom;
 
 // The README's Rust code blocks are compiled and run as doctests of this

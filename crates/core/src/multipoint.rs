@@ -134,8 +134,6 @@ impl MultiPointPmor {
         if self.options.samples.is_empty() {
             return Err(PmorError::Invalid("multi-point: no samples given".into()));
         }
-        let mut basis = OrthoBasis::new(sys.dim());
-        let before = ctx.real_factorizations();
         for sample in &self.options.samples {
             if sample.len() != sys.num_params() {
                 return Err(PmorError::Invalid(format!(
@@ -144,9 +142,16 @@ impl MultiPointPmor {
                     sys.num_params()
                 )));
             }
+        }
+        let mut basis = OrthoBasis::new(sys.dim());
+        let before = ctx.real_factorizations();
+        // Factor every expansion point up front — on the context's worker
+        // threads when it has them; the serial Krylov loop below consumes
+        // the returned factors directly. Identical factors either way.
+        let factors = ctx.prefactor_g_at(sys, &self.options.samples)?;
+        for (sample, lu) in self.options.samples.iter().zip(&factors) {
             let c = sys.c_at(sample);
-            let lu = ctx.factor_g_at(sys, sample)?;
-            krylov_blocks(&lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
+            krylov_blocks(lu, &c, &sys.b, self.options.num_block_moments, &mut basis)?;
         }
         let v = basis.to_matrix();
         let stats = MultiPointStats {

@@ -101,6 +101,9 @@ pub struct ReductionContext {
     /// computed once per system and shared by every factorization
     /// (orderings only affect fill-in, never solution values).
     ordering: Option<Arc<Vec<usize>>>,
+    /// Worker threads for [`ReductionContext::prefactor_g_at`] batches
+    /// (`0` = available parallelism, `1` = serial).
+    threads: usize,
 }
 
 impl Default for ReductionContext {
@@ -111,14 +114,40 @@ impl Default for ReductionContext {
 }
 
 impl ReductionContext {
-    /// Creates an empty context (RCM ordering enabled).
+    /// Creates an empty context (RCM ordering enabled, serial
+    /// factorization).
     pub fn new() -> Self {
         ReductionContext {
             cache: FactorCache::new(),
             fingerprint: None,
             use_rcm: true,
             ordering: None,
+            threads: 1,
         }
+    }
+
+    /// Creates a context whose batched factorizations
+    /// ([`ReductionContext::prefactor_g_at`]) run on up to `threads`
+    /// worker threads (`0` = available parallelism). The thread count
+    /// affects wall-clock only: cached factors, counters and every
+    /// downstream numeric result are bitwise identical to the serial
+    /// context.
+    pub fn with_threads(threads: usize) -> Self {
+        ReductionContext {
+            threads,
+            ..ReductionContext::new()
+        }
+    }
+
+    /// Changes the worker-thread knob (see
+    /// [`ReductionContext::with_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured worker-thread knob (`0` = available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Creates a context that factors without a fill-reducing ordering
@@ -155,6 +184,55 @@ impl ReductionContext {
             SparseLu::factor(&g, ord.as_deref().map(Vec::as_slice))
         })?;
         Ok(lu)
+    }
+
+    /// Factors `G(p)` at every point of `points` that is not already
+    /// cached, running the missing factorizations on the context's
+    /// worker threads (see [`ReductionContext::with_threads`]) — the
+    /// parallel multi-shift path behind the multi-point and fitting
+    /// reducers. Returns the factors in `points` order, so callers
+    /// consume them directly instead of re-requesting each point
+    /// (which would double-count cache hits).
+    ///
+    /// Cache contents, counters and all solve results are bitwise
+    /// identical to requesting each point through
+    /// [`ReductionContext::factor_g_at`] in order: each matrix is
+    /// factored by exactly one worker with the same shared ordering, and
+    /// results are committed to the cache in `points` order.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any `G(p)` is singular or any point has the wrong
+    /// length; the earliest failing point's error is returned (factors
+    /// of the other points are kept, as in serial retries).
+    pub fn prefactor_g_at(
+        &mut self,
+        sys: &ParametricSystem,
+        points: &[Vec<f64>],
+    ) -> Result<Vec<Arc<SparseLu<f64>>>> {
+        for p in points {
+            if p.len() != sys.num_params() {
+                return Err(crate::PmorError::Invalid(format!(
+                    "prefactor: point has {} parameters, system has {}",
+                    p.len(),
+                    sys.num_params()
+                )));
+            }
+        }
+        self.ensure_system(sys);
+        let ord = self.shared_ordering(sys);
+        let jobs: Vec<_> = points
+            .iter()
+            .map(|p| {
+                let ord = ord.clone();
+                let key = FactorKey::tagged(TAG_REAL_G, p);
+                (key, move || {
+                    let g = sys.g_at(p);
+                    SparseLu::factor(&g, ord.as_deref().map(Vec::as_slice))
+                })
+            })
+            .collect();
+        Ok(self.cache.real_parallel(jobs, self.threads)?)
     }
 
     /// Complex factors of the shifted pencil `G(p) + s·C(p)`, memoized
@@ -257,33 +335,49 @@ pub(crate) fn union_pattern(sys: &ParametricSystem) -> CsrMatrix<f64> {
     u
 }
 
-/// FNV-1a over the structure and values of every system matrix. The
-/// cache key space is per-system, so the fingerprint must cover anything
-/// `G(p)`/`C(p)` assembly can depend on.
-pub(crate) fn system_fingerprint(sys: &ParametricSystem) -> u64 {
+/// The FNV-1a fold over a `u64` word stream shared by every content key
+/// in the workspace ([`system_fingerprint`],
+/// [`registry_defaults::fingerprint`], the CLI's ROM-cache keys) — one
+/// hashing scheme, defined once, so the keys can never silently
+/// de-synchronize.
+pub fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut word = |w: u64| {
+    for w in words {
         h ^= w;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    };
-    word(sys.dim() as u64);
-    word(sys.num_params() as u64);
-    word(sys.num_inputs() as u64);
-    word(sys.num_outputs() as u64);
-    let mat = |m: &CsrMatrix<f64>| {
-        let mut w2 = 0xcbf2_9ce4_8422_2325u64;
-        for (r, c, v) in m.iter() {
-            w2 ^= (r as u64).rotate_left(17) ^ (c as u64).rotate_left(31) ^ v.to_bits();
-            w2 = w2.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        w2
-    };
-    word(mat(&sys.g0));
-    word(mat(&sys.c0));
-    for m in sys.gi.iter().chain(sys.ci.iter()) {
-        word(mat(m));
     }
     h
+}
+
+/// FNV-1a content fingerprint over the **whole** system identity: dims,
+/// the structure and values of every system matrix (`G0`, `C0`, all
+/// `Gᵢ`/`Cᵢ`), and the dense port maps `B`/`L` — two systems differing
+/// only in port placement produce different reduced models, so the
+/// ports must key too, not just their counts. Public because external
+/// caches (the CLI's content-addressed ROM cache) key on the same
+/// identity.
+pub fn system_fingerprint(sys: &ParametricSystem) -> u64 {
+    let mat =
+        |m: &CsrMatrix<f64>| {
+            fnv1a_words(m.iter().map(|(r, c, v)| {
+                (r as u64).rotate_left(17) ^ (c as u64).rotate_left(31) ^ v.to_bits()
+            }))
+        };
+    let dense = |m: &pmor_num::Matrix<f64>| {
+        fnv1a_words((0..m.nrows()).flat_map(|r| (0..m.ncols()).map(move |c| m[(r, c)].to_bits())))
+    };
+    let mut words = vec![
+        sys.dim() as u64,
+        sys.num_params() as u64,
+        sys.num_inputs() as u64,
+        sys.num_outputs() as u64,
+        mat(&sys.g0),
+        mat(&sys.c0),
+        dense(&sys.b),
+        dense(&sys.l),
+    ];
+    words.extend(sys.gi.iter().chain(sys.ci.iter()).map(mat));
+    fnv1a_words(words)
 }
 
 /// The default option values [`ReducerKind::build`] uses for the knobs
@@ -303,6 +397,32 @@ pub mod registry_defaults {
     pub const LOWRANK_PARAM_ORDER: usize = 2;
     /// Low-rank SVD rank per generalized sensitivity.
     pub const LOWRANK_RANK: usize = 2;
+
+    /// FNV-1a fingerprint over **every** default the registry's
+    /// construction path can fall back to — the constants above plus the
+    /// option-struct defaults [`super::ReducerKind::build_tuned`] reads
+    /// directly. External caches keyed on unresolved [`super::ReducerTuning`]
+    /// values (the CLI's ROM cache) fold this in, so changing any
+    /// registry default invalidates their entries instead of silently
+    /// serving models reduced under the old default.
+    pub fn fingerprint() -> u64 {
+        let lr = crate::lowrank::LowRankOptions::default();
+        super::fnv1a_words([
+            SAMPLE_RANGE.to_bits(),
+            MULTIPOINT_PER_AXIS as u64,
+            SAMPLE_BLOCK_MOMENTS as u64,
+            LOWRANK_S_ORDER as u64,
+            LOWRANK_PARAM_ORDER as u64,
+            LOWRANK_RANK as u64,
+            crate::prima::PrimaOptions::default().num_block_moments as u64,
+            u64::from(lr.include_transpose_subspaces),
+            u64::from(lr.approximate_raw_sensitivities),
+            lr.svd.oversample as u64,
+            lr.svd.power_iterations as u64,
+            lr.svd.seed,
+            crate::moments::SinglePointOptions::default().order as u64,
+        ])
+    }
 }
 
 /// Optional per-method overrides for [`ReducerKind::build_tuned`] — the

@@ -19,7 +19,7 @@ use crate::lu::SparseLu;
 use crate::Result;
 use pmor_num::Complex64;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An opaque cache key: a sequence of 64-bit words (typically a role tag
 /// followed by the bit patterns of the identifying floats).
@@ -132,6 +132,94 @@ impl FactorCache {
         Ok(lu)
     }
 
+    /// Batch counterpart of [`FactorCache::real`]: resolves many keys at
+    /// once, running the **missing** factorizations on up to `threads`
+    /// scoped worker threads (`0` = available parallelism).
+    ///
+    /// The returned factors line up with `jobs` order. On **success**,
+    /// cache state and counters end up exactly as if the jobs had been
+    /// requested serially in order: every distinct uncached key counts
+    /// one factorization, every other request counts a hit, and when
+    /// several jobs carry the same key only the first factors.
+    /// Factorization itself is deterministic, so thread count affects
+    /// wall-clock only — never the stored factors (the basis of the
+    /// workspace's "parallelism never changes numerics" guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of the earliest-ordered failing job. Unlike
+    /// a serial request loop (which would stop at the failure), the
+    /// whole batch was already dispatched: every *successful* sibling is
+    /// kept in the cache and counted as a factorization — so a retry
+    /// after fixing the bad matrix only refactors that one — while hit
+    /// accounting for the batch is skipped. Counters therefore match the
+    /// serial path only on the success path; after an error they reflect
+    /// the work actually performed.
+    pub fn real_parallel<F>(
+        &mut self,
+        jobs: Vec<(FactorKey, F)>,
+        threads: usize,
+    ) -> Result<Vec<Arc<SparseLu<f64>>>>
+    where
+        F: FnOnce() -> Result<SparseLu<f64>> + Send,
+    {
+        let keys: Vec<FactorKey> = jobs.iter().map(|(k, _)| k.clone()).collect();
+        // Misses only, first occurrence per key, in job order.
+        let mut pending: Vec<(FactorKey, F)> = Vec::new();
+        for (key, factor) in jobs {
+            if !self.real.contains_key(&key) && !pending.iter().any(|(k, _)| *k == key) {
+                pending.push((key, factor));
+            }
+        }
+        let workers = effective_threads(threads, pending.len());
+        let produced: Vec<(FactorKey, Result<SparseLu<f64>>)> = if workers <= 1 {
+            pending.into_iter().map(|(k, f)| (k, f())).collect()
+        } else {
+            let queue = Mutex::new(pending.into_iter().enumerate().collect::<Vec<_>>());
+            let done = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let Some((slot, (key, factor))) = queue.lock().unwrap().pop() else {
+                            break;
+                        };
+                        let lu = factor();
+                        done.lock().unwrap().push((slot, key, lu));
+                    });
+                }
+            });
+            let mut out = done.into_inner().unwrap();
+            out.sort_by_key(|(slot, _, _)| *slot);
+            out.into_iter().map(|(_, k, lu)| (k, lu)).collect()
+        };
+        // Insert in job order — cache state and counters are independent
+        // of worker scheduling — and surface the earliest failure.
+        let mut first_err = None;
+        let mut inserted = 0usize;
+        for (key, lu) in produced {
+            match lu {
+                Ok(lu) => {
+                    self.stats.real_factorizations += 1;
+                    inserted += 1;
+                    self.real.insert(key, Arc::new(lu));
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.stats.hits += keys.len() - inserted;
+        Ok(keys
+            .iter()
+            .map(|k| Arc::clone(self.real.get(k).expect("all keys resolved")))
+            .collect())
+    }
+
     /// Usage counters (misses are factorizations, hits are reuses).
     pub fn stats(&self) -> FactorCacheStats {
         self.stats
@@ -153,6 +241,17 @@ impl FactorCache {
         self.real.clear();
         self.complex.clear();
     }
+}
+
+/// Worker count for a batch: the configured knob (`0` = available
+/// parallelism), never more than one worker per job, at least one.
+fn effective_threads(threads: usize, jobs: usize) -> usize {
+    let configured = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    configured.min(jobs).max(1)
 }
 
 #[cfg(test)]
@@ -228,6 +327,97 @@ mod tests {
         // The key is free for a successful retry.
         cache.real(key, || SparseLu::factor(&ok, None)).unwrap();
         assert_eq!(cache.stats().real_factorizations, 1);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_cache_state() {
+        // Same jobs through real_parallel (4 workers) and a serial request
+        // loop must leave identical counters and identical factors.
+        let mats: Vec<CsrMatrix<f64>> = (0..6)
+            .map(|i| diag(&[1.0 + i as f64, 2.0 + i as f64]))
+            .collect();
+        let jobs = |mats: &[CsrMatrix<f64>]| {
+            mats.iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let m = m.clone();
+                    (FactorKey::tagged(3, &[i as f64]), move || {
+                        SparseLu::factor(&m, None)
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut par = FactorCache::new();
+        let got_par = par.real_parallel(jobs(&mats), 4).unwrap();
+        let mut ser = FactorCache::new();
+        let got_ser: Vec<_> = jobs(&mats)
+            .into_iter()
+            .map(|(k, f)| ser.real(k, f).unwrap())
+            .collect();
+        assert_eq!(par.stats(), ser.stats());
+        assert_eq!(par.stats().real_factorizations, 6);
+        for (a, b) in got_par.iter().zip(&got_ser) {
+            let x = a.solve(&[1.0, 2.0]).unwrap();
+            let y = b.solve(&[1.0, 2.0]).unwrap();
+            assert_eq!(x[0].to_bits(), y[0].to_bits());
+            assert_eq!(x[1].to_bits(), y[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_batch_counts_cached_and_duplicate_keys_as_hits() {
+        let a = diag(&[2.0, 4.0]);
+        let mut cache = FactorCache::new();
+        cache
+            .real(FactorKey::tagged(0, &[0.0]), || SparseLu::factor(&a, None))
+            .unwrap();
+        // One pre-cached key, one fresh key requested twice.
+        let b = diag(&[1.0, 8.0]);
+        let jobs = vec![
+            (FactorKey::tagged(0, &[0.0]), {
+                let a = a.clone();
+                Box::new(move || SparseLu::factor(&a, None))
+                    as Box<dyn FnOnce() -> crate::Result<SparseLu<f64>> + Send>
+            }),
+            (FactorKey::tagged(0, &[1.0]), {
+                let b = b.clone();
+                Box::new(move || SparseLu::factor(&b, None)) as Box<_>
+            }),
+            (FactorKey::tagged(0, &[1.0]), {
+                let b = b.clone();
+                Box::new(move || SparseLu::factor(&b, None)) as Box<_>
+            }),
+        ];
+        let got = cache.real_parallel(jobs, 0).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(Arc::ptr_eq(&got[1], &got[2]));
+        // Serial equivalent: 1 old miss + 1 new miss, 2 hits.
+        assert_eq!(cache.stats().real_factorizations, 2);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn parallel_batch_surfaces_earliest_failure_and_keeps_good_factors() {
+        let singular = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]);
+        let ok = diag(&[1.0, 1.0]);
+        let mut cache = FactorCache::new();
+        let jobs = vec![
+            (FactorKey::tagged(0, &[0.0]), {
+                let ok = ok.clone();
+                Box::new(move || SparseLu::factor(&ok, None))
+                    as Box<dyn FnOnce() -> crate::Result<SparseLu<f64>> + Send>
+            }),
+            (FactorKey::tagged(0, &[1.0]), {
+                let s = singular.clone();
+                Box::new(move || SparseLu::factor(&s, None)) as Box<_>
+            }),
+        ];
+        assert!(cache.real_parallel(jobs, 2).is_err());
+        // The good factor was kept (serial retry semantics), the bad key
+        // stays free.
+        assert_eq!(cache.stats().real_factorizations, 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Docs drift guard: the GUIDE must reference every shipped scenario
+//! file, every SPICE deck, every benchmark suite and every suite entry
+//! tag — in the same spirit as the README snippets being `include_str!`
+//! doctests. Adding a scenario or a suite entry without documenting it
+//! fails CI here.
+
+use pmor_bench::suite::BenchSuite;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // This test is registered by crates/bench, two levels down.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Every file (recursively) under `dir` with one of `exts`.
+fn files_under(dir: &Path, exts: &[&str]) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap_or_else(|e| panic!("{}: {e}", d.display())) {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| exts.contains(&e))
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn guide_references_every_scenario_deck_and_suite() {
+    let root = repo_root();
+    let guide = std::fs::read_to_string(root.join("docs/GUIDE.md")).expect("docs/GUIDE.md");
+
+    let files = files_under(&root.join("scenarios"), &["toml", "sp"]);
+    assert!(
+        files.len() >= 12,
+        "expected the shipped scenario set, found {}",
+        files.len()
+    );
+    for path in &files {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        assert!(
+            guide.contains(name),
+            "docs/GUIDE.md does not mention {name} — document it (scenario table, \
+             suite section, or deck reference)"
+        );
+    }
+
+    // Suite *entry tags* must be documented too: the BENCH_<suite>_<tag>
+    // output names are part of the CLI's contract.
+    for suite_path in files_under(&root.join("scenarios/suites"), &["toml"]) {
+        let suite = BenchSuite::load(&suite_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", suite_path.display()));
+        assert!(
+            guide.contains(&suite.name),
+            "docs/GUIDE.md does not mention suite {:?}",
+            suite.name
+        );
+        for entry in &suite.entries {
+            let bench_name = format!("BENCH_{}_{}.json", suite.name, entry.tag);
+            assert!(
+                guide.contains(&entry.tag) || guide.contains(&bench_name),
+                "docs/GUIDE.md mentions neither suite entry tag {:?} nor {bench_name}",
+                entry.tag
+            );
+        }
+    }
+}
+
+#[test]
+fn benchmarks_doc_exists_and_names_the_default_suite() {
+    let root = repo_root();
+    let text =
+        std::fs::read_to_string(root.join("docs/BENCHMARKS.md")).expect("docs/BENCHMARKS.md");
+    for needle in ["default", "smoke", "median", "rc_mesh"] {
+        assert!(
+            text.contains(needle),
+            "docs/BENCHMARKS.md misses {needle:?}"
+        );
+    }
+    // The README links the benchmarks page.
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(
+        readme.contains("BENCHMARKS.md"),
+        "README.md does not link docs/BENCHMARKS.md"
+    );
+}
