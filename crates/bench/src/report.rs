@@ -21,16 +21,22 @@ pub struct BenchRecord {
     pub wall_seconds: f64,
     /// Named scalar metrics (model size, error norms, counters, …).
     pub metrics: Vec<(String, f64)>,
+    /// Named string annotations (provenance that is not a number, e.g.
+    /// the resolved fill-reducing ordering). Emitted as a `"labels"`
+    /// object after the metrics; omitted entirely when empty, so
+    /// records without labels serialize exactly as before.
+    pub labels: Vec<(String, String)>,
 }
 
 impl BenchRecord {
-    /// Creates a record with an empty metric map.
+    /// Creates a record with empty metric and label maps.
     pub fn new(method: impl Into<String>, workload: impl Into<String>, wall_seconds: f64) -> Self {
         BenchRecord {
             method: method.into(),
             workload: workload.into(),
             wall_seconds,
             metrics: Vec::new(),
+            labels: Vec::new(),
         }
     }
 
@@ -38,6 +44,13 @@ impl BenchRecord {
     #[must_use]
     pub fn metric(mut self, name: impl Into<String>, value: f64) -> Self {
         self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Adds one named string label (builder-style).
+    #[must_use]
+    pub fn label(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((name.into(), value.into()));
         self
     }
 }
@@ -80,7 +93,18 @@ pub fn write_bench_json_in(
                 out.push_str(", ");
             }
         }
-        out.push_str("}}");
+        out.push('}');
+        if !r.labels.is_empty() {
+            out.push_str(", \"labels\": {");
+            for (j, (name, value)) in r.labels.iter().enumerate() {
+                out.push_str(&format!("{}: {}", json_string(name), json_string(value)));
+                if j + 1 < r.labels.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
         if i + 1 < records.len() {
             out.push(',');
         }
@@ -99,6 +123,15 @@ pub fn write_bench_json_in(
 /// bench-smoke job rejects records without them via
 /// [`validate_bench_json`].
 pub const REQUIRED_METRICS: [&str; 2] = ["median_seconds", "dim"];
+
+/// Optional per-record metrics the validator knows how to sanity-check
+/// when present: `factor_nnz` (stored nonzeros of the `L + U` factors)
+/// and `fill_ratio` (`factor_nnz / matrix nnz`) record ordering quality
+/// so fill regressions show up in the bench trajectory. Records that
+/// carry one of the pair must carry both, and records that carry them
+/// must name the ordering that produced the fill in an `"ordering"`
+/// label.
+pub const FILL_METRICS: [&str; 2] = ["factor_nnz", "fill_ratio"];
 
 /// Checks that `text` is a `BENCH_*.json` file produced by
 /// [`write_bench_json`] whose every record carries the required fields:
@@ -132,6 +165,25 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
         for metric in REQUIRED_METRICS {
             if !line.contains(&format!("\"{metric}\": ")) {
                 return Err(format!("record {records}: missing metric \"{metric}\""));
+            }
+        }
+        // Fill metrics are optional but must arrive as a coherent set:
+        // both numbers plus the ordering label that produced the fill.
+        let has_fill = FILL_METRICS
+            .iter()
+            .any(|m| line.contains(&format!("\"{m}\": ")));
+        if has_fill {
+            for metric in FILL_METRICS {
+                if !line.contains(&format!("\"{metric}\": ")) {
+                    return Err(format!(
+                        "record {records}: has fill metrics but misses \"{metric}\""
+                    ));
+                }
+            }
+            if !line.contains("\"ordering\": \"") {
+                return Err(format!(
+                    "record {records}: fill metrics need an \"ordering\" label"
+                ));
             }
         }
     }
@@ -206,6 +258,30 @@ mod tests {
         let err = validate_bench_json(&text).unwrap_err();
         assert!(err.contains("median_seconds"), "{err}");
 
+        // Fill metrics must arrive as a coherent set with their
+        // ordering label; records with the full set validate.
+        let fill = |rec: BenchRecord| vec![rec];
+        let complete = fill(
+            BenchRecord::new("lowrank", "rc_mesh(16384)", 0.5)
+                .metric("median_seconds", 0.5)
+                .metric("dim", 16384.0)
+                .metric("factor_nnz", 1.0e6)
+                .metric("fill_ratio", 12.5)
+                .label("ordering", "amd"),
+        );
+        let path = write_bench_json_in(&dir, "v4", &complete).unwrap();
+        validate_bench_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        for (strip_metric, needle) in [("fill_ratio", "fill_ratio"), ("", "ordering")] {
+            let mut rec = complete[0].clone();
+            rec.metrics.retain(|(n, _)| n != strip_metric);
+            if strip_metric.is_empty() {
+                rec.labels.clear();
+            }
+            let path = write_bench_json_in(&dir, "v5", &[rec]).unwrap();
+            let err = validate_bench_json(&std::fs::read_to_string(&path).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+
         // Empty files and non-bench JSON are rejected.
         let path = write_bench_json_in(&dir, "v3", &[]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
@@ -231,5 +307,17 @@ mod tests {
         assert!(text.contains("\"method\": \"lowrank\""));
         assert!(text.contains("\"worst_err\": 0.0015"));
         assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        // No labels on these records — the object must be omitted.
+        assert!(!text.contains("\"labels\""));
+
+        let labeled = vec![BenchRecord::new("lowrank", "rc_mesh(65536)", 0.25)
+            .metric("dim", 65536.0)
+            .label("ordering", "amd")];
+        let path = write_bench_json_in(&dir, "unit_test_labels", &labeled).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"labels\": {\"ordering\": \"amd\"}"),
+            "{text}"
+        );
     }
 }

@@ -22,11 +22,20 @@
 //! method = "multipoint"
 //! ```
 //!
-//! Entry sections are `[micro]`/`[micro-<tag>]`, `[scenario-<tag>]` and
-//! `[compare-<tag>]`; the section-name suffix becomes the entry's
-//! **tag**, and each entry emits one `BENCH_<suite>_<tag>.json` record
-//! file. Entries run in section-name order (the parser stores
-//! sections sorted), so a suite's output set is deterministic.
+//! Entry sections are `[micro]`/`[micro-<tag>]`, `[scenario-<tag>]`,
+//! `[compare-<tag>]` and `[refactor-<tag>]`; the section-name suffix
+//! becomes the entry's **tag**, and each entry emits one
+//! `BENCH_<suite>_<tag>.json` record file. Entries run in section-name
+//! order (the parser stores sections sorted), so a suite's output set
+//! is deterministic.
+//!
+//! Scenario entries can **gate accuracy**: `gate_metric = "max_rel_err"`
+//! with `gate_max = 1e-3` makes the run fail loudly when the named
+//! analysis metric exceeds the bound — the large-tier suite uses this so
+//! a 65k-unknown mesh is not just timed but also provably accurate.
+//! Refactor entries time one multi-shift reduction twice — symbolic
+//! reuse on (the default) vs off — assert the two ROMs' transfer values
+//! bitwise identical, and record the speedup.
 //!
 //! This module owns the schema and the micro/kernel measurements (they
 //! only need the workspace's sparse/dense kernels); the scenario and
@@ -81,6 +90,10 @@ pub enum SuiteEntryKind {
     Scenario {
         /// Scenario path, resolved against the suite file's directory.
         file: PathBuf,
+        /// Optional accuracy gate: the named analysis metric must stay
+        /// at or below the bound in **every** emitted record that
+        /// carries it (at least one must), or the entry fails loudly.
+        gate: Option<(String, f64)>,
     },
     /// Serial (threads = 1) vs parallel (at least 4 workers, more when
     /// the machine has them) reduction of a scenario's system with one
@@ -93,6 +106,18 @@ pub enum SuiteEntryKind {
         /// (`multipoint`, `fit`) are the ones with a parallel path.
         method: String,
     },
+    /// Symbolic-reuse-on vs symbolic-reuse-off reduction of a
+    /// scenario's system with one multi-shift method, with a bitwise
+    /// transfer-equality check — the regression gate for the
+    /// shared-symbolic refactorization path. Executed by the CLI layer.
+    Refactor {
+        /// Scenario path providing the system, resolved like `Scenario`.
+        file: PathBuf,
+        /// Reduction method (registry name); multi-shift methods
+        /// (`multipoint`, `fit`) factor many same-pattern matrices and
+        /// are the ones symbolic reuse accelerates.
+        method: String,
+    },
 }
 
 /// The micro-benchmark kernels `pmor bench` knows how to time.
@@ -102,6 +127,9 @@ pub enum MicroKernel {
     CsrMul,
     /// Sparse LU factorization of `G` (RCM-ordered).
     LuFactor,
+    /// Numeric refactorization of `G` replaying a recorded symbolic
+    /// analysis — the per-shift cost of the multi-shift reducers.
+    LuRefactor,
     /// Triangular solve on precomputed LU factors.
     LuSolve,
     /// Block orthonormalization (modified Gram–Schmidt) of 8 vectors.
@@ -110,9 +138,10 @@ pub enum MicroKernel {
 
 impl MicroKernel {
     /// Every kernel, in presentation order.
-    pub const ALL: [MicroKernel; 4] = [
+    pub const ALL: [MicroKernel; 5] = [
         MicroKernel::CsrMul,
         MicroKernel::LuFactor,
+        MicroKernel::LuRefactor,
         MicroKernel::LuSolve,
         MicroKernel::QrOrth,
     ];
@@ -122,6 +151,7 @@ impl MicroKernel {
         match self {
             MicroKernel::CsrMul => "csr_mul",
             MicroKernel::LuFactor => "lu_factor",
+            MicroKernel::LuRefactor => "lu_refactor",
             MicroKernel::LuSolve => "lu_solve",
             MicroKernel::QrOrth => "qr_orth",
         }
@@ -206,11 +236,27 @@ impl BenchSuite {
                 }
                 s if s.starts_with("scenario-") => {
                     let tag = s["scenario-".len()..].to_string();
+                    let file = parse_file(&doc, s, base, &["file", "gate_metric", "gate_max"])?;
+                    let gate = match (doc.str_opt(s, "gate_metric")?, doc.f64_opt(s, "gate_max")?) {
+                        (None, None) => None,
+                        (Some(metric), Some(max)) => {
+                            if metric.is_empty() || !max.is_finite() || max < 0.0 {
+                                return fail(format!(
+                                    "[{s}]: gate_metric must be nonempty and gate_max a \
+                                     finite nonnegative number"
+                                ));
+                            }
+                            Some((metric.to_string(), max))
+                        }
+                        _ => {
+                            return fail(format!(
+                                "[{s}]: gate_metric and gate_max must be given together"
+                            ))
+                        }
+                    };
                     entries.push(SuiteEntry {
                         tag,
-                        kind: SuiteEntryKind::Scenario {
-                            file: parse_file(&doc, s, base, &["file"])?,
-                        },
+                        kind: SuiteEntryKind::Scenario { file, gate },
                     });
                 }
                 s if s.starts_with("compare-") => {
@@ -225,10 +271,22 @@ impl BenchSuite {
                         kind: SuiteEntryKind::Compare { file, method },
                     });
                 }
+                s if s.starts_with("refactor-") => {
+                    let tag = s["refactor-".len()..].to_string();
+                    let file = parse_file(&doc, s, base, &["file", "method"])?;
+                    let method = doc
+                        .str_opt(s, "method")?
+                        .unwrap_or("multipoint")
+                        .to_string();
+                    entries.push(SuiteEntry {
+                        tag,
+                        kind: SuiteEntryKind::Refactor { file, method },
+                    });
+                }
                 other => {
                     return fail(format!(
                         "unknown section [{other}]; suites know [suite], [micro], \
-                         [scenario-<tag>] and [compare-<tag>]"
+                         [scenario-<tag>], [compare-<tag>] and [refactor-<tag>]"
                     ))
                 }
             }
@@ -343,6 +401,11 @@ fn parse_file(
 /// suite's warm-up and repeat counts, one [`BenchRecord`] per pair. The
 /// workload matrix is the RC mesh's nominal conductance `G0` — the same
 /// matrix family the macro scenarios factor.
+///
+/// The factorization kernels (`lu_factor`, `lu_refactor`) additionally
+/// record `factor_nnz` and `fill_ratio` plus the `ordering` label, so
+/// ordering-quality regressions show up in the bench trajectory next to
+/// the timings they explain.
 pub fn run_micro(
     kernels: &[MicroKernel],
     sides: &[usize],
@@ -360,7 +423,7 @@ pub fn run_micro(
         let g: &CsrMatrix<f64> = &sys.g0;
         let dim = g.nrows();
         let ord = ordering::rcm(g);
-        let lu = SparseLu::factor(g, Some(&ord)).expect("mesh G0 factors");
+        let (lu, sym) = SparseLu::factor_symbolic(g, Some(&ord)).expect("mesh G0 factors");
         let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
         let block = Matrix::from_fn(dim, 8, |r, c| ((r * 31 + c * 17) as f64 * 0.11).cos());
         for &kernel in kernels {
@@ -370,6 +433,9 @@ pub fn run_micro(
                 MicroKernel::LuFactor => bench_case_config(&label, warmup, repeats, || {
                     SparseLu::factor(g, Some(&ord)).expect("factors")
                 }),
+                MicroKernel::LuRefactor => bench_case_config(&label, warmup, repeats, || {
+                    SparseLu::refactor(g, &sym).expect("refactors")
+                }),
                 MicroKernel::LuSolve => {
                     bench_case_config(&label, warmup, repeats, || lu.solve(&x).expect("solves"))
                 }
@@ -378,14 +444,20 @@ pub fn run_micro(
                     basis.insert_block(&block)
                 }),
             };
-            records.push(
+            let mut record =
                 BenchRecord::new(kernel.name(), format!("rc_mesh({dim})"), stats.median_s)
                     .metric("median_seconds", stats.median_s)
                     .metric("mean_seconds", stats.mean_s)
                     .metric("min_seconds", stats.min_s)
                     .metric("dim", dim as f64)
-                    .metric("repeats", repeats as f64),
-            );
+                    .metric("repeats", repeats as f64);
+            if matches!(kernel, MicroKernel::LuFactor | MicroKernel::LuRefactor) {
+                record = record
+                    .metric("factor_nnz", lu.factor_nnz() as f64)
+                    .metric("fill_ratio", lu.factor_nnz() as f64 / g.nnz() as f64)
+                    .label("ordering", "rcm");
+            }
+            records.push(record);
         }
     }
     records
@@ -409,10 +481,16 @@ sides = [4]
 
 [scenario-stress]
 file = "sub/stress.toml"
+gate_metric = "max_rel_err"
+gate_max = 1e-3
 
 [compare-par]
 file = "sub/stress.toml"
 method = "multipoint"
+
+[refactor-reuse]
+file = "sub/stress.toml"
+method = "fit"
 "#;
 
     #[test]
@@ -421,11 +499,13 @@ method = "multipoint"
         assert_eq!(suite.name, "unit");
         assert_eq!(suite.warmup, 1);
         assert_eq!(suite.repeats, 2);
-        assert_eq!(suite.entries.len(), 3);
-        // Section-name order: compare-par < micro < scenario-stress.
+        assert_eq!(suite.entries.len(), 4);
+        // Section-name order: compare-par < micro < refactor-reuse
+        // < scenario-stress.
         assert_eq!(suite.entries[0].tag, "par");
         assert_eq!(suite.entries[1].tag, "micro");
-        assert_eq!(suite.entries[2].tag, "stress");
+        assert_eq!(suite.entries[2].tag, "reuse");
+        assert_eq!(suite.entries[3].tag, "stress");
         match &suite.entries[0].kind {
             SuiteEntryKind::Compare { file, method } => {
                 assert_eq!(file, &PathBuf::from("/base/sub/stress.toml"));
@@ -440,6 +520,19 @@ method = "multipoint"
             }
             other => panic!("wrong kind: {other:?}"),
         }
+        match &suite.entries[2].kind {
+            SuiteEntryKind::Refactor { file, method } => {
+                assert_eq!(file, &PathBuf::from("/base/sub/stress.toml"));
+                assert_eq!(method, "fit");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match &suite.entries[3].kind {
+            SuiteEntryKind::Scenario { gate, .. } => {
+                assert_eq!(gate, &Some(("max_rel_err".to_string(), 1e-3)));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 
     #[test]
@@ -448,7 +541,7 @@ method = "multipoint"
         let suite = BenchSuite::parse_at(text, None).unwrap();
         match &suite.entries[0].kind {
             SuiteEntryKind::Micro { kernels, sides } => {
-                assert_eq!(kernels.len(), 4);
+                assert_eq!(kernels.len(), 5);
                 assert_eq!(sides, &[16]);
             }
             other => panic!("wrong kind: {other:?}"),
@@ -489,6 +582,18 @@ method = "multipoint"
                 SUITE.replace("[scenario-stress]", "[scenario-]"),
                 "empty entry tag (nameless BENCH file)",
             ),
+            (
+                SUITE.replace("gate_max = 1e-3", ""),
+                "gate_metric without gate_max",
+            ),
+            (
+                SUITE.replace("gate_max = 1e-3", "gate_max = -1.0"),
+                "negative gate bound",
+            ),
+            (
+                SUITE.replace("method = \"fit\"", "methud = \"fit\""),
+                "typoed refactor key",
+            ),
         ] {
             assert!(
                 BenchSuite::parse_at(&mutation, None).is_err(),
@@ -513,7 +618,17 @@ method = "multipoint"
     #[test]
     fn micro_runner_emits_validating_records() {
         let records = run_micro(&MicroKernel::ALL, &[4], 0, 1);
-        assert_eq!(records.len(), 4);
+        assert_eq!(records.len(), 5);
+        // The factorization kernels carry the fill provenance.
+        for name in ["lu_factor", "lu_refactor"] {
+            let r = records.iter().find(|r| r.method == name).unwrap();
+            assert!(r.metrics.iter().any(|(n, _)| n == "factor_nnz"));
+            assert!(r
+                .metrics
+                .iter()
+                .any(|(n, v)| n == "fill_ratio" && *v >= 1.0));
+            assert!(r.labels.iter().any(|(n, v)| n == "ordering" && v == "rcm"));
+        }
         let dir = std::env::temp_dir().join("pmor_bench_micro_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = write_bench_json_in(&dir, "micro_unit", &records).unwrap();

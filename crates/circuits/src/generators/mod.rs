@@ -9,13 +9,16 @@
 //! | §5.2 two-bit coupled RLC bus, 4 ports, 1086 MNA unknowns | [`rlc_bus`] |
 //! | §5.3 clock-tree nets RCNetA (78 nodes) / RCNetB (333 nodes), 3 metal-width parameters | [`clock_tree`] |
 //! | extension: power-grid RC mesh with regional width parameters | [`rc_mesh`] |
+//! | extension: two-layer power grid (fine mesh + global straps), 16k–65k unknowns | [`power_grid`] |
 
 mod clock_tree;
+mod power_grid;
 mod rc_mesh;
 mod rc_random;
 mod rlc_bus;
 
 pub use clock_tree::{clock_tree, rcnet_a, rcnet_b, ClockTreeConfig, PARAM_M5, PARAM_M6, PARAM_M7};
+pub use power_grid::{power_grid, PowerGridConfig};
 pub use rc_mesh::{rc_mesh, RcMeshConfig};
 pub use rc_random::{rc_random, RcRandomConfig};
 pub use rlc_bus::{rlc_bus, RlcBusConfig};

@@ -15,7 +15,17 @@
 //! paper amortizes) and the analysis stage separately; compare entries
 //! additionally assert that the serial (`threads = 1`) and parallel
 //! (≥ 4 workers) reduction paths produce bitwise-identical transfer
-//! values before recording the speedup.
+//! values before recording the speedup; refactor entries do the same
+//! for symbolic-reuse vs from-scratch factorization.
+//!
+//! Scenario entries may carry an **accuracy gate** (`gate_metric` /
+//! `gate_max`): the named analysis metric must stay at or under the
+//! bound for every method, or the whole suite run fails. This is what
+//! lets the `large` tier assert transfer accuracy while it measures
+//! wall-clock and fill. Records from reductions that factored anything
+//! carry the ordering/fill provenance (`factor_nnz`, `fill_ratio`, and
+//! an `ordering` label) so trajectories across machines stay
+//! attributable to the ordering policy that produced them.
 
 use crate::scenario::Scenario;
 use crate::CliError;
@@ -78,13 +88,35 @@ pub fn resolve_suite(arg: &str) -> Result<PathBuf, CliError> {
 
 /// Runs a suite, writing one `BENCH_<suite>_<tag>.json` per entry into
 /// `out_dir`. Every emitted file is self-validated against the required
-/// record fields before this returns.
+/// record fields before this returns. `only` restricts the run to the
+/// entry with that tag (the `--entry` flag — CI runs the large tier's
+/// cheapest entry this way).
 ///
 /// # Errors
 ///
 /// Fails on unresolvable scenario files, reduction/analysis failures, a
-/// serial-vs-parallel bitwise mismatch, or unwritable output.
-pub fn run_suite(suite: &BenchSuite, out_dir: &Path) -> Result<BenchReport, CliError> {
+/// bitwise mismatch (serial-vs-parallel or reuse-vs-scratch), a
+/// violated accuracy gate, an unknown `only` tag, or unwritable output.
+pub fn run_suite(
+    suite: &BenchSuite,
+    out_dir: &Path,
+    only: Option<&str>,
+) -> Result<BenchReport, CliError> {
+    let entries: Vec<_> = match only {
+        None => suite.entries.iter().collect(),
+        Some(tag) => {
+            let picked: Vec<_> = suite.entries.iter().filter(|e| e.tag == tag).collect();
+            if picked.is_empty() {
+                let known: Vec<&str> = suite.entries.iter().map(|e| e.tag.as_str()).collect();
+                return Err(CliError::Usage(format!(
+                    "suite {} has no entry {tag:?}; entries: {}",
+                    suite.name,
+                    known.join(", ")
+                )));
+            }
+            picked
+        }
+    };
     println!(
         "# suite {}: {} (warmup {}, repeats {}, median reported)",
         suite.name, suite.description, suite.warmup, suite.repeats
@@ -93,17 +125,20 @@ pub fn run_suite(suite: &BenchSuite, out_dir: &Path) -> Result<BenchReport, CliE
         .map_err(|e| CliError::Io(format!("creating {}: {e}", out_dir.display())))?;
     let mut files = Vec::new();
     let mut total = 0;
-    for entry in &suite.entries {
+    for entry in entries {
         println!("# entry {}", entry.tag);
         let records = match &entry.kind {
             SuiteEntryKind::Micro { kernels, sides } => {
                 run_micro(kernels, sides, suite.warmup, suite.repeats)
             }
-            SuiteEntryKind::Scenario { file } => {
-                run_scenario_entry(file, suite.warmup, suite.repeats)?
+            SuiteEntryKind::Scenario { file, gate } => {
+                run_scenario_entry(file, gate.as_ref(), suite.warmup, suite.repeats)?
             }
             SuiteEntryKind::Compare { file, method } => {
                 run_compare_entry(file, method, suite.warmup, suite.repeats)?
+            }
+            SuiteEntryKind::Refactor { file, method } => {
+                run_refactor_entry(file, method, suite.warmup, suite.repeats)?
             }
         };
         let tag = format!("{}_{}", suite.name, entry.tag);
@@ -130,31 +165,51 @@ fn load_entry_scenario(file: &Path) -> Result<(Scenario, ParametricSystem), CliE
     Ok((sc, sys))
 }
 
+/// Stamps the ordering/fill provenance onto a record when the reduction
+/// actually factored something (`None` means nothing real was factored,
+/// e.g. a ROM-cache replay — then the fill metrics are honestly absent).
+fn stamp_provenance(rec: BenchRecord, prov: Option<&pmor::FactorProvenance>) -> BenchRecord {
+    match prov {
+        None => rec,
+        Some(p) => rec
+            .metric("factor_nnz", p.factor_nnz as f64)
+            .metric("fill_ratio", p.fill_ratio())
+            .label("ordering", p.ordering),
+    }
+}
+
 /// Macro benchmark: per method, reduction from a cold context (median
 /// over repeats) plus the scenario's analysis stage (median over
 /// repeats). The ROM cache is deliberately bypassed — `pmor bench`
-/// measures the work, not the cache.
+/// measures the work, not the cache. When the suite entry carries an
+/// accuracy gate, the named analysis metric must stay at or under the
+/// bound for every method that reports it (and at least one must).
 fn run_scenario_entry(
     file: &Path,
+    gate: Option<&(String, f64)>,
     warmup: usize,
     repeats: usize,
 ) -> Result<Vec<BenchRecord>, CliError> {
     let (sc, sys) = load_entry_scenario(file)?;
     let workload = sc.system.workload_label(&sys);
-    let full = FullModel::new(&sys);
+    let full = FullModel::with_ordering(&sys, sc.ordering);
     let engine = EvalEngine::new(sc.analysis.config.threads.unwrap_or(0));
     let mut records = Vec::new();
+    let mut gate_seen = false;
     for name in &sc.methods {
         let mut rom = None;
+        let mut prov = None;
         let mut reduce_times = Vec::with_capacity(repeats);
         for i in 0..warmup + repeats {
             // Cold context each repeat: the measured number is the real
             // multi-shift reduction cost, not a cache replay.
             let mut ctx = ReductionContext::with_threads(sc.threads);
+            ctx.set_ordering(sc.ordering);
             let (r, secs) = crate::exec::reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
             if i >= warmup {
                 reduce_times.push(secs);
             }
+            prov = ctx.provenance_ready(&sys);
             rom = Some(r);
         }
         let rom = rom.expect("at least one repeat");
@@ -164,11 +219,29 @@ fn run_scenario_entry(
             .build(&sc.analysis.config)
             .map_err(|e| CliError::Invalid(format!("[analysis] {e}")))?;
         let mut analysis_times = Vec::with_capacity(repeats);
+        let mut metrics = Vec::new();
         for i in 0..warmup + repeats {
             let (rep, secs) = timed(|| analysis.run(&engine, &full, &rom));
-            rep.map_err(|e| CliError::Pmor(format!("{name} {}: {e}", analysis.name())))?;
+            let rep =
+                rep.map_err(|e| CliError::Pmor(format!("{name} {}: {e}", analysis.name())))?;
             if i >= warmup {
                 analysis_times.push(secs);
+            }
+            // Analyses are deterministic, so every repeat reports the
+            // same values; keep the last.
+            metrics = rep.metrics;
+        }
+        if let Some((metric, max)) = gate {
+            if let Some((_, value)) = metrics.iter().find(|(n, _)| n == metric) {
+                gate_seen = true;
+                if !(value.is_finite() && *value <= *max) {
+                    return Err(CliError::Invalid(format!(
+                        "accuracy gate failed for {name} on {}: {metric} = {value:.6e} \
+                         exceeds gate_max = {max:.6e}",
+                        file.display()
+                    )));
+                }
+                println!("#   {name}: gate {metric} = {value:.3e} <= {max:.3e}");
             }
         }
         let reduce_median = median(&mut reduce_times);
@@ -178,15 +251,26 @@ fn run_scenario_entry(
             "#   {name}: reduce {reduce_median:.3}s + {} {analysis_median:.3}s (median of {repeats})",
             analysis.name()
         );
-        records.push(
-            BenchRecord::new(name.clone(), workload.clone(), total)
-                .metric("median_seconds", total)
-                .metric("reduce_median_seconds", reduce_median)
-                .metric("analysis_median_seconds", analysis_median)
-                .metric("dim", sys.dim() as f64)
-                .metric("size", rom.size() as f64)
-                .metric("repeats", repeats as f64),
-        );
+        let mut rec = BenchRecord::new(name.clone(), workload.clone(), total)
+            .metric("median_seconds", total)
+            .metric("reduce_median_seconds", reduce_median)
+            .metric("analysis_median_seconds", analysis_median)
+            .metric("dim", sys.dim() as f64)
+            .metric("size", rom.size() as f64)
+            .metric("repeats", repeats as f64);
+        for (metric, value) in &metrics {
+            rec = rec.metric(metric.clone(), *value);
+        }
+        records.push(stamp_provenance(rec, prov.as_ref()));
+    }
+    if let Some((metric, _)) = gate {
+        if !gate_seen {
+            return Err(CliError::Invalid(format!(
+                "gate metric {metric:?} was not reported by any method's analysis in {} \
+                 — the gate would silently pass; fix the metric name or the analysis",
+                file.display()
+            )));
+        }
     }
     Ok(records)
 }
@@ -213,6 +297,35 @@ fn probe_points(num_params: usize) -> Vec<(Vec<f64>, Complex64)> {
         .collect()
 }
 
+/// Asserts two reduced models produce bitwise-identical transfer values
+/// at the probe points. `what` names the two legs in the error.
+fn assert_transfers_bitwise(
+    legs: &[ParametricRom],
+    num_params: usize,
+    what: &str,
+) -> Result<(), CliError> {
+    for (p, s) in probe_points(num_params) {
+        let ha = legs[0]
+            .transfer(&p, s)
+            .map_err(|e| CliError::Pmor(format!("{what} transfer: {e}")))?;
+        let hb = legs[1]
+            .transfer(&p, s)
+            .map_err(|e| CliError::Pmor(format!("{what} transfer: {e}")))?;
+        for r in 0..ha.nrows() {
+            for c in 0..ha.ncols() {
+                let (a, b) = (ha[(r, c)], hb[(r, c)]);
+                if a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits() {
+                    return Err(CliError::Pmor(format!(
+                        "{what} reductions disagree at p={p:?}, s={s:?}: \
+                         {a:?} vs {b:?} — the two paths are not equivalent"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Serial (`threads = 1`) vs parallel (≥ 4 workers) reduction of the
 /// scenario's system with one method: asserts bitwise-identical transfer
 /// values at the probe points, then records both medians and the
@@ -234,14 +347,19 @@ fn run_compare_entry(
         .max(4);
     let mut roms: Vec<ParametricRom> = Vec::with_capacity(2);
     let mut medians = Vec::with_capacity(2);
+    let mut prov = None;
     for threads in [1usize, workers] {
         let mut times = Vec::with_capacity(repeats);
         let mut rom = None;
         for i in 0..warmup + repeats {
             let mut ctx = ReductionContext::with_threads(threads);
+            ctx.set_ordering(sc.ordering);
             let (r, secs) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
             if i >= warmup {
                 times.push(secs);
+            }
+            if prov.is_none() {
+                prov = ctx.provenance_ready(&sys);
             }
             rom = Some(r);
         }
@@ -250,25 +368,7 @@ fn run_compare_entry(
     }
     // The determinism gate: parallel factorization must not change one
     // bit of the reduced model's behavior.
-    for (p, s) in probe_points(sys.num_params()) {
-        let hs = roms[0]
-            .transfer(&p, s)
-            .map_err(|e| CliError::Pmor(format!("serial transfer: {e}")))?;
-        let hp = roms[1]
-            .transfer(&p, s)
-            .map_err(|e| CliError::Pmor(format!("parallel transfer: {e}")))?;
-        for r in 0..hs.nrows() {
-            for c in 0..hs.ncols() {
-                let (a, b) = (hs[(r, c)], hp[(r, c)]);
-                if a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits() {
-                    return Err(CliError::Pmor(format!(
-                        "serial/parallel reduction disagree at p={p:?}, s={s:?}: \
-                         {a:?} vs {b:?} — parallel path is not deterministic"
-                    )));
-                }
-            }
-        }
-    }
+    assert_transfers_bitwise(&roms, sys.num_params(), "serial/parallel")?;
     let speedup = medians[0] / medians[1].max(1e-12);
     println!(
         "#   {method}: serial {:.3}s, parallel {:.3}s on {workers} threads \
@@ -276,17 +376,84 @@ fn run_compare_entry(
         medians[0], medians[1]
     );
     let base = |label: &str, m: f64| {
-        BenchRecord::new(format!("{method}_{label}"), workload.clone(), m)
-            .metric("median_seconds", m)
-            .metric("dim", sys.dim() as f64)
-            .metric("size", roms[0].size() as f64)
-            .metric("repeats", repeats as f64)
+        stamp_provenance(
+            BenchRecord::new(format!("{method}_{label}"), workload.clone(), m)
+                .metric("median_seconds", m)
+                .metric("dim", sys.dim() as f64)
+                .metric("size", roms[0].size() as f64)
+                .metric("repeats", repeats as f64),
+            prov.as_ref(),
+        )
     };
     Ok(vec![
         base("serial", medians[0]).metric("threads", 1.0),
         base("parallel", medians[1])
             .metric("threads", workers as f64)
             .metric("speedup", speedup),
+    ])
+}
+
+/// Symbolic-reuse vs from-scratch reduction of the scenario's system
+/// with one multi-shift method: the reuse leg (the default) shares one
+/// symbolic analysis across every shift and refactorizes numerically;
+/// the scratch leg disables reuse so every shift re-runs the full
+/// Gilbert–Peierls analysis. Transfers must be bitwise identical before
+/// the speedup is recorded — symbolic reuse is a pure optimization.
+fn run_refactor_entry(
+    file: &Path,
+    method: &str,
+    warmup: usize,
+    repeats: usize,
+) -> Result<Vec<BenchRecord>, CliError> {
+    let (sc, sys) = load_entry_scenario(file)?;
+    let workload = sc.system.workload_label(&sys);
+    let mut roms: Vec<ParametricRom> = Vec::with_capacity(2);
+    let mut medians = Vec::with_capacity(2);
+    let mut prov = None;
+    for reuse in [true, false] {
+        let mut times = Vec::with_capacity(repeats);
+        let mut rom = None;
+        for i in 0..warmup + repeats {
+            let mut ctx = ReductionContext::with_threads(sc.threads);
+            ctx.set_ordering(sc.ordering);
+            ctx.set_symbolic_reuse(reuse);
+            let (r, secs) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
+            if i >= warmup {
+                times.push(secs);
+            }
+            if reuse {
+                // Only the reuse leg retains a symbolic analysis to
+                // report from; fill is identical on both legs anyway
+                // (that's what the bitwise gate below proves).
+                prov = ctx.provenance_ready(&sys);
+            }
+            rom = Some(r);
+        }
+        medians.push(median(&mut times));
+        roms.push(rom.expect("at least one repeat"));
+    }
+    // The refactorization gate: reusing the symbolic analysis must not
+    // change one bit of the reduced model's behavior.
+    assert_transfers_bitwise(&roms, sys.num_params(), "reuse/scratch")?;
+    let speedup = medians[1] / medians[0].max(1e-12);
+    println!(
+        "#   {method}: symbolic reuse {:.3}s vs from-scratch {:.3}s \
+         (x{speedup:.2}), transfer bitwise identical",
+        medians[0], medians[1]
+    );
+    let base = |label: &str, m: f64| {
+        stamp_provenance(
+            BenchRecord::new(format!("{method}_{label}"), workload.clone(), m)
+                .metric("median_seconds", m)
+                .metric("dim", sys.dim() as f64)
+                .metric("size", roms[0].size() as f64)
+                .metric("repeats", repeats as f64),
+            prov.as_ref(),
+        )
+    };
+    Ok(vec![
+        base("reuse", medians[0]).metric("speedup", speedup),
+        base("scratch", medians[1]),
     ])
 }
 

@@ -123,6 +123,7 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
         .then(|| RomCache::new(sc.output.dir.join(".pmor_cache")));
     let fingerprint = pmor::system_fingerprint(&sys);
     let mut ctx = ReductionContext::with_threads(sc.threads);
+    ctx.set_ordering(sc.ordering);
     let mut reduced = Vec::with_capacity(sc.methods.len());
     for name in &sc.methods {
         // Unregistered names fail loudly even when a stale cache entry
@@ -178,7 +179,10 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
             .kind
             .build(&sc.analysis.config)
             .map_err(|e| CliError::Invalid(format!("[analysis] {e}")))?;
-        let full = FullModel::new(&sys);
+        // The full model factors under the same ordering policy the
+        // reducers use, so large-scenario reference sweeps see the same
+        // fill reduction.
+        let full = FullModel::with_ordering(&sys, sc.ordering);
         let dim = sys.dim();
         // Worker count honors the `[reduce] threads` cap (`0` =
         // available parallelism, matching the knob's meaning everywhere
@@ -241,6 +245,28 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
         for m in &reduced {
             records.push(base_record(m, &workload, sys.dim()));
         }
+    }
+    // Factorization provenance (ordering policy + fill) when the context
+    // actually factored something this run; omitted when every method
+    // came out of the ROM cache and no nominal factorization exists.
+    // `provenance_ready` never factors or bumps counters, so the counts
+    // printed below stay exactly the reduction's own.
+    if let Some(prov) = ctx.provenance_ready(&sys) {
+        println!(
+            "# ordering {}: factor nnz {} ({:.2}x fill over {} matrix nnz)",
+            prov.ordering,
+            prov.factor_nnz,
+            prov.fill_ratio(),
+            prov.matrix_nnz
+        );
+        records = records
+            .into_iter()
+            .map(|r| {
+                r.metric("factor_nnz", prov.factor_nnz as f64)
+                    .metric("fill_ratio", prov.fill_ratio())
+                    .label("ordering", prov.ordering)
+            })
+            .collect();
     }
     println!(
         "# sparse factorizations across all methods: {} real, {} cache hits",

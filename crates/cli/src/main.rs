@@ -23,9 +23,10 @@ USAGE:
                                 Monte-Carlo dominant-pole statistics (and
                                 yield when --min-pole is given) on a ROM
   pmor info <model.rom>         describe a persisted ROM
-  pmor bench --suite <name|path> [--repeats N] [--warmup N] [--out DIR]
-                                run a benchmark suite; one standardized
-                                BENCH_<suite>_<entry>.json per entry
+  pmor bench --suite <name|path> [--entry TAG] [--repeats N] [--warmup N]
+             [--out DIR]       run a benchmark suite (or just one entry);
+                                one standardized BENCH_<suite>_<entry>.json
+                                per entry
   pmor bench --check <file>...  validate BENCH_*.json required fields
   pmor list [--benches]         registered generators, methods, analyses
                                 (--benches: shipped benchmark suites)
@@ -290,7 +291,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         };
         flags.push((name.to_string(), value.clone()));
     }
-    check_flags(&flags, &["suite", "repeats", "warmup", "out"])?;
+    check_flags(&flags, &["suite", "entry", "repeats", "warmup", "out"])?;
     let Some((_, suite_arg)) = flags.iter().find(|(n, _)| n == "suite") else {
         return Err(CliError::Usage(
             "bench needs --suite <name|path> (or --check <file>...)".into(),
@@ -315,7 +316,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         .iter()
         .find(|(n, _)| n == "out")
         .map_or_else(|| ".".to_string(), |(_, v)| v.clone());
-    let report = run_suite(&suite, std::path::Path::new(&out))?;
+    let only = flags
+        .iter()
+        .find(|(n, _)| n == "entry")
+        .map(|(_, v)| v.as_str());
+    let report = run_suite(&suite, std::path::Path::new(&out), only)?;
     println!(
         "# suite {} done: {} files, {} records",
         suite.name,
@@ -378,11 +383,18 @@ fn list_benches(dir: &std::path::Path) -> Result<(), CliError> {
                         .join(", "),
                     sides
                 ),
-                SuiteEntryKind::Scenario { file } => {
-                    format!("scenario {}", file.display())
-                }
+                SuiteEntryKind::Scenario { file, gate } => match gate {
+                    None => format!("scenario {}", file.display()),
+                    Some((metric, max)) => {
+                        format!("scenario {} (gate: {metric} <= {max:.3e})", file.display())
+                    }
+                },
                 SuiteEntryKind::Compare { file, method } => format!(
                     "serial-vs-parallel {method} reduction of {}",
+                    file.display()
+                ),
+                SuiteEntryKind::Refactor { file, method } => format!(
+                    "symbolic-reuse vs from-scratch {method} reduction of {}",
                     file.display()
                 ),
             };
@@ -398,6 +410,7 @@ fn list_registries() {
     println!("  rlc_bus      §5.2 coupled multi-bit RLC bus (default 1086 MNA unknowns)");
     println!("  clock_tree   §5.3 three-layer clock tree (RCNetA/B stand-ins)");
     println!("  rc_mesh      power-grid style RC mesh with regional parameters");
+    println!("  power_grid   two-layer power grid (fine mesh + global straps), 16k-65k unknowns");
     println!("  spice        a .sp netlist deck parsed via pmor_circuits::spice (path = …)");
     println!("reduction methods ([reduce] methods = […]):");
     for kind in pmor::ReducerKind::ALL {

@@ -10,11 +10,12 @@
 //! name = "fig3_rc_network"
 //!
 //! [system]
-//! generator = "rc_random"   # rc_random | rlc_bus | clock_tree | rc_mesh
+//! generator = "rc_random"   # rc_random | rlc_bus | clock_tree | rc_mesh | power_grid
 //! num_nodes = 767
 //!
 //! [reduce]
 //! methods = ["prima", "lowrank", "multipoint"]
+//! ordering = "rcm"          # | amd | auto | natural (fill-reducing ordering)
 //!
 //! [analysis]
 //! kind = "frequency_sweep"  # | montecarlo | corner_sweep | yield
@@ -26,10 +27,10 @@
 use crate::toml::{self, Document, TomlError};
 use crate::CliError;
 use pmor::transient::IntegrationMethod;
-use pmor::ReducerKind;
+use pmor::{OrderingChoice, ReducerKind};
 use pmor_circuits::generators::{
-    clock_tree, rc_mesh, rc_random, rlc_bus, ClockTreeConfig, RcMeshConfig, RcRandomConfig,
-    RlcBusConfig,
+    clock_tree, power_grid, rc_mesh, rc_random, rlc_bus, ClockTreeConfig, PowerGridConfig,
+    RcMeshConfig, RcRandomConfig, RlcBusConfig,
 };
 use pmor_circuits::spice::parse_spice;
 use pmor_circuits::{Netlist, ParametricSystem};
@@ -58,6 +59,13 @@ pub struct Scenario {
     /// parallelism, `1` forces the fully serial path. Numeric results
     /// are bitwise identical for every value.
     pub threads: usize,
+    /// Fill-reducing ordering policy for every sparse factorization of
+    /// the run (`[reduce] ordering`): `"rcm"` (the backward-compatible
+    /// default), `"amd"` (best on mesh/grid-structured systems),
+    /// `"auto"` (fill-estimate pick between the two) or `"natural"`.
+    /// Orderings change fill-in — memory and wall-clock — never
+    /// solution values.
+    pub ordering: OrderingChoice,
     /// The analysis stage applied to every reduced model: a registry
     /// kind plus its configuration, built and run through
     /// [`pmor_variation::analysis`].
@@ -94,6 +102,9 @@ pub enum SystemSpec {
     ClockTree(ClockTreeConfig),
     /// Power-grid style RC mesh ([`rc_mesh`]).
     RcMesh(RcMeshConfig),
+    /// Two-layer power grid ([`power_grid`]) — the 16k–65k-unknown
+    /// workload class of the `large` bench tier.
+    PowerGrid(PowerGridConfig),
     /// A SPICE deck parsed through [`parse_spice`] — real extracted
     /// netlists instead of synthetic generators. The deck is read and
     /// validated at scenario-parse time.
@@ -114,6 +125,7 @@ impl SystemSpec {
             SystemSpec::RlcBus(_) => "rlc_bus",
             SystemSpec::ClockTree(_) => "clock_tree",
             SystemSpec::RcMesh(_) => "rc_mesh",
+            SystemSpec::PowerGrid(_) => "power_grid",
             SystemSpec::Spice { .. } => "spice",
         }
     }
@@ -125,6 +137,7 @@ impl SystemSpec {
             SystemSpec::RlcBus(cfg) => rlc_bus(cfg).assemble(),
             SystemSpec::ClockTree(cfg) => clock_tree(cfg).assemble(),
             SystemSpec::RcMesh(cfg) => rc_mesh(cfg).assemble(),
+            SystemSpec::PowerGrid(cfg) => power_grid(cfg).assemble(),
             SystemSpec::Spice { netlist, .. } => netlist.assemble(),
         }
     }
@@ -204,6 +217,7 @@ impl Scenario {
             &[
                 "methods",
                 "threads",
+                "ordering",
                 "range",
                 "samples_per_axis",
                 "block_moments",
@@ -263,6 +277,13 @@ impl Scenario {
             },
         };
         let threads = doc.usize_or("reduce", "threads", 0)?;
+        let ordering = match doc.str_opt("reduce", "ordering")? {
+            None => OrderingChoice::Rcm,
+            Some(s) => OrderingChoice::parse(s).ok_or_else(|| TomlError {
+                line: 0,
+                msg: format!("[reduce] unknown ordering {s:?}; known: rcm, amd, auto, natural"),
+            })?,
+        };
         let analysis = parse_analysis(&doc)?;
         let output = OutputSpec {
             bench_tag: doc
@@ -280,6 +301,7 @@ impl Scenario {
             methods,
             tuning,
             threads,
+            ordering,
             analysis,
             output,
         })
@@ -399,6 +421,23 @@ fn parse_system(doc: &Document, base: Option<&Path>) -> Result<SystemSpec, TomlE
                 "seed",
             ],
         ),
+        "power_grid" => check_keys(
+            doc,
+            sec,
+            &[
+                "generator",
+                "cols",
+                "rows",
+                "pitch",
+                "seg_res",
+                "strap_res",
+                "via_res",
+                "node_cap",
+                "num_regions",
+                "num_pads",
+                "seed",
+            ],
+        ),
         _ => Ok(()),
     }?;
     match generator {
@@ -464,6 +503,40 @@ fn parse_system(doc: &Document, base: Option<&Path>) -> Result<SystemSpec, TomlE
                 seed: doc.u64_or(sec, "seed", d.seed)?,
             }))
         }
+        "power_grid" => {
+            let d = PowerGridConfig::default();
+            let cfg = PowerGridConfig {
+                cols: doc.usize_or(sec, "cols", d.cols)?,
+                rows: doc.usize_or(sec, "rows", d.rows)?,
+                pitch: doc.usize_or(sec, "pitch", d.pitch)?,
+                seg_res: doc.f64_or(sec, "seg_res", d.seg_res)?,
+                strap_res: doc.f64_or(sec, "strap_res", d.strap_res)?,
+                via_res: doc.f64_or(sec, "via_res", d.via_res)?,
+                node_cap: doc.f64_or(sec, "node_cap", d.node_cap)?,
+                num_regions: doc.usize_or(sec, "num_regions", d.num_regions)?,
+                num_pads: doc.usize_or(sec, "num_pads", d.num_pads)?,
+                seed: doc.u64_or(sec, "seed", d.seed)?,
+            };
+            // The generator's own invariants, checked at parse time so a
+            // bad scenario is a loud error, not a later panic.
+            if cfg.cols < 2 || cfg.rows < 2 {
+                return fail("[system] power_grid needs cols >= 2 and rows >= 2");
+            }
+            if cfg.pitch < 2 || cfg.rows.div_ceil(cfg.pitch) < 2 || cfg.cols.div_ceil(cfg.pitch) < 2
+            {
+                return fail(format!(
+                    "[system] power_grid pitch {} must be >= 2 and leave a 2x2 global grid",
+                    cfg.pitch
+                ));
+            }
+            if !matches!(cfg.num_regions, 1 | 2 | 4) {
+                return fail("[system] power_grid num_regions must be 1, 2 or 4");
+            }
+            if !(1..=4).contains(&cfg.num_pads) {
+                return fail("[system] power_grid num_pads must be 1..=4");
+            }
+            Ok(SystemSpec::PowerGrid(cfg))
+        }
         "spice" => {
             let rel = doc.str_req(sec, "path")?;
             let path = match base {
@@ -487,7 +560,8 @@ fn parse_system(doc: &Document, base: Option<&Path>) -> Result<SystemSpec, TomlE
             Ok(SystemSpec::Spice { path, netlist })
         }
         other => fail(format!(
-            "[system] unknown generator {other:?}; known: rc_random, rlc_bus, clock_tree, rc_mesh, spice"
+            "[system] unknown generator {other:?}; known: rc_random, rlc_bus, clock_tree, \
+             rc_mesh, power_grid, spice"
         )),
     }
 }
@@ -830,6 +904,61 @@ methods = ["prima"]
             "threadz = 2\nmethods = [\"prima\"]"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn ordering_knob_parses_and_rejects_unknown_policies() {
+        let sc = Scenario::parse(MINIMAL).unwrap();
+        assert_eq!(sc.ordering, OrderingChoice::Rcm, "default stays RCM");
+        for (spelled, expected) in [
+            ("rcm", OrderingChoice::Rcm),
+            ("amd", OrderingChoice::Amd),
+            ("auto", OrderingChoice::Auto),
+            ("natural", OrderingChoice::Natural),
+        ] {
+            let text = MINIMAL.replace(
+                "methods = [\"prima\"]",
+                &format!("methods = [\"prima\"]\nordering = \"{spelled}\""),
+            );
+            assert_eq!(Scenario::parse(&text).unwrap().ordering, expected);
+        }
+        let bad = MINIMAL.replace(
+            "methods = [\"prima\"]",
+            "methods = [\"prima\"]\nordering = \"metis\"",
+        );
+        let err = Scenario::parse(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown ordering"), "{err}");
+    }
+
+    #[test]
+    fn power_grid_scenario_parses_and_validates() {
+        let text = MINIMAL.replace(
+            "generator = \"clock_tree\"\nnum_nodes = 20",
+            "generator = \"power_grid\"\nrows = 16\ncols = 16\npitch = 4",
+        );
+        let sc = Scenario::parse(&text).unwrap();
+        match &sc.system {
+            SystemSpec::PowerGrid(cfg) => {
+                assert_eq!((cfg.rows, cfg.cols, cfg.pitch), (16, 16, 4));
+                assert_eq!(sc.system.generator_name(), "power_grid");
+                // 16x16 fine + 4x4 coarse nodes.
+                assert_eq!(sc.system.assemble().dim(), 256 + 16);
+            }
+            other => panic!("wrong system: {other:?}"),
+        }
+        for (old, new) in [
+            ("pitch = 4", "pitch = 16"),
+            ("pitch = 4", "pitch = 1"),
+            ("rows = 16", "rows = 1"),
+            ("pitch = 4", "pitch = 4\nnum_regions = 3"),
+            ("pitch = 4", "pitch = 4\nnum_pads = 9"),
+            ("pitch = 4", "pitch = 4\nstrap_rez = 1.0"),
+        ] {
+            assert!(
+                Scenario::parse(&text.replace(old, new)).is_err(),
+                "{new:?} accepted"
+            );
+        }
     }
 
     #[test]

@@ -72,7 +72,7 @@ method = "multipoint"
 fn suite_runs_end_to_end_with_validated_records() {
     let dir = out_dir("suite");
     let suite = BenchSuite::load(write_suite(&dir)).unwrap();
-    let report = run_suite(&suite, &dir).unwrap();
+    let report = run_suite(&suite, &dir, None).unwrap();
     // One BENCH file per entry: compare-par, micro, scenario-e2e.
     assert_eq!(report.files.len(), 3);
     // 2 (compare) + 2 (micro kernels) + 2 (methods) records.
@@ -88,6 +88,10 @@ fn suite_runs_end_to_end_with_validated_records() {
     assert!(compare.contains("multipoint_serial"), "{compare}");
     assert!(compare.contains("multipoint_parallel"), "{compare}");
     assert!(compare.contains("\"speedup\""), "{compare}");
+    // Every reduction record carries its ordering provenance.
+    let scenario = std::fs::read_to_string(&report.files[2]).unwrap();
+    assert!(scenario.contains("\"factor_nnz\""), "{scenario}");
+    assert!(scenario.contains("\"ordering\": \"rcm\""), "{scenario}");
     // --check accepts what run_suite emitted.
     let paths: Vec<String> = report
         .files
@@ -95,6 +99,11 @@ fn suite_runs_end_to_end_with_validated_records() {
         .map(|p| p.to_str().unwrap().to_string())
         .collect();
     check_files(&paths).unwrap();
+    // --entry restricts the run to one tag; unknown tags fail loudly.
+    let one = run_suite(&suite, &dir, Some("micro")).unwrap();
+    assert_eq!(one.files.len(), 1);
+    let err = run_suite(&suite, &dir, Some("nope")).unwrap_err();
+    assert!(err.to_string().contains("no entry"), "{err}");
 }
 
 #[test]
@@ -150,9 +159,14 @@ dir = "{}"
             .metrics
             .iter()
             .filter(|(n, _)| {
-                // Wall-clock (`*_seconds`) and cache-provenance metrics
-                // legitimately differ; everything numeric must not.
-                n != "rom_cached" && !n.ends_with("_seconds")
+                // Wall-clock (`*_seconds`) and cache/factorization
+                // provenance metrics legitimately differ (a fully
+                // ROM-cached run factors nothing, so it has no fill to
+                // report); everything numeric must not.
+                n != "rom_cached"
+                    && n != "factor_nnz"
+                    && n != "fill_ratio"
+                    && !n.ends_with("_seconds")
             })
             .cloned()
             .collect()

@@ -70,8 +70,10 @@ pub mod rom;
 pub mod transient;
 
 pub use engine::{EvalEngine, EvalPoint, EvalWorkspace, TransferModel};
+pub use pmor_sparse::OrderingChoice;
 pub use reduce::{
-    reducer_by_name, system_fingerprint, Reducer, ReducerKind, ReducerTuning, ReductionContext,
+    reducer_by_name, system_fingerprint, FactorProvenance, Reducer, ReducerKind, ReducerTuning,
+    ReductionContext,
 };
 pub use rom::ParametricRom;
 

@@ -44,7 +44,9 @@ use crate::rom::ParametricRom;
 use crate::Result;
 use pmor_circuits::ParametricSystem;
 use pmor_num::Complex64;
-use pmor_sparse::{ordering, CsrMatrix, FactorCache, FactorCacheStats, FactorKey, SparseLu};
+use pmor_sparse::{
+    CsrMatrix, FactorCache, FactorCacheStats, FactorKey, OrderingChoice, SparseLu, SymbolicLu,
+};
 use std::sync::Arc;
 
 /// A model-order-reduction method producing a [`ParametricRom`].
@@ -96,11 +98,26 @@ const TAG_SHIFTED: u64 = 2;
 pub struct ReductionContext {
     cache: FactorCache,
     fingerprint: Option<u64>,
-    use_rcm: bool,
-    /// RCM ordering of the served system's union sparsity pattern,
-    /// computed once per system and shared by every factorization
-    /// (orderings only affect fill-in, never solution values).
+    /// Fill-reducing ordering policy ([`OrderingChoice::Rcm`] by default;
+    /// `"amd"`/`"auto"` scale better on mesh- and grid-structured
+    /// systems — see `docs/GUIDE.md` §6).
+    ordering_choice: OrderingChoice,
+    /// The resolved ordering of the served system's union sparsity
+    /// pattern, computed once per system and shared by every
+    /// factorization (orderings only affect fill-in, never solution
+    /// values). `None` until resolved, and stays `None` for the natural
+    /// order.
     ordering: Option<Arc<Vec<usize>>>,
+    /// Name of the resolved ordering (`Some` once any factorization
+    /// resolved the policy; records `"amd"`/`"rcm"` for `"auto"`).
+    ordering_used: Option<&'static str>,
+    /// Whether same-pattern factorizations share one symbolic analysis
+    /// (on by default; results are bitwise identical either way).
+    reuse_symbolic: bool,
+    /// Recorded symbolic analysis of the real `G(p)` pattern.
+    symbolic_real: Option<Arc<SymbolicLu>>,
+    /// Recorded symbolic analysis of the shifted-pencil pattern.
+    symbolic_shifted: Option<Arc<SymbolicLu>>,
     /// Worker threads for [`ReductionContext::prefactor_g_at`] batches
     /// (`0` = available parallelism, `1` = serial).
     threads: usize,
@@ -114,14 +131,18 @@ impl Default for ReductionContext {
 }
 
 impl ReductionContext {
-    /// Creates an empty context (RCM ordering enabled, serial
-    /// factorization).
+    /// Creates an empty context (RCM ordering enabled, symbolic reuse
+    /// enabled, serial factorization).
     pub fn new() -> Self {
         ReductionContext {
             cache: FactorCache::new(),
             fingerprint: None,
-            use_rcm: true,
+            ordering_choice: OrderingChoice::Rcm,
             ordering: None,
+            ordering_used: None,
+            reuse_symbolic: true,
+            symbolic_real: None,
+            symbolic_shifted: None,
             threads: 1,
         }
     }
@@ -153,10 +174,52 @@ impl ReductionContext {
     /// Creates a context that factors without a fill-reducing ordering
     /// (diagnostic; solutions are identical, fill-in may be larger).
     pub fn without_rcm() -> Self {
+        ReductionContext::with_ordering(OrderingChoice::Natural)
+    }
+
+    /// Creates a context with an explicit fill-reducing ordering policy.
+    /// Orderings only affect fill-in (memory and wall-clock), never
+    /// solution values.
+    pub fn with_ordering(choice: OrderingChoice) -> Self {
         ReductionContext {
-            use_rcm: false,
+            ordering_choice: choice,
             ..ReductionContext::new()
         }
+    }
+
+    /// Changes the ordering policy. Cached factors and the recorded
+    /// symbolic analyses are dropped (they embed the old ordering);
+    /// lifetime counters survive.
+    pub fn set_ordering(&mut self, choice: OrderingChoice) {
+        if choice != self.ordering_choice {
+            self.ordering_choice = choice;
+            self.cache.clear();
+            self.ordering = None;
+            self.ordering_used = None;
+            self.symbolic_real = None;
+            self.symbolic_shifted = None;
+        }
+    }
+
+    /// The configured ordering policy.
+    pub fn ordering_choice(&self) -> OrderingChoice {
+        self.ordering_choice
+    }
+
+    /// Disables (or re-enables) symbolic reuse across same-pattern
+    /// factorizations. Purely a performance knob: factors, counters and
+    /// downstream results are bitwise identical either way.
+    pub fn set_symbolic_reuse(&mut self, reuse: bool) {
+        self.reuse_symbolic = reuse;
+        if !reuse {
+            self.symbolic_real = None;
+            self.symbolic_shifted = None;
+        }
+    }
+
+    /// Whether same-pattern factorizations share one symbolic analysis.
+    pub fn symbolic_reuse(&self) -> bool {
+        self.reuse_symbolic
     }
 
     /// Real factors of the nominal `G0` — the paper's one-time
@@ -179,9 +242,23 @@ impl ReductionContext {
         self.ensure_system(sys);
         let ord = self.shared_ordering(sys);
         let key = FactorKey::tagged(TAG_REAL_G, p);
+        let reuse = self.reuse_symbolic;
+        let sym_slot = &mut self.symbolic_real;
         let lu = self.cache.real(key, || {
             let g = sys.g_at(p);
-            SparseLu::factor(&g, ord.as_deref().map(Vec::as_slice))
+            let ord = ord.as_deref().map(Vec::as_slice);
+            match (reuse, &*sym_slot) {
+                // Replay the recorded analysis (bitwise identical to a
+                // from-scratch factorization, verified per column).
+                (true, Some(sym)) => SparseLu::refactor(&g, sym),
+                // First factorization under reuse: record the analysis.
+                (true, None) => {
+                    let (lu, sym) = SparseLu::factor_symbolic(&g, ord)?;
+                    *sym_slot = Some(Arc::new(sym));
+                    Ok(lu)
+                }
+                (false, _) => SparseLu::factor(&g, ord),
+            }
         })?;
         Ok(lu)
     }
@@ -221,18 +298,37 @@ impl ReductionContext {
         }
         self.ensure_system(sys);
         let ord = self.shared_ordering(sys);
-        let jobs: Vec<_> = points
-            .iter()
-            .map(|p| {
-                let ord = ord.clone();
-                let key = FactorKey::tagged(TAG_REAL_G, p);
-                (key, move || {
-                    let g = sys.g_at(p);
-                    SparseLu::factor(&g, ord.as_deref().map(Vec::as_slice))
+        if self.reuse_symbolic {
+            // One symbolic analysis serves the whole batch (and future
+            // serial requests); counters and factors stay exactly those
+            // of the plain path.
+            let jobs: Vec<_> = points
+                .iter()
+                .map(|p| (FactorKey::tagged(TAG_REAL_G, p), move || sys.g_at(p)))
+                .collect();
+            let seed = self.symbolic_real.clone();
+            let (out, sym) = self.cache.real_parallel_reusing(
+                jobs,
+                self.threads,
+                ord.as_deref().map(Vec::as_slice),
+                seed,
+            )?;
+            self.symbolic_real = sym;
+            Ok(out)
+        } else {
+            let jobs: Vec<_> = points
+                .iter()
+                .map(|p| {
+                    let ord = ord.clone();
+                    let key = FactorKey::tagged(TAG_REAL_G, p);
+                    (key, move || {
+                        let g = sys.g_at(p);
+                        SparseLu::factor(&g, ord.as_deref().map(Vec::as_slice))
+                    })
                 })
-            })
-            .collect();
-        Ok(self.cache.real_parallel(jobs, self.threads)?)
+                .collect();
+            Ok(self.cache.real_parallel(jobs, self.threads)?)
+        }
     }
 
     /// Complex factors of the shifted pencil `G(p) + s·C(p)`, memoized
@@ -254,27 +350,92 @@ impl ReductionContext {
         words.push(s.im);
         words.extend_from_slice(p);
         let key = FactorKey::tagged(TAG_SHIFTED, &words);
+        let reuse = self.reuse_symbolic;
+        let sym_slot = &mut self.symbolic_shifted;
         let lu = self.cache.complex(key, || {
             let a = sys
                 .g_at(p)
                 .to_complex()
                 .add_scaled(s, &sys.c_at(p).to_complex());
-            SparseLu::factor(&a, ord.as_deref().map(Vec::as_slice))
+            let ord = ord.as_deref().map(Vec::as_slice);
+            match (reuse, &*sym_slot) {
+                (true, Some(sym)) => SparseLu::refactor(&a, sym),
+                (true, None) => {
+                    let (lu, sym) = SparseLu::factor_symbolic(&a, ord)?;
+                    *sym_slot = Some(Arc::new(sym));
+                    Ok(lu)
+                }
+                (false, _) => SparseLu::factor(&a, ord),
+            }
         })?;
         Ok(lu)
     }
 
-    /// The context's shared fill-reducing ordering: RCM of the union
-    /// sparsity pattern, computed once per served system ([`None`] when
-    /// the context was built with [`ReductionContext::without_rcm`]).
+    /// The context's shared fill-reducing ordering, resolved once per
+    /// served system from the configured [`OrderingChoice`] on the union
+    /// sparsity pattern ([`None`] for the natural order).
     fn shared_ordering(&mut self, sys: &ParametricSystem) -> Option<Arc<Vec<usize>>> {
-        if !self.use_rcm {
-            return None;
-        }
-        if self.ordering.is_none() {
-            self.ordering = Some(Arc::new(ordering::rcm(&union_pattern(sys))));
+        if self.ordering_used.is_none() {
+            let (perm, name) = self.ordering_choice.resolve(&union_pattern(sys));
+            self.ordering = perm.map(Arc::new);
+            self.ordering_used = Some(name);
         }
         self.ordering.clone()
+    }
+
+    /// Resolves (if needed) and names the ordering this context factors
+    /// with: `"natural"`, `"rcm"` or `"amd"` — the `"auto"` policy
+    /// reports whichever it picked for the served system.
+    pub fn ordering_used(&mut self, sys: &ParametricSystem) -> &'static str {
+        self.ensure_system(sys);
+        self.shared_ordering(sys);
+        self.ordering_used.unwrap_or("natural")
+    }
+
+    /// Factors the nominal `G0` (memoized) and reports where its cost
+    /// went: the resolved ordering and the fill it produced.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `G0` is singular.
+    pub fn provenance(&mut self, sys: &ParametricSystem) -> Result<FactorProvenance> {
+        let lu = self.factor_g0(sys)?;
+        let matrix_nnz = sys.g_at(&vec![0.0; sys.num_params()]).nnz();
+        Ok(FactorProvenance {
+            ordering: self.ordering_used.unwrap_or("natural"),
+            factor_nnz: lu.factor_nnz(),
+            matrix_nnz,
+        })
+    }
+
+    /// Provenance of the real factors this context has **already**
+    /// produced for `sys`, without factoring anything and without
+    /// touching the cache counters — the inspection hook bench/scenario
+    /// records use after a pipeline ran, where
+    /// [`ReductionContext::provenance`] would perturb the hit counts
+    /// those records also report.
+    ///
+    /// Returns [`None`] until some real factorization happened for this
+    /// system (or when the context last served a different system).
+    /// Prefers the cached nominal `G0` factors; pipelines that never
+    /// factor `p = 0` (e.g. a pure multi-point sample grid) fall back
+    /// to the recorded symbolic analysis, whose fill equals the batch's
+    /// seed factorization.
+    pub fn provenance_ready(&self, sys: &ParametricSystem) -> Option<FactorProvenance> {
+        if self.fingerprint != Some(system_fingerprint(sys)) {
+            return None;
+        }
+        let ordering = self.ordering_used?;
+        let p0 = vec![0.0; sys.num_params()];
+        let factor_nnz = match self.cache.peek_real(&FactorKey::tagged(TAG_REAL_G, &p0)) {
+            Some(lu) => lu.factor_nnz(),
+            None => self.symbolic_real.as_ref()?.factor_nnz(),
+        };
+        Some(FactorProvenance {
+            ordering,
+            factor_nnz,
+            matrix_nnz: sys.g_at(&p0).nnz(),
+        })
     }
 
     /// Number of **real** sparse factorizations actually performed over
@@ -314,8 +475,33 @@ impl ReductionContext {
                 self.cache.clear();
             }
             self.ordering = None;
+            self.ordering_used = None;
+            self.symbolic_real = None;
+            self.symbolic_shifted = None;
             self.fingerprint = Some(fp);
         }
+    }
+}
+
+/// Where a factorization's cost went: the resolved fill-reducing
+/// ordering and the fill it produced, as recorded by
+/// [`ReductionContext::provenance`] and surfaced in scenario/bench
+/// metrics (`factor_nnz`, `fill_ratio`, `ordering`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorProvenance {
+    /// Resolved ordering name: `"natural"`, `"rcm"` or `"amd"`.
+    pub ordering: &'static str,
+    /// Stored nonzeros of `L + U`.
+    pub factor_nnz: usize,
+    /// Stored nonzeros of the factored matrix.
+    pub matrix_nnz: usize,
+}
+
+impl FactorProvenance {
+    /// Fill ratio `factor_nnz / matrix_nnz` (≥ 1 in practice; lower is
+    /// better).
+    pub fn fill_ratio(&self) -> f64 {
+        self.factor_nnz as f64 / self.matrix_nnz as f64
     }
 }
 
@@ -649,11 +835,118 @@ mod tests {
     #[test]
     fn default_context_behaves_like_new() {
         // Regression: a derived Default once disagreed with new() on the
-        // ordering flag. Debug output carries the flag verbatim.
+        // ordering flag. Debug output carries the policy verbatim.
         let d = format!("{:?}", ReductionContext::default());
         let n = format!("{:?}", ReductionContext::new());
         assert_eq!(d, n);
-        assert!(d.contains("use_rcm: true"), "{d}");
+        assert!(d.contains("ordering_choice: Rcm"), "{d}");
+        assert!(d.contains("reuse_symbolic: true"), "{d}");
+    }
+
+    #[test]
+    fn ordering_knob_reports_provenance_and_preserves_solutions() {
+        let sys = tree(30);
+        let b: Vec<f64> = (0..sys.dim()).map(|i| (i as f64).sin()).collect();
+        let mut reference: Option<Vec<f64>> = None;
+        for choice in [
+            OrderingChoice::Natural,
+            OrderingChoice::Rcm,
+            OrderingChoice::Amd,
+            OrderingChoice::Auto,
+        ] {
+            let mut ctx = ReductionContext::with_ordering(choice);
+            assert_eq!(ctx.ordering_choice(), choice);
+            let lu = ctx.factor_g0(&sys).unwrap();
+            let prov = ctx.provenance(&sys).unwrap();
+            assert_eq!(prov.factor_nnz, lu.factor_nnz());
+            assert!(prov.fill_ratio() >= 1.0);
+            let expected: &[&str] = match choice {
+                OrderingChoice::Natural => &["natural"],
+                OrderingChoice::Rcm => &["rcm"],
+                OrderingChoice::Amd => &["amd"],
+                OrderingChoice::Auto => &["rcm", "amd"],
+            };
+            assert!(expected.contains(&prov.ordering), "{:?}", prov);
+            assert_eq!(ctx.ordering_used(&sys), prov.ordering);
+            // Solutions are ordering-independent.
+            let x = lu.solve(&b).unwrap();
+            match &reference {
+                None => reference = Some(x),
+                Some(r) => assert!(pmor_num::vecops::rel_err(r, &x) < 1e-9, "{choice:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_reuse_is_invisible_in_results_and_counters() {
+        let sys = tree(35);
+        let points: Vec<Vec<f64>> = vec![
+            vec![0.0; 3],
+            vec![0.1, 0.0, -0.1],
+            vec![-0.2, 0.05, 0.0],
+            vec![0.3, -0.3, 0.2],
+        ];
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * 1e9);
+        let b: Vec<f64> = (0..sys.dim()).map(|i| (i as f64).cos()).collect();
+        let bc: Vec<Complex64> = b.iter().map(|&v| Complex64::new(v, 0.5)).collect();
+
+        let mut plain = ReductionContext::new();
+        plain.set_symbolic_reuse(false);
+        assert!(!plain.symbolic_reuse());
+        let mut reusing = ReductionContext::new();
+        assert!(reusing.symbolic_reuse());
+
+        for p in &points {
+            let xp = plain.factor_g_at(&sys, p).unwrap().solve(&b).unwrap();
+            let xr = reusing.factor_g_at(&sys, p).unwrap().solve(&b).unwrap();
+            for (u, v) in xp.iter().zip(&xr) {
+                assert_eq!(u.to_bits(), v.to_bits(), "p={p:?}");
+            }
+            let zp = plain
+                .factor_shifted(&sys, p, s)
+                .unwrap()
+                .solve(&bc)
+                .unwrap();
+            let zr = reusing
+                .factor_shifted(&sys, p, s)
+                .unwrap()
+                .solve(&bc)
+                .unwrap();
+            for (u, v) in zp.iter().zip(&zr) {
+                assert_eq!(u.re.to_bits(), v.re.to_bits(), "p={p:?}");
+                assert_eq!(u.im.to_bits(), v.im.to_bits(), "p={p:?}");
+            }
+        }
+        assert_eq!(plain.stats(), reusing.stats());
+    }
+
+    #[test]
+    fn provenance_ready_never_touches_the_counters() {
+        let sys = tree(35);
+        let ctx = ReductionContext::new();
+        // Cold context: nothing to report yet.
+        assert_eq!(ctx.provenance_ready(&sys), None);
+
+        let mut ctx = ReductionContext::new();
+        ctx.factor_g0(&sys).unwrap();
+        let stats = ctx.stats();
+        let ready = ctx.provenance_ready(&sys).expect("G0 is cached");
+        assert_eq!(ctx.stats(), stats, "peek must not count");
+        assert_eq!(ready, ctx.provenance(&sys).unwrap());
+
+        // A batch that never factors p = 0 still reports via the
+        // recorded symbolic analysis.
+        let mut ctx = ReductionContext::new();
+        ctx.prefactor_g_at(&sys, &[vec![0.2, 0.0, 0.0], vec![-0.2, 0.0, 0.0]])
+            .unwrap();
+        let stats = ctx.stats();
+        let ready = ctx.provenance_ready(&sys).expect("symbolic recorded");
+        assert_eq!(ctx.stats(), stats);
+        assert_eq!(ready.ordering, "rcm");
+        assert!(ready.factor_nnz >= ready.matrix_nnz);
+
+        // A different system invalidates the report.
+        assert_eq!(ctx.provenance_ready(&tree(20)), None);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! are handed out as [`Arc`]s, so held factors stay valid across later
 //! cache insertions and can be shared across worker threads.
 
-use crate::lu::SparseLu;
+use crate::lu::{SparseLu, SymbolicLu};
 use crate::Result;
 use pmor_num::Complex64;
 use std::collections::HashMap;
@@ -132,6 +132,15 @@ impl FactorCache {
         Ok(lu)
     }
 
+    /// Returns the real factors stored under `key` without factoring
+    /// anything and **without touching the usage counters** — a
+    /// read-only inspection hook for provenance reporting, where a
+    /// metrics pass must not perturb the hit/factorization accounting
+    /// that tests and bench records assert on.
+    pub fn peek_real(&self, key: &FactorKey) -> Option<Arc<SparseLu<f64>>> {
+        self.real.get(key).map(Arc::clone)
+    }
+
     /// Batch counterpart of [`FactorCache::real`]: resolves many keys at
     /// once, running the **missing** factorizations on up to `threads`
     /// scoped worker threads (`0` = available parallelism).
@@ -218,6 +227,116 @@ impl FactorCache {
             .iter()
             .map(|k| Arc::clone(self.real.get(k).expect("all keys resolved")))
             .collect())
+    }
+
+    /// [`FactorCache::real_parallel`] with **symbolic reuse**: jobs supply
+    /// the assembled matrix instead of a factorization closure, and the
+    /// batch shares one [`SymbolicLu`] analysis across all misses. When
+    /// `symbolic` is `None`, the first miss is factored with
+    /// [`SparseLu::factor_symbolic`] to seed the analysis and every later
+    /// miss replays it via [`SparseLu::refactor`]; pass the returned
+    /// analysis back in on the next batch to skip even that first DFS.
+    ///
+    /// Because `refactor` is bitwise identical to `factor` (verified
+    /// replay with fallback), the stored factors, cache state and
+    /// counters are **exactly** those of [`FactorCache::real_parallel`]
+    /// over `SparseLu::factor(&a, ordering)` closures — reuse buys
+    /// wall-clock only.
+    ///
+    /// # Errors
+    ///
+    /// As [`FactorCache::real_parallel`]: the earliest-ordered failure is
+    /// surfaced after successful siblings are kept.
+    pub fn real_parallel_reusing<M>(
+        &mut self,
+        jobs: Vec<(FactorKey, M)>,
+        threads: usize,
+        ordering: Option<&[usize]>,
+        symbolic: Option<Arc<SymbolicLu>>,
+    ) -> Result<(Vec<Arc<SparseLu<f64>>>, Option<Arc<SymbolicLu>>)>
+    where
+        M: FnOnce() -> crate::CsrMatrix<f64> + Send,
+    {
+        let keys: Vec<FactorKey> = jobs.iter().map(|(k, _)| k.clone()).collect();
+        // Misses only, first occurrence per key, in job order.
+        let mut pending: Vec<(FactorKey, M)> = Vec::new();
+        for (key, assemble) in jobs {
+            if !self.real.contains_key(&key) && !pending.iter().any(|(k, _)| *k == key) {
+                pending.push((key, assemble));
+            }
+        }
+        let mut sym = symbolic;
+        let mut produced: Vec<(FactorKey, Result<SparseLu<f64>>)> =
+            Vec::with_capacity(pending.len());
+        if sym.is_none() && !pending.is_empty() {
+            // Seed the analysis from the first miss; later misses replay it.
+            let (key, assemble) = pending.remove(0);
+            match SparseLu::factor_symbolic(&assemble(), ordering) {
+                Ok((lu, s)) => {
+                    sym = Some(Arc::new(s));
+                    produced.push((key, Ok(lu)));
+                }
+                Err(e) => produced.push((key, Err(e))),
+            }
+        }
+        let workers = effective_threads(threads, pending.len());
+        {
+            let sym_ref = sym.as_deref();
+            let run = |a: &crate::CsrMatrix<f64>| match sym_ref {
+                Some(s) => SparseLu::refactor(a, s),
+                None => SparseLu::factor(a, ordering),
+            };
+            if workers <= 1 {
+                produced.extend(pending.into_iter().map(|(k, assemble)| {
+                    let lu = run(&assemble());
+                    (k, lu)
+                }));
+            } else {
+                let queue = Mutex::new(pending.into_iter().enumerate().collect::<Vec<_>>());
+                let done = Mutex::new(Vec::new());
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let Some((slot, (key, assemble))) = queue.lock().unwrap().pop() else {
+                                break;
+                            };
+                            let lu = run(&assemble());
+                            done.lock().unwrap().push((slot, key, lu));
+                        });
+                    }
+                });
+                let mut out = done.into_inner().unwrap();
+                out.sort_by_key(|(slot, _, _)| *slot);
+                produced.extend(out.into_iter().map(|(_, k, lu)| (k, lu)));
+            }
+        }
+        // Insert in job order and surface the earliest failure — the same
+        // accounting as `real_parallel`.
+        let mut first_err = None;
+        let mut inserted = 0usize;
+        for (key, lu) in produced {
+            match lu {
+                Ok(lu) => {
+                    self.stats.real_factorizations += 1;
+                    inserted += 1;
+                    self.real.insert(key, Arc::new(lu));
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        self.stats.hits += keys.len() - inserted;
+        let out = keys
+            .iter()
+            .map(|k| Arc::clone(self.real.get(k).expect("all keys resolved")))
+            .collect();
+        Ok((out, sym))
     }
 
     /// Usage counters (misses are factorizations, hits are reuses).
@@ -416,6 +535,90 @@ mod tests {
         assert!(cache.real_parallel(jobs, 2).is_err());
         // The good factor was kept (serial retry semantics), the bad key
         // stays free.
+        assert_eq!(cache.stats().real_factorizations, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// Same-pattern tridiagonal family indexed by a shift value.
+    fn trid(n: usize, shift: f64) -> CsrMatrix<f64> {
+        let mut tri = Vec::new();
+        for i in 0..n {
+            tri.push((i, i, 4.0 + shift + 0.1 * i as f64));
+            if i + 1 < n {
+                tri.push((i, i + 1, -1.0 - 0.05 * shift));
+                tri.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &tri)
+    }
+
+    #[test]
+    fn reusing_batch_matches_plain_parallel_bitwise_across_thread_counts() {
+        let n = 40;
+        let shifts = [0.0, 0.5, 1.0, 1.5];
+        for threads in [1usize, 0, 4] {
+            let mut plain = FactorCache::new();
+            let jobs_plain: Vec<_> = shifts
+                .iter()
+                .map(|&s| {
+                    (FactorKey::tagged(1, &[s]), move || {
+                        SparseLu::factor(&trid(n, s), None)
+                    })
+                })
+                .collect();
+            let got_plain = plain.real_parallel(jobs_plain, threads).unwrap();
+
+            let mut reusing = FactorCache::new();
+            let jobs: Vec<_> = shifts
+                .iter()
+                .map(|&s| (FactorKey::tagged(1, &[s]), move || trid(n, s)))
+                .collect();
+            let (got, sym) = reusing
+                .real_parallel_reusing(jobs, threads, None, None)
+                .unwrap();
+            let sym = sym.expect("analysis seeded from the first miss");
+            assert_eq!(sym.dim(), n);
+            assert_eq!(plain.stats(), reusing.stats(), "{threads} threads");
+            assert_eq!(reusing.stats().real_factorizations, shifts.len());
+            let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            for (p, r) in got_plain.iter().zip(&got) {
+                let xp = p.solve(&b).unwrap();
+                let xr = r.solve(&b).unwrap();
+                for (u, v) in xp.iter().zip(&xr) {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{threads} threads");
+                }
+            }
+            // A second batch with the returned analysis: all hits, and the
+            // analysis survives untouched.
+            let jobs2: Vec<_> = shifts
+                .iter()
+                .map(|&s| (FactorKey::tagged(1, &[s]), move || trid(n, s)))
+                .collect();
+            let (again, sym2) = reusing
+                .real_parallel_reusing(jobs2, threads, None, Some(Arc::clone(&sym)))
+                .unwrap();
+            assert_eq!(reusing.stats().real_factorizations, shifts.len());
+            assert_eq!(reusing.stats().hits, shifts.len());
+            assert!(Arc::ptr_eq(&sym, sym2.as_ref().unwrap()));
+            for (a, b) in got.iter().zip(&again) {
+                assert!(Arc::ptr_eq(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn reusing_batch_surfaces_failure_and_keeps_good_factors() {
+        // First job seeds the analysis, second is structurally singular.
+        let mut cache = FactorCache::new();
+        let jobs = vec![
+            (FactorKey::tagged(0, &[0.0]), {
+                Box::new(move || trid(6, 0.0)) as Box<dyn FnOnce() -> CsrMatrix<f64> + Send>
+            }),
+            (FactorKey::tagged(0, &[1.0]), {
+                Box::new(move || CsrMatrix::from_triplets(6, 6, &[(0, 0, 1.0)])) as Box<_>
+            }),
+        ];
+        assert!(cache.real_parallel_reusing(jobs, 2, None, None).is_err());
         assert_eq!(cache.stats().real_factorizations, 1);
         assert_eq!(cache.len(), 1);
     }

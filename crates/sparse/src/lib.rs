@@ -45,7 +45,8 @@ pub use coo::CooBuilder;
 pub use csr::CsrMatrix;
 pub use factor_cache::{FactorCache, FactorCacheStats, FactorKey};
 pub use linop::LinearOperator;
-pub use lu::SparseLu;
+pub use lu::{SparseLu, SymbolicLu};
+pub use ordering::OrderingChoice;
 
 use std::fmt;
 
@@ -54,6 +55,9 @@ use std::fmt;
 pub enum SparseError {
     /// The factorization found no usable pivot in some column.
     Singular(usize),
+    /// A column of the matrix stores no entries at all, so no pivot can
+    /// exist — usually a floating node or a dropped stamp upstream.
+    EmptyColumn(usize),
     /// Matrix dimensions were incompatible with the requested operation.
     DimensionMismatch {
         /// Operation description.
@@ -70,6 +74,12 @@ impl fmt::Display for SparseError {
         match self {
             SparseError::Singular(k) => {
                 write!(f, "sparse matrix is singular at pivot column {k}")
+            }
+            SparseError::EmptyColumn(k) => {
+                write!(
+                    f,
+                    "sparse matrix column {k} is structurally empty (no stored entries)"
+                )
             }
             SparseError::DimensionMismatch {
                 context,

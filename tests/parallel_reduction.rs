@@ -94,6 +94,55 @@ fn multishift_methods_are_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn symbolic_reuse_is_bitwise_identical_to_from_scratch_at_any_thread_count() {
+    // The refactorization contract: reusing one symbolic analysis
+    // across every shift (the default) must produce bit-for-bit the
+    // same reduced models as re-running the full Gilbert–Peierls
+    // analysis per shift, serial or parallel, and the factor-cache
+    // counters must not depend on the reuse knob either (reuse changes
+    // *how* a factorization is computed, never whether one happens).
+    for (name, sys) in workloads() {
+        for kind in [ReducerKind::MultiPoint, ReducerKind::Fit] {
+            let reducer = kind.build_tuned(&sys, &ReducerTuning::default());
+            let mut scratch_ctx = ReductionContext::with_threads(1);
+            scratch_ctx.set_symbolic_reuse(false);
+            let scratch = reducer.reduce(&sys, &mut scratch_ctx).unwrap();
+            for threads in [1usize, 0, 4] {
+                let mut ctx = ReductionContext::with_threads(threads);
+                let reused = reducer.reduce(&sys, &mut ctx).unwrap();
+                assert_eq!(
+                    scratch_ctx.real_factorizations(),
+                    ctx.real_factorizations(),
+                    "{name}/{}: reuse changed the factorization count at {threads} threads",
+                    kind.name()
+                );
+                assert_eq!(scratch_ctx.cache_hits(), ctx.cache_hits());
+                for (p, s) in probes(sys.num_params()) {
+                    let hs = scratch.transfer(&p, s).unwrap();
+                    let hr = reused.transfer(&p, s).unwrap();
+                    for r in 0..hs.nrows() {
+                        for c in 0..hs.ncols() {
+                            assert_eq!(
+                                hs[(r, c)].re.to_bits(),
+                                hr[(r, c)].re.to_bits(),
+                                "{name}/{} re at p={p:?} ({threads} threads)",
+                                kind.name()
+                            );
+                            assert_eq!(
+                                hs[(r, c)].im.to_bits(),
+                                hr[(r, c)].im.to_bits(),
+                                "{name}/{} im at p={p:?} ({threads} threads)",
+                                kind.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn prefactor_fills_the_cache_so_the_reduction_loop_only_hits() {
     let sys = clock_tree(&ClockTreeConfig {
         num_nodes: 30,
