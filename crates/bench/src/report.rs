@@ -133,6 +133,15 @@ pub const REQUIRED_METRICS: [&str; 2] = ["median_seconds", "dim"];
 /// label.
 pub const FILL_METRICS: [&str; 2] = ["factor_nnz", "fill_ratio"];
 
+/// Optional per-record metrics stamped by error-controlled adaptive
+/// runs: `estimated_error` (the a-posteriori estimator's verdict on the
+/// final model), `final_order` (the reduced dimension the driver
+/// stopped at) and `expansion_points_used` (distinct parameter-space
+/// expansion points). Like [`FILL_METRICS`] they are validated as a
+/// coherent set: a record carrying any of them must carry all three, so
+/// adaptive provenance can never arrive half-stamped.
+pub const ADAPTIVE_METRICS: [&str; 3] = ["estimated_error", "final_order", "expansion_points_used"];
+
 /// Checks that `text` is a `BENCH_*.json` file produced by
 /// [`write_bench_json`] whose every record carries the required fields:
 /// a file-level `tag`, and per record `method`, `wall_seconds`, and the
@@ -184,6 +193,21 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
                 return Err(format!(
                     "record {records}: fill metrics need an \"ordering\" label"
                 ));
+            }
+        }
+        // Adaptive provenance is optional but all-or-nothing: a record
+        // reporting an estimated error must also say what order and how
+        // many expansion points bought it.
+        let has_adaptive = ADAPTIVE_METRICS
+            .iter()
+            .any(|m| line.contains(&format!("\"{m}\": ")));
+        if has_adaptive {
+            for metric in ADAPTIVE_METRICS {
+                if !line.contains(&format!("\"{metric}\": ")) {
+                    return Err(format!(
+                        "record {records}: has adaptive metrics but misses \"{metric}\""
+                    ));
+                }
             }
         }
     }
@@ -280,6 +304,24 @@ mod tests {
             let path = write_bench_json_in(&dir, "v5", &[rec]).unwrap();
             let err = validate_bench_json(&std::fs::read_to_string(&path).unwrap()).unwrap_err();
             assert!(err.contains(needle), "{err}");
+        }
+
+        // Adaptive metrics are likewise all-or-nothing: a full set
+        // validates, any partial set is rejected by name.
+        let adaptive = BenchRecord::new("multipoint", "rc_mesh(144)", 0.5)
+            .metric("median_seconds", 0.5)
+            .metric("dim", 144.0)
+            .metric("estimated_error", 3.2e-7)
+            .metric("final_order", 24.0)
+            .metric("expansion_points_used", 3.0);
+        let path = write_bench_json_in(&dir, "v6", std::slice::from_ref(&adaptive)).unwrap();
+        validate_bench_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        for strip in ADAPTIVE_METRICS {
+            let mut rec = adaptive.clone();
+            rec.metrics.retain(|(n, _)| n != strip);
+            let path = write_bench_json_in(&dir, "v7", &[rec]).unwrap();
+            let err = validate_bench_json(&std::fs::read_to_string(&path).unwrap()).unwrap_err();
+            assert!(err.contains(strip), "{err}");
         }
 
         // Empty files and non-bench JSON are rejected.

@@ -328,6 +328,65 @@ pub fn parse(text: &str) -> Result<Document, TomlError> {
     Ok(doc)
 }
 
+/// Serializes a document back to TOML text.
+///
+/// The output is the exact subset [`parse`] accepts, so
+/// `parse(&serialize(&doc))` always succeeds and returns a document
+/// equal to `doc` (the round-trip property the parser's property tests
+/// pin). Root-section keys come first (they must precede any header),
+/// then sections and keys in their stored lexicographic order —
+/// serialization is canonical, not source-order-preserving.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    if let Some(root) = doc.sections.get("") {
+        for (key, value) in root {
+            out.push_str(&format!("{key} = {}\n", format_value(value)));
+        }
+    }
+    for (name, table) in &doc.sections {
+        if name.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("[{name}]\n"));
+        for (key, value) in table {
+            out.push_str(&format!("{key} = {}\n", format_value(value)));
+        }
+    }
+    out
+}
+
+/// One value in [`serialize`]'s output form.
+fn format_value(value: &Value) -> String {
+    match value {
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        // Rust's shortest-round-trip Display never uses exponent
+        // notation or a bare leading/trailing dot, so the token is
+        // exactly the number shape `valid_number_token` accepts and
+        // reparses to the same f64.
+        Value::Num(v) => format!("{v}"),
+        Value::Bool(b) => format!("{b}"),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(format_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+    }
+}
+
 fn is_bare_key_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_' || c == '-'
 }
@@ -574,5 +633,120 @@ empty = []
         let e = parse("ok = 1\nbroken =").unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn serialize_emits_parseable_canonical_text() {
+        let doc =
+            parse("top = 1\n[suite]\nname = \"smoke\"\nflags = [true, 2.5, \"a#b\"]\nwarmup = 0\n")
+                .unwrap();
+        let text = serialize(&doc);
+        // Root key first, sections in order, arrays single-line.
+        assert_eq!(
+            text,
+            "top = 1\n[suite]\nflags = [true, 2.5, \"a#b\"]\nname = \"smoke\"\nwarmup = 0\n"
+        );
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    // --- Property tests (vendored proptest shim) ------------------------
+
+    use proptest::collection::vec as pvec;
+    use proptest::prelude::*;
+
+    const KEY_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+
+    /// A bare key / section name: 1–11 chars from the accepted set.
+    fn keys() -> impl Strategy<Value = String> {
+        pvec(0usize..KEY_CHARS.len(), 1..12)
+            .prop_map(|ix| ix.into_iter().map(|i| KEY_CHARS[i] as char).collect())
+    }
+
+    /// String-value characters, biased toward the troublemakers: every
+    /// escapable char, the comment/structure chars, and non-ASCII.
+    const STR_CHARS: &[char] = &[
+        'a', 'Z', '9', ' ', '#', '"', '\\', '\n', '\t', '\r', '=', '[', ']', ',', '.', '_', '-',
+        'é', '→',
+    ];
+
+    fn scalars() -> impl Strategy<Value = Value> {
+        (
+            0usize..4,
+            pvec(0usize..STR_CHARS.len(), 0..10),
+            -1.0e9f64..1.0e9,
+            0u64..1_000_000,
+        )
+            .prop_map(|(variant, str_ix, float, int)| match variant {
+                0 => Value::Str(str_ix.into_iter().map(|i| STR_CHARS[i]).collect()),
+                1 => Value::Num(float),
+                2 => Value::Num(int as f64),
+                _ => Value::Bool(int % 2 == 0),
+            })
+    }
+
+    fn tables() -> impl Strategy<Value = Table> {
+        // Scalar or (flat) array values; duplicate generated keys
+        // collapse in the map, which is fine — we test round-tripping
+        // of documents, not of raw text.
+        let values =
+            (0usize..4, scalars(), pvec(scalars(), 0..5)).prop_map(|(variant, scalar, arr)| {
+                if variant == 0 {
+                    Value::Array(arr)
+                } else {
+                    scalar
+                }
+            });
+        pvec((keys(), values), 0..6).prop_map(|kv| kv.into_iter().collect())
+    }
+
+    fn documents() -> impl Strategy<Value = Document> {
+        (tables(), pvec((keys(), tables()), 0..5)).prop_map(|(root, named)| {
+            let mut sections = BTreeMap::new();
+            sections.insert(String::new(), root);
+            for (name, table) in named {
+                sections.insert(name, table);
+            }
+            Document { sections }
+        })
+    }
+
+    /// Arbitrary text over the parser's alphabet of troublemakers.
+    fn garbage() -> impl Strategy<Value = String> {
+        const CHARS: &[char] = &[
+            '[', ']', '=', '"', '#', '\\', ',', '.', '_', '-', '+', 'a', 'e', '1', '0', ' ', '\t',
+            '\n', '\r', 'é', '\u{0}',
+        ];
+        pvec(0usize..CHARS.len(), 0..120).prop_map(|ix| ix.into_iter().map(|i| CHARS[i]).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn parse_serialize_round_trips(doc in documents()) {
+            let text = serialize(&doc);
+            let back = parse(&text);
+            prop_assert!(
+                back.is_ok(),
+                "serialized form rejected: {:?}\n---\n{}", back.as_ref().err(), text
+            );
+            prop_assert_eq!(back.unwrap(), doc);
+        }
+
+        #[test]
+        fn arbitrary_input_never_panics(text in garbage()) {
+            // The only contract on malformed input is a returned `Err`
+            // (or a successful parse) — never a panic.
+            let _ = parse(&text);
+        }
+
+        #[test]
+        fn serialization_is_canonical(doc in documents()) {
+            // serialize ∘ parse ∘ serialize is a fixpoint: reparsing the
+            // canonical text and serializing again changes nothing.
+            let text = serialize(&doc);
+            let again = serialize(&parse(&text).unwrap());
+            prop_assert_eq!(text, again);
+        }
     }
 }

@@ -199,18 +199,20 @@ fn run_scenario_entry(
     for name in &sc.methods {
         let mut rom = None;
         let mut prov = None;
+        let mut adaptive = None;
         let mut reduce_times = Vec::with_capacity(repeats);
         for i in 0..warmup + repeats {
             // Cold context each repeat: the measured number is the real
             // multi-shift reduction cost, not a cache replay.
             let mut ctx = ReductionContext::with_threads(sc.threads);
             ctx.set_ordering(sc.ordering);
-            let (r, secs) = crate::exec::reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
+            let (r, secs, rep) = crate::exec::reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
             if i >= warmup {
                 reduce_times.push(secs);
             }
             prov = ctx.provenance_ready(&sys);
             rom = Some(r);
+            adaptive = rep;
         }
         let rom = rom.expect("at least one repeat");
         let analysis = sc
@@ -258,6 +260,12 @@ fn run_scenario_entry(
             .metric("dim", sys.dim() as f64)
             .metric("size", rom.size() as f64)
             .metric("repeats", repeats as f64);
+        if let Some(rep) = &adaptive {
+            rec = rec
+                .metric("estimated_error", rep.estimated_error)
+                .metric("final_order", rep.final_order as f64)
+                .metric("expansion_points_used", rep.expansion_points_used as f64);
+        }
         for (metric, value) in &metrics {
             rec = rec.metric(metric.clone(), *value);
         }
@@ -354,7 +362,7 @@ fn run_compare_entry(
         for i in 0..warmup + repeats {
             let mut ctx = ReductionContext::with_threads(threads);
             ctx.set_ordering(sc.ordering);
-            let (r, secs) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
+            let (r, secs, _) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
             if i >= warmup {
                 times.push(secs);
             }
@@ -417,7 +425,7 @@ fn run_refactor_entry(
             let mut ctx = ReductionContext::with_threads(sc.threads);
             ctx.set_ordering(sc.ordering);
             ctx.set_symbolic_reuse(reuse);
-            let (r, secs) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
+            let (r, secs, _) = crate::exec::reduce_timed(method, &sys, &sc.tuning, &mut ctx)?;
             if i >= warmup {
                 times.push(secs);
             }
@@ -461,17 +469,37 @@ fn run_refactor_entry(
 ///
 /// # Errors
 ///
-/// Fails when any file is unreadable or missing required fields.
+/// Fails when any file is unreadable or missing required fields. Every
+/// file is checked before the verdict: the error names *all* invalid
+/// files, not just the first, so one broken record cannot hide the rest
+/// of a directory's failures.
 pub fn check_files(paths: &[String]) -> Result<(), CliError> {
     if paths.is_empty() {
         return Err(CliError::Usage("--check needs at least one file".into()));
     }
+    let mut failures = Vec::new();
     for path in paths {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
-        validate_bench_json(&text)
-            .map_err(|e| CliError::Invalid(format!("{path} failed validation: {e}")))?;
-        println!("# {path}: ok");
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| {
+                validate_bench_json(&text).map_err(|e| format!("{path} failed validation: {e}"))
+            });
+        match verdict {
+            Ok(()) => println!("# {path}: ok"),
+            Err(msg) => {
+                println!("# {path}: INVALID");
+                failures.push(msg);
+            }
+        }
     }
-    Ok(())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Invalid(format!(
+            "{} of {} files failed validation:\n  {}",
+            failures.len(),
+            paths.len(),
+            failures.join("\n  ")
+        )))
+    }
 }

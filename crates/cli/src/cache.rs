@@ -72,6 +72,11 @@ impl RomCache {
             opt_usize(tuning.param_order),
             opt_usize(tuning.rank),
             tuning.include_transpose.map_or(2, u64::from),
+            tuning.adaptive.map_or(2, u64::from),
+            opt_f64(tuning.tolerance),
+            opt_usize(tuning.max_order),
+            opt_usize(tuning.probe_points),
+            opt_usize(tuning.max_points),
         ]);
         pmor::reduce::fnv1a_words(words)
     }
@@ -126,6 +131,110 @@ mod tests {
         };
         assert_ne!(RomCache::key(1, "prima", &zeroed), base);
         assert_eq!(base, RomCache::key(1, "prima", &ReducerTuning::default()));
+        // Every adaptive knob separates keys too: a model reduced to a
+        // loose tolerance must never be served for a tight one.
+        for t in [
+            ReducerTuning {
+                adaptive: Some(true),
+                ..Default::default()
+            },
+            ReducerTuning {
+                adaptive: Some(false),
+                ..Default::default()
+            },
+            ReducerTuning {
+                tolerance: Some(1e-6),
+                ..Default::default()
+            },
+            ReducerTuning {
+                max_order: Some(64),
+                ..Default::default()
+            },
+            ReducerTuning {
+                probe_points: Some(9),
+                ..Default::default()
+            },
+            ReducerTuning {
+                max_points: Some(4),
+                ..Default::default()
+            },
+        ] {
+            assert_ne!(base, RomCache::key(1, "prima", &t), "{t:?} collides");
+        }
+        let loose = ReducerTuning {
+            adaptive: Some(true),
+            tolerance: Some(1e-3),
+            ..Default::default()
+        };
+        let tight = ReducerTuning {
+            adaptive: Some(true),
+            tolerance: Some(1e-9),
+            ..Default::default()
+        };
+        assert_ne!(
+            RomCache::key(1, "multipoint", &loose),
+            RomCache::key(1, "multipoint", &tight)
+        );
+    }
+
+    #[test]
+    fn tuning_only_scenario_differences_never_share_entries() {
+        // Regression for the full store/load path (not just the key
+        // function): two runs identical except for one `[reduce]` tuning
+        // knob — including the adaptive tolerance — must hit distinct
+        // files and never serve each other's models.
+        let dir =
+            std::env::temp_dir().join(format!("pmor_rom_cache_collision_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RomCache::new(&dir);
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 20,
+            ..Default::default()
+        })
+        .assemble();
+        let fp = pmor::system_fingerprint(&sys);
+        let base_tuning = ReducerTuning::default();
+        let variants = [
+            ReducerTuning {
+                block_moments: Some(3),
+                ..Default::default()
+            },
+            ReducerTuning {
+                adaptive: Some(true),
+                tolerance: Some(1e-6),
+                ..Default::default()
+            },
+            ReducerTuning {
+                adaptive: Some(true),
+                tolerance: Some(1e-4),
+                ..Default::default()
+            },
+        ];
+        let rom = reducer_by_name("multipoint", &sys)
+            .unwrap()
+            .reduce_once(&sys)
+            .unwrap();
+        let base_key = RomCache::key(fp, "multipoint", &base_tuning);
+        cache.store(base_key, "multipoint", &rom).unwrap();
+        for t in &variants {
+            let key = RomCache::key(fp, "multipoint", t);
+            assert_ne!(key, base_key, "{t:?} collides with default tuning");
+            assert!(
+                cache.load(key, "multipoint").is_none(),
+                "{t:?} served the default tuning's model"
+            );
+        }
+        // Pairwise distinct as well (loose vs tight tolerance, etc.).
+        for (i, a) in variants.iter().enumerate() {
+            for b in &variants[i + 1..] {
+                assert_ne!(
+                    RomCache::key(fp, "multipoint", a),
+                    RomCache::key(fp, "multipoint", b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -62,6 +62,9 @@ struct Reduced {
     rom: ParametricRom,
     seconds: f64,
     cached: bool,
+    /// Convergence provenance when the method ran under the adaptive
+    /// driver (`None` for fixed-order reductions and ROM-cache hits).
+    adaptive: Option<pmor::AdaptiveReport>,
 }
 
 /// Executes a scenario end-to-end. See the module docs for the stages.
@@ -87,19 +90,30 @@ pub fn reduce_scenario(sc: &Scenario) -> Result<ExecReport, CliError> {
 
 /// Registry lookup + tuned construction + timed reduction — the one
 /// reduction call site shared by scenario execution and the `pmor bench`
-/// entry runners.
+/// entry runners. Under `adaptive = true` the error-controlled driver
+/// runs instead of the fixed-order reducer and the third element carries
+/// its convergence report (estimate, final order, expansion points).
 pub(crate) fn reduce_timed(
     name: &str,
     sys: &pmor_circuits::ParametricSystem,
     tuning: &pmor::ReducerTuning,
     ctx: &mut ReductionContext,
-) -> Result<(ParametricRom, f64), CliError> {
+) -> Result<(ParametricRom, f64, Option<pmor::AdaptiveReport>), CliError> {
     let kind = ReducerKind::from_name(name)
         .ok_or_else(|| CliError::Invalid(format!("unregistered method {name:?}")))?;
+    if tuning.adaptive == Some(true) {
+        // Same driver `ReducerKind::build_tuned` wraps; calling it
+        // directly keeps the report instead of discarding it.
+        let driver = pmor::AdaptiveDriver::from_tuning(tuning);
+        let (out, seconds) = timed(|| driver.reduce_with_report(sys, ctx));
+        let (rom, report) =
+            out.map_err(|e| CliError::Invalid(format!("reducing with {name}: {e}")))?;
+        return Ok((rom, seconds, Some(report)));
+    }
     let reducer = kind.build_tuned(sys, tuning);
     let (rom, seconds) = timed(|| reducer.reduce(sys, ctx));
     let rom = rom.map_err(|e| CliError::Invalid(format!("reducing with {name}: {e}")))?;
-    Ok((rom, seconds))
+    Ok((rom, seconds, None))
 }
 
 fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliError> {
@@ -143,14 +157,32 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
                     rom,
                     seconds,
                     cached: true,
+                    adaptive: None,
                 });
                 continue;
             }
         }
         // Construction stays in the registry: unset tuning fields fall
         // back to exactly the registry's defaults.
-        let (rom, seconds) = reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
+        let (rom, seconds, adaptive) = reduce_timed(name, &sys, &sc.tuning, &mut ctx)?;
         println!("# {name}: {} states in {seconds:.3}s", rom.size());
+        if let Some(rep) = &adaptive {
+            println!(
+                "# {name}: adaptive {} at order {} with {} expansion points \
+                 (estimated error {:.3e}, tolerance {:.3e})",
+                if rep.converged {
+                    "converged"
+                } else {
+                    "hit its budget"
+                },
+                rep.final_order,
+                rep.expansion_points_used,
+                rep.estimated_error,
+                pmor::AdaptiveDriver::from_tuning(&sc.tuning)
+                    .options
+                    .tolerance,
+            );
+        }
         if let Some(cache) = &rom_cache {
             let path = cache
                 .store(key, name, &rom)
@@ -162,6 +194,7 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
             rom,
             seconds,
             cached: false,
+            adaptive,
         });
     }
     let rom_cache_hits = reduced.iter().filter(|m| m.cached).count();
@@ -241,6 +274,24 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
             print!("{text}");
             records.push(rec);
         }
+        // --- Judge: pick the winning method per system ------------------
+        // Method-comparison scenarios no longer need a human to read the
+        // error matrix: when at least two methods report a comparable
+        // accuracy metric, the smallest error wins (ties break toward
+        // the smaller model, then method order) and every record is
+        // stamped with a `judge_winner` label.
+        if let Some((winner, metric, err)) = judge(&records) {
+            let size = records
+                .iter()
+                .find(|r| r.method == winner)
+                .and_then(|r| lookup(r, "size"))
+                .unwrap_or(f64::NAN);
+            println!("# judge: {winner} wins on {workload} ({metric} = {err:.3e} at size {size})");
+            records = records
+                .into_iter()
+                .map(|r| r.label("judge_winner", winner.clone()))
+                .collect();
+        }
     } else {
         for m in &reduced {
             records.push(base_record(m, &workload, sys.dim()));
@@ -306,11 +357,21 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
 /// one repeat, so the median is the observation itself ([`crate::
 /// bench_cmd`] overrides it with a true median over repeats).
 fn base_record(m: &Reduced, workload: &str, dim: usize) -> BenchRecord {
-    BenchRecord::new(m.name.clone(), workload, m.seconds)
+    let mut rec = BenchRecord::new(m.name.clone(), workload, m.seconds)
         .metric("median_seconds", m.seconds)
         .metric("dim", dim as f64)
         .metric("size", m.rom.size() as f64)
-        .metric("rom_cached", if m.cached { 1.0 } else { 0.0 })
+        .metric("rom_cached", if m.cached { 1.0 } else { 0.0 });
+    // Adaptive provenance travels as the coherent metric set
+    // `pmor_bench::report::ADAPTIVE_METRICS` validates.
+    if let Some(rep) = &m.adaptive {
+        rec = rec
+            .metric("estimated_error", rep.estimated_error)
+            .metric("final_order", rep.final_order as f64)
+            .metric("expansion_points_used", rep.expansion_points_used as f64)
+            .metric("adaptive_converged", if rep.converged { 1.0 } else { 0.0 });
+    }
+    rec
 }
 
 /// Runs one method's analysis, returning its buffered stdout block and
@@ -364,4 +425,48 @@ fn analyze_one(
         rec = rec.metric(metric.clone(), *value);
     }
     Ok((text, rec))
+}
+
+/// A record's first metric named `name`.
+fn lookup(rec: &BenchRecord, name: &str) -> Option<f64> {
+    rec.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// Accuracy metrics a judge can rank methods by, in preference order:
+/// the Monte-Carlo worst-case transfer error, then the deterministic
+/// frequency-sweep error against the full model.
+const JUDGE_METRICS: [&str; 2] = ["worst_rel_transfer_err", "max_rel_err"];
+
+/// Picks the winning method of a multi-method run: the first
+/// [`JUDGE_METRICS`] entry at least two records report, ranked
+/// ascending (ties break toward the smaller reduced model, then record
+/// order, so the verdict is deterministic). Returns `(method, metric,
+/// error)`; `None` when fewer than two records are comparable.
+fn judge(records: &[BenchRecord]) -> Option<(String, &'static str, f64)> {
+    let metric = JUDGE_METRICS.into_iter().find(|m| {
+        records
+            .iter()
+            .filter(|r| lookup(r, m).is_some_and(f64::is_finite))
+            .count()
+            >= 2
+    })?;
+    let mut best: Option<(&BenchRecord, f64)> = None;
+    for rec in records {
+        let Some(err) = lookup(rec, metric).filter(|e| e.is_finite()) else {
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some((b, berr)) => {
+                err < *berr
+                    || (err == *berr
+                        && lookup(rec, "size").unwrap_or(f64::INFINITY)
+                            < lookup(b, "size").unwrap_or(f64::INFINITY))
+            }
+        };
+        if better {
+            best = Some((rec, err));
+        }
+    }
+    best.map(|(rec, err)| (rec.method.clone(), metric, err))
 }

@@ -225,6 +225,11 @@ impl Scenario {
                 "param_order",
                 "rank",
                 "include_transpose",
+                "adaptive",
+                "tolerance",
+                "max_order",
+                "probe_points",
+                "max_points",
             ],
         )?;
         check_keys(
@@ -275,7 +280,43 @@ impl Scenario {
                 None => None,
                 Some(_) => Some(doc.bool_or("reduce", "include_transpose", true)?),
             },
+            adaptive: match doc.get("reduce", "adaptive") {
+                None => None,
+                Some(_) => Some(doc.bool_or("reduce", "adaptive", false)?),
+            },
+            tolerance: match doc.f64_opt("reduce", "tolerance")? {
+                Some(t) if t > 0.0 && t.is_finite() => Some(t),
+                Some(t) => return fail(format!("[reduce] tolerance must be positive, got {t}")),
+                None => None,
+            },
+            max_order: nonzero_opt(&doc, "max_order")?,
+            probe_points: nonzero_opt(&doc, "probe_points")?,
+            max_points: nonzero_opt(&doc, "max_points")?,
         };
+        // Adaptive mode is eagerly validated at parse time: the driver
+        // only backs multi-shift methods, and its tuning keys are
+        // meaningless (so rejected, not ignored) outside that mode.
+        let adaptive_capable = ["multipoint", "fit"];
+        if tuning.adaptive == Some(true) {
+            for m in &methods {
+                if !adaptive_capable.iter().any(|c| c.eq_ignore_ascii_case(m)) {
+                    return fail(format!(
+                        "[reduce] adaptive = true requires multi-shift methods \
+                         ({}); {m:?} selects its expansion points statically",
+                        adaptive_capable.join(", ")
+                    ));
+                }
+            }
+        } else {
+            for key in ["tolerance", "max_order", "probe_points", "max_points"] {
+                if doc.get("reduce", key).is_some() {
+                    return fail(format!(
+                        "[reduce] {key} only applies to adaptive reduction; \
+                         set adaptive = true (with multipoint/fit methods) to use it"
+                    ));
+                }
+            }
+        }
         let threads = doc.usize_or("reduce", "threads", 0)?;
         let ordering = match doc.str_opt("reduce", "ordering")? {
             None => OrderingChoice::Rcm,
@@ -883,9 +924,87 @@ methods = ["prima"]
                 format!("{MINIMAL}\n[output]\nsave_romz = true"),
                 "typoed output key",
             ),
+            (
+                MINIMAL.replace("methods = [\"prima\"]", "methods = [\"prima\"]\nadaptive = true"),
+                "adaptive with a single-point method (prima cannot move its expansion point)",
+            ),
+            (
+                MINIMAL.replace(
+                    "methods = [\"prima\"]",
+                    "methods = [\"multipoint\", \"lowrank\"]\nadaptive = true",
+                ),
+                "adaptive with a mixed method list containing a non-adaptive method",
+            ),
+            (
+                MINIMAL.replace(
+                    "methods = [\"prima\"]",
+                    "methods = [\"prima\"]\ntolerance = 1e-6",
+                ),
+                "tolerance without adaptive = true (would be silently ignored)",
+            ),
+            (
+                MINIMAL.replace("methods = [\"prima\"]", "methods = [\"prima\"]\nmax_order = 32"),
+                "max_order without adaptive = true (would be silently ignored)",
+            ),
+            (
+                MINIMAL.replace(
+                    "methods = [\"prima\"]",
+                    "methods = [\"prima\"]\nprobe_points = 9",
+                ),
+                "probe_points without adaptive = true (would be silently ignored)",
+            ),
+            (
+                MINIMAL.replace("methods = [\"prima\"]", "methods = [\"prima\"]\nmax_points = 4"),
+                "max_points without adaptive = true (would be silently ignored)",
+            ),
+            (
+                MINIMAL.replace(
+                    "methods = [\"prima\"]",
+                    "methods = [\"multipoint\"]\nadaptive = true\ntolerance = 0.0",
+                ),
+                "zero tolerance",
+            ),
+            (
+                MINIMAL.replace(
+                    "methods = [\"prima\"]",
+                    "methods = [\"multipoint\"]\nadaptive = true\ntolerance = -1e-6",
+                ),
+                "negative tolerance",
+            ),
+            (
+                MINIMAL.replace(
+                    "methods = [\"prima\"]",
+                    "methods = [\"multipoint\"]\nadaptive = true\nmax_order = 0",
+                ),
+                "zero max_order",
+            ),
         ] {
             assert!(Scenario::parse(&mutation).is_err(), "{what} accepted");
         }
+    }
+
+    #[test]
+    fn adaptive_tuning_parses_for_multi_shift_methods() {
+        let text = MINIMAL.replace(
+            "methods = [\"prima\"]",
+            "methods = [\"multipoint\", \"fit\"]\nadaptive = true\ntolerance = 1e-6\n\
+             max_order = 64\nprobe_points = 17\nmax_points = 6",
+        );
+        let sc = Scenario::parse(&text).unwrap();
+        assert_eq!(sc.tuning.adaptive, Some(true));
+        assert_eq!(sc.tuning.tolerance, Some(1e-6));
+        assert_eq!(sc.tuning.max_order, Some(64));
+        assert_eq!(sc.tuning.probe_points, Some(17));
+        assert_eq!(sc.tuning.max_points, Some(6));
+        // `adaptive = true` alone is fine: every budget falls back to the
+        // registry defaults at build time.
+        let bare = MINIMAL.replace(
+            "methods = [\"prima\"]",
+            "methods = [\"multipoint\"]\nadaptive = true",
+        );
+        let sc = Scenario::parse(&bare).unwrap();
+        assert_eq!(sc.tuning.adaptive, Some(true));
+        assert_eq!(sc.tuning.tolerance, None);
     }
 
     #[test]

@@ -118,6 +118,123 @@ fn check_rejects_nonconforming_files() {
 }
 
 #[test]
+fn check_reports_every_invalid_file_not_just_the_first() {
+    // A mixed directory: one valid record file sandwiched between two
+    // broken ones. `pmor bench --check` must name BOTH failures in one
+    // verdict instead of stopping at the first.
+    let dir = out_dir("check_all");
+    let bad_empty = dir.join("BENCH_a_empty.json");
+    std::fs::write(
+        &bad_empty,
+        "{\n  \"tag\": \"a\",\n  \"records\": [\n  ]\n}\n",
+    )
+    .unwrap();
+    let good = dir.join("BENCH_b_good.json");
+    std::fs::write(
+        &good,
+        "{\n  \"tag\": \"b\",\n  \"records\": [\n    {\"method\": \"prima\", \
+         \"workload\": \"w\", \"wall_seconds\": 0.1, \"metrics\": \
+         {\"median_seconds\": 0.1, \"dim\": 10.0}}\n  ]\n}\n",
+    )
+    .unwrap();
+    let bad_missing_metric = dir.join("BENCH_c_missing.json");
+    std::fs::write(
+        &bad_missing_metric,
+        "{\n  \"tag\": \"c\",\n  \"records\": [\n    {\"method\": \"prima\", \
+         \"workload\": \"w\", \"wall_seconds\": 0.1, \"metrics\": {}}\n  ]\n}\n",
+    )
+    .unwrap();
+    let paths: Vec<String> = [&bad_empty, &good, &bad_missing_metric]
+        .iter()
+        .map(|p| p.to_str().unwrap().to_string())
+        .collect();
+    let err = check_files(&paths).unwrap_err().to_string();
+    assert!(err.contains("2 of 3 files failed"), "{err}");
+    assert!(err.contains("BENCH_a_empty.json"), "{err}");
+    assert!(err.contains("BENCH_c_missing.json"), "{err}");
+    assert!(err.contains("no records"), "{err}");
+    assert!(err.contains("median_seconds"), "{err}");
+    assert!(
+        !err.contains("BENCH_b_good.json"),
+        "valid file blamed: {err}"
+    );
+    // All-valid input still passes.
+    check_files(&[good.to_str().unwrap().to_string()]).unwrap();
+}
+
+/// Writes a tiny compare-full scenario (reports `max_rel_err`) plus a
+/// one-entry suite gating on `gate_metric`/`gate_max`, returning the
+/// suite path.
+fn write_gated_suite(dir: &std::path::Path, gate_metric: &str, gate_max: &str) -> PathBuf {
+    let scenario = format!(
+        r#"
+[scenario]
+name = "gated"
+
+[system]
+generator = "clock_tree"
+num_nodes = 30
+
+[reduce]
+methods = ["multipoint"]
+
+[analysis]
+kind = "frequency_sweep"
+points = 4
+compare_full = true
+
+[output]
+dir = "{}"
+"#,
+        dir.display()
+    );
+    std::fs::write(dir.join("gated.toml"), scenario).unwrap();
+    let suite = format!(
+        r#"
+[suite]
+name = "gated"
+warmup = 0
+repeats = 1
+
+[scenario-gated]
+file = "gated.toml"
+gate_metric = "{gate_metric}"
+gate_max = {gate_max}
+"#
+    );
+    let path = dir.join("gated_suite.toml");
+    std::fs::write(&path, suite).unwrap();
+    path
+}
+
+#[test]
+fn violated_suite_gate_fails_the_bench_run_loudly() {
+    // An impossible bound (1e-300): no reduction meets it, so the run
+    // must abort naming the method, file, metric, value and bound.
+    let dir = out_dir("gate_violation");
+    let suite = BenchSuite::load(write_gated_suite(&dir, "max_rel_err", "1e-300")).unwrap();
+    let err = run_suite(&suite, &dir, None).unwrap_err().to_string();
+    assert!(err.contains("accuracy gate failed"), "{err}");
+    assert!(err.contains("multipoint"), "{err}");
+    assert!(err.contains("max_rel_err"), "{err}");
+    assert!(err.contains("gate_max"), "{err}");
+    // A generous bound on the same suite passes (the gate mechanism,
+    // not the scenario, caused the failure above).
+    let dir_ok = out_dir("gate_ok");
+    let suite = BenchSuite::load(write_gated_suite(&dir_ok, "max_rel_err", "1e3")).unwrap();
+    run_suite(&suite, &dir_ok, None).unwrap();
+}
+
+#[test]
+fn gate_on_an_unreported_metric_fails_instead_of_silently_passing() {
+    let dir = out_dir("gate_unreported");
+    let suite = BenchSuite::load(write_gated_suite(&dir, "no_such_metric", "1e-3")).unwrap();
+    let err = run_suite(&suite, &dir, None).unwrap_err().to_string();
+    assert!(err.contains("was not reported"), "{err}");
+    assert!(err.contains("no_such_metric"), "{err}");
+}
+
+#[test]
 fn rom_cache_skips_reduction_on_the_second_run_with_identical_numbers() {
     let dir = out_dir("romcache");
     let text = format!(

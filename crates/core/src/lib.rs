@@ -34,7 +34,11 @@
 //!   implemented by all five methods, the [`ReductionContext`] solver
 //!   cache realizing the paper's one-time-`G0`-factorization cost model
 //!   across a whole pipeline, and the [`ReducerKind`] registry for
-//!   selecting methods by name.
+//!   selecting methods by name,
+//! * [`adaptive`] — **error-controlled reduction**: a residual-based
+//!   a-posteriori [`ErrorEstimator`] and the greedy [`AdaptiveDriver`]
+//!   that places expansion points and grows ROM order until a user
+//!   tolerance is met or a budget is exhausted.
 //!
 //! # Quick start
 //!
@@ -56,6 +60,7 @@
 //! # }
 //! ```
 
+pub mod adaptive;
 pub mod engine;
 pub mod eval;
 pub mod fit;
@@ -69,6 +74,7 @@ pub mod residues;
 pub mod rom;
 pub mod transient;
 
+pub use adaptive::{AdaptiveDriver, AdaptiveOptions, AdaptiveReport, ErrorEstimator};
 pub use engine::{EvalEngine, EvalPoint, EvalWorkspace, TransferModel};
 pub use pmor_sparse::OrderingChoice;
 pub use reduce::{

@@ -583,6 +583,21 @@ pub mod registry_defaults {
     pub const LOWRANK_PARAM_ORDER: usize = 2;
     /// Low-rank SVD rank per generalized sensitivity.
     pub const LOWRANK_RANK: usize = 2;
+    /// Adaptive-driver stopping tolerance (worst relative residual).
+    pub const ADAPTIVE_TOLERANCE: f64 = 1e-6;
+    /// Adaptive-driver reduced-order budget. Sized for multi-input
+    /// systems (each expansion point contributes up to
+    /// `block_moments × inputs` directions).
+    pub const ADAPTIVE_MAX_ORDER: usize = 192;
+    /// Adaptive-driver expansion-point budget.
+    pub const ADAPTIVE_MAX_POINTS: usize = 12;
+    /// Adaptive-driver parameter probe points. Deliberately larger than
+    /// [`ADAPTIVE_MAX_POINTS`]: probes that can never all become
+    /// expansion points keep the estimator honest about interpolation
+    /// error *between* expansion points.
+    pub const ADAPTIVE_PROBE_POINTS: usize = 33;
+    /// Adaptive-driver probe frequencies, Hz.
+    pub const ADAPTIVE_PROBE_FREQS_HZ: [f64; 2] = [1e8, 1e9];
 
     /// FNV-1a fingerprint over **every** default the registry's
     /// construction path can fall back to — the constants above plus the
@@ -607,6 +622,12 @@ pub mod registry_defaults {
             lr.svd.power_iterations as u64,
             lr.svd.seed,
             crate::moments::SinglePointOptions::default().order as u64,
+            ADAPTIVE_TOLERANCE.to_bits(),
+            ADAPTIVE_MAX_ORDER as u64,
+            ADAPTIVE_MAX_POINTS as u64,
+            ADAPTIVE_PROBE_POINTS as u64,
+            ADAPTIVE_PROBE_FREQS_HZ[0].to_bits(),
+            ADAPTIVE_PROBE_FREQS_HZ[1].to_bits(),
         ])
     }
 }
@@ -627,6 +648,11 @@ pub mod registry_defaults {
 /// | `param_order` | lowrank | Krylov blocks per parameter subspace |
 /// | `rank` | lowrank | SVD rank per generalized sensitivity |
 /// | `include_transpose` | lowrank | keep the `Ã0ᵀ` subspaces (Alg. 1 step 2.2) |
+/// | `adaptive` | multipoint, fit | error-controlled point/order selection |
+/// | `tolerance` | adaptive mode | stopping tolerance (worst relative residual) |
+/// | `max_order` | adaptive mode | reduced-order budget |
+/// | `probe_points` | adaptive mode | parameter probe points in the estimation grid |
+/// | `max_points` | adaptive mode | expansion-point budget |
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReducerTuning {
     /// Parameter sample half-width for multipoint/fit grids.
@@ -643,6 +669,16 @@ pub struct ReducerTuning {
     pub rank: Option<usize>,
     /// Low-rank transpose-subspace toggle.
     pub include_transpose: Option<bool>,
+    /// Error-controlled adaptive mode for multi-shift methods.
+    pub adaptive: Option<bool>,
+    /// Adaptive stopping tolerance (worst relative residual).
+    pub tolerance: Option<f64>,
+    /// Adaptive reduced-order budget.
+    pub max_order: Option<usize>,
+    /// Adaptive parameter probe points.
+    pub probe_points: Option<usize>,
+    /// Adaptive expansion-point budget.
+    pub max_points: Option<usize>,
 }
 
 /// The registry of reduction methods, selectable by name.
@@ -704,6 +740,17 @@ impl ReducerKind {
         use registry_defaults as rd;
         let np = sys.num_params();
         let range = t.range.unwrap_or(rd::SAMPLE_RANGE);
+        // Error-controlled mode: the multi-shift-capable kinds hand their
+        // expansion-point and order selection to the adaptive driver
+        // (the reported name stays the registry name, so records and
+        // caches remain per-method). Other kinds ignore the flag — the
+        // scenario layer rejects the combination eagerly.
+        if t.adaptive == Some(true) && matches!(self, ReducerKind::MultiPoint | ReducerKind::Fit) {
+            return Box::new(crate::adaptive::AdaptiveReducer::new(
+                self.name(),
+                crate::adaptive::AdaptiveDriver::from_tuning(t),
+            ));
+        }
         match self {
             ReducerKind::Prima => Box::new(crate::prima::Prima::new(crate::prima::PrimaOptions {
                 num_block_moments: t

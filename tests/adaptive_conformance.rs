@@ -1,0 +1,251 @@
+//! Conformance suite for the error-controlled adaptive driver
+//! (`pmor::adaptive`): on **every** generator family — including the
+//! two-layer `power_grid` — an adaptive run at `tolerance = 1e-6` must
+//! (a) deliver true Monte-Carlo transfer error within the tolerance,
+//! (b) never under-report the true error by more than a fixed factor,
+//! (c) be bitwise deterministic across thread counts, and (d) pay zero
+//! sparse factorizations beyond one per expansion point (no extra
+//! symbolic analyses) — the same determinism-and-counters discipline
+//! every prior subsystem was pinned with.
+
+use pmor::adaptive::{AdaptiveDriver, AdaptiveOptions, AdaptiveReport, ErrorEstimator};
+use pmor::eval::FullModel;
+use pmor::{ParametricRom, ReductionContext};
+use pmor_circuits::generators::{
+    clock_tree, power_grid, rc_mesh, rc_random, rlc_bus, ClockTreeConfig, PowerGridConfig,
+    RcMeshConfig, RcRandomConfig, RlcBusConfig,
+};
+use pmor_circuits::ParametricSystem;
+use pmor_num::Complex64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOLERANCE: f64 = 1e-6;
+/// The estimator may over-report freely but must never under-report the
+/// true error by more than this factor (ISSUE-pinned).
+const UNDER_REPORT_FACTOR: f64 = 10.0;
+/// Absolute noise floor: once both estimate and true error sit in
+/// round-off territory, the ratio between them is meaningless.
+const NOISE_FLOOR: f64 = 1e-12;
+
+/// Small instances of every generator family, including the two-layer
+/// power grid introduced for the large-scale tier.
+fn workloads() -> Vec<(&'static str, ParametricSystem)> {
+    vec![
+        (
+            "clock_tree",
+            clock_tree(&ClockTreeConfig {
+                num_nodes: 40,
+                ..Default::default()
+            })
+            .assemble(),
+        ),
+        (
+            "rc_random",
+            rc_random(&RcRandomConfig {
+                num_nodes: 60,
+                ..Default::default()
+            })
+            .assemble(),
+        ),
+        (
+            "rlc_bus",
+            rlc_bus(&RlcBusConfig {
+                segments: 10,
+                ..Default::default()
+            })
+            .assemble(),
+        ),
+        (
+            "rc_mesh",
+            rc_mesh(&RcMeshConfig {
+                rows: 12,
+                cols: 12,
+                ..Default::default()
+            })
+            .assemble(),
+        ),
+        (
+            "power_grid",
+            power_grid(&PowerGridConfig {
+                cols: 16,
+                rows: 16,
+                pitch: 4,
+                ..Default::default()
+            })
+            .assemble(),
+        ),
+    ]
+}
+
+fn run_adaptive(
+    sys: &ParametricSystem,
+    threads: usize,
+) -> (ParametricRom, AdaptiveReport, ReductionContext) {
+    let mut ctx = ReductionContext::with_threads(threads);
+    let driver = AdaptiveDriver::new(AdaptiveOptions {
+        tolerance: TOLERANCE,
+        ..Default::default()
+    });
+    let (rom, report) = driver
+        .reduce_with_report(sys, &mut ctx)
+        .expect("adaptive reduction failed");
+    (rom, report, ctx)
+}
+
+/// Worst relative Monte-Carlo transfer error of `rom` against the full
+/// model over random parameter draws inside the probe box and random
+/// frequencies inside the probe band.
+fn mc_true_error(sys: &ParametricSystem, rom: &ParametricRom, seed: u64) -> f64 {
+    let full = FullModel::new(sys);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst = 0.0f64;
+    for _ in 0..20 {
+        let p: Vec<f64> = (0..sys.num_params())
+            .map(|_| rng.gen_range(-0.3..0.3))
+            .collect();
+        let f = 10f64.powf(rng.gen_range(8.0..9.0));
+        let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+        let h_ref = full.transfer(&p, s).unwrap();
+        let h = rom.transfer(&p, s).unwrap();
+        worst = worst.max(h_ref.sub_mat(&h).max_abs() / h_ref.max_abs().max(1e-300));
+    }
+    worst
+}
+
+#[test]
+fn adaptive_meets_tolerance_and_never_under_reports() {
+    for (workload, sys) in workloads() {
+        let (rom, report, _) = run_adaptive(&sys, 1);
+        assert!(
+            report.converged,
+            "{workload}: driver exhausted its budget before tolerance: {report:?}"
+        );
+        assert!(
+            report.estimated_error <= TOLERANCE,
+            "{workload}: converged run reports estimate {0:e} above tolerance",
+            report.estimated_error
+        );
+        assert!(
+            rom.size() < sys.dim(),
+            "{workload}: no reduction ({} vs {})",
+            rom.size(),
+            sys.dim()
+        );
+
+        // (a) True MC transfer error within the requested tolerance.
+        let true_err = mc_true_error(&sys, &rom, 0xADA9_7100 + sys.dim() as u64);
+        assert!(
+            true_err <= TOLERANCE,
+            "{workload}: true MC error {true_err:e} exceeds tolerance {TOLERANCE:e} \
+             (estimate was {:e})",
+            report.estimated_error
+        );
+
+        // (b) The estimator never under-reports the true error by more
+        // than the pinned factor (beyond round-off noise).
+        assert!(
+            true_err <= (UNDER_REPORT_FACTOR * report.estimated_error).max(NOISE_FLOOR),
+            "{workload}: estimate {:e} under-reports true error {true_err:e} \
+             by more than {UNDER_REPORT_FACTOR}x",
+            report.estimated_error
+        );
+    }
+}
+
+#[test]
+fn estimator_under_report_bound_holds_for_coarse_roms_too() {
+    // Not just at convergence: a deliberately under-resolved ROM (order
+    // budget of 4) sits in the large-error regime, where an estimator
+    // that under-reports would silently green-light a bad model.
+    for (workload, sys) in workloads() {
+        let defaults = AdaptiveOptions::default();
+        let mut ctx = ReductionContext::new();
+        let driver = AdaptiveDriver::new(AdaptiveOptions {
+            tolerance: TOLERANCE,
+            max_order: 4,
+            ..defaults.clone()
+        });
+        let (rom, intermediate) = driver.reduce_with_report(&sys, &mut ctx).unwrap();
+        // The driver's reported estimate is exactly the estimator's
+        // verdict on the final ROM — no private state.
+        let estimator = ErrorEstimator::new(&sys, &mut ctx).unwrap();
+        let probes = pmor::adaptive::probe_grid(sys.num_params(), defaults.probe_points, 0.3);
+        let (est, _) = estimator
+            .worst_over(&rom, &probes, &defaults.probe_freqs_hz)
+            .unwrap();
+        assert_eq!(
+            est, intermediate.estimated_error,
+            "{workload}: estimator disagrees with the driver's own report"
+        );
+        let true_err = mc_true_error(&sys, &rom, 0xADA9_7200 + sys.dim() as u64);
+        assert!(
+            true_err <= (UNDER_REPORT_FACTOR * est).max(NOISE_FLOOR),
+            "{workload}: coarse-ROM estimate {est:e} under-reports true error {true_err:e}"
+        );
+    }
+}
+
+#[test]
+fn adaptive_is_bitwise_deterministic_across_thread_counts() {
+    for (workload, sys) in workloads() {
+        let (rom1, report1, _) = run_adaptive(&sys, 1);
+        for threads in [0usize, 4] {
+            let (romn, reportn, _) = run_adaptive(&sys, threads);
+            assert_eq!(
+                report1, reportn,
+                "{workload}: adaptive report differs at threads={threads}"
+            );
+            assert_eq!(
+                rom1.projection.as_slice(),
+                romn.projection.as_slice(),
+                "{workload}: projection differs at threads={threads}"
+            );
+            // Transfer evaluations bitwise identical at random points.
+            let mut rng = StdRng::seed_from_u64(0xADA9_7300);
+            for trial in 0..10 {
+                let p: Vec<f64> = (0..sys.num_params())
+                    .map(|_| rng.gen_range(-0.3..0.3))
+                    .collect();
+                let f = 10f64.powf(rng.gen_range(8.0..9.0));
+                let s = Complex64::jw(2.0 * std::f64::consts::PI * f);
+                let h1 = rom1.transfer(&p, s).unwrap();
+                let hn = romn.transfer(&p, s).unwrap();
+                for r in 0..h1.nrows() {
+                    for c in 0..h1.ncols() {
+                        assert_eq!(
+                            (h1[(r, c)].re.to_bits(), h1[(r, c)].im.to_bits()),
+                            (hn[(r, c)].re.to_bits(), hn[(r, c)].im.to_bits()),
+                            "{workload}: trial {trial} transfer differs at threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_pays_one_factorization_per_point_and_no_symbolic_extras() {
+    for (workload, sys) in workloads() {
+        let (_, report, ctx) = run_adaptive(&sys, 1);
+        // Exactly one real factorization per distinct expansion point:
+        // probing is factorization-free and revisits are cache hits.
+        assert_eq!(
+            ctx.real_factorizations(),
+            report.expansion_points_used,
+            "{workload}: estimator or driver paid extra real factorizations"
+        );
+        assert_eq!(
+            ctx.complex_factorizations(),
+            0,
+            "{workload}: estimator must not factor shifted systems"
+        );
+        // The one shared symbolic analysis is in place and reusable —
+        // the driver introduced no per-point symbolic analyses.
+        let prov = ctx
+            .provenance_ready(&sys)
+            .unwrap_or_else(|| panic!("{workload}: no factor provenance after adaptive run"));
+        assert!(prov.factor_nnz >= prov.matrix_nnz);
+    }
+}
