@@ -50,6 +50,7 @@ pub fn reduce_all(
     let mut out = Vec::with_capacity(methods.len());
     for name in methods {
         let reducer = build(name, sys);
+        // pmor-lint: allow(panic-in-lib) reason="bench harness fail-fast: a failed reduction invalidates the whole experiment run"
         let (rom, seconds) = timed(|| reducer.reduce(sys, ctx).expect("reduction"));
         println!("# {name}: {} states in {seconds:.3}s", rom.size());
         out.push(ReducedMethod {

@@ -81,7 +81,7 @@ pub fn bench_case_config<T>(
 /// average the two central values).
 pub fn median(times: &mut [f64]) -> f64 {
     assert!(!times.is_empty(), "median: empty sample");
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.sort_by(|a, b| a.total_cmp(b));
     let n = times.len();
     if n % 2 == 1 {
         times[n / 2]

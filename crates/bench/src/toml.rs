@@ -320,6 +320,7 @@ pub fn parse(text: &str) -> Result<Document, TomlError> {
         let table = doc
             .sections
             .get_mut(&current)
+            // pmor-lint: allow(panic-in-lib) reason="`current` is inserted into `sections` the moment a header opens it"
             .expect("current section exists");
         if table.insert(key.to_string(), value).is_some() {
             return err(lineno, format!("duplicate key `{key}`"));

@@ -163,6 +163,7 @@ pub fn parse_spice(deck: &str) -> Result<Netlist, ParseSpiceError> {
         }
 
         let mut toks = text.split_whitespace();
+        // pmor-lint: allow(panic-in-lib) reason="`text` is trimmed and nonempty here, so the first whitespace token exists"
         let name = toks.next().unwrap().to_string();
         let kind = match name.chars().next().map(|c| c.to_ascii_uppercase()) {
             Some('R') => ElementKind::Resistor,
@@ -212,6 +213,7 @@ pub fn parse_spice(deck: &str) -> Result<Netlist, ParseSpiceError> {
 
     for (line, card) in deferred {
         let mut toks = card.split_whitespace();
+        // pmor-lint: allow(panic-in-lib) reason="deferred cards are pushed only when they start with a known keyword, so the first token exists"
         let kw = toks.next().unwrap().to_ascii_uppercase();
         match kw.as_str() {
             "SENS" => {

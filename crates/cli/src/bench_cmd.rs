@@ -214,6 +214,7 @@ fn run_scenario_entry(
             rom = Some(r);
             adaptive = rep;
         }
+        // pmor-lint: allow(panic-in-lib) reason="the repeat loop runs at least once (repeats is validated >= 1), so the final ROM is always present"
         let rom = rom.expect("at least one repeat");
         let analysis = sc
             .analysis
@@ -372,6 +373,7 @@ fn run_compare_entry(
             rom = Some(r);
         }
         medians.push(median(&mut times));
+        // pmor-lint: allow(panic-in-lib) reason="the repeat loop runs at least once (repeats is validated >= 1), so the final ROM is always present"
         roms.push(rom.expect("at least one repeat"));
     }
     // The determinism gate: parallel factorization must not change one
@@ -438,6 +440,7 @@ fn run_refactor_entry(
             rom = Some(r);
         }
         medians.push(median(&mut times));
+        // pmor-lint: allow(panic-in-lib) reason="the repeat loop runs at least once (repeats is validated >= 1), so the final ROM is always present"
         roms.push(rom.expect("at least one repeat"));
     }
     // The refactorization gate: reusing the symbolic analysis must not

@@ -256,6 +256,7 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         let Some(m) = reduced.get(i) else { break };
                         let out = analyze_one(sc, &engine, &full, m, &workload, dim);
+                        // pmor-lint: allow(panic-in-lib) reason="slot mutex poisoning requires a prior worker panic, which thread::scope re-raises at join"
                         *slots[i].lock().expect("slot poisoned") = Some(out);
                     });
                 }
@@ -264,7 +265,9 @@ fn run(sc: &Scenario, save_roms: bool, analyze: bool) -> Result<ExecReport, CliE
                 .into_iter()
                 .map(|s| {
                     s.into_inner()
+                        // pmor-lint: allow(panic-in-lib) reason="slot mutex poisoning requires a prior worker panic, which thread::scope re-raises at join"
                         .expect("slot poisoned")
+                        // pmor-lint: allow(panic-in-lib) reason="each worker fills every slot index it claims before moving on"
                         .expect("worker filled every claimed slot")
                 })
                 .collect()

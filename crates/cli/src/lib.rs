@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Scenario-driven command-line front end for the `pmor` stack.
@@ -28,6 +29,7 @@
 pub mod bench_cmd;
 pub mod cache;
 pub mod exec;
+pub mod lint_cmd;
 pub mod scenario;
 pub use pmor_bench::toml;
 

@@ -28,8 +28,15 @@ USAGE:
                                 one standardized BENCH_<suite>_<entry>.json
                                 per entry
   pmor bench --check <file>...  validate BENCH_*.json required fields
-  pmor list [--benches]         registered generators, methods, analyses
-                                (--benches: shipped benchmark suites)
+  pmor lint [--check] [--json] [--out DIR] [root]
+                                determinism & numeric-safety static analysis
+                                over crates/*/src (--check: findings and
+                                unused allows are fatal; --json: write
+                                LINT_workspace.json)
+  pmor lint --validate <file>...  validate LINT_*.json report files
+  pmor list [--benches|--lints] registered generators, methods, analyses
+                                (--benches: shipped benchmark suites;
+                                 --lints: registered lint rules)
   pmor help                     this text
 
 Ready-made scenarios live in scenarios/, benchmark suites in
@@ -71,6 +78,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "mc" => cmd_mc(rest),
         "info" => cmd_info(rest),
         "bench" => cmd_bench(rest),
+        "lint" => cmd_lint(rest),
         "list" => cmd_list(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -330,18 +338,72 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `pmor lint`: the static-analysis pass (scan, or `--validate` for
+/// already-emitted report files).
+fn cmd_lint(args: &[String]) -> Result<(), CliError> {
+    if args.first().map(String::as_str) == Some("--validate") {
+        return pmor_cli::lint_cmd::validate_files(&args[1..]);
+    }
+    let mut check = false;
+    let mut json = false;
+    let mut out = ".".to_string();
+    let mut root = ".".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--out" => {
+                let Some(dir) = it.next() else {
+                    return Err(CliError::Usage("--out needs a directory".into()));
+                };
+                out = dir.clone();
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag {flag}")));
+            }
+            positional => root = positional.to_string(),
+        }
+    }
+    let out_dir = std::path::PathBuf::from(out);
+    pmor_cli::lint_cmd::run_lint(
+        std::path::Path::new(&root),
+        json.then_some(out_dir.as_path()),
+        check,
+    )?;
+    Ok(())
+}
+
 fn cmd_list(args: &[String]) -> Result<(), CliError> {
     match args {
         [] => {
             list_registries();
             Ok(())
         }
+        [flag] if flag == "--lints" => {
+            list_lints();
+            Ok(())
+        }
         [flag] if flag == "--benches" => list_benches(std::path::Path::new(SUITE_DIR)),
         [flag, dir] if flag == "--benches" => list_benches(std::path::Path::new(dir)),
         _ => Err(CliError::Usage(
-            "list takes no arguments, or --benches [suite-dir]".into(),
+            "list takes no arguments, --lints, or --benches [suite-dir]".into(),
         )),
     }
+}
+
+/// `pmor list --lints`: the rule registry, derived from
+/// `LintKind::ALL` so this list can never drift from what `pmor lint`
+/// actually runs (the same pattern as `--benches` and the analyses).
+fn list_lints() {
+    println!("lint rules (run: pmor lint [--check] [--json]):");
+    for kind in pmor_lint::LintKind::ALL {
+        println!("  {:<20} {}", kind.name(), kind.describe());
+    }
+    println!(
+        "suppressions: // pmor-lint: allow(<rule>, …) reason=\"…\" \
+         (own line covers the next line; trailing covers its line)"
+    );
 }
 
 /// `pmor list --benches`: enumerate the suites in a directory with their

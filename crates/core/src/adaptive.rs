@@ -355,6 +355,7 @@ impl AdaptiveDriver {
                 };
                 return Ok((rom, report));
             }
+            // pmor-lint: allow(panic-in-lib) reason="`candidate` was checked `is_some` by the loop guard right above"
             next = candidate.expect("checked above");
         }
     }

@@ -89,6 +89,7 @@ impl<'a> FullModel<'a> {
         s: Complex64,
         ws: &mut EvalWorkspace,
     ) -> Result<Matrix<Complex64>> {
+        // pmor-lint: allow(alloc-in-kernel) reason="full-model reference path: each call factors a fresh sparse LU anyway; the allocation-free contract targets the *_into ROM kernels"
         let pbits: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
         let wanted = (self.fingerprint, pbits);
         if ws.full_key.as_ref() != Some(&wanted) {
@@ -102,12 +103,16 @@ impl<'a> FullModel<'a> {
             ws.full_io_key = Some(self.fingerprint);
         }
         let (g, c) = (
+            // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
             ws.full_g.as_ref().expect("assembled above"),
+            // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
             ws.full_c.as_ref().expect("assembled above"),
         );
         let a = g.add_scaled(s, c);
         let lu = SparseLu::factor(&a, Some(&self.perm))?;
+        // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
         let x = lu.solve_dense(ws.full_b.as_ref().expect("converted above"))?;
+        // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
         Ok(ws.full_l.as_ref().expect("converted above").tr_mul_mat(&x))
     }
 

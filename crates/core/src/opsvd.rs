@@ -113,6 +113,7 @@ impl LinearOperator for GeneralizedSensitivity<'_> {
         let mx = self.m.mul_vec(x);
         self.g0_lu
             .solve(&mx)
+            // pmor-lint: allow(panic-in-lib) reason="the operator is built from a successful G0 factorization of matching dimension"
             .expect("G0 factors valid by construction")
     }
 
@@ -120,6 +121,7 @@ impl LinearOperator for GeneralizedSensitivity<'_> {
         let y = self
             .g0_lu
             .solve_transpose(x)
+            // pmor-lint: allow(panic-in-lib) reason="the operator is built from a successful G0 factorization of matching dimension"
             .expect("G0 factors valid by construction");
         self.m.tr_mul_vec(&y)
     }

@@ -63,7 +63,7 @@ pub fn poles_with_residues(
             dominance,
         });
     }
-    out.sort_by(|a, b| b.dominance.partial_cmp(&a.dominance).unwrap());
+    out.sort_by(|a, b| b.dominance.total_cmp(&a.dominance));
     Ok(out)
 }
 

@@ -366,6 +366,7 @@ fn assemble_affine_into(
     out: &mut Matrix<f64>,
 ) {
     if out.nrows() != base.nrows() || out.ncols() != base.ncols() {
+        // pmor-lint: allow(alloc-in-kernel) reason="clones only on first use or shape change; steady state copies into the existing buffer in place"
         *out = base.clone();
     } else {
         out.as_mut_slice().copy_from_slice(base.as_slice());
@@ -403,7 +404,7 @@ pub fn pencil_poles(g: &Matrix<f64>, c: &Matrix<f64>) -> Result<Vec<Complex64>> 
         .filter(|m| m.abs() > 1e-12 * mu_max)
         .map(|m| -m.recip())
         .collect();
-    poles.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap());
+    poles.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
     Ok(poles)
 }
 
@@ -483,6 +484,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
     if bytes[..8] != ROM_MAGIC {
         return Err(err("not a pmor ROM file (bad magic)"));
     }
+    // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
     if version != ROM_FORMAT_VERSION {
         return Err(err(&format!(
@@ -490,6 +492,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
         )));
     }
     let payload = &bytes[12..bytes.len() - 8];
+    // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
     let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
     if fnv1a(payload) != stored_sum {
         return Err(err("checksum mismatch (corrupted file)"));
@@ -501,6 +504,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
             .checked_add(8)
             .filter(|&e| e <= payload.len())
             .ok_or_else(|| err("truncated payload"))?;
+        // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
         let v = u64::from_le_bytes(payload[cursor..end].try_into().unwrap());
         cursor = end;
         Ok(v)
@@ -526,9 +530,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
             .filter(|&e| e <= payload.len())
             .ok_or_else(|| err("truncated payload"))?;
         let nr = as_dim(u64::from_le_bytes(
+            // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
             payload[cursor..cursor + 8].try_into().unwrap(),
         ))?;
         let nc = as_dim(u64::from_le_bytes(
+            // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
             payload[cursor + 8..end].try_into().unwrap(),
         ))?;
         cursor = end;
@@ -550,6 +556,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
             for c in 0..nc {
                 let at = cursor + 8 * (r * nc + c);
                 m[(r, c)] =
+                    // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
                     f64::from_bits(u64::from_le_bytes(payload[at..at + 8].try_into().unwrap()));
             }
         }

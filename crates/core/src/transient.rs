@@ -389,7 +389,9 @@ pub fn simulate_rom_with(
     let steps = (opts.t_stop / h).round() as usize;
     ws.trans_x.clear();
     ws.trans_x.resize(n, 0.0);
+    // pmor-lint: allow(alloc-in-kernel) reason="allocates the returned result series once per simulation, not per step"
     let mut time = Vec::with_capacity(steps + 1);
+    // pmor-lint: allow(alloc-in-kernel) reason="allocates the returned result series once per simulation, not per step"
     let mut outputs = vec![Vec::with_capacity(steps + 1); rom.num_outputs()];
 
     rom.l.tr_mul_vec_into(&ws.trans_x, &mut ws.trans_y);

@@ -1,0 +1,327 @@
+//! Machine-readable lint reports: `LINT_<tag>.json`.
+//!
+//! The format mirrors the `BENCH_*.json` discipline from `pmor-bench`:
+//! a flat, line-per-record layout written by hand and validated by a
+//! structural checker ([`validate_lint_json`]) that the CI artifact
+//! gate runs — so a lint trajectory can be diffed across PRs exactly
+//! like the bench trajectory. On top of the findings, the report
+//! carries the full **allow ledger**: every suppression in the
+//! workspace, with its reason and whether it still suppresses anything
+//! (an unused allow is itself an error — the ledger never rots).
+
+use crate::rules::LintKind;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: LintKind,
+    /// Workspace-relative file path (`/` separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// One ledger entry: a suppression directive and its standing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// The rule the directive suppresses.
+    pub rule: LintKind,
+    /// File of the directive.
+    pub file: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// A malformed directive, anchored to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadAllowEntry {
+    /// File of the directive.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Outcome of a lint run over a file set.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Violations that survived suppression, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// The complete allow ledger (used and unused entries).
+    pub allows: Vec<LedgerEntry>,
+    /// Malformed directives.
+    pub bad_allows: Vec<BadAllowEntry>,
+}
+
+impl LintReport {
+    /// Ledger entries that suppressed at least one finding.
+    pub fn allows_used(&self) -> usize {
+        self.allows.iter().filter(|a| a.used).count()
+    }
+
+    /// Ledger entries that suppress nothing (errors).
+    pub fn allows_unused(&self) -> usize {
+        self.allows.len() - self.allows_used()
+    }
+
+    /// Whether the run is clean: no findings, no unused allows, no
+    /// malformed directives. This is what `pmor lint --check` gates on.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.allows_unused() == 0 && self.bad_allows.is_empty()
+    }
+}
+
+/// Serializes a report to `LINT_<tag>.json` in `dir` and returns the
+/// path written. One record line per finding and per ledger entry, in
+/// the `BENCH_*.json` house layout.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_lint_json_in(
+    dir: &std::path::Path,
+    tag: &str,
+    report: &LintReport,
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("LINT_{tag}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"tag\": {},\n", json_string(tag)));
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            json_string(f.rule.name()),
+            json_string(&f.file),
+            f.line,
+            json_string(&f.message),
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"allows\": [\n");
+    for (i, a) in report.allows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"used\": {}, \"reason\": {}}}{}\n",
+            json_string(a.rule.name()),
+            json_string(&a.file),
+            a.line,
+            a.used,
+            json_string(&a.reason),
+            if i + 1 < report.allows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"allows_used\": {}, \
+         \"allows_unused\": {}, \"bad_allows\": {}}}\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.allows_used(),
+        report.allows_unused(),
+        report.bad_allows.len()
+    ));
+    out.push_str("}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+/// Checks that `text` is a `LINT_*.json` file produced by
+/// [`write_lint_json_in`]: a file-level `tag`, a `findings` array whose
+/// every record carries a **registered** rule id, a file and a line, an
+/// `allows` array whose every record carries rule/file/line/used/reason,
+/// and a `summary` with the allow-ledger counts. Like
+/// `validate_bench_json` this is a structural check of the writer's own
+/// line-per-record format, not a general JSON parser.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or malformed field.
+pub fn validate_lint_json(text: &str) -> Result<(), String> {
+    if !text.contains("\"tag\": \"") {
+        return Err("missing file-level \"tag\" field".into());
+    }
+    let Some(findings_at) = text.find("\"findings\": [") else {
+        return Err("missing \"findings\" array".into());
+    };
+    let Some(allows_at) = text.find("\"allows\": [") else {
+        return Err("missing \"allows\" array".into());
+    };
+    let Some(summary_at) = text.find("\"summary\": {") else {
+        return Err("missing \"summary\" object".into());
+    };
+    let mut records = 0usize;
+    for line in text[findings_at..allows_at].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        records += 1;
+        for field in ["\"rule\": \"", "\"file\": \"", "\"line\": "] {
+            if !line.contains(field) {
+                return Err(format!("finding {records}: missing {field}"));
+            }
+        }
+        let rule = field_str(line, "rule").unwrap_or_default();
+        if LintKind::from_name(&rule).is_none() {
+            return Err(format!("finding {records}: unregistered rule id {rule:?}"));
+        }
+    }
+    let mut entries = 0usize;
+    for line in text[allows_at..summary_at].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        entries += 1;
+        for field in [
+            "\"rule\": \"",
+            "\"file\": \"",
+            "\"line\": ",
+            "\"used\": ",
+            "\"reason\": \"",
+        ] {
+            if !line.contains(field) {
+                return Err(format!("allow {entries}: missing {field}"));
+            }
+        }
+        let rule = field_str(line, "rule").unwrap_or_default();
+        if LintKind::from_name(&rule).is_none() {
+            return Err(format!("allow {entries}: unregistered rule id {rule:?}"));
+        }
+    }
+    for count in [
+        "files_scanned",
+        "findings",
+        "allows_used",
+        "allows_unused",
+        "bad_allows",
+    ] {
+        if !text[summary_at..].contains(&format!("\"{count}\": ")) {
+            return Err(format!("summary: missing \"{count}\" count"));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the value of a `"name": "value"` field on a record line.
+fn field_str(line: &str, name: &str) -> Option<String> {
+    let pat = format!("\"{name}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// JSON string literal with the mandatory escapes (the same contract as
+/// the bench writer's).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            files_scanned: 2,
+            findings: vec![Finding {
+                rule: LintKind::PanicInLib,
+                file: "crates/core/src/rom.rs".into(),
+                line: 12,
+                message: "`unwrap()` in library code".into(),
+            }],
+            allows: vec![LedgerEntry {
+                rule: LintKind::DetWallclock,
+                file: "crates/variation/src/analysis.rs".into(),
+                line: 30,
+                reason: "provenance-only timing".into(),
+                used: true,
+            }],
+            bad_allows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn written_reports_validate() {
+        let dir = std::env::temp_dir().join("pmor_lint_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_lint_json_in(&dir, "unit", &sample()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"tag\": \"unit\""));
+        assert!(text.contains("\"rule\": \"panic-in-lib\""));
+        assert!(text.contains("\"used\": true"));
+        assert!(text.contains("\"allows_unused\": 0"));
+        validate_lint_json(&text).unwrap();
+
+        // An empty report is still a valid file (zero findings is the
+        // desired steady state, unlike bench's "no records" rejection).
+        let path = write_lint_json_in(&dir, "empty", &LintReport::default()).unwrap();
+        validate_lint_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        let dir = std::env::temp_dir().join("pmor_lint_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_lint_json_in(&dir, "v", &sample()).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        assert!(validate_lint_json("{}").is_err());
+        let no_tag = good.replace("\"tag\"", "\"gat\"");
+        assert!(validate_lint_json(&no_tag).unwrap_err().contains("tag"));
+        let bad_rule = good.replace("panic-in-lib", "made-up-rule");
+        assert!(validate_lint_json(&bad_rule)
+            .unwrap_err()
+            .contains("unregistered rule"));
+        let no_line = good.replace("\"line\": 12, \"message\"", "\"message\"");
+        assert!(validate_lint_json(&no_line).unwrap_err().contains("line"));
+        let no_summary = good.replace("allows_unused", "x");
+        assert!(validate_lint_json(&no_summary)
+            .unwrap_err()
+            .contains("allows_unused"));
+    }
+}

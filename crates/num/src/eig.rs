@@ -127,7 +127,7 @@ pub fn eigenvalues(a: &Matrix<f64>) -> Result<Vec<Complex64>> {
     let h = hessenberg(a);
     let mut hc = h.to_complex();
     let mut evals = complex_hessenberg_eigenvalues(&mut hc)?;
-    evals.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).unwrap());
+    evals.sort_by(|x, y| x.abs().total_cmp(&y.abs()));
     Ok(evals)
 }
 
@@ -300,7 +300,7 @@ pub fn symmetric_eigenvalues(a: &Matrix<f64>) -> Result<Vec<f64>> {
         }
         if !rotated {
             let mut evals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-            evals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            evals.sort_by(|x, y| x.total_cmp(y));
             return Ok(evals);
         }
     }

@@ -127,7 +127,7 @@ pub fn svd(a: &Matrix<f64>) -> Result<Svd> {
     // Singular values are the column norms; U the normalized columns.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = w.iter().map(|col| vecops::norm2(col)).collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
 
     let mut u = Matrix::zeros(m, n);
     let mut v_sorted = Matrix::zeros(n, n);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Vendored, dependency-free stand-in for the subset of the [`proptest`]
 //! crate API this workspace uses.
 //!
@@ -79,6 +81,7 @@ impl TestRunner {
                 0x5EED_CAFE ^ (u64::from(i)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
             if let Err(e) = case(&mut rng) {
+                // pmor-lint: allow(panic-in-lib) reason="panicking on a failed property is this vendored harness's documented contract"
                 panic!("property failed at case {i}: {e}");
             }
         }

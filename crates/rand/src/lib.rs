@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Vendored, dependency-free stand-in for the subset of the [`rand`]

@@ -151,6 +151,7 @@ impl<T: Scalar> SparseLu<T> {
         col_order: Option<&[usize]>,
     ) -> Result<(Self, SymbolicLu)> {
         let (lu, sym) = Self::factor_inner(a, col_order, true)?;
+        // pmor-lint: allow(panic-in-lib) reason="`factor_inner` always records the symbolic analysis when its third argument is true"
         Ok((lu, sym.expect("recording was requested")))
     }
 

@@ -218,6 +218,7 @@ pub fn amd<T: Scalar>(a: &CsrMatrix<T>) -> Vec<usize> {
         // Lazy heap: entries are stale once a degree is updated; pop
         // until one matches the current degree of a live node.
         let p = loop {
+            // pmor-lint: allow(panic-in-lib) reason="the lazy heap retains at least one entry per live node, and a live node exists at every step"
             let Reverse((d, i)) = heap.pop().expect("heap holds every live node");
             if !eliminated[i] && d == degree[i] {
                 break i;

@@ -50,7 +50,7 @@ use pmor::eval::pole_errors;
 use pmor::transient::{IntegrationMethod, Stimulus, TransientOptions};
 use pmor::{EvalEngine, EvalPoint, PmorError, Result, TransferModel};
 use pmor_num::Complex64;
-use std::time::Instant;
+use std::time::Instant; // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
 
 /// What an analysis compares between the two models at each point.
 #[derive(Debug, Clone, PartialEq)]
@@ -505,6 +505,7 @@ impl Analysis for FrequencySweepAnalysis {
         full: &dyn TransferModel,
         rom: &dyn TransferModel,
     ) -> Result<AnalysisReport> {
+        // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
         let start = Instant::now();
         let np = full.num_params();
         let p = match &self.parameters {
@@ -525,6 +526,7 @@ impl Analysis for FrequencySweepAnalysis {
         let mut series = Vec::new();
         let mut eval_points = pts.len();
         if self.compare_full {
+            // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
             let full_start = Instant::now();
             let full_mag: Vec<f64> = engine.transfer_batch(full, &pts)?.iter().map(mag).collect();
             let full_secs = full_start.elapsed().as_secs_f64();
@@ -591,6 +593,7 @@ impl Analysis for MonteCarloAnalysis {
         full: &dyn TransferModel,
         rom: &dyn TransferModel,
     ) -> Result<AnalysisReport> {
+        // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
         let start = Instant::now();
         let points =
             sampler(full.num_params(), self.instances, self.sigma, self.seed).sample_points();
@@ -684,6 +687,7 @@ impl Analysis for CornerSweepAnalysis {
         full: &dyn TransferModel,
         rom: &dyn TransferModel,
     ) -> Result<AnalysisReport> {
+        // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
         let start = Instant::now();
         let np = full.num_params();
         if self.param_a >= np || self.param_b >= np || self.param_a == self.param_b {
@@ -794,6 +798,7 @@ impl Analysis for YieldAnalysis {
         full: &dyn TransferModel,
         rom: &dyn TransferModel,
     ) -> Result<AnalysisReport> {
+        // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
         let start = Instant::now();
         let np = full.num_params();
         let threshold = match self.min_pole_rad_s {
@@ -873,6 +878,7 @@ impl Analysis for TransientAnalysis {
         full: &dyn TransferModel,
         rom: &dyn TransferModel,
     ) -> Result<AnalysisReport> {
+        // pmor-lint: allow(det-wallclock) reason="wall-clock here is measurement output (elapsed/speedup report metadata), never an input to numerics"
         let start = Instant::now();
         let np = full.num_params();
         if full.num_inputs() == 0 || full.num_outputs() == 0 {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Process-variation analysis on top of the `pmor` reduction stack.

@@ -38,7 +38,7 @@ impl Summary {
             0.0
         };
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -65,7 +65,7 @@ impl Summary {
             return 0.0;
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
     }

@@ -93,3 +93,24 @@ fn benchmarks_doc_exists_and_names_the_default_suite() {
         "README.md does not link docs/BENCHMARKS.md"
     );
 }
+
+#[test]
+fn guide_documents_every_lint_rule() {
+    // The GUIDE's "Static analysis" section must keep pace with the rule
+    // registry: registering a LintKind without documenting it fails here,
+    // exactly like an undocumented scenario or suite entry.
+    let root = repo_root();
+    let guide = std::fs::read_to_string(root.join("docs/GUIDE.md")).expect("docs/GUIDE.md");
+    for rule in pmor_lint::LintKind::ALL {
+        assert!(
+            guide.contains(rule.name()),
+            "docs/GUIDE.md does not document lint rule {:?}",
+            rule.name()
+        );
+    }
+    // The suppression syntax is part of the contract too.
+    assert!(
+        guide.contains("pmor-lint: allow("),
+        "docs/GUIDE.md does not show the suppression syntax"
+    );
+}
