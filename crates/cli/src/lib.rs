@@ -31,6 +31,7 @@ pub mod cache;
 pub mod exec;
 pub mod lint_cmd;
 pub mod scenario;
+pub mod vet_cmd;
 pub use pmor_bench::toml;
 
 pub use exec::{reduce_scenario, run_scenario, ExecReport};

@@ -28,12 +28,19 @@ USAGE:
                                 one standardized BENCH_<suite>_<entry>.json
                                 per entry
   pmor bench --check <file>...  validate BENCH_*.json required fields
-  pmor lint [--check] [--json] [--out DIR] [root]
+  pmor lint [--check] [--json] [--graph] [--out DIR] [root]
                                 determinism & numeric-safety static analysis
                                 over crates/*/src (--check: findings and
                                 unused allows are fatal; --json: write
-                                LINT_workspace.json)
-  pmor lint --validate <file>...  validate LINT_*.json report files
+                                LINT_workspace.json; --graph: write
+                                CALLGRAPH_workspace.json with the workspace
+                                call graph and witness paths)
+  pmor lint --validate <file>...  validate LINT_*.json / CALLGRAPH_*.json
+                                report files
+  pmor vet [root]               parse-validate every scenario in scenarios/
+                                and every suite in scenarios/suites/ (incl.
+                                suite→scenario references and SPICE deck
+                                paths) without executing anything
   pmor list [--benches|--lints] registered generators, methods, analyses
                                 (--benches: shipped benchmark suites;
                                  --lints: registered lint rules)
@@ -79,6 +86,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "info" => cmd_info(rest),
         "bench" => cmd_bench(rest),
         "lint" => cmd_lint(rest),
+        "vet" => cmd_vet(rest),
         "list" => cmd_list(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -346,6 +354,7 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     }
     let mut check = false;
     let mut json = false;
+    let mut graph = false;
     let mut out = ".".to_string();
     let mut root = ".".to_string();
     let mut it = args.iter();
@@ -353,6 +362,7 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
         match arg.as_str() {
             "--check" => check = true,
             "--json" => json = true,
+            "--graph" => graph = true,
             "--out" => {
                 let Some(dir) = it.next() else {
                     return Err(CliError::Usage("--out needs a directory".into()));
@@ -369,8 +379,20 @@ fn cmd_lint(args: &[String]) -> Result<(), CliError> {
     pmor_cli::lint_cmd::run_lint(
         std::path::Path::new(&root),
         json.then_some(out_dir.as_path()),
+        graph.then_some(out_dir.as_path()),
         check,
     )?;
+    Ok(())
+}
+
+/// `pmor vet`: parse-validate every shipped scenario and suite.
+fn cmd_vet(args: &[String]) -> Result<(), CliError> {
+    let root = match args {
+        [] => ".".to_string(),
+        [root] if !root.starts_with("--") => root.clone(),
+        _ => return Err(CliError::Usage("vet takes at most one root path".into())),
+    };
+    pmor_cli::vet_cmd::run_vet(std::path::Path::new(&root))?;
     Ok(())
 }
 
@@ -395,10 +417,13 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
 /// `pmor list --lints`: the rule registry, derived from
 /// `LintKind::ALL` so this list can never drift from what `pmor lint`
 /// actually runs (the same pattern as `--benches` and the analyses).
+/// Each description comes off the built `LintRule` trait object — the
+/// same object the scan runs — not a parallel table.
 fn list_lints() {
-    println!("lint rules (run: pmor lint [--check] [--json]):");
+    println!("lint rules (run: pmor lint [--check] [--json] [--graph]):");
     for kind in pmor_lint::LintKind::ALL {
-        println!("  {:<20} {}", kind.name(), kind.describe());
+        let rule: Box<dyn pmor_lint::LintRule> = kind.build();
+        println!("  {:<28} {}", kind.name(), rule.describe());
     }
     println!(
         "suppressions: // pmor-lint: allow(<rule>, …) reason=\"…\" \

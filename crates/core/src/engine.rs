@@ -207,6 +207,7 @@ pub trait TransferModel: Sync {
         ws: &mut EvalWorkspace,
     ) -> Result<Matrix<Complex64>> {
         let _ = ws;
+        // pmor-lint: allow(callgraph-ambiguous-kernel) reason="the default method forwards to whichever transfer impl the model provides; the analysis follows every impl, which is exactly right here"
         self.transfer(p, s)
     }
 
@@ -330,6 +331,7 @@ impl EvalEngine {
         T: Send,
         F: Fn(&[I], &mut EvalWorkspace) -> Result<Vec<T>> + Sync,
     {
+        // pmor-lint: allow(callgraph-ambiguous-kernel) reason="len is slice::len here; the workspace also defines len on its own containers and the analysis follows all of them"
         let workers = self.worker_count(items.len());
         if workers <= 1 {
             let mut ws = EvalWorkspace::new();
@@ -352,7 +354,7 @@ impl EvalEngine {
                 .collect();
             handles
                 .into_iter()
-                // pmor-lint: allow(panic-in-lib) reason="join fails only when a worker panicked; re-raising that panic is the intended behavior"
+                // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="join fails only when a worker panicked; re-raising that panic is the intended behavior — hot via map_chunked, the EvalEngine batch path itself"
                 .map(|h| h.join().expect("evaluation worker panicked"))
                 // pmor-lint: allow(alloc-in-kernel) reason="batch-layer orchestration: one allocation per batch/chunk amortized over every point; the per-point ROM path stays allocation-free"
                 .collect()

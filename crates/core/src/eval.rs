@@ -93,7 +93,9 @@ impl<'a> FullModel<'a> {
         let pbits: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
         let wanted = (self.fingerprint, pbits);
         if ws.full_key.as_ref() != Some(&wanted) {
+            // pmor-lint: allow(callgraph-ambiguous-kernel) reason="g_at/to_complex resolve to the dense and sparse system impls; both are assembly paths and the analysis follows both"
             ws.full_g = Some(self.sys.g_at(p).to_complex());
+            // pmor-lint: allow(callgraph-ambiguous-kernel) reason="c_at resolves to the dense and sparse system impls; both are assembly paths and the analysis follows both"
             ws.full_c = Some(self.sys.c_at(p).to_complex());
             ws.full_key = Some(wanted);
         }
@@ -103,16 +105,16 @@ impl<'a> FullModel<'a> {
             ws.full_io_key = Some(self.fingerprint);
         }
         let (g, c) = (
-            // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
+            // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the workspace caches are populated by the key checks immediately above; hot via transfer_with, the full-model reference kernel"
             ws.full_g.as_ref().expect("assembled above"),
-            // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
+            // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the workspace caches are populated by the key checks immediately above; hot via transfer_with, the full-model reference kernel"
             ws.full_c.as_ref().expect("assembled above"),
         );
         let a = g.add_scaled(s, c);
         let lu = SparseLu::factor(&a, Some(&self.perm))?;
-        // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
+        // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the workspace caches are populated by the key checks immediately above; hot via transfer_with, the full-model reference kernel"
         let x = lu.solve_dense(ws.full_b.as_ref().expect("converted above"))?;
-        // pmor-lint: allow(panic-in-lib) reason="the workspace caches are populated by the key checks immediately above"
+        // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the workspace caches are populated by the key checks immediately above; hot via transfer_with, the full-model reference kernel"
         Ok(ws.full_l.as_ref().expect("converted above").tr_mul_mat(&x))
     }
 

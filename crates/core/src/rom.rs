@@ -106,6 +106,7 @@ impl ParametricRom {
     ///
     /// Panics if `p.len() != num_params()`.
     pub fn g_at_into(&self, p: &[f64], out: &mut Matrix<f64>) {
+        // pmor-lint: allow(callgraph-ambiguous-kernel) reason="len/num_params are the slice and ROM accessors; the same names exist on the full-order system and the analysis follows both"
         assert_eq!(p.len(), self.num_params(), "g_at: parameter count");
         assemble_affine_into(&self.g0, &self.gi, p, out);
     }
@@ -128,6 +129,7 @@ impl ParametricRom {
     ///
     /// Panics if `p.len() != num_params()`.
     pub fn c_at_into(&self, p: &[f64], out: &mut Matrix<f64>) {
+        // pmor-lint: allow(callgraph-ambiguous-kernel) reason="len/num_params are the slice and ROM accessors; the same names exist on the full-order system and the analysis follows both"
         assert_eq!(p.len(), self.num_params(), "c_at: parameter count");
         assemble_affine_into(&self.c0, &self.ci, p, out);
     }
@@ -181,6 +183,7 @@ impl ParametricRom {
             *k = Complex64::new(gv, 0.0) + s * Complex64::new(cv, 0.0);
         }
         let lu = LuFactors::factor(&ws.rom_k)?;
+        // pmor-lint: allow(callgraph-ambiguous-kernel) reason="to_complex exists on both dense and sparse matrices; both are widening copies and the analysis follows both"
         let x = lu.solve_mat(&self.b.to_complex())?;
         Ok(self.l.to_complex().tr_mul_mat(&x))
     }

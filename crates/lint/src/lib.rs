@@ -32,12 +32,15 @@
 //! additionally gates the workspace through
 //! `tests/workspace_clean.rs`.
 
+pub mod graph;
 pub mod report;
 pub mod rules;
 pub mod scan;
 
+pub use graph::{CallGraph, TransitiveFinding};
 pub use report::{
-    validate_lint_json, write_lint_json_in, BadAllowEntry, Finding, LedgerEntry, LintReport,
+    validate_callgraph_json, validate_lint_json, write_callgraph_json_in, write_lint_json_in,
+    BadAllowEntry, Finding, LedgerEntry, LintReport,
 };
 pub use rules::{LintKind, LintRule};
 pub use scan::SourceFile;
@@ -62,14 +65,60 @@ impl fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
+/// A full analysis over a scanned file set: the lint report (findings
+/// after suppression, the allow ledger, malformed directives) plus the
+/// call graph and the raw transitive findings — the latter two feed the
+/// `CALLGRAPH_*.json` report, which keeps witness paths even for sites
+/// whose findings an allow suppressed.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceAnalysis {
+    /// The lint outcome `pmor lint --check` gates on.
+    pub report: LintReport,
+    /// The workspace call graph.
+    pub graph: CallGraph,
+    /// Transitive findings with witness paths, pre-suppression.
+    pub transitive: Vec<TransitiveFinding>,
+}
+
+/// Runs the whole pipeline — per-file rules, call graph, transitive
+/// rules, suppression — over an already-scanned file set.
+pub fn analyze_sources(files: &[SourceFile]) -> WorkspaceAnalysis {
+    let graph = CallGraph::build(files);
+    let transitive = graph::check_graph(&graph);
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for file in files {
+        let mut raw = rules::check_file(file);
+        raw.extend(
+            transitive
+                .iter()
+                .filter(|t| t.finding.file == file.path)
+                .map(|t| t.finding.clone()),
+        );
+        raw.sort_by_key(|f| f.line);
+        let (findings, ledger, bad) = apply_allows(file, raw);
+        report.findings.extend(findings);
+        report.allows.extend(ledger);
+        report.bad_allows.extend(bad);
+    }
+    WorkspaceAnalysis {
+        report,
+        graph,
+        transitive,
+    }
+}
+
 /// Lints one file's contents under a workspace-relative `path` label.
 /// Returns the surviving findings plus the ledger entries and
-/// malformed directives the file contributes. This is the unit the
-/// fixture tests drive.
+/// malformed directives the file contributes. The transitive rules run
+/// over the one-file call graph, so single-file fixtures exercise them
+/// too. This is the unit the fixture tests drive.
 pub fn lint_text(path: &str, text: &str) -> (Vec<Finding>, Vec<LedgerEntry>, Vec<BadAllowEntry>) {
-    let file = SourceFile::parse(path, text);
-    let raw = rules::check_file(&file);
-    apply_allows(&file, raw)
+    let analysis = analyze_sources(&[SourceFile::parse(path, text)]);
+    let report = analysis.report;
+    (report.findings, report.allows, report.bad_allows)
 }
 
 /// Applies a file's suppression directives to its raw findings: a
@@ -172,29 +221,34 @@ pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, LintError> {
     Ok(out)
 }
 
-/// Lints every workspace source under `root` (see
-/// [`workspace_sources`]) and aggregates the report.
+/// Scans and analyzes every workspace source under `root` (see
+/// [`workspace_sources`]): per-file rules, the cross-file call graph,
+/// and the transitive rules.
+///
+/// # Errors
+///
+/// Fails on walk or read errors; findings are *not* errors — inspect
+/// [`LintReport::clean`].
+pub fn analyze_workspace(root: &Path) -> Result<WorkspaceAnalysis, LintError> {
+    let paths = workspace_sources(root)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| LintError::Io(format!("reading {}: {e}", path.display())))?;
+        files.push(SourceFile::parse(&relative_label(root, path), &text));
+    }
+    Ok(analyze_sources(&files))
+}
+
+/// Lints every workspace source under `root` and aggregates the
+/// report — [`analyze_workspace`] without the graph artifacts.
 ///
 /// # Errors
 ///
 /// Fails on walk or read errors; findings are *not* errors — inspect
 /// [`LintReport::clean`].
 pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
-    let files = workspace_sources(root)?;
-    let mut report = LintReport {
-        files_scanned: files.len(),
-        ..LintReport::default()
-    };
-    for path in &files {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| LintError::Io(format!("reading {}: {e}", path.display())))?;
-        let rel = relative_label(root, path);
-        let (findings, ledger, bad) = lint_text(&rel, &text);
-        report.findings.extend(findings);
-        report.allows.extend(ledger);
-        report.bad_allows.extend(bad);
-    }
-    Ok(report)
+    Ok(analyze_workspace(root)?.report)
 }
 
 /// `path` relative to `root` with `/` separators, for stable report

@@ -1,4 +1,5 @@
-//! Machine-readable lint reports: `LINT_<tag>.json`.
+//! Machine-readable lint reports: `LINT_<tag>.json` and
+//! `CALLGRAPH_<tag>.json`.
 //!
 //! The format mirrors the `BENCH_*.json` discipline from `pmor-bench`:
 //! a flat, line-per-record layout written by hand and validated by a
@@ -9,6 +10,7 @@
 //! workspace, with its reason and whether it still suppresses anything
 //! (an unused allow is itself an error — the ledger never rots).
 
+use crate::graph::{CallGraph, TransitiveFinding};
 use crate::rules::LintKind;
 use std::io::Write;
 use std::path::PathBuf;
@@ -233,6 +235,256 @@ pub fn validate_lint_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Serializes a call graph plus its witness paths to
+/// `CALLGRAPH_<tag>.json` in `dir` and returns the path written. The
+/// witness list is the *raw* transitive-rule output (pre-suppression):
+/// the report documents every kernel→sink route the analysis proved,
+/// including routes the allow ledger has already re-justified —
+/// that is what makes it a reachability proof artifact rather than a
+/// findings dump.
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_callgraph_json_in(
+    dir: &std::path::Path,
+    tag: &str,
+    graph: &CallGraph,
+    witnesses: &[TransitiveFinding],
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("CALLGRAPH_{tag}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"tag\": {},\n", json_string(tag)));
+    out.push_str("  \"nodes\": [\n");
+    for (id, n) in graph.nodes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {id}, \"fn\": {}, \"file\": {}, \"line\": {}, \"kernel\": {}}}{}\n",
+            json_string(&n.name),
+            json_string(&n.file),
+            n.line,
+            n.is_kernel,
+            if id + 1 < graph.nodes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"edges\": [\n");
+    for (i, e) in graph.edges.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"caller\": {}, \"callee\": {}, \"line\": {}, \"candidates\": {}}}{}\n",
+            e.caller,
+            e.callee,
+            e.line,
+            e.candidates,
+            if i + 1 < graph.edges.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"kernel_roots\": [{}],\n",
+        graph
+            .kernel_roots()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"panic_sinks\": [\n");
+    for (i, s) in graph.panic_sinks.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"node\": {}, \"line\": {}, \"what\": {}, \"ledgered\": {}}}{}\n",
+            s.node,
+            s.line,
+            json_string(s.what),
+            s.ledgered,
+            if i + 1 < graph.panic_sinks.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"witness_paths\": [\n");
+    for (i, w) in witnesses.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"path\": {}}}{}\n",
+            json_string(w.finding.rule.name()),
+            json_string(&w.finding.file),
+            w.finding.line,
+            json_string(&graph.path_names(&w.path)),
+            if i + 1 < witnesses.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"nodes\": {}, \"edges\": {}, \"kernel_roots\": {}, \
+         \"panic_sinks\": {}, \"witness_paths\": {}, \"ambiguous_edges\": {}}}\n",
+        graph.nodes.len(),
+        graph.edges.len(),
+        graph.kernel_roots().len(),
+        graph.panic_sinks.len(),
+        witnesses.len(),
+        graph.edges.iter().filter(|e| e.candidates > 1).count()
+    ));
+    out.push_str("}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
+/// Checks that `text` is a `CALLGRAPH_*.json` file produced by
+/// [`write_callgraph_json_in`]: a file-level `tag`; a `nodes` array
+/// whose records carry id/fn/file/line/kernel with ids counting up
+/// from 0; an `edges` array whose caller/callee ids are in node range;
+/// `kernel_roots` ids in range; `panic_sinks` records with
+/// node/line/what/ledgered; `witness_paths` records whose rule ids are
+/// **registered**; and a `summary` with the six counts. Structural, in
+/// the house line-per-record discipline — not a general JSON parser.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing or malformed field.
+pub fn validate_callgraph_json(text: &str) -> Result<(), String> {
+    if !text.contains("\"tag\": \"") {
+        return Err("missing file-level \"tag\" field".into());
+    }
+    let section = |name: &str| -> Result<usize, String> {
+        text.find(&format!("\"{name}\": ["))
+            .ok_or(format!("missing \"{name}\" array"))
+    };
+    let nodes_at = section("nodes")?;
+    let edges_at = section("edges")?;
+    let roots_at = section("kernel_roots")?;
+    let sinks_at = section("panic_sinks")?;
+    let paths_at = section("witness_paths")?;
+    let Some(summary_at) = text.find("\"summary\": {") else {
+        return Err("missing \"summary\" object".into());
+    };
+    let mut nodes = 0usize;
+    for line in text[nodes_at..edges_at].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        for field in [
+            "\"id\": ",
+            "\"fn\": \"",
+            "\"file\": \"",
+            "\"line\": ",
+            "\"kernel\": ",
+        ] {
+            if !line.contains(field) {
+                return Err(format!("node {nodes}: missing {field}"));
+            }
+        }
+        if field_num(line, "id") != Some(nodes) {
+            return Err(format!("node {nodes}: ids must count up from 0"));
+        }
+        nodes += 1;
+    }
+    let mut edges = 0usize;
+    for line in text[edges_at..roots_at].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        edges += 1;
+        for field in [
+            "\"caller\": ",
+            "\"callee\": ",
+            "\"line\": ",
+            "\"candidates\": ",
+        ] {
+            if !line.contains(field) {
+                return Err(format!("edge {edges}: missing {field}"));
+            }
+        }
+        for end in ["caller", "callee"] {
+            match field_num(line, end) {
+                Some(id) if id < nodes => {}
+                _ => return Err(format!("edge {edges}: {end} id out of node range")),
+            }
+        }
+    }
+    let roots_line = text[roots_at..sinks_at].lines().next().unwrap_or_default();
+    let root_list = roots_line
+        .split('[')
+        .nth(1)
+        .and_then(|r| r.split(']').next())
+        .ok_or("kernel_roots: not a one-line id array")?;
+    for id in root_list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        match id.parse::<usize>() {
+            Ok(id) if id < nodes => {}
+            _ => return Err(format!("kernel_roots: id {id:?} out of node range")),
+        }
+    }
+    let mut sinks = 0usize;
+    for line in text[sinks_at..paths_at].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        sinks += 1;
+        for field in ["\"node\": ", "\"line\": ", "\"what\": \"", "\"ledgered\": "] {
+            if !line.contains(field) {
+                return Err(format!("panic sink {sinks}: missing {field}"));
+            }
+        }
+        match field_num(line, "node") {
+            Some(id) if id < nodes => {}
+            _ => return Err(format!("panic sink {sinks}: node id out of range")),
+        }
+    }
+    let mut paths = 0usize;
+    for line in text[paths_at..summary_at].lines() {
+        let line = line.trim();
+        if !line.starts_with('{') {
+            continue;
+        }
+        paths += 1;
+        for field in ["\"rule\": \"", "\"file\": \"", "\"line\": ", "\"path\": \""] {
+            if !line.contains(field) {
+                return Err(format!("witness path {paths}: missing {field}"));
+            }
+        }
+        let rule = field_str(line, "rule").unwrap_or_default();
+        if LintKind::from_name(&rule).is_none() {
+            return Err(format!(
+                "witness path {paths}: unregistered rule id {rule:?}"
+            ));
+        }
+    }
+    for count in [
+        "nodes",
+        "edges",
+        "kernel_roots",
+        "panic_sinks",
+        "witness_paths",
+        "ambiguous_edges",
+    ] {
+        if !text[summary_at..].contains(&format!("\"{count}\": ")) {
+            return Err(format!("summary: missing \"{count}\" count"));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the value of a `"name": 123` numeric field on a record
+/// line.
+fn field_num(line: &str, name: &str) -> Option<usize> {
+    let pat = format!("\"{name}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
 /// Extracts the value of a `"name": "value"` field on a record line.
 fn field_str(line: &str, name: &str) -> Option<String> {
     let pat = format!("\"{name}\": \"");
@@ -301,6 +553,66 @@ mod tests {
         // desired steady state, unlike bench's "no records" rejection).
         let path = write_lint_json_in(&dir, "empty", &LintReport::default()).unwrap();
         validate_lint_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    }
+
+    fn sample_graph() -> (CallGraph, Vec<TransitiveFinding>) {
+        let src = "\
+pub fn eval_into(out: &mut [f64]) {\n    helper(out);\n}\n\
+fn helper(out: &mut [f64]) {\n    let v = out.to_vec();\n}\n";
+        let file = crate::scan::SourceFile::parse("crates/core/src/x.rs", src);
+        let graph = CallGraph::build(&[file]);
+        let witnesses = crate::graph::check_graph(&graph);
+        (graph, witnesses)
+    }
+
+    #[test]
+    fn written_callgraph_reports_validate() {
+        let dir = std::env::temp_dir().join("pmor_callgraph_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (graph, witnesses) = sample_graph();
+        assert!(!witnesses.is_empty(), "sample should yield a witness");
+        let path = write_callgraph_json_in(&dir, "unit", &graph, &witnesses).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"tag\": \"unit\""));
+        assert!(text.contains("\"fn\": \"eval_into\""));
+        assert!(text.contains("\"rule\": \"kernel-transitive-alloc\""));
+        assert!(text.contains("\"path\": \"eval_into -> helper\""));
+        validate_callgraph_json(&text).unwrap();
+
+        // An empty graph is a valid (if sad) report.
+        let path = write_callgraph_json_in(&dir, "empty", &CallGraph::default(), &[]).unwrap();
+        validate_callgraph_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn callgraph_validator_rejects_structural_damage() {
+        let dir = std::env::temp_dir().join("pmor_callgraph_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (graph, witnesses) = sample_graph();
+        let path = write_callgraph_json_in(&dir, "v", &graph, &witnesses).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        assert!(validate_callgraph_json("{}").is_err());
+        let no_nodes = good.replace("\"nodes\": [", "\"sedon\": [");
+        assert!(validate_callgraph_json(&no_nodes)
+            .unwrap_err()
+            .contains("nodes"));
+        let bad_edge = good.replace("\"caller\": 0", "\"caller\": 99");
+        assert!(validate_callgraph_json(&bad_edge)
+            .unwrap_err()
+            .contains("out of node range"));
+        let bad_rule = good.replace("kernel-transitive-alloc", "made-up-rule");
+        assert!(validate_callgraph_json(&bad_rule)
+            .unwrap_err()
+            .contains("unregistered rule"));
+        let bad_root = good.replace("\"kernel_roots\": [0]", "\"kernel_roots\": [7]");
+        assert!(validate_callgraph_json(&bad_root)
+            .unwrap_err()
+            .contains("kernel_roots"));
+        let no_summary = good.replace("ambiguous_edges", "x");
+        assert!(validate_callgraph_json(&no_summary)
+            .unwrap_err()
+            .contains("ambiguous_edges"));
     }
 
     #[test]

@@ -36,11 +36,20 @@ pub enum LintKind {
     /// A workspace crate root missing `#![forbid(unsafe_code)]`
     /// (`"forbid-unsafe"`).
     ForbidUnsafe,
+    /// Allocation in a non-kernel function reachable from an eval
+    /// kernel through the call graph (`"kernel-transitive-alloc"`).
+    KernelTransitiveAlloc,
+    /// A ledgered panic site reachable from a kernel or hot-path module
+    /// through the call graph (`"panic-reachable-hot"`).
+    PanicReachableHot,
+    /// A kernel call site whose callee name resolves to several
+    /// workspace definitions (`"callgraph-ambiguous-kernel"`).
+    CallgraphAmbiguousKernel,
 }
 
 impl LintKind {
     /// Every registered rule, in presentation order.
-    pub const ALL: [LintKind; 7] = [
+    pub const ALL: [LintKind; 10] = [
         LintKind::DetHashIter,
         LintKind::DetUnscopedThread,
         LintKind::DetWallclock,
@@ -48,6 +57,9 @@ impl LintKind {
         LintKind::AllocInKernel,
         LintKind::FloatAccum,
         LintKind::ForbidUnsafe,
+        LintKind::KernelTransitiveAlloc,
+        LintKind::PanicReachableHot,
+        LintKind::CallgraphAmbiguousKernel,
     ];
 
     /// The registry name — the id used in findings, allows, and
@@ -61,38 +73,16 @@ impl LintKind {
             LintKind::AllocInKernel => "alloc-in-kernel",
             LintKind::FloatAccum => "float-accum",
             LintKind::ForbidUnsafe => "forbid-unsafe",
+            LintKind::KernelTransitiveAlloc => "kernel-transitive-alloc",
+            LintKind::PanicReachableHot => "panic-reachable-hot",
+            LintKind::CallgraphAmbiguousKernel => "callgraph-ambiguous-kernel",
         }
     }
 
-    /// One-line description for `pmor list --lints`.
+    /// One-line description for `pmor list --lints`, delegated to the
+    /// rule implementation so the registry is self-documenting.
     pub fn describe(self) -> &'static str {
-        match self {
-            LintKind::DetHashIter => {
-                "iteration over HashMap/HashSet in result-producing crates \
-                 (ordering leaks into numeric output)"
-            }
-            LintKind::DetUnscopedThread => {
-                "std::thread::spawn anywhere, or thread::scope outside the \
-                 approved scoped-pool modules"
-            }
-            LintKind::DetWallclock => {
-                "Instant/SystemTime outside timing/provenance code \
-                 (wall-clock must never steer numerics)"
-            }
-            LintKind::PanicInLib => {
-                "unwrap/expect/panic! in library code outside #[cfg(test)] \
-                 (loud typed Results are the house style)"
-            }
-            LintKind::AllocInKernel => {
-                "allocation (Vec::new, vec!, .clone, .collect, …) inside \
-                 *_into / &mut EvalWorkspace eval kernels"
-            }
-            LintKind::FloatAccum => {
-                "float .sum()/.fold() over an unordered hash-sourced \
-                 iterator (reassociation changes bits)"
-            }
-            LintKind::ForbidUnsafe => "workspace crate roots must carry #![forbid(unsafe_code)]",
-        }
+        self.build().describe()
     }
 
     /// Looks a rule up by its registry name (case-insensitive).
@@ -112,6 +102,9 @@ impl LintKind {
             LintKind::AllocInKernel => Box::new(AllocInKernel),
             LintKind::FloatAccum => Box::new(FloatAccum),
             LintKind::ForbidUnsafe => Box::new(ForbidUnsafe),
+            LintKind::KernelTransitiveAlloc => Box::new(KernelTransitiveAlloc),
+            LintKind::PanicReachableHot => Box::new(PanicReachableHot),
+            LintKind::CallgraphAmbiguousKernel => Box::new(CallgraphAmbiguousKernel),
         }
     }
 }
@@ -121,12 +114,18 @@ pub trait LintRule {
     /// The registry entry this rule implements.
     fn kind(&self) -> LintKind;
 
+    /// One-line description — what `pmor list --lints` prints.
+    fn describe(&self) -> &'static str;
+
     /// Whether `path` (workspace-relative, `/`-separated) is in this
     /// rule's scope at all. Out-of-scope files produce no findings and
     /// make allows for this rule unused.
     fn in_scope(&self, path: &str) -> bool;
 
     /// Raw findings for `file` — suppression is applied by the caller.
+    /// The transitive rules return nothing here: their findings come
+    /// from the whole-workspace pass in [`crate::graph::check_graph`]
+    /// and are merged by the caller before suppression.
     fn check(&self, file: &SourceFile) -> Vec<Finding>;
 }
 
@@ -200,6 +199,11 @@ const HASH_ITER_METHODS: [&str; 9] = [
 impl LintRule for DetHashIter {
     fn kind(&self) -> LintKind {
         LintKind::DetHashIter
+    }
+
+    fn describe(&self) -> &'static str {
+        "iteration over HashMap/HashSet in result-producing crates \
+         (ordering leaks into numeric output)"
     }
 
     fn in_scope(&self, path: &str) -> bool {
@@ -318,6 +322,11 @@ impl LintRule for DetUnscopedThread {
         LintKind::DetUnscopedThread
     }
 
+    fn describe(&self) -> &'static str {
+        "std::thread::spawn anywhere, or thread::scope outside the \
+         approved scoped-pool modules"
+    }
+
     fn in_scope(&self, _path: &str) -> bool {
         true
     }
@@ -369,6 +378,11 @@ impl LintRule for DetWallclock {
         LintKind::DetWallclock
     }
 
+    fn describe(&self) -> &'static str {
+        "Instant/SystemTime outside timing/provenance code \
+         (wall-clock must never steer numerics)"
+    }
+
     fn in_scope(&self, path: &str) -> bool {
         !path.starts_with("crates/bench/")
     }
@@ -406,9 +420,22 @@ impl LintRule for DetWallclock {
 /// output is a terminal, not a caller.
 struct PanicInLib;
 
+/// Panic spellings the rule (and the transitive `panic-reachable-hot`
+/// pass in [`crate::graph`]) recognizes.
+pub(crate) const PANIC_PATTERNS: [(&str, &str); 3] = [
+    (".unwrap()", "unwrap()"),
+    (".expect(", "expect()"),
+    ("panic!", "panic!"),
+];
+
 impl LintRule for PanicInLib {
     fn kind(&self) -> LintKind {
         LintKind::PanicInLib
+    }
+
+    fn describe(&self) -> &'static str {
+        "unwrap/expect/panic! in library code outside #[cfg(test)] \
+         (loud typed Results are the house style)"
     }
 
     fn in_scope(&self, path: &str) -> bool {
@@ -422,11 +449,7 @@ impl LintRule for PanicInLib {
                 continue;
             }
             let code = info.code.as_str();
-            for (pat, what) in [
-                (".unwrap()", "unwrap()"),
-                (".expect(", "expect()"),
-                ("panic!", "panic!"),
-            ] {
+            for (pat, what) in PANIC_PATTERNS {
                 let mut from = 0usize;
                 while let Some(rel) = code[from..].find(pat) {
                     let pos = from + rel;
@@ -467,8 +490,9 @@ impl LintRule for PanicInLib {
 /// instance × frequency point.
 struct AllocInKernel;
 
-/// Allocation spellings the rule recognizes.
-const ALLOC_PATTERNS: [(&str, &str); 7] = [
+/// Allocation spellings the rule (and the transitive
+/// `kernel-transitive-alloc` pass in [`crate::graph`]) recognizes.
+pub(crate) const ALLOC_PATTERNS: [(&str, &str); 7] = [
     ("Vec::new(", "Vec::new"),
     ("Vec::with_capacity(", "Vec::with_capacity"),
     ("vec![", "vec!"),
@@ -481,6 +505,11 @@ const ALLOC_PATTERNS: [(&str, &str); 7] = [
 impl LintRule for AllocInKernel {
     fn kind(&self) -> LintKind {
         LintKind::AllocInKernel
+    }
+
+    fn describe(&self) -> &'static str {
+        "allocation (Vec::new, vec!, .clone, .collect, …) inside \
+         *_into / &mut EvalWorkspace eval kernels"
     }
 
     fn in_scope(&self, _path: &str) -> bool {
@@ -525,6 +554,11 @@ struct FloatAccum;
 impl LintRule for FloatAccum {
     fn kind(&self) -> LintKind {
         LintKind::FloatAccum
+    }
+
+    fn describe(&self) -> &'static str {
+        "float .sum()/.fold() over an unordered hash-sourced \
+         iterator (reassociation changes bits)"
     }
 
     fn in_scope(&self, path: &str) -> bool {
@@ -592,6 +626,10 @@ impl LintRule for ForbidUnsafe {
         LintKind::ForbidUnsafe
     }
 
+    fn describe(&self) -> &'static str {
+        "workspace crate roots must carry #![forbid(unsafe_code)]"
+    }
+
     fn in_scope(&self, path: &str) -> bool {
         path.starts_with("crates/") && path.ends_with("/src/lib.rs")
     }
@@ -613,6 +651,85 @@ impl LintRule for ForbidUnsafe {
                     .to_string(),
             )]
         }
+    }
+}
+
+/// `kernel-transitive-alloc`: `alloc-in-kernel` sees only the kernel
+/// body; this rule walks the call graph so an allocation hidden one
+/// call below the kernel is flagged too, with the full witness path.
+/// Findings come from [`crate::graph::check_graph`]; the per-file
+/// `check` is empty by design.
+struct KernelTransitiveAlloc;
+
+impl LintRule for KernelTransitiveAlloc {
+    fn kind(&self) -> LintKind {
+        LintKind::KernelTransitiveAlloc
+    }
+
+    fn describe(&self) -> &'static str {
+        "allocation in a function reachable from an eval kernel \
+         through the call graph (witness path in the finding)"
+    }
+
+    fn in_scope(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, _file: &SourceFile) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+/// `panic-reachable-hot`: a `panic-in-lib` allow proves one site
+/// infallible in isolation; this rule re-examines every ledgered site
+/// against the call graph and demands a second, path-aware
+/// justification when a kernel / `EvalEngine` / `FactorCache` route
+/// reaches it. Findings come from [`crate::graph::check_graph`].
+struct PanicReachableHot;
+
+impl LintRule for PanicReachableHot {
+    fn kind(&self) -> LintKind {
+        LintKind::PanicReachableHot
+    }
+
+    fn describe(&self) -> &'static str {
+        "ledgered panic site reachable from a kernel or hot-path \
+         module; the allow must re-justify the route (via …)"
+    }
+
+    fn in_scope(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, _file: &SourceFile) -> Vec<Finding> {
+        Vec::new()
+    }
+}
+
+/// `callgraph-ambiguous-kernel`: the graph resolves calls by simple
+/// name, so a kernel calling `solve` when three crates define `solve`
+/// is analyzed against all three. That keeps reachability sound but
+/// imprecise — this rule surfaces the imprecision at the call site
+/// instead of letting it hide. Findings come from
+/// [`crate::graph::check_graph`].
+struct CallgraphAmbiguousKernel;
+
+impl LintRule for CallgraphAmbiguousKernel {
+    fn kind(&self) -> LintKind {
+        LintKind::CallgraphAmbiguousKernel
+    }
+
+    fn describe(&self) -> &'static str {
+        "kernel call site whose callee name resolves to several \
+         workspace definitions (analysis follows all of them)"
+    }
+
+    fn in_scope(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, _file: &SourceFile) -> Vec<Finding> {
+        Vec::new()
     }
 }
 

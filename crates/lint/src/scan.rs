@@ -50,6 +50,31 @@ struct FnSpan {
     /// Brace depth of the body's opening `{` (the body is every line
     /// while the running depth stays above this).
     depth: usize,
+    /// Index into [`SourceFile::functions`].
+    region: usize,
+}
+
+/// One function definition the scanner delimited: the unit of the
+/// cross-file call graph ([`crate::graph`]). Regions nest (a named fn
+/// inside a fn); call sites are attributed to the innermost region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnRegion {
+    /// The function name.
+    pub name: String,
+    /// Signature text (`fn` keyword through the body `{`), whitespace
+    /// collapsed across continuation lines.
+    pub signature: String,
+    /// 1-based line of the `fn` keyword.
+    pub start: usize,
+    /// 1-based last line of the body (inclusive; the file's last line
+    /// when the body never closes).
+    pub end: usize,
+    /// Whether the function is an eval kernel by the workspace's
+    /// conventions (`*_into` name or a `&mut EvalWorkspace` parameter).
+    pub is_kernel: bool,
+    /// Whether the definition sits inside `#[cfg(test)]` / `#[test]`
+    /// scope (excluded from the call graph's symbol table).
+    pub in_test: bool,
 }
 
 /// Per-line facts the rules consume.
@@ -63,6 +88,10 @@ pub struct LineInfo {
     /// Name of the enclosing eval-kernel function, when the line sits
     /// inside one (`*_into` name or a `&mut EvalWorkspace` parameter).
     pub kernel: Option<String>,
+    /// Index (into [`SourceFile::functions`]) of the innermost function
+    /// the line belongs to — the call graph attributes this line's call
+    /// sites to it.
+    pub fn_index: Option<usize>,
 }
 
 /// A scanned source file: blanked lines, scope facts, identifier
@@ -77,6 +106,9 @@ pub struct SourceFile {
     /// Identifiers bound, typed, or declared as `HashMap`/`HashSet` in
     /// this file (let bindings, struct fields, fn parameters).
     pub hash_idents: Vec<String>,
+    /// Every function definition the scanner delimited, in source
+    /// order — the nodes this file contributes to the call graph.
+    pub functions: Vec<FnRegion>,
     /// Well-formed suppression directives.
     pub allows: Vec<AllowSite>,
     /// Malformed suppression directives.
@@ -91,6 +123,7 @@ impl SourceFile {
             path: path.to_string(),
             lines: Vec::with_capacity(stripped.len()),
             hash_idents: Vec::new(),
+            functions: Vec::new(),
             allows: Vec::new(),
             bad_allows: Vec::new(),
         };
@@ -174,11 +207,13 @@ impl SourceFile {
         let mut test_at: Option<usize> = None;
         // `#[cfg(test)]` seen, block not yet opened.
         let mut pending_test = false;
-        // `fn` seen, signature accumulating until its body `{` opens.
-        let mut pending_fn: Option<(String, String)> = None;
+        // `fn` seen, signature accumulating until its body `{` opens:
+        // (name, signature so far, 1-based line of the `fn` keyword).
+        let mut pending_fn: Option<(String, String, usize)> = None;
         let mut fn_stack: Vec<FnSpan> = Vec::new();
 
-        for sl in stripped {
+        for (line_idx, sl) in stripped.iter().enumerate() {
+            let line_no = line_idx + 1;
             let code = &sl.code;
             let trimmed = code.trim();
             if test_at.is_none()
@@ -190,9 +225,9 @@ impl SourceFile {
             }
             if pending_fn.is_none() {
                 if let Some((name, sig)) = fn_signature_start(code) {
-                    pending_fn = Some((name, sig));
+                    pending_fn = Some((name, sig, line_no));
                 }
-            } else if let Some((_, sig)) = pending_fn.as_mut() {
+            } else if let Some((_, sig, _)) = pending_fn.as_mut() {
                 sig.push(' ');
                 sig.push_str(trimmed);
             }
@@ -210,13 +245,21 @@ impl SourceFile {
                     .rev()
                     .find_map(|f| is_kernel(&f.name, &f.signature).then(|| f.name.clone()));
                 if kernel.is_none() && opens > 0 {
-                    if let Some((name, sig)) = &pending_fn {
+                    if let Some((name, sig, _)) = &pending_fn {
                         if is_kernel(name, sig) {
                             kernel = Some(name.clone());
                         }
                     }
                 }
                 kernel
+            };
+            // Innermost enclosing function: the stack top at line start,
+            // or the function whose body `{` opens on this line (so the
+            // `fn … {` header belongs to the function it declares).
+            let line_fn = match fn_stack.last() {
+                Some(span) => Some(span.region),
+                None if opens > 0 && pending_fn.is_some() => Some(self.functions.len()),
+                None => None,
             };
 
             // Update the scope state with this line's braces, char by
@@ -229,11 +272,21 @@ impl SourceFile {
                             test_at = Some(depth);
                             pending_test = false;
                         }
-                        if let Some((name, sig)) = pending_fn.take() {
+                        if let Some((name, sig, start)) = pending_fn.take() {
+                            let region = self.functions.len();
+                            self.functions.push(FnRegion {
+                                is_kernel: is_kernel(&name, &sig),
+                                in_test: test_at.is_some(),
+                                name: name.clone(),
+                                signature: sig.clone(),
+                                start,
+                                end: line_no,
+                            });
                             fn_stack.push(FnSpan {
                                 name,
                                 signature: sig,
                                 depth,
+                                region,
                             });
                         }
                         depth += 1;
@@ -243,8 +296,12 @@ impl SourceFile {
                         if test_at == Some(depth) {
                             test_at = None;
                         }
-                        while fn_stack.last().is_some_and(|f| f.depth >= depth) {
-                            fn_stack.pop();
+                        while let Some(span) = fn_stack.pop() {
+                            if span.depth < depth {
+                                fn_stack.push(span);
+                                break;
+                            }
+                            self.functions[span.region].end = line_no;
                         }
                     }
                     _ => {}
@@ -263,7 +320,12 @@ impl SourceFile {
                 code: code.clone(),
                 in_test: line_in_test,
                 kernel: line_kernel,
+                fn_index: line_fn,
             });
+        }
+        // A body the file never closes still spans to its last line.
+        while let Some(span) = fn_stack.pop() {
+            self.functions[span.region].end = stripped.len();
         }
     }
 
@@ -333,20 +395,20 @@ fn fn_signature_start(code: &str) -> Option<(String, String)> {
 
 /// One line after literal/comment stripping.
 #[derive(Debug, Clone, Default)]
-struct StrippedLine {
+pub struct StrippedLine {
     /// Code with string/char contents and comments blanked.
-    code: String,
+    pub code: String,
     /// Contents of a `//` line comment, when one was stripped and it is
     /// not a doc comment (`///` and `//!` are documentation — a
     /// directive there would be an example, not a suppression).
-    comment: Option<String>,
+    pub comment: Option<String>,
 }
 
 /// Strips comments and string/char literals, preserving line structure.
 /// Handles nested block comments, escapes, raw strings (`r"…"`,
 /// `r#"…"#`, any `#` count, plus byte/raw-byte forms) and
 /// distinguishes char literals from lifetimes.
-fn strip(text: &str) -> Vec<StrippedLine> {
+pub fn strip(text: &str) -> Vec<StrippedLine> {
     #[derive(PartialEq)]
     enum Mode {
         Code,
@@ -433,13 +495,27 @@ fn strip(text: &str) -> Vec<StrippedLine> {
                         i += 2;
                     } else if c == '\'' {
                         // Char literal vs lifetime: a literal closes with
-                        // `'` after one (possibly escaped) character.
+                        // `'` after one (possibly escaped) character. A
+                        // blanked literal keeps *both* quotes (`''`) so
+                        // stripping its own output changes nothing — the
+                        // property tests pin that projection.
                         if chars.get(i + 1) == Some(&'\\') {
-                            let close = chars[i + 2..].iter().position(|&x| x == '\'');
-                            i += close.map_or(1, |p| p + 3);
-                            line.code.push('\'');
+                            match chars[i + 2..].iter().position(|&x| x == '\'') {
+                                Some(p) => {
+                                    line.code.push_str("''");
+                                    i += p + 3;
+                                }
+                                None => {
+                                    line.code.push('\'');
+                                    i += 1;
+                                }
+                            }
+                        } else if chars.get(i + 1) == Some(&'\'') {
+                            // Already-blanked (or degenerate) empty literal.
+                            line.code.push_str("''");
+                            i += 2;
                         } else if chars.get(i + 2) == Some(&'\'') {
-                            line.code.push('\'');
+                            line.code.push_str("''");
                             i += 3;
                         } else {
                             line.code.push('\'');
@@ -603,6 +679,35 @@ mod tests {
         assert_eq!(f.lines[1].kernel.as_deref(), Some("mul_vec_into"));
         assert_eq!(f.lines[5].kernel.as_deref(), Some("plain"));
         assert_eq!(f.lines[7].kernel, None);
+    }
+
+    #[test]
+    fn fn_regions_are_delimited() {
+        let src = "pub fn mul_vec_into(&self, out: &mut [f64]) {\n\
+                       helper(out);\n\
+                   }\n\
+                   fn helper(out: &mut [f64]) {\n\
+                       out[0] = 1.0;\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { helper(&mut []); }\n\
+                   }";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.functions.len(), 3);
+        assert_eq!(f.functions[0].name, "mul_vec_into");
+        assert_eq!((f.functions[0].start, f.functions[0].end), (1, 3));
+        assert!(f.functions[0].is_kernel);
+        assert!(!f.functions[0].in_test);
+        assert_eq!(f.functions[1].name, "helper");
+        assert_eq!((f.functions[1].start, f.functions[1].end), (4, 6));
+        assert!(!f.functions[1].is_kernel);
+        assert!(f.functions[2].in_test);
+        // Call-site attribution: line 2 belongs to the kernel's region.
+        assert_eq!(f.lines[0].fn_index, Some(0));
+        assert_eq!(f.lines[1].fn_index, Some(0));
+        assert_eq!(f.lines[4].fn_index, Some(1));
+        assert_eq!(f.lines[7].fn_index, None);
     }
 
     #[test]
