@@ -23,7 +23,8 @@
 //! ```
 //!
 //! Entry sections are `[micro]`/`[micro-<tag>]`, `[scenario-<tag>]`,
-//! `[compare-<tag>]` and `[refactor-<tag>]`; the section-name suffix
+//! `[compare-<tag>]`, `[refactor-<tag>]` and `[serve-<tag>]`; the
+//! section-name suffix
 //! becomes the entry's **tag**, and each entry emits one
 //! `BENCH_<suite>_<tag>.json` record file. Entries run in section-name
 //! order (the parser stores sections sorted), so a suite's output set
@@ -117,6 +118,31 @@ pub enum SuiteEntryKind {
         /// (`multipoint`, `fit`) factor many same-pattern matrices and
         /// are the ones symbolic reuse accelerates.
         method: String,
+    },
+    /// A load test of the `pmor serve` daemon: reduce the scenario's
+    /// system once, host the ROM in a daemon (in-process by default, or
+    /// an externally started one via `addr` / `--serve-addr`), hammer
+    /// it from concurrent client threads, assert every served response
+    /// bitwise identical to an in-process engine, and gate on sustained
+    /// throughput. Executed by the CLI layer.
+    Serve {
+        /// Scenario path providing the system, resolved like `Scenario`.
+        file: PathBuf,
+        /// Reduction method (registry name) producing the hosted ROM.
+        method: String,
+        /// Concurrent client threads (each with its own connection).
+        clients: usize,
+        /// Eval requests per client per timed run.
+        batches: usize,
+        /// Points per eval request.
+        batch_points: usize,
+        /// Throughput gate: the run fails unless the measured sustained
+        /// rate reaches this many point evaluations per second.
+        min_evals_per_sec: Option<f64>,
+        /// Address of an externally started daemon to test instead of
+        /// the in-process one (`host:port` or `unix:<path>`); the CLI's
+        /// `--serve-addr` flag overrides this.
+        addr: Option<String>,
     },
 }
 
@@ -283,10 +309,73 @@ impl BenchSuite {
                         kind: SuiteEntryKind::Refactor { file, method },
                     });
                 }
+                s if s.starts_with("serve-") => {
+                    let tag = s["serve-".len()..].to_string();
+                    let file = parse_file(
+                        &doc,
+                        s,
+                        base,
+                        &[
+                            "file",
+                            "method",
+                            "clients",
+                            "batches",
+                            "batch_points",
+                            "min_evals_per_sec",
+                            "addr",
+                        ],
+                    )?;
+                    let method = doc.str_opt(s, "method")?.unwrap_or("lowrank").to_string();
+                    let clients = doc.usize_or(s, "clients", 4)?;
+                    if clients == 0 || clients > 64 {
+                        return fail(format!("[{s}]: clients must be in 1..=64, got {clients}"));
+                    }
+                    let batches = doc.usize_or(s, "batches", 4)?;
+                    if batches == 0 {
+                        return fail(format!("[{s}]: batches must be at least 1"));
+                    }
+                    let batch_points = doc.usize_or(s, "batch_points", 64)?;
+                    if batch_points == 0 || batch_points > 65_536 {
+                        return fail(format!(
+                            "[{s}]: batch_points must be in 1..=65536, got {batch_points}"
+                        ));
+                    }
+                    let min_evals_per_sec = match doc.f64_opt(s, "min_evals_per_sec")? {
+                        None => None,
+                        Some(v) => {
+                            if !v.is_finite() || v <= 0.0 {
+                                return fail(format!(
+                                    "[{s}]: min_evals_per_sec must be a finite positive \
+                                     number, got {v}"
+                                ));
+                            }
+                            Some(v)
+                        }
+                    };
+                    let addr = doc.str_opt(s, "addr")?.map(str::to_string);
+                    if let Some(a) = &addr {
+                        if a.is_empty() {
+                            return fail(format!("[{s}]: addr must not be empty"));
+                        }
+                    }
+                    entries.push(SuiteEntry {
+                        tag,
+                        kind: SuiteEntryKind::Serve {
+                            file,
+                            method,
+                            clients,
+                            batches,
+                            batch_points,
+                            min_evals_per_sec,
+                            addr,
+                        },
+                    });
+                }
                 other => {
                     return fail(format!(
                         "unknown section [{other}]; suites know [suite], [micro], \
-                         [scenario-<tag>], [compare-<tag>] and [refactor-<tag>]"
+                         [scenario-<tag>], [compare-<tag>], [refactor-<tag>] and \
+                         [serve-<tag>]"
                     ))
                 }
             }
@@ -495,6 +584,14 @@ method = "multipoint"
 [refactor-reuse]
 file = "sub/stress.toml"
 method = "fit"
+
+[serve-daemon]
+file = "sub/stress.toml"
+method = "lowrank"
+clients = 4
+batches = 3
+batch_points = 32
+min_evals_per_sec = 1000.0
 "#;
 
     #[test]
@@ -503,13 +600,14 @@ method = "fit"
         assert_eq!(suite.name, "unit");
         assert_eq!(suite.warmup, 1);
         assert_eq!(suite.repeats, 2);
-        assert_eq!(suite.entries.len(), 4);
+        assert_eq!(suite.entries.len(), 5);
         // Section-name order: compare-par < micro < refactor-reuse
-        // < scenario-stress.
+        // < scenario-stress < serve-daemon.
         assert_eq!(suite.entries[0].tag, "par");
         assert_eq!(suite.entries[1].tag, "micro");
         assert_eq!(suite.entries[2].tag, "reuse");
         assert_eq!(suite.entries[3].tag, "stress");
+        assert_eq!(suite.entries[4].tag, "daemon");
         match &suite.entries[0].kind {
             SuiteEntryKind::Compare { file, method } => {
                 assert_eq!(file, &PathBuf::from("/base/sub/stress.toml"));
@@ -534,6 +632,48 @@ method = "fit"
         match &suite.entries[3].kind {
             SuiteEntryKind::Scenario { gate, .. } => {
                 assert_eq!(gate, &Some(("max_rel_err".to_string(), 1e-3)));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match &suite.entries[4].kind {
+            SuiteEntryKind::Serve {
+                file,
+                method,
+                clients,
+                batches,
+                batch_points,
+                min_evals_per_sec,
+                addr,
+            } => {
+                assert_eq!(file, &PathBuf::from("/base/sub/stress.toml"));
+                assert_eq!(method, "lowrank");
+                assert_eq!((*clients, *batches, *batch_points), (4, 3, 32));
+                assert_eq!(min_evals_per_sec, &Some(1000.0));
+                assert_eq!(addr, &None);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_entry_defaults_and_addr_parse() {
+        let text =
+            "[suite]\nname = \"s\"\n\n[serve-d]\nfile = \"x.toml\"\naddr = \"127.0.0.1:7878\"\n";
+        let suite = BenchSuite::parse_at(text, None).unwrap();
+        match &suite.entries[0].kind {
+            SuiteEntryKind::Serve {
+                method,
+                clients,
+                batches,
+                batch_points,
+                min_evals_per_sec,
+                addr,
+                ..
+            } => {
+                assert_eq!(method, "lowrank");
+                assert_eq!((*clients, *batches, *batch_points), (4, 4, 64));
+                assert_eq!(min_evals_per_sec, &None);
+                assert_eq!(addr.as_deref(), Some("127.0.0.1:7878"));
             }
             other => panic!("wrong kind: {other:?}"),
         }
@@ -597,6 +737,23 @@ method = "fit"
             (
                 SUITE.replace("method = \"fit\"", "methud = \"fit\""),
                 "typoed refactor key",
+            ),
+            (SUITE.replace("clients = 4", "clients = 0"), "zero clients"),
+            (
+                SUITE.replace("clients = 4", "clients = 65"),
+                "too many clients",
+            ),
+            (
+                SUITE.replace("batch_points = 32", "batch_points = 0"),
+                "zero batch points",
+            ),
+            (
+                SUITE.replace("min_evals_per_sec = 1000.0", "min_evals_per_sec = -1.0"),
+                "negative throughput gate",
+            ),
+            (
+                SUITE.replace("batches = 3", "batchez = 3"),
+                "typoed serve key",
             ),
         ] {
             assert!(

@@ -90,17 +90,21 @@ pub fn resolve_suite(arg: &str) -> Result<PathBuf, CliError> {
 /// `out_dir`. Every emitted file is self-validated against the required
 /// record fields before this returns. `only` restricts the run to the
 /// entry with that tag (the `--entry` flag — CI runs the large tier's
-/// cheapest entry this way).
+/// cheapest entry this way). `serve_addr` (the `--serve-addr` flag)
+/// points every `[serve-*]` entry at an externally started daemon
+/// instead of the in-process one, overriding any `addr` in the suite.
 ///
 /// # Errors
 ///
 /// Fails on unresolvable scenario files, reduction/analysis failures, a
-/// bitwise mismatch (serial-vs-parallel or reuse-vs-scratch), a
-/// violated accuracy gate, an unknown `only` tag, or unwritable output.
+/// bitwise mismatch (serial-vs-parallel, reuse-vs-scratch, or
+/// served-vs-in-process), a violated accuracy or throughput gate, an
+/// unknown `only` tag, or unwritable output.
 pub fn run_suite(
     suite: &BenchSuite,
     out_dir: &Path,
     only: Option<&str>,
+    serve_addr: Option<&str>,
 ) -> Result<BenchReport, CliError> {
     let entries: Vec<_> = match only {
         None => suite.entries.iter().collect(),
@@ -140,6 +144,25 @@ pub fn run_suite(
             SuiteEntryKind::Refactor { file, method } => {
                 run_refactor_entry(file, method, suite.warmup, suite.repeats)?
             }
+            SuiteEntryKind::Serve {
+                file,
+                method,
+                clients,
+                batches,
+                batch_points,
+                min_evals_per_sec,
+                addr,
+            } => run_serve_entry(&ServeEntrySpec {
+                file,
+                method,
+                clients: *clients,
+                batches: *batches,
+                batch_points: *batch_points,
+                min_evals_per_sec: *min_evals_per_sec,
+                addr: serve_addr.or(addr.as_deref()),
+                warmup: suite.warmup,
+                repeats: suite.repeats,
+            })?,
         };
         let tag = format!("{}_{}", suite.name, entry.tag);
         let path = write_bench_json_in(out_dir, &tag, &records)
@@ -466,6 +489,244 @@ fn run_refactor_entry(
         base("reuse", medians[0]).metric("speedup", speedup),
         base("scratch", medians[1]),
     ])
+}
+
+/// Everything a `[serve-*]` entry run needs, bundled so the signature
+/// stays readable.
+struct ServeEntrySpec<'a> {
+    file: &'a Path,
+    method: &'a str,
+    clients: usize,
+    batches: usize,
+    batch_points: usize,
+    min_evals_per_sec: Option<f64>,
+    /// External daemon address (CLI `--serve-addr` wins over the suite's
+    /// `addr`); `None` hosts an in-process daemon on an ephemeral port.
+    addr: Option<&'a str>,
+    warmup: usize,
+    repeats: usize,
+}
+
+/// Deterministic eval batches for the serve load test: parameter values
+/// cycle a fixed residue pattern and frequencies sweep four decades, so
+/// the workload (and therefore the expected bitwise results) is fully
+/// reproducible across runs and machines.
+fn serve_batches(
+    num_params: usize,
+    clients: usize,
+    batches: usize,
+    batch_points: usize,
+) -> Vec<Vec<Vec<pmor::EvalPoint>>> {
+    (0..clients)
+        .map(|c| {
+            (0..batches)
+                .map(|b| {
+                    (0..batch_points)
+                        .map(|i| {
+                            let params: Vec<f64> = (0..num_params)
+                                .map(|k| {
+                                    0.15 * ((((c * 31 + b * 7 + i * 13 + k * 5) % 11) as f64) / 5.0
+                                        - 1.0)
+                                })
+                                .collect();
+                            let f = 1e8 * (10f64).powf(((c + b + i) % 20) as f64 / 5.0);
+                            pmor::EvalPoint::new(
+                                params,
+                                Complex64::jw(2.0 * std::f64::consts::PI * f),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The `[serve-*]` load test: reduce the scenario's system once, host
+/// the ROM in a `pmor serve` daemon, hammer it from `clients` threads
+/// issuing `batches` eval requests of `batch_points` points each, and
+/// assert **every** served response bitwise identical to a serial
+/// in-process [`EvalEngine`] over the same points (the engine's own
+/// 1-vs-N invariant makes the serial leg the ground truth). The
+/// recorded throughput is the median over the suite's repeats; the
+/// entry fails when it stays under `min_evals_per_sec`.
+fn run_serve_entry(spec: &ServeEntrySpec<'_>) -> Result<Vec<BenchRecord>, CliError> {
+    use pmor_serve::{Client, ServeAddr, ServeConfig, Server};
+
+    let (sc, sys) = load_entry_scenario(spec.file)?;
+    let workload = sc.system.workload_label(&sys);
+    let mut ctx = ReductionContext::with_threads(sc.threads);
+    ctx.set_ordering(sc.ordering);
+    let (rom, _, _) = crate::exec::reduce_timed(spec.method, &sys, &sc.tuning, &mut ctx)?;
+    let fingerprint = pmor::rom::fingerprint(&rom);
+
+    let all_batches = serve_batches(
+        rom.num_params(),
+        spec.clients,
+        spec.batches,
+        spec.batch_points,
+    );
+    let serial = EvalEngine::serial();
+    let expected: Vec<Vec<Vec<pmor_num::Matrix<Complex64>>>> = all_batches
+        .iter()
+        .map(|per_client| {
+            per_client
+                .iter()
+                .map(|pts| {
+                    serial
+                        .transfer_batch(&rom, pts)
+                        .map_err(|e| CliError::Pmor(format!("in-process reference eval: {e}")))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // In-process daemon on an ephemeral port unless an external address
+    // was given; either way the ROM is made resident before timing.
+    let (target, handle, mode) = match spec.addr {
+        Some(text) => {
+            let addr = ServeAddr::parse(text)
+                .map_err(|e| CliError::Usage(format!("serve address {text:?}: {e}")))?;
+            let mut loader = Client::connect(&addr)
+                .map_err(|e| CliError::Pmor(format!("connecting to daemon at {addr}: {e}")))?;
+            let stamp = loader
+                .load_rom(&rom)
+                .map_err(|e| CliError::Pmor(format!("uploading rom to {addr}: {e}")))?;
+            if stamp.fingerprint != fingerprint {
+                return Err(CliError::Pmor(format!(
+                    "daemon at {addr} stamped the rom {:016x}, expected {fingerprint:016x}",
+                    stamp.fingerprint
+                )));
+            }
+            (addr, None, "external")
+        }
+        None => {
+            let handle = Server::start(ServeConfig::default())
+                .map_err(|e| CliError::Pmor(format!("starting in-process daemon: {e}")))?;
+            handle.preload(&rom);
+            (handle.addr().clone(), Some(handle), "in-process")
+        }
+    };
+
+    let mut times = Vec::with_capacity(spec.repeats);
+    for i in 0..spec.warmup + spec.repeats {
+        let (outcome, secs) = timed(|| {
+            std::thread::scope(|scope| {
+                let mut joins = Vec::with_capacity(spec.clients);
+                for (c, (my_batches, my_expected)) in all_batches.iter().zip(&expected).enumerate()
+                {
+                    let target = &target;
+                    joins.push(scope.spawn(move || -> Result<(), String> {
+                        let mut client = Client::connect(target)
+                            .map_err(|e| format!("client {c}: connect: {e}"))?;
+                        for (b, (pts, want)) in my_batches.iter().zip(my_expected).enumerate() {
+                            // Client::roundtrip already asserts the
+                            // echoed request id — stable per-request
+                            // ordering is part of every reply here.
+                            let reply = client
+                                .request_eval(fingerprint, pts)
+                                .map_err(|e| format!("client {c} batch {b}: {e}"))?;
+                            let p = &reply.provenance;
+                            if p.rom_fingerprint != fingerprint
+                                || p.eval_points as usize != pts.len()
+                            {
+                                return Err(format!(
+                                    "client {c} batch {b}: provenance mismatch \
+                                     (rom {:016x}, {} points)",
+                                    p.rom_fingerprint, p.eval_points
+                                ));
+                            }
+                            let got = reply.matrices();
+                            if got.len() != want.len() {
+                                return Err(format!(
+                                    "client {c} batch {b}: {} matrices, expected {}",
+                                    got.len(),
+                                    want.len()
+                                ));
+                            }
+                            for (a, g) in want.iter().zip(&got) {
+                                for r in 0..a.nrows() {
+                                    for col in 0..a.ncols() {
+                                        let (x, y) = (a[(r, col)], g[(r, col)]);
+                                        if x.re.to_bits() != y.re.to_bits()
+                                            || x.im.to_bits() != y.im.to_bits()
+                                        {
+                                            return Err(format!(
+                                                "client {c} batch {b}: served value \
+                                                 differs bitwise from in-process \
+                                                 ({x:?} vs {y:?})"
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Ok(())
+                    }));
+                }
+                let mut failures = Vec::new();
+                for join in joins {
+                    match join.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(msg)) => failures.push(msg),
+                        Err(_) => failures.push("client thread panicked".to_string()),
+                    }
+                }
+                failures
+            })
+        });
+        if let Some(first) = outcome.first() {
+            return Err(CliError::Pmor(format!(
+                "serve load test failed ({} clients): {first}",
+                outcome.len()
+            )));
+        }
+        if i >= spec.warmup {
+            times.push(secs);
+        }
+    }
+    if let Some(handle) = handle {
+        handle
+            .shutdown_and_join()
+            .map_err(|e| CliError::Pmor(format!("in-process daemon shutdown: {e}")))?;
+    }
+
+    let median_s = median(&mut times);
+    let total_evals = (spec.clients * spec.batches * spec.batch_points) as f64;
+    let evals_per_sec = total_evals / median_s.max(1e-12);
+    println!(
+        "#   serve_{}: {} clients x {} batches x {} points -> {evals_per_sec:.0} evals/s \
+         (median {median_s:.4}s of {}, {mode} daemon, bitwise identical)",
+        spec.method, spec.clients, spec.batches, spec.batch_points, spec.repeats
+    );
+    if let Some(min) = spec.min_evals_per_sec {
+        if !(evals_per_sec >= min) {
+            return Err(CliError::Pmor(format!(
+                "serve throughput gate failed: {evals_per_sec:.0} evals/s under the \
+                 required {min:.0} ({} clients, {mode} daemon)",
+                spec.clients
+            )));
+        }
+    }
+    let transport = match &target {
+        ServeAddr::Tcp(_) => "tcp",
+        ServeAddr::Unix(_) => "unix",
+    };
+    Ok(vec![BenchRecord::new(
+        format!("serve_{}", spec.method),
+        workload,
+        median_s,
+    )
+    .metric("median_seconds", median_s)
+    .metric("dim", sys.dim() as f64)
+    .metric("size", rom.size() as f64)
+    .metric("evals_per_second", evals_per_sec)
+    .metric("clients", spec.clients as f64)
+    .metric("batches", spec.batches as f64)
+    .metric("batch_points", spec.batch_points as f64)
+    .metric("repeats", spec.repeats as f64)
+    .label("transport", transport)
+    .label("mode", mode)])
 }
 
 /// `pmor bench --check`: validates already-emitted record files.

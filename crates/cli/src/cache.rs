@@ -94,15 +94,38 @@ impl RomCache {
 
     /// Stores a reduced model under its key, returning the entry path.
     ///
+    /// The write is atomic with respect to concurrent readers and
+    /// writers: the bytes land in a process-unique temp file in the
+    /// cache directory first and are `rename`d onto the entry path
+    /// (rename is atomic on POSIX within a filesystem). Two `pmor run`
+    /// processes racing on the same key therefore never expose a torn
+    /// `.rom` file — a reader sees the old entry, the new entry, or a
+    /// miss, but never a partial write.
+    ///
     /// # Errors
     ///
-    /// Propagates directory-creation and serialization failures as the
-    /// serialization layer's error string.
+    /// Propagates directory-creation, write, and rename failures.
     pub fn store(&self, key: u64, method: &str, model: &ParametricRom) -> Result<PathBuf, String> {
         std::fs::create_dir_all(&self.dir)
             .map_err(|e| format!("creating cache dir {}: {e}", self.dir.display()))?;
         let path = self.entry_path(key, method);
-        rom::save(model, &path).map_err(|e| e.to_string())?;
+        // Unique per process *and* per call, so concurrent stores (even
+        // racing threads of one process) never share a temp file.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".tmp_{key:016x}_{method}_{}_{seq}.rom",
+            std::process::id()
+        ));
+        let bytes = rom::to_bytes(model);
+        if let Err(e) = std::fs::write(&tmp, &bytes) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(format!("writing {}: {e}", tmp.display()));
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(format!("renaming into {}: {e}", path.display()));
+        }
         Ok(path)
     }
 }
@@ -263,6 +286,66 @@ mod tests {
             pmor::system_fingerprint(&sys),
             pmor::system_fingerprint(&out_moved)
         );
+    }
+
+    #[test]
+    fn concurrent_stores_never_expose_a_torn_entry() {
+        // Regression for the cache-dir race: two `pmor run` processes
+        // writing the same entry concurrently must never let a reader
+        // observe a partially written `.rom` file. With atomic
+        // temp-file + rename stores, every load during the storm is
+        // either a miss (before the first rename) or a fully valid
+        // model — the serialization checksum would catch a torn file,
+        // but the point is that rename makes torn files impossible, so
+        // ALL loads after the first successful store must hit.
+        let dir = std::env::temp_dir().join(format!("pmor_rom_cache_race_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RomCache::new(&dir);
+        let sys = clock_tree(&ClockTreeConfig {
+            num_nodes: 20,
+            ..Default::default()
+        })
+        .assemble();
+        let rom = reducer_by_name("prima", &sys)
+            .unwrap()
+            .reduce_once(&sys)
+            .unwrap();
+        let key = RomCache::key(pmor::system_fingerprint(&sys), "prima", &Default::default());
+        let expected_bytes = pmor::rom::to_bytes(&rom);
+
+        const WRITERS: usize = 4;
+        const ROUNDS: usize = 25;
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        cache.store(key, "prima", &rom).expect("store");
+                    }
+                });
+            }
+            // Reader hammers the entry while writers race: every hit
+            // must be a complete, bitwise-correct model.
+            let mut hits = 0usize;
+            while hits < 50 {
+                if let Some(back) = cache.load(key, "prima") {
+                    hits += 1;
+                    assert_eq!(
+                        pmor::rom::to_bytes(&back),
+                        expected_bytes,
+                        "reader observed a torn or foreign entry"
+                    );
+                }
+                std::hint::spin_loop();
+            }
+        });
+        // No temp droppings left behind once the dust settles.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp_"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

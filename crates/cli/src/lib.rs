@@ -31,6 +31,7 @@ pub mod cache;
 pub mod exec;
 pub mod lint_cmd;
 pub mod scenario;
+pub mod serve_cmd;
 pub mod vet_cmd;
 pub use pmor_bench::toml;
 

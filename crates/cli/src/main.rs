@@ -24,10 +24,18 @@ USAGE:
                                 yield when --min-pole is given) on a ROM
   pmor info <model.rom>         describe a persisted ROM
   pmor bench --suite <name|path> [--entry TAG] [--repeats N] [--warmup N]
-             [--out DIR]       run a benchmark suite (or just one entry);
+             [--out DIR] [--serve-addr ADDR]
+                                run a benchmark suite (or just one entry);
                                 one standardized BENCH_<suite>_<entry>.json
-                                per entry
+                                per entry (--serve-addr points [serve-*]
+                                entries at an already-running daemon)
   pmor bench --check <file>...  validate BENCH_*.json required fields
+  pmor serve --addr <host:port|unix:PATH> [--roms DIR] [--lru N]
+             [--max-frame BYTES] [--max-batch N] [--timeout-ms MS]
+             [--threads N]     long-running batched evaluation daemon
+                                holding hot ROMs in an in-memory LRU
+  pmor serve --ping ADDR        health-check a running daemon
+  pmor serve --shutdown ADDR    ask a running daemon to drain and exit
   pmor lint [--check] [--json] [--graph] [--out DIR] [root]
                                 determinism & numeric-safety static analysis
                                 over crates/*/src (--check: findings and
@@ -85,6 +93,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "mc" => cmd_mc(rest),
         "info" => cmd_info(rest),
         "bench" => cmd_bench(rest),
+        "serve" => pmor_cli::serve_cmd::cmd_serve(rest),
         "lint" => cmd_lint(rest),
         "vet" => cmd_vet(rest),
         "list" => cmd_list(rest),
@@ -307,7 +316,10 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         };
         flags.push((name.to_string(), value.clone()));
     }
-    check_flags(&flags, &["suite", "entry", "repeats", "warmup", "out"])?;
+    check_flags(
+        &flags,
+        &["suite", "entry", "repeats", "warmup", "out", "serve-addr"],
+    )?;
     let Some((_, suite_arg)) = flags.iter().find(|(n, _)| n == "suite") else {
         return Err(CliError::Usage(
             "bench needs --suite <name|path> (or --check <file>...)".into(),
@@ -336,7 +348,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         .iter()
         .find(|(n, _)| n == "entry")
         .map(|(_, v)| v.as_str());
-    let report = run_suite(&suite, std::path::Path::new(&out), only)?;
+    let serve_addr = flags
+        .iter()
+        .find(|(n, _)| n == "serve-addr")
+        .map(|(_, v)| v.as_str());
+    let report = run_suite(&suite, std::path::Path::new(&out), only, serve_addr)?;
     println!(
         "# suite {} done: {} files, {} records",
         suite.name,
@@ -482,6 +498,15 @@ fn list_benches(dir: &std::path::Path) -> Result<(), CliError> {
                 ),
                 SuiteEntryKind::Refactor { file, method } => format!(
                     "symbolic-reuse vs from-scratch {method} reduction of {}",
+                    file.display()
+                ),
+                SuiteEntryKind::Serve {
+                    file,
+                    method,
+                    clients,
+                    ..
+                } => format!(
+                    "daemon eval throughput ({method} ROM of {}, {clients} clients)",
                     file.display()
                 ),
             };

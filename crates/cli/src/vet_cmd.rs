@@ -127,7 +127,8 @@ fn entry_scenario(kind: &SuiteEntryKind) -> Option<&PathBuf> {
     match kind {
         SuiteEntryKind::Scenario { file, .. }
         | SuiteEntryKind::Compare { file, .. }
-        | SuiteEntryKind::Refactor { file, .. } => Some(file),
+        | SuiteEntryKind::Refactor { file, .. }
+        | SuiteEntryKind::Serve { file, .. } => Some(file),
         SuiteEntryKind::Micro { .. } => None,
     }
 }

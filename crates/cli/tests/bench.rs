@@ -72,7 +72,7 @@ method = "multipoint"
 fn suite_runs_end_to_end_with_validated_records() {
     let dir = out_dir("suite");
     let suite = BenchSuite::load(write_suite(&dir)).unwrap();
-    let report = run_suite(&suite, &dir, None).unwrap();
+    let report = run_suite(&suite, &dir, None, None).unwrap();
     // One BENCH file per entry: compare-par, micro, scenario-e2e.
     assert_eq!(report.files.len(), 3);
     // 2 (compare) + 2 (micro kernels) + 2 (methods) records.
@@ -100,9 +100,9 @@ fn suite_runs_end_to_end_with_validated_records() {
         .collect();
     check_files(&paths).unwrap();
     // --entry restricts the run to one tag; unknown tags fail loudly.
-    let one = run_suite(&suite, &dir, Some("micro")).unwrap();
+    let one = run_suite(&suite, &dir, Some("micro"), None).unwrap();
     assert_eq!(one.files.len(), 1);
-    let err = run_suite(&suite, &dir, Some("nope")).unwrap_err();
+    let err = run_suite(&suite, &dir, Some("nope"), None).unwrap_err();
     assert!(err.to_string().contains("no entry"), "{err}");
 }
 
@@ -213,7 +213,7 @@ fn violated_suite_gate_fails_the_bench_run_loudly() {
     // must abort naming the method, file, metric, value and bound.
     let dir = out_dir("gate_violation");
     let suite = BenchSuite::load(write_gated_suite(&dir, "max_rel_err", "1e-300")).unwrap();
-    let err = run_suite(&suite, &dir, None).unwrap_err().to_string();
+    let err = run_suite(&suite, &dir, None, None).unwrap_err().to_string();
     assert!(err.contains("accuracy gate failed"), "{err}");
     assert!(err.contains("multipoint"), "{err}");
     assert!(err.contains("max_rel_err"), "{err}");
@@ -222,14 +222,14 @@ fn violated_suite_gate_fails_the_bench_run_loudly() {
     // not the scenario, caused the failure above).
     let dir_ok = out_dir("gate_ok");
     let suite = BenchSuite::load(write_gated_suite(&dir_ok, "max_rel_err", "1e3")).unwrap();
-    run_suite(&suite, &dir_ok, None).unwrap();
+    run_suite(&suite, &dir_ok, None, None).unwrap();
 }
 
 #[test]
 fn gate_on_an_unreported_metric_fails_instead_of_silently_passing() {
     let dir = out_dir("gate_unreported");
     let suite = BenchSuite::load(write_gated_suite(&dir, "no_such_metric", "1e-3")).unwrap();
-    let err = run_suite(&suite, &dir, None).unwrap_err().to_string();
+    let err = run_suite(&suite, &dir, None, None).unwrap_err().to_string();
     assert!(err.contains("was not reported"), "{err}");
     assert!(err.contains("no_such_metric"), "{err}");
 }
@@ -357,4 +357,99 @@ rom_cache = false
             );
         }
     }
+}
+
+/// Writes a small scenario + one-entry `[serve-*]` suite, returning the
+/// suite path. `extra` is appended inside the serve section verbatim.
+fn write_serve_suite(dir: &std::path::Path, extra: &str) -> PathBuf {
+    let scenario = format!(
+        r#"
+[scenario]
+name = "serve_e2e"
+
+[system]
+generator = "clock_tree"
+num_nodes = 30
+
+[reduce]
+methods = ["lowrank"]
+
+[analysis]
+kind = "frequency_sweep"
+points = 4
+
+[output]
+dir = "{}"
+"#,
+        dir.display()
+    );
+    std::fs::write(dir.join("serve_e2e.toml"), scenario).unwrap();
+    let suite = format!(
+        r#"
+[suite]
+name = "servetest"
+warmup = 0
+repeats = 2
+
+[serve-daemon]
+file = "serve_e2e.toml"
+method = "lowrank"
+clients = 2
+batches = 2
+batch_points = 8
+{extra}
+"#
+    );
+    let path = dir.join("serve_suite.toml");
+    std::fs::write(&path, suite).unwrap();
+    path
+}
+
+#[test]
+fn serve_entry_load_tests_an_in_process_daemon_bitwise() {
+    let dir = out_dir("serve_entry");
+    let suite = BenchSuite::load(write_serve_suite(&dir, "")).unwrap();
+    let report = run_suite(&suite, &dir, None, None).unwrap();
+    assert_eq!(report.files.len(), 1);
+    assert_eq!(report.records, 1);
+    let text = std::fs::read_to_string(&report.files[0]).unwrap();
+    validate_bench_json(&text).unwrap();
+    assert!(text.contains("\"serve_lowrank\""), "{text}");
+    assert!(text.contains("\"evals_per_second\""), "{text}");
+    assert!(text.contains("\"mode\": \"in-process\""), "{text}");
+    assert!(text.contains("\"transport\": \"tcp\""), "{text}");
+}
+
+#[test]
+fn serve_entry_throughput_gate_fails_loudly_when_unmeetable() {
+    // No machine serves 1e15 evals/sec; the gate must abort the run
+    // naming the measured and required rates.
+    let dir = out_dir("serve_gate");
+    let suite = BenchSuite::load(write_serve_suite(&dir, "min_evals_per_sec = 1e15")).unwrap();
+    let err = run_suite(&suite, &dir, None, None).unwrap_err().to_string();
+    assert!(err.contains("serve throughput gate failed"), "{err}");
+    assert!(err.contains("1000000000000000"), "{err}");
+}
+
+#[test]
+fn serve_entry_runs_against_an_external_daemon_via_serve_addr() {
+    // Host the daemon ourselves and point the suite at it through the
+    // `--serve-addr` override — the path CI's serve-smoke job uses. The
+    // entry uploads the ROM, load-tests over real TCP, and must leave
+    // the daemon running (external daemons are not ours to stop).
+    use pmor_serve::{Client, ServeConfig, Server};
+    let dir = out_dir("serve_external");
+    let suite = BenchSuite::load(write_serve_suite(&dir, "")).unwrap();
+    let handle = Server::start(ServeConfig::default()).unwrap();
+    let addr_text = handle.addr().to_string();
+    let report = run_suite(&suite, &dir, None, Some(&addr_text)).unwrap();
+    assert_eq!(report.records, 1);
+    let text = std::fs::read_to_string(&report.files[0]).unwrap();
+    assert!(text.contains("\"mode\": \"external\""), "{text}");
+    // Still alive, and the uploaded ROM is resident.
+    let mut probe = Client::connect(handle.addr()).unwrap();
+    probe.ping().unwrap();
+    assert_eq!(probe.server_info().unwrap().roms.len(), 1);
+    drop(probe);
+    handle.shutdown_and_join().unwrap();
 }

@@ -487,7 +487,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
     if bytes[..8] != ROM_MAGIC {
         return Err(err("not a pmor ROM file (bad magic)"));
     }
-    // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
+    // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail — holds unchanged on the daemon upload route, hot via accept_loop -> load -> from_bytes"
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
     if version != ROM_FORMAT_VERSION {
         return Err(err(&format!(
@@ -495,7 +495,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
         )));
     }
     let payload = &bytes[12..bytes.len() - 8];
-    // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
+    // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail — holds unchanged on the daemon upload route, hot via accept_loop -> load -> from_bytes"
     let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
     if fnv1a(payload) != stored_sum {
         return Err(err("checksum mismatch (corrupted file)"));
@@ -507,7 +507,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
             .checked_add(8)
             .filter(|&e| e <= payload.len())
             .ok_or_else(|| err("truncated payload"))?;
-        // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
+        // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail — holds unchanged on the daemon upload route, hot via accept_loop -> load -> from_bytes"
         let v = u64::from_le_bytes(payload[cursor..end].try_into().unwrap());
         cursor = end;
         Ok(v)
@@ -533,11 +533,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
             .filter(|&e| e <= payload.len())
             .ok_or_else(|| err("truncated payload"))?;
         let nr = as_dim(u64::from_le_bytes(
-            // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
+            // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail — holds unchanged on the daemon upload route, hot via accept_loop -> load -> from_bytes"
             payload[cursor..cursor + 8].try_into().unwrap(),
         ))?;
         let nc = as_dim(u64::from_le_bytes(
-            // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
+            // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail — holds unchanged on the daemon upload route, hot via accept_loop -> load -> from_bytes"
             payload[cursor + 8..end].try_into().unwrap(),
         ))?;
         cursor = end;
@@ -559,7 +559,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ParametricRom> {
             for c in 0..nc {
                 let at = cursor + 8 * (r * nc + c);
                 m[(r, c)] =
-                    // pmor-lint: allow(panic-in-lib) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail"
+                    // pmor-lint: allow(panic-in-lib, panic-reachable-hot) reason="the slice range is exactly 8 bytes by construction, so the array conversion cannot fail — holds unchanged on the daemon upload route, hot via accept_loop -> load -> from_bytes"
                     f64::from_bits(u64::from_le_bytes(payload[at..at + 8].try_into().unwrap()));
             }
         }
@@ -637,6 +637,15 @@ impl ParametricRom {
     pub fn load(path: impl AsRef<Path>) -> Result<ParametricRom> {
         load(path)
     }
+}
+
+/// Content fingerprint of a reduced model: FNV-1a over its canonical
+/// serialized bytes ([`to_bytes`]). Because the serialization stores
+/// every `f64` by exact bit pattern, two models fingerprint equal iff
+/// they are bitwise identical — the key the `pmor serve` in-memory ROM
+/// store and its `Eval` requests address models by.
+pub fn fingerprint(rom: &ParametricRom) -> u64 {
+    fnv1a(&to_bytes(rom))
 }
 
 /// FNV-1a over a byte slice (the payload checksum).
@@ -843,6 +852,20 @@ mod tests {
         ));
         // Intact input still loads.
         assert!(from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_bitwise() {
+        let sys = rc2();
+        let rom = identity_rom(&sys);
+        let fp = fingerprint(&rom);
+        // Stable across a serialization round trip (bitwise identity).
+        let back = from_bytes(&to_bytes(&rom)).unwrap();
+        assert_eq!(fp, fingerprint(&back));
+        // Any single-bit content change moves the fingerprint.
+        let mut other = rom.clone();
+        other.g0[(0, 0)] = f64::from_bits(other.g0[(0, 0)].to_bits() ^ 1);
+        assert_ne!(fp, fingerprint(&other));
     }
 
     #[test]

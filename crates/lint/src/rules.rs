@@ -154,12 +154,14 @@ const RESULT_CRATES: [&str; 4] = [
 
 /// The scoped-thread-pool modules where `std::thread::scope` is the
 /// approved mechanism (serial-identical batch factorization, the
-/// chunked eval engine, and parallel method×analysis CLI jobs). A new
-/// pool belongs on this list — adding it here is a reviewable act.
-pub const APPROVED_SCOPE_MODULES: [&str; 3] = [
+/// chunked eval engine, parallel method×analysis CLI jobs, and the
+/// `[serve-*]` bench entries' concurrent-client fan-out). A new pool
+/// belongs on this list — adding it here is a reviewable act.
+pub const APPROVED_SCOPE_MODULES: [&str; 4] = [
     "crates/core/src/engine.rs",
     "crates/sparse/src/factor_cache.rs",
     "crates/cli/src/exec.rs",
+    "crates/cli/src/bench_cmd.rs",
 ];
 
 fn in_result_crate(path: &str) -> bool {

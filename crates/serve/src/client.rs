@@ -1,0 +1,167 @@
+//! A blocking binary-protocol client for `pmor serve`.
+//!
+//! One [`Client`] owns one connection and issues one request at a
+//! time; every response's echoed request id is asserted against the
+//! id sent, so out-of-order or cross-wired replies surface as
+//! [`ServeError::Protocol`] instead of silently corrupting results.
+//! Concurrency is expressed by opening one client per thread (as the
+//! `[serve-*]` bench entries do).
+
+use crate::protocol::{
+    self, EvalReply, Request, Response, RomStamp, ServerInfo, CHECKSUM_LEN, HEADER_LEN,
+};
+use crate::server::{Conn, ServeAddr};
+use crate::ServeError;
+use pmor::engine::EvalPoint;
+use pmor::ParametricRom;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// Client-side sanity cap on response body length (256 MiB): a
+/// corrupt header cannot make the client attempt an absurd allocation.
+const MAX_RESPONSE_BODY: u32 = 256 << 20;
+
+/// A connected `pmor serve` client.
+pub struct Client {
+    conn: Conn,
+    next_id: u32,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Any socket connect failure.
+    pub fn connect(addr: &ServeAddr) -> Result<Client, ServeError> {
+        let conn = match addr {
+            ServeAddr::Tcp(hp) => Conn::Tcp(
+                TcpStream::connect(hp.as_str())
+                    .map_err(|e| ServeError::Io(format!("connect {hp}: {e}")))?,
+            ),
+            ServeAddr::Unix(path) => Conn::Unix(
+                UnixStream::connect(path)
+                    .map_err(|e| ServeError::Io(format!("connect {}: {e}", path.display())))?,
+            ),
+        };
+        Ok(Client { conn, next_id: 1 })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or server-fault failures.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Fetches server limits and resident ROM stamps.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or server-fault failures.
+    pub fn server_info(&mut self) -> Result<ServerInfo, ServeError> {
+        match self.roundtrip(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            other => Err(unexpected("info", &other)),
+        }
+    }
+
+    /// Uploads a model into the daemon's LRU store and returns its
+    /// stamp (idempotent for identical models).
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or server-fault failures.
+    pub fn load_rom(&mut self, model: &ParametricRom) -> Result<RomStamp, ServeError> {
+        let request = Request::LoadRom {
+            rom_bytes: pmor::rom::to_bytes(model),
+        };
+        match self.roundtrip(&request)? {
+            Response::RomLoaded(stamp) => Ok(stamp),
+            other => Err(unexpected("rom_loaded", &other)),
+        }
+    }
+
+    /// Evaluates a batch of points against a resident model.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failures, and server faults such as
+    /// `unknown_rom` or `batch_too_large` as [`ServeError::Fault`].
+    pub fn request_eval(
+        &mut self,
+        rom_fingerprint: u64,
+        points: &[EvalPoint],
+    ) -> Result<EvalReply, ServeError> {
+        let request = Request::Eval {
+            rom_fingerprint,
+            points: points.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Eval(reply) => Ok(reply),
+            other => Err(unexpected("eval", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; the connection closes after
+    /// the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// I/O, protocol, or server-fault failures.
+    pub fn shutdown_server(mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("shutdown_ack", &other)),
+        }
+    }
+
+    /// Sends one request and reads its response, asserting the echoed
+    /// request id matches (stable per-request ordering). Fault
+    /// responses become [`ServeError::Fault`].
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        let frame = protocol::encode_request(id, request)?;
+        self.conn
+            .write_all(&frame)
+            .map_err(|e| ServeError::Io(format!("send: {e}")))?;
+
+        let mut head = [0u8; HEADER_LEN];
+        self.conn
+            .read_exact(&mut head)
+            .map_err(|e| ServeError::Io(format!("recv header: {e}")))?;
+        let header = protocol::decode_header(&head)?;
+        if header.body_len > MAX_RESPONSE_BODY {
+            return Err(ServeError::Protocol(format!(
+                "response body of {} bytes exceeds the client sanity cap",
+                header.body_len
+            )));
+        }
+        let mut full = vec![0u8; HEADER_LEN + header.body_len as usize + CHECKSUM_LEN];
+        full[..HEADER_LEN].copy_from_slice(&head);
+        self.conn
+            .read_exact(&mut full[HEADER_LEN..])
+            .map_err(|e| ServeError::Io(format!("recv body: {e}")))?;
+        let (resp_id, response) = protocol::decode_response(&full)?;
+        if resp_id != id {
+            return Err(ServeError::Protocol(format!(
+                "response id {resp_id} does not match request id {id}"
+            )));
+        }
+        match response {
+            Response::Error(fault) => Err(ServeError::Fault(fault)),
+            other => Ok(other),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    ServeError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

@@ -1,0 +1,241 @@
+//! Property battery for the `pmor serve` wire protocol (vendored
+//! proptest shim, mirroring the TOML parser's suite): arbitrary byte
+//! soup, truncated frames, and oversized frames never panic the
+//! decoder, and `decode ∘ encode` round-trips every request/response
+//! type bit-identically.
+
+use pmor::engine::EvalPoint;
+use pmor_num::Complex64;
+use pmor_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, EvalReply, FaultCode,
+    Provenance, Request, Response, RomStamp, ServeFault, ServerInfo, HEADER_LEN,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// An arbitrary f64 *bit pattern* — includes NaNs, infinities, and
+/// subnormals, which is exactly what "bitwise" round-tripping must
+/// survive.
+fn f64_bits() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(f64::from_bits)
+}
+
+fn eval_points() -> impl Strategy<Value = Vec<EvalPoint>> {
+    // One shared parameter count per batch (a wire-format invariant).
+    (1usize..5, 0usize..4).prop_flat_map(|(npoints, nparams)| {
+        pvec(
+            (
+                pvec(f64_bits(), nparams..nparams + 1),
+                f64_bits(),
+                f64_bits(),
+            )
+                .prop_map(|(params, re, im)| EvalPoint::new(params, Complex64::new(re, im))),
+            npoints..npoints + 1,
+        )
+    })
+}
+
+fn requests() -> impl Strategy<Value = Request> {
+    (
+        0usize..5,
+        0u64..u64::MAX,
+        pvec(0u64..256, 0..40),
+        eval_points(),
+    )
+        .prop_map(|(variant, fp, raw, points)| match variant {
+            0 => Request::Ping,
+            1 => Request::Info,
+            2 => Request::LoadRom {
+                rom_bytes: raw.into_iter().map(|b| b as u8).collect(),
+            },
+            3 => Request::Eval {
+                rom_fingerprint: fp,
+                points,
+            },
+            _ => Request::Shutdown,
+        })
+}
+
+fn stamps() -> impl Strategy<Value = RomStamp> {
+    (0u64..u64::MAX, 0u64..1 << 32, 0u64..1 << 32).prop_map(|(fingerprint, a, b)| RomStamp {
+        fingerprint,
+        states: a as u32,
+        full_dim: b as u32,
+        num_params: (a >> 8) as u32 & 0xFFFF,
+        num_inputs: (b >> 4) as u32 & 0xFF,
+        num_outputs: (b >> 12) as u32 & 0xFF,
+    })
+}
+
+fn eval_replies() -> impl Strategy<Value = EvalReply> {
+    // Consistent (points, rows, cols, values-len) — the decoder
+    // enforces the product, so the strategy must too.
+    (1usize..4, 0usize..3, 0usize..3).prop_flat_map(|(npoints, rows, cols)| {
+        let nvals = npoints * rows * cols;
+        (
+            pvec((f64_bits(), f64_bits()), nvals..nvals + 1),
+            0u64..u64::MAX,
+            f64_bits(),
+        )
+            .prop_map(move |(vals, fp, secs)| EvalReply {
+                rows: rows as u32,
+                cols: cols as u32,
+                provenance: Provenance {
+                    rom_fingerprint: fp,
+                    eval_points: npoints as u32,
+                    threads: (fp % 64) as u32 + 1,
+                    eval_seconds: secs,
+                    states: (fp % 1000) as u32,
+                    full_dim: (fp % 100_000) as u32,
+                },
+                values: vals
+                    .into_iter()
+                    .map(|(re, im)| Complex64::new(re, im))
+                    .collect(),
+            })
+    })
+}
+
+fn responses() -> impl Strategy<Value = Response> {
+    (
+        0usize..6,
+        pvec(stamps(), 0..4),
+        eval_replies(),
+        (0u64..6, pvec(0u64..128, 0..20)),
+    )
+        .prop_map(|(variant, roms, reply, (code, msg))| match variant {
+            0 => Response::Pong,
+            1 => Response::Info(ServerInfo {
+                protocol_version: 1,
+                max_frame: 1 << 20,
+                max_batch: 1 << 10,
+                roms,
+            }),
+            2 => Response::RomLoaded(reply.provenance_stamp()),
+            3 => Response::Eval(reply),
+            4 => Response::ShutdownAck,
+            _ => Response::Error(ServeFault::new(
+                FaultCode::from_u16(code as u16 + 1).unwrap_or(FaultCode::Malformed),
+                msg.into_iter()
+                    .map(|b| (b as u8 % 94 + 32) as char)
+                    .collect::<String>(),
+            )),
+        })
+}
+
+/// Helper: derive a stamp from a reply's provenance so the strategy
+/// tuple stays small.
+trait StampFrom {
+    fn provenance_stamp(&self) -> RomStamp;
+}
+
+impl StampFrom for EvalReply {
+    fn provenance_stamp(&self) -> RomStamp {
+        RomStamp {
+            fingerprint: self.provenance.rom_fingerprint,
+            states: self.provenance.states,
+            full_dim: self.provenance.full_dim,
+            num_params: self.rows,
+            num_inputs: self.cols,
+            num_outputs: self.rows,
+        }
+    }
+}
+
+/// Arbitrary bytes, biased toward "almost a frame": many start with
+/// the real marker and version so the fuzz reaches deep decode paths.
+fn byte_soup() -> impl Strategy<Value = Vec<u8>> {
+    (0usize..3, pvec(0u64..256, 0..200)).prop_map(|(prefix, raw)| {
+        let mut bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        if prefix >= 1 && !bytes.is_empty() {
+            bytes[0] = 0xB1;
+        }
+        if prefix == 2 && bytes.len() >= 2 {
+            bytes[1] = 1;
+        }
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_decode_encode_round_trips_bitwise(req in requests(), id in 0u64..1 << 32) {
+        let id = id as u32;
+        let frame = encode_request(id, &req).expect("strategy only builds encodable requests");
+        let (back_id, back) = decode_request(&frame).expect("own encoding must decode");
+        prop_assert_eq!(back_id, id);
+        // Bitwise identity via re-encoded bytes: PartialEq would call
+        // NaN != NaN a mismatch, the byte stream cannot.
+        prop_assert_eq!(encode_request(id, &back).unwrap(), frame);
+    }
+
+    #[test]
+    fn response_decode_encode_round_trips_bitwise(resp in responses(), id in 0u64..1 << 32) {
+        let id = id as u32;
+        let frame = encode_response(id, &resp);
+        let (back_id, back) = decode_response(&frame).expect("own encoding must decode");
+        prop_assert_eq!(back_id, id);
+        prop_assert_eq!(encode_response(id, &back), frame);
+    }
+
+    #[test]
+    fn byte_soup_never_panics_the_decoder(bytes in byte_soup()) {
+        // The only contract on garbage is a returned Err (or, for a
+        // byte-exact valid frame, Ok) — never a panic.
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_are_rejected(req in requests(), cut in 0u64..1 << 16) {
+        let frame = encode_request(9, &req).unwrap();
+        let cut = (cut as usize) % frame.len().max(1);
+        prop_assert!(decode_request(&frame[..cut]).is_err());
+    }
+
+    #[test]
+    fn corrupted_bytes_never_decode_to_the_original(req in requests(), at in 0u64..1 << 16, bit in 0u64..8) {
+        let frame = encode_request(5, &req).unwrap();
+        let mut bad = frame.clone();
+        let at = (at as usize) % bad.len();
+        bad[at] ^= 1 << bit;
+        // A single flipped bit either fails to decode (header/checksum
+        // damage) or — if it lands in a spot the checksum covers —
+        // still fails, because FNV-1a covers the whole body. Header
+        // req_id bits are the one field outside both protections, so a
+        // decode that *succeeds* must differ from the original frame's
+        // payload only via req_id.
+        match decode_request(&bad) {
+            Err(_) => {}
+            Ok((id, back)) => {
+                let reenc = encode_request(id, &back).unwrap();
+                prop_assert_eq!(&reenc, &bad);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_claims_are_rejected_not_trusted(len in 0u64..u32::MAX as u64) {
+        // A header claiming `len` body bytes over a short frame must be
+        // rejected by length consistency — decoders never allocate or
+        // index based on the claim alone.
+        let mut frame = vec![0xB1u8, 1, 0x01, 0];
+        frame.extend_from_slice(&7u32.to_le_bytes());
+        frame.extend_from_slice(&(len as u32).to_le_bytes());
+        frame.extend_from_slice(&[0u8; 8]); // checksum of nothing
+        if len != 0 {
+            prop_assert!(decode_request(&frame).is_err());
+        }
+    }
+}
+
+#[test]
+fn header_len_is_stable() {
+    // The wire constant is load-bearing for every independently written
+    // client; a change must be deliberate (and bump the version).
+    assert_eq!(HEADER_LEN, 12);
+    let frame = encode_request(1, &Request::Ping).unwrap();
+    assert_eq!(frame.len(), HEADER_LEN + 8);
+}

@@ -122,3 +122,54 @@ fn guide_documents_every_lint_rule() {
         );
     }
 }
+
+#[test]
+fn guide_documents_the_serve_surface() {
+    // The serving stack is a public contract like the lint rules: the
+    // CLI verbs, the transport forms, every daemon knob, the frame
+    // marker, and the fault codes must all be documented in GUIDE.md.
+    let root = repo_root();
+    let guide = std::fs::read_to_string(root.join("docs/GUIDE.md")).expect("docs/GUIDE.md");
+    for needle in [
+        "pmor serve",
+        "--ping",
+        "--shutdown",
+        "--serve-addr",
+        "unix:",
+        "--lru",
+        "--max-frame",
+        "--max-batch",
+        "--timeout-ms",
+        "0xB1",
+        "FNV-1a",
+        "req_id",
+        "[serve-",
+        "min_evals_per_sec",
+        "crates/serve",
+    ] {
+        assert!(
+            guide.contains(needle),
+            "docs/GUIDE.md does not document serve surface {needle:?}"
+        );
+    }
+    // The structured fault codes are part of the wire contract.
+    for code in [
+        "malformed",
+        "frame_too_large",
+        "batch_too_large",
+        "unknown_rom",
+        "eval_failed",
+        "unsupported",
+    ] {
+        assert!(
+            guide.contains(code),
+            "docs/GUIDE.md does not document serve fault code {code:?}"
+        );
+    }
+    // And BENCHMARKS.md records the measured serving baseline.
+    let bench = std::fs::read_to_string(root.join("docs/BENCHMARKS.md")).unwrap();
+    assert!(
+        bench.contains("pmor serve") && bench.contains("evals/s"),
+        "docs/BENCHMARKS.md does not cover serving throughput"
+    );
+}
